@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or analytic claims.
+Besides timing the underlying computation with pytest-benchmark, each
+benchmark renders the reproduced rows as an ASCII table and saves it under
+``benchmarks/results/`` so the numbers quoted in EXPERIMENTS.md can be
+regenerated with a single ``pytest benchmarks/ --benchmark-only`` run.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Mapping, Optional, Sequence
+
+from repro.reporting import render_table, write_csv
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+
+def save_rows(name: str, rows: Sequence[Mapping[str, object]],
+              columns: Optional[Sequence[str]] = None, title: Optional[str] = None) -> str:
+    """Render rows, print them, and persist them under ``benchmarks/results``."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    text = render_table(rows, columns=columns, title=title or name)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
+        handle.write(text + "\n")
+    write_csv(os.path.join(RESULTS_DIR, f"{name}.csv"), rows, columns)
+    print("\n" + text)
+    return text

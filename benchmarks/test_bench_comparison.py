@@ -1,0 +1,68 @@
+"""Experiment: guidance comparison — who wins, by what factor, and where.
+
+The paper's introduction motivates the guidelines against the two naive
+extremes (one long period; many fixed chunks).  This benchmark quantifies
+that motivation: guaranteed work of each scheduler across a sweep of
+normalised lifespans, the ratio of the adaptive guideline to each baseline,
+and the crossover point at which chunked schedules start beating the single
+long period under a one-interrupt threat.
+"""
+
+import pytest
+
+from bench_util import save_rows
+from repro import CycleStealingParams
+from repro.analysis import scheduler_comparison_sweep
+from repro.reporting import crossover_point, pivot_series, ratio_summary
+from repro.schedules import (
+    EqualizingAdaptiveScheduler,
+    EqualSplitScheduler,
+    FixedPeriodScheduler,
+    RosenbergNonAdaptiveScheduler,
+    SinglePeriodScheduler,
+)
+
+LIFESPANS = [100.0, 300.0, 1_000.0, 3_000.0, 10_000.0, 30_000.0]
+BUDGET = 2
+
+SCHEDULERS = {
+    "equalizing-adaptive": EqualizingAdaptiveScheduler(),
+    "rosenberg-nonadaptive": RosenbergNonAdaptiveScheduler(),
+    "fixed-period-50": FixedPeriodScheduler(period_length=50.0),
+    "equal-split": EqualSplitScheduler(),
+    "single-period": SinglePeriodScheduler(),
+}
+
+
+def _comparison_rows():
+    params_list = [CycleStealingParams(lifespan=U, setup_cost=1.0, max_interrupts=BUDGET)
+                   for U in LIFESPANS]
+    return scheduler_comparison_sweep(SCHEDULERS, params_list)
+
+
+def test_bench_scheduler_comparison(benchmark):
+    rows = benchmark.pedantic(_comparison_rows, rounds=1, iterations=1)
+    save_rows("scheduler_comparison", rows,
+              columns=["scheduler", "lifespan", "guaranteed_work", "efficiency"],
+              title=f"Guaranteed work by scheduler (c = 1, p = {BUDGET})")
+
+    series = pivot_series(rows, x="lifespan", y="guaranteed_work", series_key="scheduler")
+    summary_rows = []
+    for label in SCHEDULERS:
+        if label == "equalizing-adaptive":
+            continue
+        summary = ratio_summary(series, "equalizing-adaptive", label)
+        summary_rows.append({"baseline": label, **{f"ratio_{k}": v for k, v in summary.items()}})
+    save_rows("scheduler_comparison_ratios", summary_rows,
+              title="Adaptive guideline / baseline guaranteed-work ratios")
+
+    # Shape checks: the adaptive guideline wins everywhere; the naive single
+    # period guarantees nothing; fixed chunks overtake the single period as
+    # soon as the lifespan supports more than one chunk.
+    by = {(r["scheduler"], r["lifespan"]): r["guaranteed_work"] for r in rows}
+    for U in LIFESPANS:
+        best = max(by[(label, U)] for label in SCHEDULERS)
+        assert by[("equalizing-adaptive", U)] == pytest.approx(best, abs=1e-6)
+        assert by[("single-period", U)] == 0.0
+    crossover = crossover_point(series, "fixed-period-50", "single-period")
+    assert crossover is not None and crossover <= LIFESPANS[1]

@@ -1,0 +1,35 @@
+"""Ablation: cost of the exact DP solver (fast bisection vs reference).
+
+DESIGN.md calls out the ``O(p·L·log L)`` bisection solver as an
+implementation choice over the straightforward ``O(p·L²)`` recurrence; this
+benchmark quantifies the difference and checks the two stay bit-identical.
+"""
+
+import numpy as np
+import pytest
+
+from bench_util import save_rows
+from repro.dp import solve_fast, solve_reference
+
+
+@pytest.mark.parametrize("lifespan", [1_000, 4_000, 16_000])
+def test_bench_dp_fast(benchmark, lifespan):
+    table = benchmark.pedantic(solve_fast, args=(lifespan, 1, 2), rounds=1, iterations=1)
+    assert table.max_lifespan == lifespan
+
+
+@pytest.mark.parametrize("lifespan", [1_000, 4_000])
+def test_bench_dp_reference(benchmark, lifespan):
+    table = benchmark.pedantic(solve_reference, args=(lifespan, 1, 2), rounds=1, iterations=1)
+    assert table.max_lifespan == lifespan
+
+
+def test_bench_dp_agreement():
+    fast = solve_fast(2_000, 3, 3)
+    ref = solve_reference(2_000, 3, 3)
+    assert np.array_equal(fast.values, ref.values)
+    save_rows("dp_solver_ablation", [{
+        "lifespan": 2_000, "setup_cost": 3, "max_interrupts": 3,
+        "solvers_agree": True,
+        "table_cells": int(fast.values.size),
+    }], title="DP solver ablation: fast bisection vs reference recurrence")

@@ -1,0 +1,52 @@
+"""Experiment: Section 3.1 — the non-adaptive guideline's guarantee.
+
+Sweeps the guideline ``S_na^(p)[U]`` over lifespans and interrupt budgets,
+measures its exact worst-case work against the optimal period-end adversary
+and compares it with the closed forms (the derived ``U − 2√(pcU) + pc`` and
+the ``U − √(2pcU) + pc`` printed in the extended abstract — see DESIGN.md
+for the OCR note).  Also reports the strongest member of the equal-period
+family found by direct search, to confirm the guideline's period count is
+essentially the best possible.
+"""
+
+import pytest
+
+from bench_util import save_rows
+from repro import CycleStealingParams
+from repro.analysis import bounds, nonadaptive_guarantee_sweep
+from repro.schedules import RosenbergNonAdaptiveScheduler, TunedEqualPeriodScheduler
+
+LIFESPANS = [1_000.0, 10_000.0, 100_000.0]
+BUDGETS = [1, 2, 4, 8]
+
+
+def test_bench_nonadaptive_guarantee(benchmark):
+    rows = benchmark.pedantic(nonadaptive_guarantee_sweep, args=(LIFESPANS, 1.0, BUDGETS),
+                              rounds=1, iterations=1)
+    save_rows("nonadaptive_section31", rows,
+              columns=["lifespan", "max_interrupts", "num_periods", "measured_work",
+                       "predicted_work", "predicted_work_paper", "efficiency"],
+              title="Section 3.1: non-adaptive guideline, c = 1")
+    for row in rows:
+        assert row["measured_work"] == pytest.approx(row["predicted_work"], abs=10.0)
+
+
+def test_bench_nonadaptive_vs_tuned(benchmark):
+    """The closed-form period count is near the best equal-period choice."""
+    params = CycleStealingParams(lifespan=10_000.0, setup_cost=1.0, max_interrupts=2)
+    guideline = RosenbergNonAdaptiveScheduler()
+    tuned = TunedEqualPeriodScheduler(max_candidates=120)
+
+    guideline_work = benchmark(guideline.guaranteed_work, params)
+    tuned_work = tuned.guaranteed_work(params)
+    rows = [{
+        "lifespan": params.lifespan,
+        "max_interrupts": params.max_interrupts,
+        "guideline_work": guideline_work,
+        "tuned_equal_period_work": tuned_work,
+        "shortfall": tuned_work - guideline_work,
+        "shortfall_over_sqrt_cU": (tuned_work - guideline_work) / params.lifespan ** 0.5,
+    }]
+    save_rows("nonadaptive_vs_tuned", rows,
+              title="Guideline period count vs best equal-period search")
+    assert tuned_work - guideline_work <= 0.2 * params.lifespan ** 0.5 + 3.0

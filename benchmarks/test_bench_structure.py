@@ -1,0 +1,67 @@
+"""Experiment: Proposition 4.1 — the structure of W^(p)[U].
+
+Tabulates the exact optimal guaranteed work over a grid of lifespans and
+interrupt budgets (the "figure" a full version of the paper would plot):
+monotone in U, antitone in p, zero up to the (p+1)c threshold, and with a
+loss ``U − W^(p)[U]`` that grows like ``√U`` with a p-dependent coefficient
+approaching 2√2 ≈ 2.83 on the √(2cU) scale.
+"""
+
+import math
+
+import pytest
+
+from bench_util import save_rows
+from repro.dp import solve
+
+SETUP_COST = 4
+LIFESPANS = [50, 200, 1_000, 5_000, 20_000]
+BUDGETS = [0, 1, 2, 3, 4]
+
+
+@pytest.fixture(scope="module")
+def table():
+    return solve(max(LIFESPANS), SETUP_COST, max(BUDGETS))
+
+
+def _structure_rows(table):
+    rows = []
+    for U in LIFESPANS:
+        row = {"lifespan": U, "setup_cost": SETUP_COST}
+        for p in BUDGETS:
+            value = table.value(p, U)
+            row[f"W_p{p}"] = value
+            scale = math.sqrt(2.0 * SETUP_COST * U)
+            row[f"loss_coeff_p{p}"] = (U - value) / scale
+        rows.append(row)
+    return rows
+
+
+def test_bench_structure(benchmark, table):
+    rows = benchmark.pedantic(_structure_rows, args=(table,), rounds=1, iterations=1)
+    save_rows("structure_prop41", rows,
+              title=f"W^(p)[U] structure (c = {SETUP_COST})")
+    for row in rows:
+        # Antitone in p at every tabulated lifespan.
+        values = [row[f"W_p{p}"] for p in BUDGETS]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+    # Threshold behaviour: below (p+1)c nothing can be guaranteed.
+    for p in BUDGETS:
+        assert table.value(p, (p + 1) * SETUP_COST) == 0
+    # The loss coefficient saturates well below 2·√2 for large U.
+    big = rows[-1]
+    for p in BUDGETS[1:]:
+        assert big[f"loss_coeff_p{p}"] <= 2.83
+
+
+def test_bench_value_queries(benchmark, table):
+    """Micro-benchmark: value-table lookups used throughout the analysis."""
+    def many_queries():
+        total = 0.0
+        for U in range(100, 20_000, 197):
+            for p in BUDGETS:
+                total += table.value(p, U)
+        return total
+
+    total = benchmark(many_queries)
+    assert total > 0.0

@@ -1,0 +1,54 @@
+"""Experiment: Table 1 — "The consequences of the adversary's options".
+
+For the adaptive guideline's first episode-schedule we tabulate, for every
+adversary option (no interrupt, interrupt period k at its last instant), the
+episode work output, the residual lifespan and the opportunity work
+production, exactly as Table 1 of the paper lays them out symbolically.
+The continuation term ``W^(p−1)[U − T_k]`` is evaluated both with the
+closed-form approximation and with the exact DP oracle.
+"""
+
+import pytest
+
+from bench_util import save_rows
+from repro import CycleStealingParams
+from repro.analysis import table1_rows
+from repro.dp import solve
+from repro.schedules import EqualizingAdaptiveScheduler
+
+PARAMS = CycleStealingParams(lifespan=200.0, setup_cost=2.0, max_interrupts=2)
+
+
+@pytest.fixture(scope="module")
+def schedule():
+    return EqualizingAdaptiveScheduler().episode_schedule(
+        PARAMS.lifespan, PARAMS.max_interrupts, PARAMS.setup_cost)
+
+
+def test_bench_table1_closed_form(benchmark, schedule):
+    rows = benchmark(table1_rows, schedule, PARAMS)
+    assert len(rows) == schedule.num_periods + 1
+    # Thin the table for readability: keep the no-interrupt row, the first
+    # few options, one mid option, and the final ones.
+    keep = [0, 1, 2, 3, len(rows) // 2, len(rows) - 2, len(rows) - 1]
+    shown = [rows[i] for i in sorted(set(keep))]
+    save_rows("table1_closed_form", shown,
+              columns=["option", "episode_work", "residual_lifespan", "opportunity_work"],
+              title="Table 1 (closed-form continuation), U=200, c=2, p=2")
+
+
+def test_bench_table1_dp_oracle(benchmark, schedule):
+    table = solve(200, 2, 2)
+    oracle = table.as_oracle()
+    rows = benchmark(table1_rows, schedule, PARAMS, oracle)
+    # The equalising schedule should make the adversary's interrupt options
+    # nearly indifferent (that is the Theorem 4.3 design goal): the spread of
+    # opportunity work across interrupt options is small compared with U.
+    interrupt_rows = rows[1:]
+    values = [r["opportunity_work"] for r in interrupt_rows]
+    assert max(values) - min(values) <= 0.15 * PARAMS.lifespan
+    keep = [0, 1, 2, len(rows) // 2, len(rows) - 2, len(rows) - 1]
+    shown = [rows[i] for i in sorted(set(keep))]
+    save_rows("table1_dp_oracle", shown,
+              columns=["option", "episode_work", "residual_lifespan", "opportunity_work"],
+              title="Table 1 (exact DP continuation), U=200, c=2, p=2")

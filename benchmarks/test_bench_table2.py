@@ -1,0 +1,43 @@
+"""Experiment: Table 2 — parameter values for the case p = 1.
+
+Reproduces both columns of Table 2 over a sweep of normalised lifespans:
+the optimal schedule ``S_opt^(1)`` (period count from eq. 5.1, ε, work
+``U − √(2cU) − c/2``) and the guideline ``S_a^(1)`` (period count
+``⌊√(2U/c)⌋ + 2``, work within low-order terms of optimal).  Closed forms
+are compared against exact worst-case measurements and, where tabulated,
+against the exact DP optimum.
+"""
+
+import pytest
+
+from bench_util import save_rows
+from repro.analysis import table2_rows
+from repro.dp import solve
+
+LIFESPANS = [100.0, 1_000.0, 10_000.0, 100_000.0]
+SETUP_COST = 1.0
+
+
+@pytest.fixture(scope="module")
+def dp_values():
+    table = solve(10_000, 1, 1)
+    return {U: float(table.value(1, int(U))) for U in LIFESPANS if U <= 10_000}
+
+
+def test_bench_table2(benchmark, dp_values):
+    rows = benchmark.pedantic(table2_rows, args=(LIFESPANS, SETUP_COST),
+                              kwargs={"measure": True, "dp_values": dp_values},
+                              rounds=1, iterations=1)
+    save_rows("table2", rows,
+              columns=["lifespan", "opt_num_periods", "opt_epsilon", "opt_work_formula",
+                       "opt_work_measured", "dp_optimal_work", "guideline_num_periods",
+                       "guideline_work_formula", "guideline_work_measured"],
+              title="Table 2: p = 1 parameters, c = 1")
+    for row in rows:
+        # The closed form and the measured optimum agree to O(1).
+        assert row["opt_work_measured"] == pytest.approx(row["opt_work_formula"], abs=3.0)
+        # The guideline S_a^(1) is within low-order terms of optimal.
+        gap = row["opt_work_measured"] - row["guideline_work_measured"]
+        assert gap <= row["lifespan"] ** 0.25 + 5.0
+        if "dp_optimal_work" in row:
+            assert row["dp_optimal_work"] == pytest.approx(row["opt_work_formula"], abs=3.0)

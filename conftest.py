@@ -1,0 +1,15 @@
+"""Test-session bootstrap.
+
+Makes the ``src`` layout importable even when the package has not been
+installed (useful on air-gapped machines where ``pip install -e .`` may not
+be able to build an editable wheel).  When the package *is* installed the
+installed copy takes precedence only if it appears earlier on ``sys.path``;
+inserting ``src`` at the front keeps tests running against the working tree.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

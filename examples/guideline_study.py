@@ -1,0 +1,71 @@
+"""Study: how close do the guidelines come to the exactly-optimal schedule?
+
+Reproduces the paper's central message on a laptop-sized grid: the adaptive
+guideline (Theorem 4.3's equalisation) tracks the exact optimum ``W^(p)[U]``
+to within low-order terms, the non-adaptive guideline gives up a further
+Θ(√(pcU)) but needs no mid-opportunity re-planning, and naive strategies are
+not in the race.  The exact optimum comes from the dynamic program of
+:mod:`repro.dp`.
+"""
+
+from repro import CycleStealingParams
+from repro.analysis import bounds, optimality_gap
+from repro.dp import solve
+from repro.reporting import render_table
+from repro.schedules import (
+    DPOptimalScheduler,
+    EqualizingAdaptiveScheduler,
+    FixedPeriodScheduler,
+    RosenbergAdaptiveScheduler,
+    RosenbergNonAdaptiveScheduler,
+)
+
+LIFESPAN = 8_000
+SETUP_COST = 1
+BUDGETS = (1, 2, 3)
+
+
+def main() -> None:
+    print(f"Solving the exact DP for U <= {LIFESPAN}, c = {SETUP_COST}, "
+          f"p <= {max(BUDGETS)} ...")
+    table = solve(LIFESPAN, SETUP_COST, max(BUDGETS))
+
+    schedulers = {
+        "dp-optimal": DPOptimalScheduler(table),
+        "equalizing-adaptive": EqualizingAdaptiveScheduler(),
+        "equalizing-adaptive (DP oracle)": EqualizingAdaptiveScheduler(oracle=table.as_oracle()),
+        "rosenberg-adaptive (literal)": RosenbergAdaptiveScheduler(),
+        "rosenberg-nonadaptive": RosenbergNonAdaptiveScheduler(),
+        "fixed 100-unit chunks": FixedPeriodScheduler(period_length=100.0),
+    }
+
+    rows = []
+    for p in BUDGETS:
+        params = CycleStealingParams(lifespan=float(LIFESPAN), setup_cost=float(SETUP_COST),
+                                     max_interrupts=p)
+        for label, scheduler in schedulers.items():
+            report = optimality_gap(scheduler, params, table)
+            rows.append({
+                "p": p,
+                "scheduler": label,
+                "guaranteed_work": round(report.guaranteed_work, 1),
+                "gap_to_optimal": None if report.gap is None else round(report.gap, 1),
+                "gap_over_sqrt_cU": None if report.normalized_gap is None
+                else round(report.normalized_gap, 3),
+            })
+        rows.append({
+            "p": p,
+            "scheduler": "(Theorem 5.1 leading bound)",
+            "guaranteed_work": round(bounds.adaptive_guarantee(LIFESPAN, SETUP_COST, p), 1),
+            "gap_to_optimal": None,
+            "gap_over_sqrt_cU": None,
+        })
+
+    print(render_table(rows, title=f"Guaranteed work at U={LIFESPAN}, c={SETUP_COST}"))
+    print("\nReading the table: the equalizing guideline stays within a fraction of")
+    print("sqrt(cU) of the exact optimum for every interrupt budget, the non-adaptive")
+    print("guideline pays an extra Θ(sqrt(pcU)), and fixed chunks trail both.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Scenario: borrowing a laptop for an evening of data-parallel work.
+
+This is the situation the paper's introduction motivates — the draconian
+contract is unavoidable because the laptop can simply be unplugged.  We run
+the discrete-event NOW simulator on the canned "laptop evening" scenario
+with several schedulers and compare how many of the workload's tasks each
+one completes, how much time is wasted on killed periods, and how much goes
+to communication set-up.
+"""
+
+from repro.reporting import render_table
+from repro.schedules import (
+    EqualizingAdaptiveScheduler,
+    FixedPeriodScheduler,
+    RosenbergAdaptiveScheduler,
+    SinglePeriodScheduler,
+)
+from repro.simulator import CycleStealingSimulation
+from repro.workloads import laptop_evening
+
+
+def main() -> None:
+    rows = []
+    schedulers = {
+        "equalizing-adaptive (guideline)": EqualizingAdaptiveScheduler(),
+        "rosenberg-adaptive (literal)": RosenbergAdaptiveScheduler(),
+        "fixed 15-unit chunks": FixedPeriodScheduler(period_length=15.0),
+        "one long period": SinglePeriodScheduler(),
+    }
+    for label, scheduler in schedulers.items():
+        scenario = laptop_evening()          # fresh task bag per run
+        print(f"Running {scenario.describe()} with {label} ...")
+        report = CycleStealingSimulation(scenario.workstations, scheduler,
+                                         task_bag=scenario.task_bag).run()
+        metrics = report.per_workstation["laptop-0"]
+        rows.append({
+            "scheduler": label,
+            "tasks_done": report.total_tasks_completed,
+            "work": metrics.completed_work,
+            "wasted": metrics.wasted_time,
+            "overhead": metrics.overhead_time,
+            "interrupts": metrics.owner_interrupts,
+            "utilisation_%": 100.0 * metrics.utilization(scenario.params.lifespan),
+        })
+
+    print()
+    print(render_table(rows, title="Laptop evening: simulated outcome by scheduler"))
+    print("\nThe guideline keeps wasted time (killed periods) small without "
+          "drowning in per-period set-up, which is exactly the balance the "
+          "paper's analysis optimises.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""repro — guaranteed-output cycle-stealing in networks of workstations.
+
+A from-scratch reproduction of
+
+    Arnold L. Rosenberg, "Guidelines for Data-Parallel Cycle-Stealing in
+    Networks of Workstations, II: On Maximizing Guaranteed Output",
+    IPPS/SPDP 1999.
+
+The package is organised around the paper's structure:
+
+* :mod:`repro.core` — the formal model: opportunity parameters ``(U, c, p)``,
+  episode schedules, interrupt patterns, work accounting and the
+  scheduler-vs-adversary game.
+* :mod:`repro.schedules` — the paper's non-adaptive and adaptive guidelines,
+  the exact p ≤ 1 optimum, the DP-optimal scheduler and practical baselines.
+* :mod:`repro.adversary` — worst-case, heuristic and stochastic owners.
+* :mod:`repro.dp` — exact dynamic programming for ``W^(p)[L]``.
+* :mod:`repro.analysis` — closed-form bounds, Table 1/2 generators,
+  optimality gaps and parameter sweeps.
+* :mod:`repro.expected` — the companion expected-output submodel.
+* :mod:`repro.simulator` / :mod:`repro.workloads` — a discrete-event NOW
+  simulator plus task bags, owner traces and canned scenarios.
+* :mod:`repro.reporting` — ASCII/CSV rendering of results.
+
+Quick start
+-----------
+>>> from repro import CycleStealingParams
+>>> from repro.schedules import EqualizingAdaptiveScheduler
+>>> params = CycleStealingParams(lifespan=10_000, setup_cost=1.0, max_interrupts=2)
+>>> scheduler = EqualizingAdaptiveScheduler()
+>>> scheduler.guaranteed_work(params) > 9_500   # worst case over all interrupts
+True
+"""
+
+from .core import (
+    CycleStealingError,
+    CycleStealingParams,
+    EpisodeSchedule,
+    GameResult,
+    InvalidInterruptError,
+    InvalidParameterError,
+    InvalidScheduleError,
+    OpportunitySchedule,
+    PeriodEndInterrupts,
+    SchedulingError,
+    SimulationError,
+    TimedInterrupts,
+    guaranteed_adaptive_work,
+    play_adaptive,
+    play_nonadaptive,
+    positive_subtraction,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "CycleStealingParams",
+    "EpisodeSchedule",
+    "OpportunitySchedule",
+    "PeriodEndInterrupts",
+    "TimedInterrupts",
+    "GameResult",
+    "play_adaptive",
+    "play_nonadaptive",
+    "guaranteed_adaptive_work",
+    "positive_subtraction",
+    "CycleStealingError",
+    "InvalidParameterError",
+    "InvalidScheduleError",
+    "InvalidInterruptError",
+    "SchedulingError",
+    "SimulationError",
+]

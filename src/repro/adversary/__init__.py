@@ -1,0 +1,28 @@
+"""Adversaries and owner models for the cycle-stealing game."""
+
+from .base import Adversary, last_instant_of_period
+from .heuristics import (
+    FirstPeriodAdversary,
+    FixedTimesAdversary,
+    LastPeriodAdversary,
+    LongestPeriodAdversary,
+    NeverInterruptAdversary,
+    RandomPeriodAdversary,
+)
+from .malicious import MinimaxAdversary, OptimalNonAdaptiveAdversary
+from .stochastic import PoissonOwner, UniformResidualOwner
+
+__all__ = [
+    "Adversary",
+    "last_instant_of_period",
+    "MinimaxAdversary",
+    "OptimalNonAdaptiveAdversary",
+    "NeverInterruptAdversary",
+    "FirstPeriodAdversary",
+    "LastPeriodAdversary",
+    "LongestPeriodAdversary",
+    "FixedTimesAdversary",
+    "RandomPeriodAdversary",
+    "PoissonOwner",
+    "UniformResidualOwner",
+]

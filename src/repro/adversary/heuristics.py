@@ -1,0 +1,134 @@
+"""Heuristic (non-optimal) adversaries.
+
+These simple strategies are useful as sanity checks (no adversary should
+ever extract more work-loss than the optimal ones in
+:mod:`repro.adversary.malicious`), as the explicit strategies the paper's
+analysis names (e.g. "kill the last ``p`` periods at their last instants"
+for the non-adaptive guideline), and as mild opponents in the comparison
+benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from ..core.schedule import EpisodeSchedule
+from .base import Adversary, last_instant_of_period
+
+__all__ = [
+    "NeverInterruptAdversary",
+    "FirstPeriodAdversary",
+    "LastPeriodAdversary",
+    "LongestPeriodAdversary",
+    "FixedTimesAdversary",
+    "RandomPeriodAdversary",
+]
+
+
+class NeverInterruptAdversary(Adversary):
+    """An owner who never reclaims the workstation."""
+
+    name = "never"
+
+    def choose_interrupt(self, schedule: EpisodeSchedule, residual_lifespan: float,
+                         interrupts_remaining: int, setup_cost: float) -> Optional[float]:
+        """Always let the episode run to completion."""
+        return None
+
+
+class FirstPeriodAdversary(Adversary):
+    """Kill the first period of every episode (eager harassment)."""
+
+    name = "first-period"
+
+    def choose_interrupt(self, schedule: EpisodeSchedule, residual_lifespan: float,
+                         interrupts_remaining: int, setup_cost: float) -> Optional[float]:
+        """Interrupt at the last instant of period 1."""
+        return last_instant_of_period(schedule, 1)
+
+
+class LastPeriodAdversary(Adversary):
+    """Kill the final period of every episode.
+
+    Against the equal-period non-adaptive guideline, an owner who does this
+    with every available interrupt realises exactly the worst case analysed
+    in Section 3.1 (the last ``p`` periods die).
+    """
+
+    name = "last-period"
+
+    def choose_interrupt(self, schedule: EpisodeSchedule, residual_lifespan: float,
+                         interrupts_remaining: int, setup_cost: float) -> Optional[float]:
+        """Interrupt at the last instant of the final period."""
+        return last_instant_of_period(schedule, schedule.num_periods)
+
+
+class LongestPeriodAdversary(Adversary):
+    """Kill the longest period of the announced episode (greedy damage)."""
+
+    name = "longest-period"
+
+    def choose_interrupt(self, schedule: EpisodeSchedule, residual_lifespan: float,
+                         interrupts_remaining: int, setup_cost: float) -> Optional[float]:
+        """Interrupt at the last instant of the longest period."""
+        k = int(np.argmax(schedule.periods)) + 1
+        return last_instant_of_period(schedule, k)
+
+
+class FixedTimesAdversary(Adversary):
+    """Interrupt at predetermined opportunity times (a replayed owner trace).
+
+    Parameters
+    ----------
+    times:
+        Interrupt times measured from the start of the opportunity.
+    lifespan:
+        The opportunity's total lifespan ``U`` (needed to translate the
+        residual lifespan the referee reports into elapsed time).
+    """
+
+    name = "fixed-times"
+
+    def __init__(self, times: Iterable[float], lifespan: float):
+        self.times = sorted(float(t) for t in times)
+        self.lifespan = float(lifespan)
+
+    def choose_interrupt(self, schedule: EpisodeSchedule, residual_lifespan: float,
+                         interrupts_remaining: int, setup_cost: float) -> Optional[float]:
+        """Interrupt at the first trace time that falls inside this episode."""
+        elapsed = self.lifespan - residual_lifespan
+        episode_end = elapsed + schedule.total_length
+        for t in self.times:
+            if elapsed <= t < episode_end:
+                return t - elapsed
+        return None
+
+
+class RandomPeriodAdversary(Adversary):
+    """Interrupt a uniformly random period with a given probability.
+
+    Parameters
+    ----------
+    probability:
+        Chance of interrupting a given episode at all (per consultation).
+    seed:
+        Seed for the internal NumPy generator, for reproducible runs.
+    """
+
+    name = "random-period"
+
+    def __init__(self, probability: float = 1.0, seed: Optional[int] = None):
+        if not (0.0 <= probability <= 1.0):
+            raise ValueError(f"probability must lie in [0, 1], got {probability!r}")
+        self.probability = float(probability)
+        self._rng = np.random.default_rng(seed)
+
+    def choose_interrupt(self, schedule: EpisodeSchedule, residual_lifespan: float,
+                         interrupts_remaining: int, setup_cost: float) -> Optional[float]:
+        """Interrupt a random period at its last instant (or abstain)."""
+        if self._rng.random() > self.probability:
+            return None
+        k = int(self._rng.integers(1, schedule.num_periods + 1))
+        return last_instant_of_period(schedule, k)

@@ -1,0 +1,105 @@
+"""Optimal (worst-case) adversaries.
+
+These adversaries realise the minimum in the definition of guaranteed work:
+playing a scheduler against them yields exactly the scheduler's worst-case
+output, which is what the paper's analysis is about.
+
+* :class:`MinimaxAdversary` — optimal response to a *known, deterministic
+  adaptive scheduler*.  For every period-end option it evaluates the work
+  the borrower would still manage to secure (via the memoised minimax in
+  :func:`repro.core.game.guaranteed_adaptive_work`) and picks the option
+  minimising the total.
+* :class:`OptimalNonAdaptiveAdversary` — optimal response to a non-adaptive
+  schedule, re-solving the period-end interrupt-placement problem
+  (:func:`repro.core.work.worst_case_nonadaptive_pattern`) for the tail it
+  currently faces.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.game import AdaptiveSchedulerProtocol, guaranteed_adaptive_work
+from ..core.params import CycleStealingParams
+from ..core.schedule import EpisodeSchedule
+from ..core.work import worst_case_nonadaptive_pattern
+from ..core.arithmetic import positive_subtraction
+from .base import Adversary, last_instant_of_period
+
+__all__ = ["MinimaxAdversary", "OptimalNonAdaptiveAdversary"]
+
+
+class MinimaxAdversary(Adversary):
+    """Worst-case adversary against a known adaptive scheduler.
+
+    Parameters
+    ----------
+    scheduler:
+        The adaptive scheduler being attacked.  The adversary assumes the
+        scheduler is deterministic (all schedulers in this library are);
+        against a randomised scheduler the play is still legal but no longer
+        guaranteed to be worst-case.
+    residual_grain:
+        Rounding grain used by the memoised continuation values.
+    """
+
+    name = "minimax"
+
+    def __init__(self, scheduler: AdaptiveSchedulerProtocol,
+                 residual_grain: float = 1e-6):
+        self.scheduler = scheduler
+        self.residual_grain = float(residual_grain)
+
+    def _continuation(self, residual: float, interrupts: int, setup_cost: float) -> float:
+        if residual <= 0.0 or interrupts < 0:
+            return 0.0
+        if interrupts == 0:
+            schedule = self.scheduler.episode_schedule(residual, 0, setup_cost)
+            return schedule.work_if_uninterrupted(setup_cost)
+        params = CycleStealingParams(lifespan=residual, setup_cost=setup_cost,
+                                     max_interrupts=interrupts)
+        return guaranteed_adaptive_work(self.scheduler, params,
+                                        residual_grain=self.residual_grain)
+
+    def choose_interrupt(self, schedule: EpisodeSchedule, residual_lifespan: float,
+                         interrupts_remaining: int, setup_cost: float) -> Optional[float]:
+        """Pick the period-end interrupt (or abstention) minimising total work."""
+        c = setup_cost
+        best_choice: Optional[float] = None
+        best_value = schedule.work_if_uninterrupted(c)
+
+        prefix_work = 0.0
+        finishes = schedule.finish_times
+        for k in range(1, schedule.num_periods + 1):
+            residual_after = residual_lifespan - float(finishes[k - 1])
+            value = prefix_work + self._continuation(residual_after,
+                                                     interrupts_remaining - 1, c)
+            if value < best_value - 1e-12:
+                best_value = value
+                best_choice = last_instant_of_period(schedule, k)
+            prefix_work += positive_subtraction(schedule[k - 1], c)
+        return best_choice
+
+
+class OptimalNonAdaptiveAdversary(Adversary):
+    """Worst-case adversary against a non-adaptive (oblivious) schedule.
+
+    When consulted it recomputes the optimal placement of its remaining
+    interrupts over the tail schedule it is currently facing and interrupts
+    at the earliest period of that placement (optimal play is
+    time-consistent, so recomputing at every episode is equivalent to
+    committing to the placement up front).
+    """
+
+    name = "optimal-nonadaptive"
+
+    def choose_interrupt(self, schedule: EpisodeSchedule, residual_lifespan: float,
+                         interrupts_remaining: int, setup_cost: float) -> Optional[float]:
+        """Interrupt at the first period of the worst-case placement (if any)."""
+        params = CycleStealingParams(lifespan=schedule.total_length,
+                                     setup_cost=setup_cost,
+                                     max_interrupts=interrupts_remaining)
+        pattern, _ = worst_case_nonadaptive_pattern(schedule, params)
+        if pattern.is_empty:
+            return None
+        return last_instant_of_period(schedule, pattern.indices[0])

@@ -1,0 +1,24 @@
+"""Analysis layer: closed-form bounds, optimality gaps, tables and sweeps."""
+
+from . import bounds
+from .gap import GapReport, measure_guaranteed_work, optimality_gap
+from .sweeps import (
+    adaptive_guarantee_sweep,
+    nonadaptive_guarantee_sweep,
+    play_out_sweep,
+    scheduler_comparison_sweep,
+)
+from .tables import table1_rows, table2_rows
+
+__all__ = [
+    "bounds",
+    "GapReport",
+    "measure_guaranteed_work",
+    "optimality_gap",
+    "table1_rows",
+    "table2_rows",
+    "nonadaptive_guarantee_sweep",
+    "adaptive_guarantee_sweep",
+    "scheduler_comparison_sweep",
+    "play_out_sweep",
+]

@@ -1,0 +1,135 @@
+"""Parameter sweeps used by the benchmarks, examples and CLI.
+
+Every sweep returns a list of plain dictionaries (one per configuration) so
+the same data can be rendered as an ASCII table, written to CSV, or asserted
+on in tests without any further dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from ..core.game import play_adaptive, play_nonadaptive
+from ..core.params import CycleStealingParams
+from ..dp import ValueTable
+from . import bounds
+from .gap import measure_guaranteed_work
+
+__all__ = [
+    "nonadaptive_guarantee_sweep",
+    "adaptive_guarantee_sweep",
+    "scheduler_comparison_sweep",
+    "play_out_sweep",
+]
+
+
+def nonadaptive_guarantee_sweep(lifespans: Iterable[float], setup_cost: float,
+                                interrupt_budgets: Iterable[int]
+                                ) -> List[Dict[str, float]]:
+    """Measured vs. predicted guaranteed work of the non-adaptive guideline.
+
+    Reproduces the Section 3.1 analysis: for every ``(U, p)`` pair the
+    guideline schedule is evaluated against the exact worst-case adversary
+    and compared with both closed-form estimates (the derived
+    ``U − 2√(pcU) + pc`` and the printed ``U − √(2pcU) + pc``).
+    """
+    from ..schedules.nonadaptive import RosenbergNonAdaptiveScheduler
+
+    scheduler = RosenbergNonAdaptiveScheduler()
+    c = float(setup_cost)
+    rows: List[Dict[str, float]] = []
+    for p in interrupt_budgets:
+        for U in lifespans:
+            params = CycleStealingParams(lifespan=float(U), setup_cost=c,
+                                         max_interrupts=int(p))
+            schedule = scheduler.opportunity_schedule(params)
+            measured = measure_guaranteed_work(scheduler, params, mode="nonadaptive")
+            rows.append({
+                "lifespan": float(U),
+                "setup_cost": c,
+                "max_interrupts": int(p),
+                "num_periods": schedule.num_periods,
+                "measured_work": measured,
+                "predicted_work": bounds.nonadaptive_guarantee(U, c, p),
+                "predicted_work_paper": bounds.nonadaptive_guarantee_paper(U, c, p),
+                "efficiency": measured / float(U),
+            })
+    return rows
+
+
+def adaptive_guarantee_sweep(lifespans: Iterable[float], setup_cost: float,
+                             interrupt_budgets: Iterable[int],
+                             *, scheduler=None) -> List[Dict[str, float]]:
+    """Measured vs. Theorem 5.1 guaranteed work of an adaptive guideline."""
+    from ..schedules.adaptive import EqualizingAdaptiveScheduler
+
+    if scheduler is None:
+        scheduler = EqualizingAdaptiveScheduler()
+    c = float(setup_cost)
+    rows: List[Dict[str, float]] = []
+    for p in interrupt_budgets:
+        for U in lifespans:
+            params = CycleStealingParams(lifespan=float(U), setup_cost=c,
+                                         max_interrupts=int(p))
+            measured = measure_guaranteed_work(scheduler, params, mode="adaptive")
+            first_episode = scheduler.episode_schedule(float(U), int(p), c)
+            rows.append({
+                "lifespan": float(U),
+                "setup_cost": c,
+                "max_interrupts": int(p),
+                "num_periods": first_episode.num_periods,
+                "measured_work": measured,
+                "theorem51_bound": bounds.adaptive_guarantee(U, c, p),
+                "loss_coefficient": bounds.adaptive_loss_coefficient(p),
+                "efficiency": measured / float(U),
+            })
+    return rows
+
+
+def scheduler_comparison_sweep(schedulers: Mapping[str, object],
+                               params_list: Iterable[CycleStealingParams],
+                               dp_table: Optional[ValueTable] = None
+                               ) -> List[Dict[str, object]]:
+    """Guaranteed work of several schedulers across several opportunities."""
+    rows: List[Dict[str, object]] = []
+    for params in params_list:
+        for label, scheduler in schedulers.items():
+            work = measure_guaranteed_work(scheduler, params)
+            row: Dict[str, object] = {
+                "scheduler": label,
+                "lifespan": params.lifespan,
+                "setup_cost": params.setup_cost,
+                "max_interrupts": params.max_interrupts,
+                "guaranteed_work": work,
+                "efficiency": work / params.lifespan,
+            }
+            if dp_table is not None:
+                optimal = dp_table.value(
+                    min(params.max_interrupts, dp_table.max_interrupts),
+                    int(params.lifespan))
+                row["optimal_work"] = float(optimal)
+                row["gap"] = float(optimal) - work
+            rows.append(row)
+    return rows
+
+
+def play_out_sweep(schedulers: Mapping[str, object], adversaries: Mapping[str, object],
+                   params: CycleStealingParams, *, adaptive: bool = True
+                   ) -> List[Dict[str, object]]:
+    """Play every scheduler against every adversary once and tabulate the outcomes."""
+    rows: List[Dict[str, object]] = []
+    for sched_label, scheduler in schedulers.items():
+        for adv_label, adversary in adversaries.items():
+            if adaptive and hasattr(scheduler, "episode_schedule"):
+                result = play_adaptive(scheduler, adversary, params)
+            else:
+                result = play_nonadaptive(scheduler, adversary, params)
+            rows.append({
+                "scheduler": sched_label,
+                "adversary": adv_label,
+                "work": result.total_work,
+                "efficiency": result.efficiency,
+                "episodes": result.num_episodes,
+                "interrupts": result.num_interrupts,
+            })
+    return rows

@@ -1,0 +1,139 @@
+"""Generators for the paper's Table 1 and Table 2.
+
+Both tables are produced as lists of plain dictionaries so they can be
+rendered by :mod:`repro.reporting`, dumped to CSV by the benchmarks, or
+inspected programmatically in tests.
+
+* :func:`table1_rows` — "The consequences of the adversary's options": for
+  a given episode-schedule and every adversary option (no interrupt, or an
+  interrupt during period ``k``), the episode's work output, the residual
+  lifespan, and the opportunity's total work production.
+* :func:`table2_rows` — "Parameter values for the case p = 1": the
+  closed-form parameters of the optimal schedule ``S_opt^(1)`` and of the
+  guideline ``S_a^(1)`` (period count, ε, representative period lengths,
+  work), optionally alongside exact values measured against the worst-case
+  adversary and the DP optimum.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Iterable, List, Optional
+
+from ..core.arithmetic import positive_subtraction
+from ..core.params import CycleStealingParams
+from ..core.schedule import EpisodeSchedule
+from . import bounds
+
+__all__ = ["table1_rows", "table2_rows"]
+
+#: Oracle signature: ``oracle(residual_lifespan, interrupts_remaining, setup_cost)``.
+Oracle = Callable[[float, int, float], float]
+
+
+def table1_rows(schedule: EpisodeSchedule, params: CycleStealingParams,
+                oracle: Optional[Oracle] = None) -> List[Dict[str, object]]:
+    """Instantiate Table 1 for a concrete episode-schedule.
+
+    Each row corresponds to one adversary option.  Interrupts are taken at
+    the last instant of the chosen period (Observation (a)); the
+    "opportunity work production" column combines the episode's banked work
+    with the optimal continuation ``W^(p−1)[U − T_k]`` supplied by
+    ``oracle`` (the closed-form approximation by default).
+    """
+    if oracle is None:
+        oracle = lambda L, q, c: bounds.closed_form_optimal_work(L, c, q)  # noqa: E731
+
+    U = params.lifespan
+    c = params.setup_cost
+    p = params.max_interrupts
+    m = schedule.num_periods
+    finishes = schedule.finish_times
+
+    rows: List[Dict[str, object]] = []
+
+    rows.append({
+        "option": "no interrupt",
+        "interrupted_period": None,
+        "interruption_window": None,
+        "episode_work": schedule.work_if_uninterrupted(c),
+        "residual_lifespan": max(0.0, U - schedule.total_length),
+        "opportunity_work": schedule.work_if_uninterrupted(c),
+    })
+
+    prefix_work = 0.0
+    for k in range(1, m + 1):
+        start = schedule.finish_time(k - 1)
+        end = float(finishes[k - 1])
+        residual = max(0.0, U - end)
+        continuation = oracle(residual, p - 1, c) if p >= 1 else 0.0
+        rows.append({
+            "option": f"interrupt period {k}",
+            "interrupted_period": k,
+            "interruption_window": (start, end),
+            "episode_work": prefix_work,
+            "residual_lifespan": residual,
+            "opportunity_work": prefix_work + continuation,
+        })
+        prefix_work += positive_subtraction(schedule[k - 1], c)
+    return rows
+
+
+def table2_rows(lifespans: Iterable[float], setup_cost: float,
+                *, measure: bool = True,
+                dp_values: Optional[Dict[float, float]] = None
+                ) -> List[Dict[str, object]]:
+    """Reproduce Table 2 over a sweep of lifespans (``p = 1`` throughout).
+
+    Parameters
+    ----------
+    lifespans:
+        Usable lifespans ``U`` to tabulate.
+    setup_cost:
+        The set-up cost ``c``.
+    measure:
+        When true, also measure the *exact* guaranteed work of both
+        schedules against the worst-case adversary (this requires playing
+        the game and is a little slower).
+    dp_values:
+        Optional map ``U -> W^(1)[U]`` of exact DP optima to include.
+
+    Returns
+    -------
+    list of dict
+        One row per lifespan with closed-form and (optionally) measured
+        figures for ``S_opt^(1)`` and ``S_a^(1)``.
+    """
+    # Imported lazily to avoid an import cycle (schedules -> analysis.bounds).
+    from ..schedules.adaptive import RosenbergAdaptiveScheduler
+    from ..schedules.exact_p1 import ExactP1Scheduler
+
+    c = float(setup_cost)
+    rows: List[Dict[str, object]] = []
+    exact = ExactP1Scheduler()
+    guideline = RosenbergAdaptiveScheduler()
+
+    for U in lifespans:
+        U = float(U)
+        params = CycleStealingParams(lifespan=U, setup_cost=c, max_interrupts=1)
+        row: Dict[str, object] = {
+            "lifespan": U,
+            "normalized_lifespan": U / c if c else math.inf,
+            # --- closed forms for S_opt^(1) (left column of Table 2) -------
+            "opt_num_periods": bounds.optimal_p1_num_periods(U, c),
+            "opt_num_periods_approx": math.sqrt(2.0 * U / c - 7.0 / 4.0) if c else math.inf,
+            "opt_epsilon": bounds.optimal_p1_epsilon(U, c),
+            "opt_first_period_approx": math.sqrt(2.0 * c * U) - c,
+            "opt_work_formula": bounds.optimal_p1_work(U, c),
+            # --- closed forms for S_a^(1) (right column of Table 2) --------
+            "guideline_num_periods": bounds.guideline_p1_num_periods(U, c),
+            "guideline_first_period_approx": bounds.guideline_p1_period_length(1, U, c),
+            "guideline_work_formula": bounds.adaptive_guarantee(U, c, 1),
+        }
+        if measure:
+            row["opt_work_measured"] = exact.guaranteed_work(params)
+            row["guideline_work_measured"] = guideline.guaranteed_work(params)
+        if dp_values is not None and U in dp_values:
+            row["dp_optimal_work"] = dp_values[U]
+        rows.append(row)
+    return rows

@@ -1,0 +1,172 @@
+"""Command-line interface: ``cycle-stealing <command>`` (or ``python -m repro``).
+
+Sub-commands
+------------
+``table1``     Instantiate the paper's Table 1 for a guideline schedule.
+``table2``     Reproduce Table 2 (the p = 1 closed forms vs. measurements).
+``nonadaptive``Sweep the Section 3.1 non-adaptive guarantee.
+``adaptive``   Sweep the Theorem 5.1 adaptive guarantee.
+``gap``        Optimality gaps of every scheduler against the exact DP optimum.
+``simulate``   Run a canned NOW scenario through the discrete-event simulator.
+
+Each command prints an aligned ASCII table; ``--csv PATH`` writes the same
+rows to a CSV file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import (
+    adaptive_guarantee_sweep,
+    nonadaptive_guarantee_sweep,
+    scheduler_comparison_sweep,
+    table1_rows,
+    table2_rows,
+)
+from .core.params import CycleStealingParams
+from .reporting import render_table, write_csv
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="cycle-stealing",
+        description="Guaranteed-output cycle-stealing guidelines (Rosenberg, IPPS 1999)")
+    parser.add_argument("--csv", default=None, help="also write the rows to this CSV file")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    t1 = sub.add_parser("table1", help="consequences of the adversary's options")
+    t1.add_argument("--lifespan", "-U", type=float, default=100.0)
+    t1.add_argument("--setup-cost", "-c", type=float, default=1.0)
+    t1.add_argument("--interrupts", "-p", type=int, default=2)
+
+    t2 = sub.add_parser("table2", help="p = 1 parameters: optimal vs guideline")
+    t2.add_argument("--setup-cost", "-c", type=float, default=1.0)
+    t2.add_argument("--lifespans", type=float, nargs="+",
+                    default=[100.0, 1_000.0, 10_000.0, 100_000.0])
+
+    na = sub.add_parser("nonadaptive", help="Section 3.1 guarantee sweep")
+    na.add_argument("--setup-cost", "-c", type=float, default=1.0)
+    na.add_argument("--lifespans", type=float, nargs="+",
+                    default=[100.0, 1_000.0, 10_000.0])
+    na.add_argument("--interrupts", type=int, nargs="+", default=[1, 2, 4, 8])
+
+    ad = sub.add_parser("adaptive", help="Theorem 5.1 guarantee sweep")
+    ad.add_argument("--setup-cost", "-c", type=float, default=1.0)
+    ad.add_argument("--lifespans", type=float, nargs="+",
+                    default=[100.0, 1_000.0, 10_000.0])
+    ad.add_argument("--interrupts", type=int, nargs="+", default=[1, 2, 3, 4])
+
+    gp = sub.add_parser("gap", help="optimality gap of every scheduler vs the DP optimum")
+    gp.add_argument("--lifespan", "-U", type=int, default=2_000)
+    gp.add_argument("--setup-cost", "-c", type=int, default=1)
+    gp.add_argument("--interrupts", "-p", type=int, default=2)
+
+    sim = sub.add_parser("simulate", help="run a canned NOW scenario")
+    sim.add_argument("--scenario", choices=["laptop", "desktops", "lab"], default="laptop")
+    sim.add_argument("--scheduler", choices=["equalizing", "rosenberg", "fixed", "single"],
+                     default="equalizing")
+
+    return parser
+
+
+def _cmd_table1(args) -> List[dict]:
+    from .schedules import EqualizingAdaptiveScheduler
+
+    params = CycleStealingParams(lifespan=args.lifespan, setup_cost=args.setup_cost,
+                                 max_interrupts=args.interrupts)
+    schedule = EqualizingAdaptiveScheduler().episode_schedule(
+        params.lifespan, params.max_interrupts, params.setup_cost)
+    return table1_rows(schedule, params)
+
+
+def _cmd_table2(args) -> List[dict]:
+    return table2_rows(args.lifespans, args.setup_cost)
+
+
+def _cmd_nonadaptive(args) -> List[dict]:
+    return nonadaptive_guarantee_sweep(args.lifespans, args.setup_cost, args.interrupts)
+
+
+def _cmd_adaptive(args) -> List[dict]:
+    return adaptive_guarantee_sweep(args.lifespans, args.setup_cost, args.interrupts)
+
+
+def _cmd_gap(args) -> List[dict]:
+    from .dp import solve
+    from .schedules import (
+        DPOptimalScheduler,
+        EqualizingAdaptiveScheduler,
+        EqualSplitScheduler,
+        FixedPeriodScheduler,
+        RosenbergAdaptiveScheduler,
+        RosenbergNonAdaptiveScheduler,
+        SinglePeriodScheduler,
+    )
+
+    params = CycleStealingParams(lifespan=float(args.lifespan),
+                                 setup_cost=float(args.setup_cost),
+                                 max_interrupts=args.interrupts)
+    table = solve(int(args.lifespan), int(args.setup_cost), args.interrupts)
+    schedulers = {
+        "dp-optimal": DPOptimalScheduler(table),
+        "equalizing-adaptive": EqualizingAdaptiveScheduler(),
+        "rosenberg-adaptive": RosenbergAdaptiveScheduler(),
+        "rosenberg-nonadaptive": RosenbergNonAdaptiveScheduler(),
+        "fixed-period": FixedPeriodScheduler(period_length=max(10.0, args.lifespan / 50)),
+        "equal-split": EqualSplitScheduler(),
+        "single-period": SinglePeriodScheduler(),
+    }
+    return scheduler_comparison_sweep(schedulers, [params], dp_table=table)
+
+
+def _cmd_simulate(args) -> List[dict]:
+    from .schedules import (
+        EqualizingAdaptiveScheduler,
+        FixedPeriodScheduler,
+        RosenbergAdaptiveScheduler,
+        SinglePeriodScheduler,
+    )
+    from .simulator import CycleStealingSimulation
+    from .workloads import laptop_evening, overnight_desktops, shared_lab
+
+    scenario = {"laptop": laptop_evening, "desktops": overnight_desktops,
+                "lab": shared_lab}[args.scenario]()
+    scheduler = {
+        "equalizing": EqualizingAdaptiveScheduler(),
+        "rosenberg": RosenbergAdaptiveScheduler(),
+        "fixed": FixedPeriodScheduler(period_length=scenario.params.lifespan / 20),
+        "single": SinglePeriodScheduler(),
+    }[args.scheduler]
+    report = CycleStealingSimulation(scenario.workstations, scheduler,
+                                     task_bag=scenario.task_bag).run()
+    return report.rows()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "table1": _cmd_table1,
+        "table2": _cmd_table2,
+        "nonadaptive": _cmd_nonadaptive,
+        "adaptive": _cmd_adaptive,
+        "gap": _cmd_gap,
+        "simulate": _cmd_simulate,
+    }
+    rows = handlers[args.command](args)
+    print(render_table(rows, title=f"cycle-stealing {args.command}"))
+    if args.csv:
+        write_csv(args.csv, rows)
+        print(f"\nwrote {len(rows)} rows to {args.csv}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,81 @@
+"""Core formal model of the guaranteed-output cycle-stealing problem.
+
+The sub-modules map one-to-one onto Section 2 of the paper:
+
+* :mod:`repro.core.params` — the opportunity parameters ``(U, c, p)``.
+* :mod:`repro.core.arithmetic` — positive subtraction and period work.
+* :mod:`repro.core.schedule` — episode and opportunity schedules.
+* :mod:`repro.core.interrupts` — interrupt patterns.
+* :mod:`repro.core.work` — work accounting under interrupts.
+* :mod:`repro.core.game` — the scheduler-vs-adversary game and referees.
+* :mod:`repro.core.exceptions` — the library's exception hierarchy.
+"""
+
+from .arithmetic import (
+    monus,
+    period_work,
+    period_work_array,
+    positive_subtraction,
+    positive_subtraction_array,
+)
+from .exceptions import (
+    CycleStealingError,
+    InvalidInterruptError,
+    InvalidParameterError,
+    InvalidScheduleError,
+    SchedulingError,
+    SimulationError,
+)
+from .game import (
+    AdaptiveSchedulerProtocol,
+    AdversaryProtocol,
+    GameResult,
+    NonAdaptiveSchedulerProtocol,
+    guaranteed_adaptive_work,
+    play_adaptive,
+    play_nonadaptive,
+)
+from .interrupts import PeriodEndInterrupts, TimedInterrupts
+from .params import CycleStealingParams
+from .schedule import EpisodeRecord, EpisodeSchedule, OpportunitySchedule
+from .work import (
+    episode_elapsed,
+    episode_work,
+    nonadaptive_opportunity_work,
+    nonadaptive_work_under_times,
+    worst_case_nonadaptive_pattern,
+    worst_case_nonadaptive_work,
+)
+
+__all__ = [
+    "CycleStealingParams",
+    "EpisodeSchedule",
+    "EpisodeRecord",
+    "OpportunitySchedule",
+    "PeriodEndInterrupts",
+    "TimedInterrupts",
+    "GameResult",
+    "AdaptiveSchedulerProtocol",
+    "NonAdaptiveSchedulerProtocol",
+    "AdversaryProtocol",
+    "play_adaptive",
+    "play_nonadaptive",
+    "guaranteed_adaptive_work",
+    "episode_work",
+    "episode_elapsed",
+    "nonadaptive_opportunity_work",
+    "nonadaptive_work_under_times",
+    "worst_case_nonadaptive_work",
+    "worst_case_nonadaptive_pattern",
+    "positive_subtraction",
+    "positive_subtraction_array",
+    "period_work",
+    "period_work_array",
+    "monus",
+    "CycleStealingError",
+    "InvalidParameterError",
+    "InvalidScheduleError",
+    "InvalidInterruptError",
+    "SchedulingError",
+    "SimulationError",
+]

@@ -1,0 +1,117 @@
+"""Elementary arithmetic used throughout the guaranteed-output model.
+
+The paper works with *positive subtraction* ``x ⊖ y = max(0, x − y)``
+(Section 2.2, footnote 1): a period of length ``t`` accomplishes ``t ⊖ c``
+units of work because the first ``c`` time units are consumed by the paired
+communication set-up in which workstation A ships work to B and later
+reclaims the results.
+
+This module provides scalar and NumPy-vectorised versions of that operator
+plus a couple of small numeric helpers (tolerant comparisons) used when
+validating schedules built from floating-point formulas.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+__all__ = [
+    "positive_subtraction",
+    "monus",
+    "positive_subtraction_array",
+    "period_work",
+    "period_work_array",
+    "is_close",
+    "is_at_least",
+    "DEFAULT_ABS_TOL",
+    "DEFAULT_REL_TOL",
+]
+
+#: Absolute tolerance used when comparing schedule lengths against lifespans.
+DEFAULT_ABS_TOL: float = 1e-9
+
+#: Relative tolerance used when comparing schedule lengths against lifespans.
+DEFAULT_REL_TOL: float = 1e-9
+
+Number = Union[int, float]
+
+
+def positive_subtraction(x: Number, y: Number) -> float:
+    """Return ``x ⊖ y = max(0, x − y)`` (the paper's "monus" operator).
+
+    Parameters
+    ----------
+    x, y:
+        Real numbers.  ``NaN`` inputs propagate as ``NaN`` so that callers
+        notice malformed data instead of silently clamping it to zero.
+
+    Examples
+    --------
+    >>> positive_subtraction(5.0, 2.0)
+    3.0
+    >>> positive_subtraction(1.0, 4.0)
+    0.0
+    """
+    diff = float(x) - float(y)
+    if np.isnan(diff):
+        return diff
+    return diff if diff > 0.0 else 0.0
+
+
+# ``monus`` is the standard name for truncated subtraction; keep it as an
+# alias because parts of the analysis code read better with it.
+monus = positive_subtraction
+
+
+def positive_subtraction_array(x, y):
+    """Vectorised ``x ⊖ y`` for NumPy arrays (or array-likes).
+
+    Broadcasting follows NumPy rules; the result is always a float array.
+    """
+    diff = np.asarray(x, dtype=float) - np.asarray(y, dtype=float)
+    return np.maximum(diff, 0.0)
+
+
+def period_work(length: Number, setup_cost: Number) -> float:
+    """Work accomplished by an *uninterrupted* period of the given length.
+
+    A period of length ``t`` supplies ``t ⊖ c`` units of work to the
+    borrowed workstation: the set-up cost ``c`` brackets the period with the
+    send/reclaim communications, and only the remainder is productive.
+    A period that is interrupted accomplishes zero work regardless of its
+    length; that case is handled by the work-accounting layer
+    (:mod:`repro.core.work`), not here.
+    """
+    if setup_cost < 0:
+        raise ValueError(f"setup_cost must be non-negative, got {setup_cost!r}")
+    return positive_subtraction(length, setup_cost)
+
+
+def period_work_array(lengths, setup_cost: Number):
+    """Vectorised :func:`period_work` over an array of period lengths."""
+    if setup_cost < 0:
+        raise ValueError(f"setup_cost must be non-negative, got {setup_cost!r}")
+    return positive_subtraction_array(lengths, setup_cost)
+
+
+def is_close(a: Number, b: Number,
+             rel_tol: float = DEFAULT_REL_TOL,
+             abs_tol: float = DEFAULT_ABS_TOL) -> bool:
+    """Tolerant equality for schedule bookkeeping.
+
+    Uses the same semantics as :func:`math.isclose` but with library-wide
+    default tolerances, so every module compares float period lengths the
+    same way.
+    """
+    a = float(a)
+    b = float(b)
+    return abs(a - b) <= max(rel_tol * max(abs(a), abs(b)), abs_tol)
+
+
+def is_at_least(a: Number, b: Number,
+                rel_tol: float = DEFAULT_REL_TOL,
+                abs_tol: float = DEFAULT_ABS_TOL) -> bool:
+    """Tolerant ``a >= b`` (true also when the two are merely close)."""
+    return float(a) >= float(b) or is_close(a, b, rel_tol=rel_tol, abs_tol=abs_tol)

@@ -1,0 +1,58 @@
+"""Exception hierarchy for the cycle-stealing reproduction library.
+
+All library-specific errors derive from :class:`CycleStealingError` so that
+callers can catch the whole family with a single ``except`` clause while
+still being able to distinguish configuration problems from runtime ones.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CycleStealingError",
+    "InvalidParameterError",
+    "InvalidScheduleError",
+    "InvalidInterruptError",
+    "SchedulingError",
+    "SimulationError",
+]
+
+
+class CycleStealingError(Exception):
+    """Base class for every error raised by :mod:`repro`."""
+
+
+class InvalidParameterError(CycleStealingError, ValueError):
+    """Raised when opportunity parameters (U, c, p) are malformed.
+
+    Examples: non-positive lifespan, negative setup cost, negative interrupt
+    budget, or NaN/inf values.
+    """
+
+
+class InvalidScheduleError(CycleStealingError, ValueError):
+    """Raised when an episode or opportunity schedule violates the model.
+
+    Examples: non-positive period lengths, periods that overrun the residual
+    lifespan, or an empty schedule for a positive lifespan.
+    """
+
+
+class InvalidInterruptError(CycleStealingError, ValueError):
+    """Raised when an interrupt pattern is inconsistent with the model.
+
+    Examples: more interrupts than the budget ``p``, interrupt times outside
+    the usable lifespan, or non-monotone interrupt times.
+    """
+
+
+class SchedulingError(CycleStealingError, RuntimeError):
+    """Raised when a scheduler cannot produce a valid schedule.
+
+    Typically signals an internal inconsistency (e.g. a guideline formula
+    producing zero periods for a positive lifespan) rather than bad user
+    input.
+    """
+
+
+class SimulationError(CycleStealingError, RuntimeError):
+    """Raised by the discrete-event simulator on protocol violations."""

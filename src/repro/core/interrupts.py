@@ -1,0 +1,162 @@
+"""Interrupt patterns — descriptions of *where* the owner of B interrupts.
+
+The guaranteed-output model treats the owner of workstation B as an
+adversary who may interrupt the opportunity up to ``p`` times.  Two
+complementary representations are useful:
+
+* :class:`PeriodEndInterrupts` — interrupts placed at the *last instant* of
+  chosen periods of a non-adaptive schedule.  Observation (a) in the paper
+  shows this is the adversary's dominant choice, and the paper's
+  opportunity-work formula for non-adaptive schedules is stated in exactly
+  these terms (a set ``I`` of interrupted period indices).
+* :class:`TimedInterrupts` — arbitrary interrupt times measured from the
+  start of the opportunity.  Used by the stochastic/expected-output layer
+  and by the discrete-event simulator, where interrupts come from owner
+  activity traces rather than from an adversary.
+
+Both are immutable value objects with validation against an interrupt
+budget and a lifespan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Tuple
+
+from .exceptions import InvalidInterruptError
+
+__all__ = ["PeriodEndInterrupts", "TimedInterrupts"]
+
+
+@dataclass(frozen=True)
+class PeriodEndInterrupts:
+    """A set of 1-based period indices interrupted at their last instant.
+
+    Parameters
+    ----------
+    indices:
+        Strictly increasing, 1-based indices of the interrupted periods of a
+        non-adaptive schedule.  May be empty (the adversary declines to
+        interrupt).
+    """
+
+    indices: Tuple[int, ...]
+
+    def __init__(self, indices: Iterable[int] = ()):
+        idx = tuple(int(i) for i in indices)
+        for i in idx:
+            if i < 1:
+                raise InvalidInterruptError(f"period indices are 1-based, got {i}")
+        if any(b <= a for a, b in zip(idx, idx[1:])):
+            raise InvalidInterruptError(
+                f"period indices must be strictly increasing, got {idx}"
+            )
+        object.__setattr__(self, "indices", idx)
+
+    @property
+    def count(self) -> int:
+        """Number of interrupts in the pattern."""
+        return len(self.indices)
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the adversary interrupts at all."""
+        return not self.indices
+
+    @property
+    def last_index(self) -> int:
+        """Largest interrupted period index (``0`` when empty)."""
+        return self.indices[-1] if self.indices else 0
+
+    def validate(self, num_periods: int, max_interrupts: int) -> None:
+        """Check the pattern against a schedule length and interrupt budget."""
+        if self.count > max_interrupts:
+            raise InvalidInterruptError(
+                f"{self.count} interrupts exceed the budget of {max_interrupts}"
+            )
+        if self.indices and self.indices[-1] > num_periods:
+            raise InvalidInterruptError(
+                f"period index {self.indices[-1]} exceeds the schedule length {num_periods}"
+            )
+
+    def contains(self, period_index: int) -> bool:
+        """Whether the given 1-based period is interrupted."""
+        return period_index in self.indices
+
+    @classmethod
+    def last_periods(cls, num_periods: int, count: int) -> "PeriodEndInterrupts":
+        """The pattern that kills the final ``count`` periods of a schedule.
+
+        This is the adversary strategy the paper identifies as worst-case
+        for the equal-period non-adaptive guideline (Section 3.1).
+        """
+        count = min(count, num_periods)
+        return cls(range(num_periods - count + 1, num_periods + 1))
+
+
+@dataclass(frozen=True)
+class TimedInterrupts:
+    """Interrupt times measured from the start of the opportunity.
+
+    Parameters
+    ----------
+    times:
+        Non-decreasing, non-negative interrupt times.  May be empty.
+    """
+
+    times: Tuple[float, ...]
+
+    def __init__(self, times: Iterable[float] = ()):
+        ts = tuple(float(t) for t in times)
+        for t in ts:
+            if not (t >= 0.0):  # also rejects NaN
+                raise InvalidInterruptError(f"interrupt times must be >= 0, got {t!r}")
+        if any(b < a for a, b in zip(ts, ts[1:])):
+            raise InvalidInterruptError(f"interrupt times must be non-decreasing, got {ts}")
+        object.__setattr__(self, "times", ts)
+
+    @property
+    def count(self) -> int:
+        """Number of interrupts."""
+        return len(self.times)
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether there are no interrupts."""
+        return not self.times
+
+    def validate(self, lifespan: float, max_interrupts: int) -> None:
+        """Check the pattern against a lifespan and interrupt budget."""
+        if self.count > max_interrupts:
+            raise InvalidInterruptError(
+                f"{self.count} interrupts exceed the budget of {max_interrupts}"
+            )
+        if self.times and self.times[-1] >= lifespan:
+            raise InvalidInterruptError(
+                f"interrupt at time {self.times[-1]!r} is not inside the lifespan "
+                f"[0, {lifespan!r})"
+            )
+
+    def within(self, start: float, end: float) -> Tuple[float, ...]:
+        """Interrupt times falling inside the half-open window ``[start, end)``."""
+        return tuple(t for t in self.times if start <= t < end)
+
+    def first_after(self, time: float) -> float:
+        """First interrupt at or after ``time`` (``inf`` when none)."""
+        for t in self.times:
+            if t >= time:
+                return t
+        return float("inf")
+
+    @classmethod
+    def evenly_spaced(cls, lifespan: float, count: int) -> "TimedInterrupts":
+        """``count`` interrupts splitting the lifespan into equal episodes."""
+        if count <= 0:
+            return cls(())
+        step = float(lifespan) / (count + 1)
+        return cls(step * (i + 1) for i in range(count))
+
+    @classmethod
+    def from_sorted(cls, times: Sequence[float]) -> "TimedInterrupts":
+        """Build a pattern from an already sorted sequence of times."""
+        return cls(times)

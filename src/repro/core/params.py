@@ -1,0 +1,183 @@
+"""Opportunity parameters of the guaranteed-output cycle-stealing model.
+
+Section 2.1 of the paper characterises a cycle-stealing opportunity by two
+quantities, plus the architecture-independent communication cost:
+
+* ``lifespan`` (``U > 0``) — the number of time units during which the
+  borrowed workstation B is available to the borrowing workstation A;
+* ``max_interrupts`` (``p >= 0``) — an upper bound on the number of times
+  B's owner may interrupt the usable lifespan (each interrupt kills all work
+  in progress);
+* ``setup_cost`` (``c >= 0``) — the cost of the paired communications that
+  bracket every period (A sends work, B returns results).
+
+:class:`CycleStealingParams` packages the three together, validates them and
+exposes the handful of derived quantities the rest of the library keeps
+needing (the zero-work threshold of Proposition 4.1(c), the normalised
+lifespan ``U/c``, ...).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Iterator
+
+from .exceptions import InvalidParameterError
+
+__all__ = ["CycleStealingParams"]
+
+
+@dataclass(frozen=True)
+class CycleStealingParams:
+    """Immutable description of one cycle-stealing opportunity.
+
+    Parameters
+    ----------
+    lifespan:
+        Usable lifespan ``U`` of the opportunity, in time units.  Must be a
+        positive, finite real number.
+    setup_cost:
+        Communication set-up cost ``c`` charged to every period.  Must be a
+        non-negative, finite real number.
+    max_interrupts:
+        Upper bound ``p`` on the number of owner interrupts.  Must be a
+        non-negative integer.
+
+    Examples
+    --------
+    >>> params = CycleStealingParams(lifespan=1000.0, setup_cost=1.0, max_interrupts=2)
+    >>> params.normalized_lifespan
+    1000.0
+    >>> params.zero_work_threshold
+    3.0
+    """
+
+    lifespan: float
+    setup_cost: float
+    max_interrupts: int
+
+    def __post_init__(self) -> None:
+        lifespan = float(self.lifespan)
+        setup_cost = float(self.setup_cost)
+
+        if not math.isfinite(lifespan) or lifespan <= 0.0:
+            raise InvalidParameterError(
+                f"lifespan must be a positive finite number, got {self.lifespan!r}"
+            )
+        if not math.isfinite(setup_cost) or setup_cost < 0.0:
+            raise InvalidParameterError(
+                f"setup_cost must be a non-negative finite number, got {self.setup_cost!r}"
+            )
+        if isinstance(self.max_interrupts, bool) or not isinstance(self.max_interrupts, (int,)):
+            raise InvalidParameterError(
+                f"max_interrupts must be an integer, got {self.max_interrupts!r}"
+            )
+        if self.max_interrupts < 0:
+            raise InvalidParameterError(
+                f"max_interrupts must be non-negative, got {self.max_interrupts!r}"
+            )
+
+        # Normalise to plain floats so downstream arithmetic never sees
+        # numpy scalars or Decimals with surprising semantics.
+        object.__setattr__(self, "lifespan", lifespan)
+        object.__setattr__(self, "setup_cost", setup_cost)
+        object.__setattr__(self, "max_interrupts", int(self.max_interrupts))
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def normalized_lifespan(self) -> float:
+        """Lifespan expressed in units of the set-up cost, ``U / c``.
+
+        The guideline formulas in the paper depend on the parameters only
+        through this ratio (and ``p``).  Returns ``inf`` when the set-up
+        cost is zero (communication is free, so every guideline degenerates
+        to "use many tiny periods").
+        """
+        if self.setup_cost == 0.0:
+            return math.inf
+        return self.lifespan / self.setup_cost
+
+    @property
+    def zero_work_threshold(self) -> float:
+        """Lifespan at or below which no work can be guaranteed.
+
+        Proposition 4.1(c): if ``U <= (p + 1) * c`` the adversary can kill
+        every productive period, hence ``W^(p)[U] = 0``.
+        """
+        return (self.max_interrupts + 1) * self.setup_cost
+
+    @property
+    def can_guarantee_work(self) -> bool:
+        """Whether any schedule can guarantee strictly positive work."""
+        return self.lifespan > self.zero_work_threshold
+
+    @property
+    def trivial_upper_bound(self) -> float:
+        """Work that would be achieved with free communication, ``U``."""
+        return self.lifespan
+
+    @property
+    def single_period_work(self) -> float:
+        """Work of the 1-period schedule when no interrupt occurs, ``U ⊖ c``."""
+        return max(0.0, self.lifespan - self.setup_cost)
+
+    # ------------------------------------------------------------------
+    # Convenience constructors / transformers
+    # ------------------------------------------------------------------
+    def with_lifespan(self, lifespan: float) -> "CycleStealingParams":
+        """Return a copy with a different usable lifespan."""
+        return replace(self, lifespan=lifespan)
+
+    def with_interrupts(self, max_interrupts: int) -> "CycleStealingParams":
+        """Return a copy with a different interrupt budget."""
+        return replace(self, max_interrupts=max_interrupts)
+
+    def with_setup_cost(self, setup_cost: float) -> "CycleStealingParams":
+        """Return a copy with a different communication set-up cost."""
+        return replace(self, setup_cost=setup_cost)
+
+    def after_interrupt(self, elapsed: float) -> "CycleStealingParams":
+        """Parameters of the residual opportunity after an interrupt.
+
+        An interrupt at episode time ``elapsed`` nullifies that much of the
+        lifespan and consumes one interrupt from the budget (Section 2.2).
+
+        Raises
+        ------
+        InvalidParameterError
+            If no interrupts remain, or ``elapsed`` is negative, or the
+            interrupt would not leave a positive residual lifespan.
+        """
+        if self.max_interrupts <= 0:
+            raise InvalidParameterError("no interrupts remain in the budget")
+        if elapsed < 0.0:
+            raise InvalidParameterError(f"elapsed time must be non-negative, got {elapsed!r}")
+        residual = self.lifespan - float(elapsed)
+        if residual <= 0.0:
+            raise InvalidParameterError(
+                f"interrupt at time {elapsed!r} leaves no residual lifespan "
+                f"(lifespan={self.lifespan!r})"
+            )
+        return CycleStealingParams(
+            lifespan=residual,
+            setup_cost=self.setup_cost,
+            max_interrupts=self.max_interrupts - 1,
+        )
+
+    @classmethod
+    def normalized(cls, normalized_lifespan: float, max_interrupts: int) -> "CycleStealingParams":
+        """Create parameters with unit set-up cost and the given ``U/c``."""
+        return cls(lifespan=float(normalized_lifespan), setup_cost=1.0,
+                   max_interrupts=max_interrupts)
+
+    def sweep_interrupts(self, max_p: int) -> Iterator["CycleStealingParams"]:
+        """Yield copies of these parameters for ``p = 0, 1, ..., max_p``."""
+        for p in range(max_p + 1):
+            yield self.with_interrupts(p)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"CycleStealingParams(U={self.lifespan:g}, c={self.setup_cost:g}, "
+                f"p={self.max_interrupts})")

@@ -1,0 +1,313 @@
+"""Work accounting for episode and opportunity schedules (Section 2.2).
+
+This module turns the paper's definitions into executable functions:
+
+* :func:`episode_work` — work accomplished by one episode given the time at
+  which it was interrupted (or ``None`` for "ran to completion").
+* :func:`nonadaptive_opportunity_work` — the paper's formula
+  ``W(S) = Σ_{k∉I} (t_k ⊖ c) + ((U − T_{i_p}) ⊖ c)`` for a non-adaptive
+  schedule ``S`` whose periods in the index set ``I`` are interrupted at
+  their last instants (with the "one long final period after the p-th
+  interrupt" exception).
+* :func:`nonadaptive_work_under_times` — a more general simulator-style
+  evaluation of a non-adaptive schedule against arbitrary interrupt *times*,
+  used by the stochastic layers where interrupts do not conveniently land at
+  period boundaries.
+* :func:`worst_case_nonadaptive_work` — exact minimisation over the
+  adversary's period-end interrupt patterns (dynamic programming over the
+  choice of interrupted periods), used to measure the true guaranteed work
+  of any non-adaptive schedule.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .arithmetic import period_work, period_work_array, positive_subtraction
+from .exceptions import InvalidInterruptError, InvalidScheduleError
+from .interrupts import PeriodEndInterrupts, TimedInterrupts
+from .params import CycleStealingParams
+from .schedule import EpisodeSchedule
+
+__all__ = [
+    "episode_work",
+    "episode_elapsed",
+    "nonadaptive_opportunity_work",
+    "nonadaptive_work_under_times",
+    "worst_case_nonadaptive_work",
+    "worst_case_nonadaptive_pattern",
+]
+
+
+def episode_work(schedule: EpisodeSchedule, setup_cost: float,
+                 interrupt_time: Optional[float] = None) -> float:
+    """Work accomplished by one episode.
+
+    Parameters
+    ----------
+    schedule:
+        The episode-schedule ``t_1, ..., t_m``.
+    setup_cost:
+        Communication set-up cost ``c``.
+    interrupt_time:
+        Episode-relative time of the owner's interrupt, or ``None`` if the
+        episode ran to completion.  If the interrupt falls in period ``k``
+        (``T_{k-1} <= t < T_k``) the episode accomplishes
+        ``Σ_{i<k} (t_i ⊖ c)`` — work in flight is destroyed.
+    """
+    if interrupt_time is None:
+        return schedule.work_if_uninterrupted(setup_cost)
+    if interrupt_time < 0.0:
+        raise InvalidInterruptError(f"interrupt time must be >= 0, got {interrupt_time!r}")
+    if interrupt_time >= schedule.total_length:
+        # An "interrupt" after the episode finished is no interrupt at all.
+        return schedule.work_if_uninterrupted(setup_cost)
+    k = schedule.period_containing(interrupt_time)
+    return schedule.work_of_prefix(k - 1, setup_cost)
+
+
+def episode_elapsed(schedule: EpisodeSchedule,
+                    interrupt_time: Optional[float] = None) -> float:
+    """Lifespan consumed by the episode (interrupt time or full length)."""
+    if interrupt_time is None or interrupt_time >= schedule.total_length:
+        return schedule.total_length
+    if interrupt_time < 0.0:
+        raise InvalidInterruptError(f"interrupt time must be >= 0, got {interrupt_time!r}")
+    return float(interrupt_time)
+
+
+def nonadaptive_opportunity_work(schedule: EpisodeSchedule,
+                                 params: CycleStealingParams,
+                                 interrupts: PeriodEndInterrupts) -> float:
+    """Work of a non-adaptive schedule under period-end interrupts.
+
+    Implements the paper's Section 2.2 formula.  The schedule's periods must
+    cover the whole lifespan ``U``; the adversary interrupts the periods in
+    ``interrupts`` at their last instants.  When the interrupt budget ``p``
+    is exhausted (i.e. ``interrupts`` uses all ``p`` interrupts), the owner
+    of A reschedules everything after the last interrupt as a single long
+    period, which contributes ``(U − T_{i_p}) ⊖ c``.
+
+    If fewer than ``p`` interrupts are used, the remaining tail periods of
+    the original schedule are simply executed unchanged (the "oblivious"
+    behaviour of the paper).
+    """
+    schedule.validate_for_lifespan(params.lifespan, require_exact=True)
+    interrupts.validate(schedule.num_periods, params.max_interrupts)
+
+    c = params.setup_cost
+    if interrupts.is_empty:
+        return schedule.work_if_uninterrupted(c)
+
+    killed = np.zeros(schedule.num_periods, dtype=bool)
+    killed[[i - 1 for i in interrupts.indices]] = True
+
+    budget_exhausted = interrupts.count >= params.max_interrupts
+    last = interrupts.last_index
+
+    if budget_exhausted:
+        # Periods before (and including) the last interrupt contribute
+        # normally unless killed; everything after T_{i_p} becomes one long
+        # period that can no longer be interrupted.
+        surviving = ~killed[:last]
+        work = float(period_work_array(schedule.periods[:last], c)[surviving].sum())
+        tail_length = params.lifespan - schedule.finish_time(last)
+        work += positive_subtraction(tail_length, c)
+        return work
+
+    surviving = ~killed
+    return float(period_work_array(schedule.periods, c)[surviving].sum())
+
+
+def nonadaptive_work_under_times(schedule: EpisodeSchedule,
+                                 params: CycleStealingParams,
+                                 interrupts: TimedInterrupts,
+                                 *, extend_final_period: bool = True) -> float:
+    """Evaluate a non-adaptive schedule against arbitrary interrupt times.
+
+    The schedule's periods are dispatched in order.  An interrupt that lands
+    inside the current period kills it; the next period then starts at the
+    interrupt time (shifting the remaining schedule earlier).  After the
+    ``p``-th interrupt the remainder of the lifespan is executed as one long
+    period.  Periods that would overrun the lifespan are truncated, and —
+    when ``extend_final_period`` is set — any lifespan left after the last
+    scheduled period is used as one additional period.
+
+    This is a strict generalisation of :func:`nonadaptive_opportunity_work`:
+    when the interrupt times coincide with period last-instants the two
+    agree (see the test-suite).
+    """
+    schedule.validate_for_lifespan(params.lifespan, require_exact=False)
+    interrupts.validate(params.lifespan, params.max_interrupts)
+
+    c = params.setup_cost
+    lifespan = params.lifespan
+    times = list(interrupts.times)
+
+    work = 0.0
+    clock = 0.0
+    used = 0
+    period_iter = iter(schedule.periods.tolist())
+
+    def next_interrupt() -> float:
+        return times[used] if used < len(times) else float("inf")
+
+    while clock < lifespan:
+        if used >= params.max_interrupts and used > 0:
+            # Budget exhausted: one long final period, immune to interrupts.
+            work += positive_subtraction(lifespan - clock, c)
+            return work
+
+        try:
+            planned = next(period_iter)
+        except StopIteration:
+            if not extend_final_period:
+                return work
+            planned = lifespan - clock
+
+        length = min(float(planned), lifespan - clock)
+        if length <= 0.0:
+            break
+        end = clock + length
+        interrupt = next_interrupt()
+        if clock <= interrupt < end:
+            # Period killed; no work, clock jumps to the interrupt time.
+            clock = interrupt
+            used += 1
+        else:
+            work += period_work(length, c)
+            clock = end
+    return work
+
+
+def _pattern_work(schedule: EpisodeSchedule, params: CycleStealingParams,
+                  indices: Tuple[int, ...]) -> float:
+    return nonadaptive_opportunity_work(schedule, params, PeriodEndInterrupts(indices))
+
+
+def worst_case_nonadaptive_pattern(schedule: EpisodeSchedule,
+                                   params: CycleStealingParams
+                                   ) -> Tuple[PeriodEndInterrupts, float]:
+    """Exact worst-case interrupt pattern for a non-adaptive schedule.
+
+    Returns the period-end interrupt pattern (with at most ``p`` interrupts)
+    that minimises the opportunity work, together with that minimum work.
+    The search restricts the adversary to period last-instants, which
+    Observation (a) of the paper shows is without loss of generality.
+
+    The minimisation is done with a small dynamic program over
+    ``(period index, interrupts used)`` states rather than enumerating all
+    ``C(m, p)`` subsets, so it is exact and fast even for schedules with
+    thousands of periods.
+
+    Notes
+    -----
+    The DP works forward over periods.  State value ``V[j][q]`` = maximum
+    work *lost* (relative to the uninterrupted schedule) achievable by the
+    adversary using exactly ``q`` interrupts among periods ``1..j`` **with
+    the convention that the q-th interrupt, if it is the budget-exhausting
+    one, replaces the tail by a single long period**.  Because the
+    budget-exhausting interrupt changes the accounting of everything after
+    it, we treat it separately: we enumerate the position of the *last*
+    interrupt (or "no interrupts at all" / "fewer than p interrupts") and
+    use a simple greedy for the earlier ones — killing a period ``k`` before
+    the last interrupt always costs us exactly ``t_k ⊖ c``, so the adversary
+    greedily picks the largest periods.
+    """
+    schedule.validate_for_lifespan(params.lifespan, require_exact=True)
+    p = params.max_interrupts
+    c = params.setup_cost
+    m = schedule.num_periods
+
+    if p == 0 or m == 0:
+        return PeriodEndInterrupts(()), schedule.work_if_uninterrupted(c)
+
+    period_losses = period_work_array(schedule.periods, c)  # t_k ⊖ c
+    uninterrupted = float(period_losses.sum())
+    finishes = schedule.finish_times
+
+    best_work = uninterrupted
+    best_pattern = PeriodEndInterrupts(())
+
+    # Case 1: the adversary uses fewer than p interrupts (no tail rewrite).
+    # Killing period k simply removes t_k ⊖ c, so the best choice is the
+    # q <= p-1 largest losses.
+    if p >= 1:
+        order = np.argsort(period_losses)[::-1]
+        take = order[: max(0, min(p - 1, m))]
+        # Only kill periods that actually cost us something.
+        take = [int(i) for i in take if period_losses[i] > 0.0]
+        if take:
+            loss = float(period_losses[list(take)].sum())
+            work = uninterrupted - loss
+            if work < best_work:
+                best_work = work
+                best_pattern = PeriodEndInterrupts(sorted(i + 1 for i in take))
+
+    # Case 2: the adversary uses all p interrupts; enumerate the index j of
+    # the last (budget-exhausting) interrupt.  Work becomes
+    #   Σ_{k<j, k not killed} (t_k ⊖ c) + ((U − T_j) ⊖ c),
+    # and the p-1 earlier interrupts greedily remove the largest losses
+    # among periods 1..j-1.
+    if m >= 1:
+        # Prefix "top (p-1) losses" computed incrementally with a small heap
+        # would be O(m log p); for clarity use cumulative sorting in numpy on
+        # the fly only when m is large.
+        import heapq
+
+        heap: list = []   # min-heap of the largest (p-1) losses so far
+        heap_sum = 0.0
+        prefix_sum = 0.0  # Σ_{k<j} (t_k ⊖ c)
+        keep = max(0, p - 1)
+        for j in range(1, m + 1):
+            # The last interrupt sits at period j; the p-1 earlier ones need
+            # p-1 distinct periods before j, so this branch requires j >= p.
+            if j >= p:
+                tail_work = positive_subtraction(params.lifespan - float(finishes[j - 1]), c)
+                work = prefix_sum - heap_sum + tail_work
+                if work < best_work - 1e-12:
+                    best_work = work
+                    # Reconstruct which earlier periods the greedy killed.
+                    killed_losses = sorted(heap, reverse=True)
+                    killed = _indices_of_losses(period_losses[: j - 1], killed_losses)
+                    best_pattern = PeriodEndInterrupts(sorted(killed + [j]))
+            # Update the prefix structures with period j's loss.  Zero-loss
+            # periods are kept too: the adversary must place exactly p-1
+            # earlier interrupts for the budget-exhausting tail rule to fire.
+            loss_j = float(period_losses[j - 1])
+            prefix_sum += loss_j
+            if keep > 0:
+                if len(heap) < keep:
+                    heapq.heappush(heap, loss_j)
+                    heap_sum += loss_j
+                elif heap and loss_j > heap[0]:
+                    heap_sum += loss_j - heap[0]
+                    heapq.heapreplace(heap, loss_j)
+
+    return best_pattern, float(best_work)
+
+
+def _indices_of_losses(losses: np.ndarray, targets: list) -> list:
+    """Map a multiset of loss values back to distinct 1-based period indices."""
+    remaining = list(targets)
+    indices: list = []
+    order = np.argsort(losses)[::-1]
+    for i in order:
+        if not remaining:
+            break
+        val = float(losses[i])
+        for r in list(remaining):
+            if abs(val - r) <= 1e-9:
+                indices.append(int(i) + 1)
+                remaining.remove(r)
+                break
+    return indices
+
+
+def worst_case_nonadaptive_work(schedule: EpisodeSchedule,
+                                params: CycleStealingParams) -> float:
+    """Guaranteed work of a non-adaptive schedule (worst case over interrupts)."""
+    _, work = worst_case_nonadaptive_pattern(schedule, params)
+    return work

@@ -1,0 +1,23 @@
+"""Exact dynamic-programming solution of the guaranteed-output game.
+
+* :func:`repro.dp.solve` / :func:`repro.dp.solve_fast` /
+  :func:`repro.dp.solve_reference` — build the value table ``W^(p)[L]``.
+* :class:`repro.dp.ValueTable` — the solved table, queryable and usable as a
+  work oracle.
+* :func:`repro.dp.extract_episode_schedule` — optimal episode-schedules.
+"""
+
+from .schedule_extract import extract_episode_schedule, extract_period_lengths
+from .solver import discretize_params, solve, solve_fast, solve_for_params
+from .value import ValueTable, solve_reference
+
+__all__ = [
+    "ValueTable",
+    "solve",
+    "solve_fast",
+    "solve_reference",
+    "solve_for_params",
+    "discretize_params",
+    "extract_episode_schedule",
+    "extract_period_lengths",
+]

@@ -1,0 +1,51 @@
+"""Extract optimal episode-schedules from a solved :class:`ValueTable`.
+
+The DP stores, for every state ``(L, q)``, a maximising first-period length.
+An optimal *episode-schedule* for that state is obtained by repeatedly
+following the "let it run" branch: take the optimal first period ``t``,
+then the optimal first period of ``(L − t, q)``, and so on until the
+residual lifespan is exhausted.  (The adversary's interrupt sends the game
+to ``q − 1``, which is a different row of the table; that is what the
+adaptive game referee does at run time.)
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.exceptions import InvalidParameterError
+from ..core.schedule import EpisodeSchedule
+from .value import ValueTable
+
+__all__ = ["extract_episode_schedule", "extract_period_lengths"]
+
+
+def extract_period_lengths(table: ValueTable, lifespan: int,
+                           max_interrupts: int) -> List[int]:
+    """Integer period lengths of an optimal episode-schedule for ``(L, p)``."""
+    L = int(lifespan)
+    p = int(max_interrupts)
+    if L < 0 or L > table.max_lifespan:
+        raise InvalidParameterError(
+            f"lifespan {L} outside the solved range [0, {table.max_lifespan}]"
+        )
+    if p < 0 or p > table.max_interrupts:
+        raise InvalidParameterError(
+            f"interrupt budget {p} outside the solved range [0, {table.max_interrupts}]"
+        )
+    lengths: List[int] = []
+    while L > 0:
+        t = table.optimal_first_period(p, L)
+        t = max(1, min(t, L))
+        lengths.append(int(t))
+        L -= t
+    return lengths
+
+
+def extract_episode_schedule(table: ValueTable, lifespan: int,
+                             max_interrupts: int) -> EpisodeSchedule:
+    """Optimal episode-schedule for the state ``(lifespan, max_interrupts)``."""
+    lengths = extract_period_lengths(table, lifespan, max_interrupts)
+    if not lengths:
+        raise InvalidParameterError("cannot extract a schedule for a zero lifespan")
+    return EpisodeSchedule(lengths)

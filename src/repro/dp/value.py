@@ -1,0 +1,190 @@
+r"""Exact optimal guaranteed work ``W^(p)[L]`` by dynamic programming.
+
+The paper characterises optimal adaptive schedules through the bootstrapping
+game of Section 4: with ``p`` interrupts remaining and residual lifespan
+``L``, the owner of A picks the next period length ``t``; the adversary
+either interrupts it at its last instant (sending the game to the state
+``(L − t, p − 1)`` with no work banked from this period) or lets it complete
+(banking ``t ⊖ c`` and continuing at ``(L − t, p)``).  Because nothing is
+learnt during an uninterrupted episode, choosing periods one at a time is
+equivalent to committing a whole episode-schedule up front, so the value of
+this game *is* the paper's ``W^(p)[L]``.
+
+On an integer time grid the game solves exactly by dynamic programming:
+
+.. math::
+
+   W^{(0)}[L] = L ⊖ c, \qquad
+   W^{(p)}[L] = \max_{1 \le t \le L} \min\bigl( (t ⊖ c) + W^{(p)}[L − t],\;
+                                                W^{(p-1)}[L − t] \bigr).
+
+:class:`ValueTable` stores the full table together with the maximising first
+period for every state, from which optimal episode-schedules are extracted
+(:mod:`repro.dp.schedule_extract`).  Two solvers produce it:
+
+* :func:`solve_reference` — the recurrence exactly as written, with the
+  inner maximisation vectorised in NumPy (``O(p·L²)`` work);
+* :func:`solve_fast` (in :mod:`repro.dp.solver`) — exploits the fact that
+  the "let it run" branch is non-decreasing and the "interrupt" branch is
+  non-increasing in ``t``, so the inner maximisation reduces to a binary
+  search (``O(p·L·log L)``).
+
+The two are verified against each other in the test-suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..core.exceptions import InvalidParameterError
+from ..core.params import CycleStealingParams
+
+__all__ = ["ValueTable", "solve_reference"]
+
+
+@dataclass(frozen=True)
+class ValueTable:
+    """The solved table ``W^(q)[L]`` for ``q <= p`` and integer ``L <= L_max``.
+
+    Attributes
+    ----------
+    setup_cost:
+        Integer set-up cost ``c`` the table was solved for.
+    values:
+        Array of shape ``(p + 1, L_max + 1)``; ``values[q, L]`` is
+        ``W^(q)[L]``.
+    first_periods:
+        Same shape; ``first_periods[q, L]`` is a maximising first period
+        length for the state ``(L, q)`` (``L`` itself for ``q = 0``).
+    """
+
+    setup_cost: int
+    values: np.ndarray
+    first_periods: np.ndarray
+
+    # ------------------------------------------------------------------
+    @property
+    def max_interrupts(self) -> int:
+        """Largest interrupt budget covered by the table."""
+        return self.values.shape[0] - 1
+
+    @property
+    def max_lifespan(self) -> int:
+        """Largest lifespan covered by the table."""
+        return self.values.shape[1] - 1
+
+    def value(self, max_interrupts: int, lifespan: int) -> float:
+        """Return ``W^(p)[L]`` for integer arguments within the table."""
+        p, L = self._check(max_interrupts, lifespan)
+        return float(self.values[p, L])
+
+    def optimal_first_period(self, max_interrupts: int, lifespan: int) -> int:
+        """A maximising first period length for the state ``(L, p)``."""
+        p, L = self._check(max_interrupts, lifespan)
+        return int(self.first_periods[p, L])
+
+    def work_curve(self, max_interrupts: int) -> np.ndarray:
+        """The whole row ``W^(p)[0..L_max]`` (read-only view)."""
+        p, _ = self._check(max_interrupts, 0)
+        row = self.values[p]
+        row.setflags(write=False)
+        return row
+
+    def _check(self, max_interrupts: int, lifespan: int):
+        p = int(max_interrupts)
+        L = int(lifespan)
+        if not (0 <= p <= self.max_interrupts):
+            raise InvalidParameterError(
+                f"interrupt budget {p} outside the solved range [0, {self.max_interrupts}]"
+            )
+        if not (0 <= L <= self.max_lifespan):
+            raise InvalidParameterError(
+                f"lifespan {L} outside the solved range [0, {self.max_lifespan}]"
+            )
+        return p, L
+
+    # ------------------------------------------------------------------
+    def as_oracle(self) -> Callable[[float, int, float], float]:
+        """Adapt the table to the ``oracle(L, q, c)`` signature.
+
+        The returned callable floors real-valued residual lifespans to the
+        grid (a lower bound on the true value, hence safe for the equalising
+        construction) and validates that the requested set-up cost matches
+        the one the table was solved for.
+        """
+        def oracle(residual: float, interrupts: int, setup_cost: float) -> float:
+            if abs(float(setup_cost) - float(self.setup_cost)) > 1e-9:
+                raise InvalidParameterError(
+                    f"oracle solved for c={self.setup_cost}, asked for c={setup_cost}"
+                )
+            if residual <= 0.0:
+                return 0.0
+            L = min(int(residual), self.max_lifespan)
+            q = min(int(interrupts), self.max_interrupts)
+            return float(self.values[q, L])
+
+        return oracle
+
+    def params(self, max_interrupts: int = None, lifespan: int = None) -> CycleStealingParams:
+        """Convenience: build matching :class:`CycleStealingParams`."""
+        return CycleStealingParams(
+            lifespan=float(self.max_lifespan if lifespan is None else lifespan),
+            setup_cost=float(self.setup_cost),
+            max_interrupts=self.max_interrupts if max_interrupts is None else int(max_interrupts),
+        )
+
+
+def _validate_inputs(max_lifespan: int, setup_cost: int, max_interrupts: int) -> None:
+    if int(max_lifespan) != max_lifespan or max_lifespan < 1:
+        raise InvalidParameterError(f"max_lifespan must be a positive integer, got {max_lifespan!r}")
+    if int(setup_cost) != setup_cost or setup_cost < 0:
+        raise InvalidParameterError(f"setup_cost must be a non-negative integer, got {setup_cost!r}")
+    if int(max_interrupts) != max_interrupts or max_interrupts < 0:
+        raise InvalidParameterError(
+            f"max_interrupts must be a non-negative integer, got {max_interrupts!r}"
+        )
+
+
+def solve_reference(max_lifespan: int, setup_cost: int, max_interrupts: int) -> ValueTable:
+    """Solve the Bellman recurrence exactly as written (``O(p·L²)``).
+
+    Parameters
+    ----------
+    max_lifespan:
+        Largest integer lifespan ``L_max`` to tabulate.
+    setup_cost:
+        Integer set-up cost ``c >= 0``.
+    max_interrupts:
+        Largest interrupt budget ``p`` to tabulate.
+    """
+    _validate_inputs(max_lifespan, setup_cost, max_interrupts)
+    L_max = int(max_lifespan)
+    c = int(setup_cost)
+    p_max = int(max_interrupts)
+
+    work = np.maximum(np.arange(L_max + 1, dtype=np.int64) - c, 0)
+    values = np.zeros((p_max + 1, L_max + 1), dtype=np.int64)
+    first = np.zeros((p_max + 1, L_max + 1), dtype=np.int64)
+
+    values[0] = work
+    first[0] = np.arange(L_max + 1)
+
+    for q in range(1, p_max + 1):
+        row = values[q]
+        prev = values[q - 1]
+        row_first = first[q]
+        for L in range(1, L_max + 1):
+            # For first-period length t = 1..L:
+            #   "let it run"  -> (t ⊖ c) + W^(q)[L − t]
+            #   "interrupt"   -> W^(q-1)[L − t]
+            run_branch = work[1:L + 1] + row[L - 1::-1]
+            kill_branch = prev[L - 1::-1]
+            adversary = np.minimum(run_branch, kill_branch)
+            best_t = int(np.argmax(adversary)) + 1
+            row[L] = adversary[best_t - 1]
+            row_first[L] = best_t
+
+    return ValueTable(setup_cost=c, values=values, first_periods=first)

@@ -1,0 +1,29 @@
+"""Expected-output companion submodel (random, non-adversarial owners)."""
+
+from .distributions import (
+    DeterministicReclaim,
+    ExponentialReclaim,
+    GeometricReclaim,
+    ReclaimDistribution,
+    UniformReclaim,
+)
+from .model import completion_probabilities, expected_work, simulate_expected_work
+from .optimize import (
+    expected_yield_exponential,
+    optimal_equal_period_exponential,
+    optimize_schedule,
+)
+
+__all__ = [
+    "ReclaimDistribution",
+    "ExponentialReclaim",
+    "UniformReclaim",
+    "DeterministicReclaim",
+    "GeometricReclaim",
+    "expected_work",
+    "simulate_expected_work",
+    "completion_probabilities",
+    "optimal_equal_period_exponential",
+    "expected_yield_exponential",
+    "optimize_schedule",
+]

@@ -1,0 +1,161 @@
+"""Reclaim-time distributions for the expected-output companion submodel.
+
+The guaranteed-output model (this paper) restrains a malicious owner with a
+known lifespan and interrupt budget; its companion submodel (paper I and
+[3]) instead assumes the owner reclaims the workstation at a *random* time
+with a known distribution and maximises the expected work.  The classes
+here describe such reclaim times through their survival function
+``S(t) = P(reclaim time >= t)``, which is exactly what the expected-work
+formula needs.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "ReclaimDistribution",
+    "ExponentialReclaim",
+    "UniformReclaim",
+    "DeterministicReclaim",
+    "GeometricReclaim",
+]
+
+
+class ReclaimDistribution(abc.ABC):
+    """A distribution over the time at which the owner reclaims workstation B."""
+
+    @abc.abstractmethod
+    def survival(self, t: float) -> float:
+        """``P(reclaim time >= t)`` — probability the machine is still ours at ``t``."""
+
+    @abc.abstractmethod
+    def mean(self) -> float:
+        """Expected reclaim time (may be ``inf``)."""
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None):
+        """Draw reclaim times for simulation."""
+
+    def survival_array(self, times) -> np.ndarray:
+        """Vectorised :meth:`survival` over an array of times."""
+        return np.asarray([self.survival(float(t)) for t in np.asarray(times).ravel()],
+                          dtype=float).reshape(np.asarray(times).shape)
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        return type(self).__name__
+
+
+class ExponentialReclaim(ReclaimDistribution):
+    """Memoryless reclaim: constant hazard ``rate`` per unit time."""
+
+    def __init__(self, rate: float):
+        if rate <= 0.0:
+            raise ValueError(f"rate must be positive, got {rate!r}")
+        self.rate = float(rate)
+
+    def survival(self, t: float) -> float:
+        if t <= 0.0:
+            return 1.0
+        return math.exp(-self.rate * t)
+
+    def mean(self) -> float:
+        return 1.0 / self.rate
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None):
+        return rng.exponential(1.0 / self.rate, size=size)
+
+    def describe(self) -> str:
+        return f"Exponential(rate={self.rate:g})"
+
+
+class UniformReclaim(ReclaimDistribution):
+    """Reclaim time uniform on ``[low, high]``."""
+
+    def __init__(self, low: float, high: float):
+        if not (0.0 <= low < high):
+            raise ValueError(f"need 0 <= low < high, got low={low!r}, high={high!r}")
+        self.low = float(low)
+        self.high = float(high)
+
+    def survival(self, t: float) -> float:
+        if t <= self.low:
+            return 1.0
+        if t >= self.high:
+            return 0.0
+        return (self.high - t) / (self.high - self.low)
+
+    def mean(self) -> float:
+        return 0.5 * (self.low + self.high)
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None):
+        return rng.uniform(self.low, self.high, size=size)
+
+    def describe(self) -> str:
+        return f"Uniform[{self.low:g}, {self.high:g}]"
+
+
+class DeterministicReclaim(ReclaimDistribution):
+    """The owner reclaims at a fixed, known time (a hard deadline)."""
+
+    def __init__(self, time: float):
+        if time <= 0.0:
+            raise ValueError(f"time must be positive, got {time!r}")
+        self.time = float(time)
+
+    def survival(self, t: float) -> float:
+        return 1.0 if t <= self.time else 0.0
+
+    def mean(self) -> float:
+        return self.time
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None):
+        if size is None:
+            return self.time
+        return np.full(size, self.time)
+
+    def describe(self) -> str:
+        return f"Deterministic({self.time:g})"
+
+
+class GeometricReclaim(ReclaimDistribution):
+    """Discrete-time reclaim: each time *slot* survives with probability ``1 − q``.
+
+    Parameters
+    ----------
+    per_slot_probability:
+        Probability ``q`` that the owner reclaims in any given slot.
+    slot:
+        Slot duration in model time units.
+    """
+
+    def __init__(self, per_slot_probability: float, slot: float = 1.0):
+        if not (0.0 < per_slot_probability < 1.0):
+            raise ValueError(
+                f"per_slot_probability must lie in (0, 1), got {per_slot_probability!r}"
+            )
+        if slot <= 0.0:
+            raise ValueError(f"slot must be positive, got {slot!r}")
+        self.per_slot_probability = float(per_slot_probability)
+        self.slot = float(slot)
+
+    def survival(self, t: float) -> float:
+        if t <= 0.0:
+            return 1.0
+        slots = math.floor(t / self.slot)
+        return (1.0 - self.per_slot_probability) ** slots
+
+    def mean(self) -> float:
+        return self.slot / self.per_slot_probability
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None):
+        draws = rng.geometric(self.per_slot_probability, size=size)
+        return draws * self.slot
+
+    def describe(self) -> str:
+        return f"Geometric(q={self.per_slot_probability:g}, slot={self.slot:g})"

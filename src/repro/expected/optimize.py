@@ -1,0 +1,137 @@
+"""Schedule optimisation for the expected-output submodel.
+
+Two optimisers are provided:
+
+* :func:`optimal_equal_period_exponential` — for the memoryless
+  (exponential) reclaim process the optimal schedule uses equal periods;
+  the best period length is found by golden-section search on the
+  closed-form per-period yield.
+* :func:`optimize_schedule` — a grid dynamic program that maximises the
+  expected work for an arbitrary reclaim distribution over a finite
+  horizon: states are grid times, the decision is the next period length.
+
+These mirror what the guaranteed-output guidelines are for the adversarial
+submodel, letting the examples compare "scheduling against malice" with
+"scheduling against chance" on the same workloads.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+import numpy as np
+
+from ..core.schedule import EpisodeSchedule
+from .distributions import ExponentialReclaim, ReclaimDistribution
+from .model import expected_work
+
+__all__ = [
+    "optimal_equal_period_exponential",
+    "expected_yield_exponential",
+    "optimize_schedule",
+]
+
+
+def expected_yield_exponential(period_length: float, rate: float, setup_cost: float) -> float:
+    """Long-run expected work per unit time of equal periods under exponential reclaim.
+
+    With equal periods of length ``t`` the expected total work until reclaim
+    is ``(t − c)·e^{−λt} / (1 − e^{−λt})``; dividing by the expected time
+    actually used, ``1/λ``, gives the yield.  Only the numerator matters for
+    choosing ``t``, so this function returns the expected total work.
+    """
+    t = float(period_length)
+    c = float(setup_cost)
+    lam = float(rate)
+    if t <= c:
+        return 0.0
+    decay = math.exp(-lam * t)
+    if decay >= 1.0:
+        return float("inf")
+    return (t - c) * decay / (1.0 - decay)
+
+
+def optimal_equal_period_exponential(rate: float, setup_cost: float,
+                                     *, tol: float = 1e-9) -> float:
+    """Best equal-period length under a memoryless (exponential) reclaim process.
+
+    Found by golden-section search of :func:`expected_yield_exponential`
+    over ``t ∈ (c, c + 20/λ]`` (the yield is unimodal in ``t``).
+    """
+    c = float(setup_cost)
+    lam = float(rate)
+    lo = c + tol
+    hi = c + max(20.0 / lam, 10.0 * max(c, tol))
+    invphi = (math.sqrt(5.0) - 1.0) / 2.0
+    a, b = lo, hi
+    x1 = b - invphi * (b - a)
+    x2 = a + invphi * (b - a)
+    f1 = expected_yield_exponential(x1, lam, c)
+    f2 = expected_yield_exponential(x2, lam, c)
+    for _ in range(200):
+        if b - a <= tol * max(1.0, abs(b)):
+            break
+        if f1 < f2:
+            a, x1, f1 = x1, x2, f2
+            x2 = a + invphi * (b - a)
+            f2 = expected_yield_exponential(x2, lam, c)
+        else:
+            b, x2, f2 = x2, x1, f1
+            x1 = b - invphi * (b - a)
+            f1 = expected_yield_exponential(x1, lam, c)
+    return 0.5 * (a + b)
+
+
+def optimize_schedule(distribution: ReclaimDistribution, horizon: float,
+                      setup_cost: float, *, grid: int = 400
+                      ) -> Tuple[EpisodeSchedule, float]:
+    """Grid DP maximising expected work over a finite horizon.
+
+    Parameters
+    ----------
+    distribution:
+        Reclaim-time distribution.
+    horizon:
+        Latest time periods may extend to (e.g. the contracted lifespan).
+    grid:
+        Number of grid cells the horizon is divided into; the returned
+        schedule's period lengths are multiples of ``horizon / grid``.
+
+    Returns
+    -------
+    (schedule, expected_work)
+    """
+    if horizon <= 0.0:
+        raise ValueError(f"horizon must be positive, got {horizon!r}")
+    if grid < 2:
+        raise ValueError(f"grid must be at least 2, got {grid!r}")
+    c = float(setup_cost)
+    step = float(horizon) / grid
+    survival = np.array([distribution.survival(i * step) for i in range(grid + 1)])
+
+    # best[i] = best expected additional work when the next period starts at
+    # grid time i; choice[i] = the maximising period length in grid cells.
+    best = np.zeros(grid + 1)
+    choice = np.zeros(grid + 1, dtype=int)
+    for i in range(grid - 1, -1, -1):
+        best_val = 0.0
+        best_len = 0
+        for j in range(i + 1, grid + 1):
+            length = (j - i) * step
+            gain = max(0.0, length - c) * survival[j] + best[j]
+            if gain > best_val + 1e-15:
+                best_val = gain
+                best_len = j - i
+        best[i] = best_val
+        choice[i] = best_len
+
+    lengths: List[float] = []
+    i = 0
+    while i < grid and choice[i] > 0:
+        lengths.append(choice[i] * step)
+        i += choice[i]
+    if not lengths:
+        lengths = [float(horizon)]
+    schedule = EpisodeSchedule.from_period_lengths(lengths, float(horizon))
+    return schedule, expected_work(schedule, distribution, c)

@@ -1,0 +1,14 @@
+"""Result rendering: ASCII/CSV tables and sweep-series summaries."""
+
+from .series import crossover_point, pivot_series, ratio_summary
+from .table import format_value, render_table, rows_to_csv, write_csv
+
+__all__ = [
+    "render_table",
+    "rows_to_csv",
+    "write_csv",
+    "format_value",
+    "pivot_series",
+    "ratio_summary",
+    "crossover_point",
+]

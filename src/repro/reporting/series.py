@@ -1,0 +1,85 @@
+"""Sweep-series utilities.
+
+A *series* is the result of sweeping one scheduler (or bound) over one
+parameter — exactly what the paper's analysis figures would plot.  The
+helpers here pivot flat row dictionaries into per-series arrays, compute the
+summary statistics the benchmarks print (who wins, by what factor, where a
+crossover falls), and keep everything in plain NumPy so no plotting stack is
+required.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["pivot_series", "ratio_summary", "crossover_point"]
+
+
+def pivot_series(rows: Sequence[Mapping[str, object]], x: str, y: str,
+                 series_key: str) -> Dict[str, Tuple[np.ndarray, np.ndarray]]:
+    """Group rows by ``series_key`` and return ``{series: (x_array, y_array)}``.
+
+    Rows missing any of the three keys are skipped; each series is sorted by
+    its x values.
+    """
+    grouped: Dict[str, List[Tuple[float, float]]] = {}
+    for row in rows:
+        if x not in row or y not in row or series_key not in row:
+            continue
+        if row[x] is None or row[y] is None:
+            continue
+        grouped.setdefault(str(row[series_key]), []).append((float(row[x]), float(row[y])))
+    out: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+    for label, points in grouped.items():
+        points.sort()
+        xs = np.array([p[0] for p in points])
+        ys = np.array([p[1] for p in points])
+        out[label] = (xs, ys)
+    return out
+
+
+def ratio_summary(series: Mapping[str, Tuple[np.ndarray, np.ndarray]],
+                  numerator: str, denominator: str) -> Dict[str, float]:
+    """Summarise the ratio of two series sharing the same x grid.
+
+    Returns the minimum, median and maximum of ``numerator / denominator``
+    over the common x values — the "by roughly what factor" numbers
+    EXPERIMENTS.md reports.
+    """
+    if numerator not in series or denominator not in series:
+        raise KeyError(f"series must contain {numerator!r} and {denominator!r}")
+    xn, yn = series[numerator]
+    xd, yd = series[denominator]
+    common, idx_n, idx_d = np.intersect1d(xn, xd, return_indices=True)
+    if common.size == 0:
+        raise ValueError("the two series share no x values")
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratios = yn[idx_n] / yd[idx_d]
+    ratios = ratios[np.isfinite(ratios)]
+    if ratios.size == 0:
+        return {"min": float("nan"), "median": float("nan"), "max": float("nan")}
+    return {
+        "min": float(np.min(ratios)),
+        "median": float(np.median(ratios)),
+        "max": float(np.max(ratios)),
+    }
+
+
+def crossover_point(series: Mapping[str, Tuple[np.ndarray, np.ndarray]],
+                    first: str, second: str) -> Optional[float]:
+    """Smallest common x value at which ``first`` overtakes ``second``.
+
+    Returns ``None`` when ``first`` never reaches ``second`` on the common
+    grid (or the grids do not overlap).
+    """
+    if first not in series or second not in series:
+        raise KeyError(f"series must contain {first!r} and {second!r}")
+    xf, yf = series[first]
+    xs, ys = series[second]
+    common, idx_f, idx_s = np.intersect1d(xf, xs, return_indices=True)
+    for x_val, a, b in zip(common, yf[idx_f], ys[idx_s]):
+        if a >= b:
+            return float(x_val)
+    return None

@@ -1,0 +1,86 @@
+"""Plain-text and CSV rendering of tabular results.
+
+The analysis and benchmark layers produce lists of dictionaries; this module
+turns them into aligned ASCII tables (for terminals and EXPERIMENTS.md) and
+CSV files (for any further processing), with sensible numeric formatting and
+no third-party dependencies.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["format_value", "render_table", "rows_to_csv", "write_csv"]
+
+
+def format_value(value, *, float_format: str = "{:.4g}") -> str:
+    """Human-friendly rendering of one table cell."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return float_format.format(value)
+    if isinstance(value, tuple):
+        return "(" + ", ".join(format_value(v, float_format=float_format) for v in value) + ")"
+    return str(value)
+
+
+def _column_order(rows: Sequence[Mapping[str, object]],
+                  columns: Optional[Sequence[str]]) -> List[str]:
+    if columns is not None:
+        return list(columns)
+    seen: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in seen:
+                seen.append(key)
+    return seen
+
+
+def render_table(rows: Sequence[Mapping[str, object]],
+                 columns: Optional[Sequence[str]] = None,
+                 *, title: Optional[str] = None,
+                 float_format: str = "{:.4g}") -> str:
+    """Render rows of dictionaries as an aligned ASCII table."""
+    rows = list(rows)
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    cols = _column_order(rows, columns)
+    rendered = [[format_value(row.get(col), float_format=float_format) for col in cols]
+                for row in rows]
+    widths = [max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(cols)]
+
+    def line(cells: Iterable[str]) -> str:
+        return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(line(cols))
+    out.append(line("-" * w for w in widths))
+    out.extend(line(r) for r in rendered)
+    return "\n".join(out)
+
+
+def rows_to_csv(rows: Sequence[Mapping[str, object]],
+                columns: Optional[Sequence[str]] = None) -> str:
+    """Serialise rows of dictionaries as CSV text."""
+    rows = list(rows)
+    cols = _column_order(rows, columns)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=cols, extrasaction="ignore")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({k: row.get(k) for k in cols})
+    return buffer.getvalue()
+
+
+def write_csv(path, rows: Sequence[Mapping[str, object]],
+              columns: Optional[Sequence[str]] = None) -> None:
+    """Write rows of dictionaries to a CSV file."""
+    text = rows_to_csv(rows, columns)
+    with open(path, "w", newline="") as handle:
+        handle.write(text)

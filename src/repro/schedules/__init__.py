@@ -1,0 +1,47 @@
+"""Schedulers: the paper's guidelines, exact optima and baselines.
+
+* Guidelines — :class:`RosenbergNonAdaptiveScheduler` (Section 3.1),
+  :class:`EqualizingAdaptiveScheduler` (Theorem 4.3),
+  :class:`RosenbergAdaptiveScheduler` (the literal ``S_a^(p)`` of
+  Section 3.2).
+* Exact optima — :class:`ExactP1Scheduler` (Section 5.2 / Table 2) and
+  :class:`DPOptimalScheduler` (integer-grid dynamic programming).
+* Baselines — single period, fixed chunks, geometric chunks, equal split.
+* Structural transformations — :func:`make_productive` (Theorem 4.1),
+  :func:`compact_immune_tail` (Theorem 4.2).
+"""
+
+from .adaptive import EqualizingAdaptiveScheduler, RosenbergAdaptiveScheduler, WorkOracle
+from .base import AdaptiveScheduler, NonAdaptiveScheduler
+from .baselines import (
+    EqualSplitScheduler,
+    FixedPeriodScheduler,
+    GeometricPeriodScheduler,
+    SinglePeriodScheduler,
+)
+from .dp_optimal import DPOptimalScheduler
+from .exact_p1 import ExactP1Scheduler
+from .immune import compact_immune_tail, immunity_order
+from .nonadaptive import RosenbergNonAdaptiveScheduler, TunedEqualPeriodScheduler
+from .productive import count_nonproductive, make_fully_productive, make_productive
+
+__all__ = [
+    "AdaptiveScheduler",
+    "NonAdaptiveScheduler",
+    "RosenbergNonAdaptiveScheduler",
+    "TunedEqualPeriodScheduler",
+    "EqualizingAdaptiveScheduler",
+    "RosenbergAdaptiveScheduler",
+    "WorkOracle",
+    "ExactP1Scheduler",
+    "DPOptimalScheduler",
+    "SinglePeriodScheduler",
+    "FixedPeriodScheduler",
+    "GeometricPeriodScheduler",
+    "EqualSplitScheduler",
+    "make_productive",
+    "make_fully_productive",
+    "count_nonproductive",
+    "immunity_order",
+    "compact_immune_tail",
+]

@@ -1,0 +1,255 @@
+"""Adaptive scheduling guidelines (Sections 3.2, 4.2 and 5 of the paper).
+
+Two adaptive schedulers are provided.
+
+:class:`EqualizingAdaptiveScheduler`
+    The constructive form of the paper's guideline methodology
+    (Theorem 4.3): period lengths are chosen so that every option available
+    to the adversary — interrupting at the last instant of any period —
+    has the same consequence for the total work.  The construction needs an
+    estimate ("oracle") of the optimal work ``W^(p−1)[L]`` achievable with
+    one fewer interrupt; by default the closed-form approximation of
+    Theorem 5.1 is used, and an exact dynamic-programming oracle can be
+    plugged in instead (see :mod:`repro.dp`).
+
+:class:`RosenbergAdaptiveScheduler`
+    The literal printed episode-schedules ``S_a^(p)[U]`` of Section 3.2:
+    a tail of ``⌈2p/3⌉`` periods of length ``3c/2`` preceded by periods in
+    arithmetic progression with common difference ``4^{1−p}·c``.  For
+    ``p = 1`` this coincides with the right-hand column of Table 2.  (Some
+    constants for ``p ≥ 2`` are corrupted in the available OCR of the
+    paper; see DESIGN.md — the arithmetic-progression structure is
+    implemented as printed and its measured deviation from Theorem 5.1 is
+    reported in EXPERIMENTS.md.)
+
+Both construct episode-schedules *backwards* (from the end of the residual
+lifespan towards its beginning), which makes the Theorem 4.3 recurrence
+explicit: the frontmost period simply absorbs whatever lifespan is left.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Optional
+
+from ..analysis import bounds
+from ..core.exceptions import SchedulingError
+from ..core.schedule import EpisodeSchedule
+from .base import AdaptiveScheduler
+
+__all__ = ["EqualizingAdaptiveScheduler", "RosenbergAdaptiveScheduler", "WorkOracle"]
+
+
+#: Type of the work oracle used by the equalising construction:
+#: ``oracle(residual_lifespan, interrupts_remaining, setup_cost) -> work``.
+WorkOracle = Callable[[float, int, float], float]
+
+
+def _closed_form_oracle(residual: float, interrupts: int, setup_cost: float) -> float:
+    """Default oracle: the closed-form optimal-work approximation (Thm 5.1)."""
+    return bounds.closed_form_optimal_work(residual, setup_cost, interrupts)
+
+
+class EqualizingAdaptiveScheduler(AdaptiveScheduler):
+    """Adaptive guideline built from the equalisation recurrence (Thm 4.3).
+
+    Parameters
+    ----------
+    oracle:
+        Estimate of ``W^(q)[L]`` used inside the recurrence,
+        ``oracle(L, q, c)``.  Defaults to the paper's closed-form
+        approximation; pass :meth:`repro.dp.ValueTable.as_oracle` for the
+        exact discretised optimum.
+    tail_epsilon:
+        The ``ε ∈ (0, 1]`` of the short tail periods ``(1 + ε)c``
+        (Theorem 4.2 allows any value in ``(0, 1]``; the paper's guideline
+        uses ``1/2``, i.e. periods of ``3c/2``).
+    max_periods:
+        Safety cap on the number of periods per episode.
+
+    Notes
+    -----
+    The episode-schedule is generated backwards.  Let ``R`` be the total
+    length of the periods already placed behind the current position
+    (i.e. the residual lifespan after the current period completes) and let
+    ``t_next`` be the most recently placed period.  The Theorem 4.3
+    recurrence reads ``t = c + W^{(p−1)}[R] − W^{(p−1)}[R − t_next]``, which
+    is fully explicit in this order.  Periods whose *starting* residual is
+    at most ``p·c`` — from which nothing could be guaranteed after an
+    interrupt — use the short-period rule ``(1 + ε)c`` instead
+    (the ``ℓ_p`` transition of Theorem 4.3 / Theorem 4.2).
+    """
+
+    name = "equalizing-adaptive"
+
+    def __init__(self, oracle: Optional[WorkOracle] = None,
+                 tail_epsilon: float = 0.5, max_periods: int = 2_000_000):
+        if not (0.0 < tail_epsilon <= 1.0):
+            raise ValueError(f"tail_epsilon must lie in (0, 1], got {tail_epsilon!r}")
+        self.oracle: WorkOracle = oracle if oracle is not None else _closed_form_oracle
+        self.tail_epsilon = float(tail_epsilon)
+        self.max_periods = int(max_periods)
+
+    def episode_schedule(self, residual_lifespan: float, interrupts_remaining: int,
+                         setup_cost: float) -> EpisodeSchedule:
+        """Return the equalising episode-schedule for the residual state."""
+        L = float(residual_lifespan)
+        c = float(setup_cost)
+        p = int(interrupts_remaining)
+        if L <= 0.0:
+            raise SchedulingError(f"residual lifespan must be positive, got {L!r}")
+        if p == 0 or c == 0.0 or L <= 2.0 * c:
+            # No adversary moves left, or the lifespan is too short for more
+            # than (roughly) one productive period: one long period.
+            return EpisodeSchedule.single_period(L)
+
+        short = (1.0 + self.tail_epsilon) * c
+        periods_rev: List[float] = []   # periods from the episode's end backwards
+        placed = 0.0                    # residual lifespan after the current period
+        prev_t = 0.0
+        tol = 1e-12 * max(c, 1.0)
+
+        # --- short tail (Theorem 4.2 / the ℓ_p transition) ------------------
+        # While the residual lifespan behind the current position is still in
+        # the zero-work region of the (p-1)-interrupt problem, the recurrence
+        # would emit non-productive periods of length exactly c; instead the
+        # guideline uses short periods of (1 + ε)c there.
+        while (placed + short <= L
+               and self.oracle(placed, p - 1, c) <= tol
+               and len(periods_rev) < self.max_periods):
+            periods_rev.append(short)
+            placed += short
+            prev_t = short
+
+        if not periods_rev:
+            # Lifespan so short that not even one tail period fits behind the
+            # front period; fall back to a single long period.
+            return EpisodeSchedule.single_period(L)
+
+        # --- equalising body (Theorem 4.3 recurrence, backwards) -----------
+        while placed < L and len(periods_rev) < self.max_periods:
+            w_here = self.oracle(placed, p - 1, c)
+            w_prev = self.oracle(max(0.0, placed - prev_t), p - 1, c)
+            t = c + max(0.0, w_here - w_prev)
+            t = max(t, c * 1e-9 if c > 0 else 1e-9)
+            remaining = L - placed
+            if t >= remaining - 1e-12:
+                # Frontmost period: absorb exactly what is left.
+                periods_rev.append(remaining)
+                placed = L
+                break
+            periods_rev.append(t)
+            placed += t
+            prev_t = t
+
+        if placed < L - 1e-9:
+            # Degenerate fall-out (e.g. max_periods hit): cover the rest with
+            # one long front period so the schedule spans the lifespan.
+            periods_rev.append(L - placed)
+
+        periods = list(reversed(periods_rev))
+        if not periods:
+            return EpisodeSchedule.single_period(L)
+        # Merge a vanishingly small front sliver into its neighbour.
+        if len(periods) >= 2 and periods[0] < max(c, 1e-12) * 1e-6:
+            periods[1] += periods[0]
+            periods = periods[1:]
+        return EpisodeSchedule(periods)
+
+    def predicted_work(self, lifespan: float, setup_cost: float,
+                       max_interrupts: int) -> float:
+        """Theorem 5.1's closed-form prediction for this guideline."""
+        return bounds.adaptive_guarantee(lifespan, setup_cost, max_interrupts)
+
+
+class RosenbergAdaptiveScheduler(AdaptiveScheduler):
+    """The literal ``S_a^(p)[U]`` episode-schedules of Section 3.2.
+
+    Parameters
+    ----------
+    tail_epsilon:
+        ε of the tail periods ``(1 + ε)c``; the paper uses ``1/2``.
+
+    Structure (built backwards from the episode's end):
+
+    * the last ``ℓ_p = ⌈2p/3⌉`` periods have length ``3c/2``;
+    * earlier periods form an arithmetic progression with common difference
+      ``4^{1−p}·c`` (``t_k = t_{k+1} + 4^{1−p}c``), continued until the
+      residual lifespan is covered; the frontmost period absorbs the
+      remainder.
+
+    For ``p = 1`` this reproduces the right-hand column of Table 2
+    (``m = ⌊√(2U/c)⌋ + 2``, ``t_k ≈ √(2cU) − (k − 7/2)c``, two tail periods
+    of ``3c/2``) up to the frontmost-period rounding.
+    """
+
+    name = "rosenberg-adaptive"
+
+    def __init__(self, tail_epsilon: float = 0.5, max_periods: int = 2_000_000):
+        if not (0.0 < tail_epsilon <= 1.0):
+            raise ValueError(f"tail_epsilon must lie in (0, 1], got {tail_epsilon!r}")
+        self.tail_epsilon = float(tail_epsilon)
+        self.max_periods = int(max_periods)
+
+    @staticmethod
+    def tail_period_count(interrupts_remaining: int) -> int:
+        """``ℓ_p = ⌈2p/3⌉`` — how many short tail periods the guideline uses."""
+        p = int(interrupts_remaining)
+        return int(math.ceil(2.0 * p / 3.0)) if p > 0 else 0
+
+    @staticmethod
+    def period_increment(interrupts_remaining: int, setup_cost: float) -> float:
+        """Arithmetic-progression increment ``4^{1−p}·c`` of the body periods."""
+        p = int(interrupts_remaining)
+        return float(setup_cost) * 4.0 ** (1 - p)
+
+    def episode_schedule(self, residual_lifespan: float, interrupts_remaining: int,
+                         setup_cost: float) -> EpisodeSchedule:
+        """Return the literal guideline episode-schedule for the residual state."""
+        L = float(residual_lifespan)
+        c = float(setup_cost)
+        p = int(interrupts_remaining)
+        if L <= 0.0:
+            raise SchedulingError(f"residual lifespan must be positive, got {L!r}")
+        if p == 0 or c == 0.0 or L <= 2.0 * c:
+            return EpisodeSchedule.single_period(L)
+
+        short = (1.0 + self.tail_epsilon) * c
+        increment = self.period_increment(p, c)
+        periods_rev: List[float] = []
+        placed = 0.0
+        t = short
+
+        # Short tail of ℓ_p periods.
+        for _ in range(self.tail_period_count(p)):
+            if placed + short > L:
+                break
+            periods_rev.append(short)
+            placed += short
+
+        # Arithmetic-progression body.
+        while placed < L and len(periods_rev) < self.max_periods:
+            t = t + increment
+            remaining = L - placed
+            if t >= remaining - 1e-12:
+                periods_rev.append(remaining)
+                placed = L
+                break
+            periods_rev.append(t)
+            placed += t
+
+        if placed < L - 1e-9:
+            periods_rev.append(L - placed)
+
+        periods = list(reversed(periods_rev))
+        if not periods:
+            return EpisodeSchedule.single_period(L)
+        if len(periods) >= 2 and periods[0] < max(c, 1e-12) * 1e-6:
+            periods[1] += periods[0]
+            periods = periods[1:]
+        return EpisodeSchedule(periods)
+
+    def predicted_work(self, lifespan: float, setup_cost: float,
+                       max_interrupts: int) -> float:
+        """Theorem 5.1's closed-form prediction for this guideline."""
+        return bounds.adaptive_guarantee(lifespan, setup_cost, max_interrupts)

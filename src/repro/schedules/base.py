@@ -1,0 +1,106 @@
+"""Scheduler base classes.
+
+Two kinds of schedulers exist in the guaranteed-output model (Section 2.2):
+
+* **Non-adaptive** schedulers commit to a single sequence of periods for the
+  whole opportunity; after an interrupt they obliviously continue with the
+  tail of that sequence (and after the ``p``-th interrupt they run the
+  remainder as one long period — the referee in
+  :func:`repro.core.game.play_nonadaptive` implements that exception).
+* **Adaptive** schedulers produce a fresh episode-schedule every time they
+  regain control of the borrowed workstation, as a function of the residual
+  lifespan and of how many interrupts may still occur.
+
+Both base classes add naming and a convenience ``describe`` used by the
+reporting layer; concrete schedulers live in the sibling modules.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from ..core.params import CycleStealingParams
+from ..core.schedule import EpisodeSchedule
+
+__all__ = ["AdaptiveScheduler", "NonAdaptiveScheduler"]
+
+
+class _NamedScheduler(abc.ABC):
+    """Shared naming/description behaviour for all schedulers."""
+
+    #: Short machine-friendly identifier; subclasses override.
+    name: str = "scheduler"
+
+    def describe(self) -> str:
+        """One-line human-readable description used in reports."""
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class NonAdaptiveScheduler(_NamedScheduler):
+    """Base class for schedulers that fix one schedule for the whole lifespan."""
+
+    @abc.abstractmethod
+    def opportunity_schedule(self, params: CycleStealingParams) -> EpisodeSchedule:
+        """Return the single schedule used for the entire opportunity.
+
+        The returned schedule's periods must sum to (at most) the lifespan
+        ``params.lifespan``; schedulers in this library always cover the
+        lifespan exactly, absorbing rounding remainders into the final
+        period.
+        """
+
+    def guaranteed_work(self, params: CycleStealingParams) -> float:
+        """Exact worst-case work of this scheduler for the given opportunity.
+
+        Evaluates the schedule against the optimal period-end adversary
+        (see :func:`repro.core.work.worst_case_nonadaptive_work`).
+        """
+        from ..core.work import worst_case_nonadaptive_work
+
+        return worst_case_nonadaptive_work(self.opportunity_schedule(params), params)
+
+
+class AdaptiveScheduler(_NamedScheduler):
+    """Base class for schedulers that re-plan after every interrupt."""
+
+    @abc.abstractmethod
+    def episode_schedule(self, residual_lifespan: float, interrupts_remaining: int,
+                         setup_cost: float) -> EpisodeSchedule:
+        """Return the episode-schedule for the given residual state.
+
+        Parameters
+        ----------
+        residual_lifespan:
+            Time remaining in the opportunity (``> 0``).
+        interrupts_remaining:
+            How many interrupts the adversary may still use.
+        setup_cost:
+            Communication set-up cost ``c``.
+        """
+
+    def opportunity_schedule(self, params: CycleStealingParams) -> EpisodeSchedule:
+        """The first episode's schedule (what the scheduler commits to at t=0).
+
+        Provided so adaptive schedulers can also be inspected (and run
+        non-adaptively, for ablation) without special casing.
+        """
+        return self.episode_schedule(params.lifespan, params.max_interrupts,
+                                     params.setup_cost)
+
+    def guaranteed_work(self, params: CycleStealingParams,
+                        *, residual_grain: Optional[float] = None) -> float:
+        """Exact worst-case work of this scheduler for the given opportunity.
+
+        Runs the memoised minimax of
+        :func:`repro.core.game.guaranteed_adaptive_work`.
+        """
+        from ..core.game import guaranteed_adaptive_work
+
+        kwargs = {}
+        if residual_grain is not None:
+            kwargs["residual_grain"] = residual_grain
+        return guaranteed_adaptive_work(self, params, **kwargs)

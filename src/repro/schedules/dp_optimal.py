@@ -1,0 +1,90 @@
+"""Adaptive scheduler that plays the exactly-optimal DP schedule.
+
+:class:`DPOptimalScheduler` wraps a solved :class:`repro.dp.ValueTable` and
+emits, for every residual state, the optimal episode-schedule extracted from
+the table.  It is the ground truth the guideline schedulers are measured
+against in the optimality-gap benchmarks, and it doubles as the strongest
+practical scheduler when the opportunity parameters are known exactly and
+small enough to tabulate.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.exceptions import SchedulingError
+from ..core.params import CycleStealingParams
+from ..core.schedule import EpisodeSchedule
+from ..dp import ValueTable, extract_period_lengths, solve
+from .base import AdaptiveScheduler
+
+__all__ = ["DPOptimalScheduler"]
+
+
+class DPOptimalScheduler(AdaptiveScheduler):
+    """Exactly optimal adaptive scheduler (on the integer time grid).
+
+    Parameters
+    ----------
+    table:
+        A pre-solved value table.  Use :meth:`for_params` to build one sized
+        for a specific opportunity.
+
+    Notes
+    -----
+    Residual lifespans are floored to the grid; the fractional remainder is
+    folded into the episode's final period, so the emitted schedules always
+    cover the residual lifespan exactly even when the game produces
+    non-integer residuals.
+    """
+
+    name = "dp-optimal"
+
+    def __init__(self, table: ValueTable):
+        self.table = table
+
+    @classmethod
+    def for_params(cls, params: CycleStealingParams, *, method: str = "fast"
+                   ) -> "DPOptimalScheduler":
+        """Solve a table just large enough for the given opportunity."""
+        setup_cost = params.setup_cost
+        if setup_cost != int(setup_cost):
+            raise SchedulingError(
+                "DPOptimalScheduler requires an integer setup cost; rescale the "
+                "opportunity (see repro.dp.discretize_params)"
+            )
+        max_lifespan = int(params.lifespan)
+        table = solve(max_lifespan, int(setup_cost), params.max_interrupts, method=method)
+        return cls(table)
+
+    def episode_schedule(self, residual_lifespan: float, interrupts_remaining: int,
+                         setup_cost: float) -> EpisodeSchedule:
+        """Return the optimal episode-schedule for the residual state."""
+        if residual_lifespan <= 0.0:
+            raise SchedulingError("residual lifespan must be positive")
+        if abs(float(setup_cost) - float(self.table.setup_cost)) > 1e-9:
+            raise SchedulingError(
+                f"table solved for c={self.table.setup_cost}, asked for c={setup_cost}"
+            )
+        p = min(int(interrupts_remaining), self.table.max_interrupts)
+        grid_lifespan = int(residual_lifespan)
+        if grid_lifespan > self.table.max_lifespan:
+            raise SchedulingError(
+                f"residual lifespan {residual_lifespan!r} exceeds the solved range "
+                f"{self.table.max_lifespan}"
+            )
+        if grid_lifespan < 1:
+            return EpisodeSchedule.single_period(residual_lifespan)
+        lengths = extract_period_lengths(self.table, grid_lifespan, p)
+        return EpisodeSchedule.from_period_lengths(lengths, residual_lifespan)
+
+    def optimal_work(self, params: Optional[CycleStealingParams] = None,
+                     lifespan: Optional[float] = None,
+                     max_interrupts: Optional[int] = None) -> float:
+        """``W^(p)[U]`` straight from the table (no game playing needed)."""
+        if params is not None:
+            lifespan = params.lifespan
+            max_interrupts = params.max_interrupts
+        if lifespan is None or max_interrupts is None:
+            raise SchedulingError("provide either params or (lifespan, max_interrupts)")
+        return self.table.value(int(max_interrupts), int(lifespan))

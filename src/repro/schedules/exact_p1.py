@@ -1,0 +1,90 @@
+"""The exactly-optimal single-interrupt episode-schedule (Section 5.2).
+
+For ``p = 1`` the paper derives the optimal episode-schedule ``S_opt^(1)[U]``
+in closed form (eq. 5.1 and Table 2):
+
+* ``m = ⌈√(2U/c − 7/4) − 1/2⌉`` periods,
+* a fractional part ``ε = (U − c)/(mc) − (m − 1)/2 ∈ (0, 1]``,
+* period lengths ``t_k = (m − k + ε)c`` for ``k ≤ m − 2`` and
+  ``t_{m−1} = t_m = (1 + ε)c``,
+* guaranteed work ``W^(1)[U] ≈ U − √(2cU) − c/2``.
+
+:class:`ExactP1Scheduler` implements this schedule.  It is an adaptive
+scheduler that is only defined for interrupt budgets of at most one; it is
+used as the reference point when measuring how close the p = 1 guideline
+``S_a^(1)`` comes to optimal (Table 2 reproduction), and as a strong
+building block inside other schedulers once only one interrupt remains.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..analysis import bounds
+from ..core.exceptions import SchedulingError
+from ..core.schedule import EpisodeSchedule
+from .base import AdaptiveScheduler
+
+__all__ = ["ExactP1Scheduler"]
+
+
+class ExactP1Scheduler(AdaptiveScheduler):
+    """Optimal episode-schedules for opportunities with at most one interrupt.
+
+    ``episode_schedule`` raises :class:`SchedulingError` when asked for a
+    schedule with ``interrupts_remaining >= 2`` — the closed form simply does
+    not cover that case (that is exactly what the general guidelines and the
+    DP-optimal scheduler are for).
+    """
+
+    name = "exact-p1"
+
+    def episode_schedule(self, residual_lifespan: float, interrupts_remaining: int,
+                         setup_cost: float) -> EpisodeSchedule:
+        """Return ``S_opt^(p)`` for ``p ∈ {0, 1}``."""
+        L = float(residual_lifespan)
+        c = float(setup_cost)
+        p = int(interrupts_remaining)
+        if L <= 0.0:
+            raise SchedulingError(f"residual lifespan must be positive, got {L!r}")
+        if p == 0:
+            # Proposition 4.1(d): the single long period is uniquely optimal.
+            return EpisodeSchedule.single_period(L)
+        if p >= 2:
+            raise SchedulingError(
+                "ExactP1Scheduler only covers p <= 1; use EqualizingAdaptiveScheduler "
+                "or DPOptimalScheduler for larger interrupt budgets"
+            )
+        if c == 0.0 or L <= 2.0 * c:
+            # Too short for two productive periods: nothing can be guaranteed,
+            # a single period at least wins the no-interrupt case.
+            return EpisodeSchedule.single_period(L)
+        return self._p1_schedule(L, c)
+
+    @staticmethod
+    def _p1_schedule(lifespan: float, setup_cost: float) -> EpisodeSchedule:
+        """Construct the Table 2 optimal schedule for ``p = 1``."""
+        U, c = lifespan, setup_cost
+        m = bounds.optimal_p1_num_periods(U, c)
+        eps = bounds.optimal_p1_epsilon(U, c, m)
+        # Guard against pathological ε outside (0, 1] for very small U/c; the
+        # closed form is only claimed for lifespans long enough to support
+        # m >= 2 productive periods.  Nudging m keeps the sum exact.
+        attempts = 0
+        while not (0.0 < eps <= 1.0) and attempts < 4:
+            m += 1 if eps <= 0.0 else -1
+            m = max(2, m)
+            eps = bounds.optimal_p1_epsilon(U, c, m)
+            attempts += 1
+        lengths: List[float] = []
+        for k in range(1, m + 1):
+            if k >= m - 1:
+                lengths.append((1.0 + eps) * c)
+            else:
+                lengths.append((m - k + eps) * c)
+        return EpisodeSchedule.from_period_lengths(lengths, U)
+
+    @staticmethod
+    def predicted_work(lifespan: float, setup_cost: float) -> float:
+        """Table 2's closed-form ``W^(1)[U] ≈ U − √(2cU) − c/2``."""
+        return bounds.optimal_p1_work(lifespan, setup_cost)

@@ -1,0 +1,82 @@
+"""r-immune schedules and tail compaction (Theorem 4.2).
+
+An ``m``-period episode-schedule is *r-immune* when the adversary will never
+interrupt a period whose index exceeds ``m − r`` (because doing so would be
+strictly worse for the adversary than its other options).  Theorem 4.2 shows
+that for such a schedule every period in that immune tail can be replaced by
+periods of length in ``(c, 2c]`` without decreasing the guaranteed work:
+splitting a long immune period into two halves only adds work.
+
+This module provides:
+
+* :func:`immunity_order` — the largest ``r`` for which a schedule is
+  r-immune against the exact worst-case adversary (measured, not assumed);
+* :func:`compact_immune_tail` — the Theorem 4.2 rewrite, replacing the last
+  ``r`` periods by short periods of length ``(1 + ε)c``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.params import CycleStealingParams
+from ..core.schedule import EpisodeSchedule
+from ..core.work import worst_case_nonadaptive_pattern
+
+__all__ = ["immunity_order", "compact_immune_tail"]
+
+
+def immunity_order(schedule: EpisodeSchedule, params: CycleStealingParams) -> int:
+    """Measured immunity of a schedule against the exact worst-case adversary.
+
+    Returns the largest ``r`` such that the optimal adversary pattern never
+    interrupts a period of index greater than ``m − r``.  (``0`` means the
+    very last period is attacked; ``m`` means the adversary prefers not to
+    interrupt at all.)
+    """
+    pattern, _ = worst_case_nonadaptive_pattern(schedule, params)
+    m = schedule.num_periods
+    if pattern.is_empty:
+        return m
+    return m - pattern.last_index
+
+
+def compact_immune_tail(schedule: EpisodeSchedule, setup_cost: float, r: int,
+                        *, epsilon: float = 0.5) -> EpisodeSchedule:
+    """Rewrite the last ``r`` periods into short periods of ``(1 + ε)c``.
+
+    Implements the constructive direction of Theorem 4.2: the combined
+    length of the last ``r`` periods is redistributed into periods of length
+    ``(1 + ε)c`` (with one final period absorbing the remainder so the
+    episode length is exactly preserved).  For a genuinely r-immune schedule
+    this cannot decrease the guaranteed work; callers can verify the effect
+    with :func:`repro.core.work.worst_case_nonadaptive_work`.
+
+    Parameters
+    ----------
+    r:
+        Number of trailing periods to compact; clipped to the schedule
+        length.
+    epsilon:
+        The ε of the replacement periods, in ``(0, 1]``.
+    """
+    if not (0.0 < epsilon <= 1.0):
+        raise ValueError(f"epsilon must lie in (0, 1], got {epsilon!r}")
+    c = float(setup_cost)
+    m = schedule.num_periods
+    r = max(0, min(int(r), m))
+    if r == 0 or c == 0.0:
+        return schedule
+
+    head = schedule.periods[: m - r].tolist()
+    tail_budget = float(schedule.periods[m - r:].sum())
+    short = (1.0 + epsilon) * c
+
+    new_tail: List[float] = []
+    while tail_budget >= 2.0 * short:
+        new_tail.append(short)
+        tail_budget -= short
+    if tail_budget > 0.0:
+        new_tail.append(tail_budget)
+
+    return EpisodeSchedule(head + new_tail)

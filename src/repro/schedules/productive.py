@@ -1,0 +1,75 @@
+"""Productive-schedule transformation (Theorem 4.1).
+
+A schedule is *productive* when every period except possibly the last one in
+each episode is strictly longer than the set-up cost ``c``.  Theorem 4.1
+shows that any opportunity-schedule can be replaced by a productive one
+without decreasing its work: a non-productive non-terminal period is merged
+with its successor (the merged period contains at least as much productive
+time, and one fewer set-up is paid).
+
+:func:`make_productive` implements that transformation for a single episode
+schedule; :func:`make_fully_productive` additionally merges a short terminal
+period into its predecessor, producing the *fully productive* schedules the
+paper concentrates on in Section 4.1.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.schedule import EpisodeSchedule
+
+__all__ = ["make_productive", "make_fully_productive", "count_nonproductive"]
+
+
+def count_nonproductive(schedule: EpisodeSchedule, setup_cost: float,
+                        *, include_last: bool = False) -> int:
+    """Number of periods of length at most ``c`` (optionally counting the last)."""
+    periods = schedule.periods
+    scope = periods if include_last else periods[:-1]
+    return int((scope <= float(setup_cost)).sum())
+
+
+def make_productive(schedule: EpisodeSchedule, setup_cost: float) -> EpisodeSchedule:
+    """Merge non-productive non-terminal periods forward (Theorem 4.1).
+
+    Scans the schedule left to right; whenever a non-terminal period has
+    length ``<= c`` it is combined with the following period.  The total
+    episode length is preserved and the work under any adversary behaviour
+    never decreases (each merge removes one interruptable boundary and one
+    set-up charge).
+    """
+    c = float(setup_cost)
+    merged: List[float] = []
+    carry = 0.0
+    periods = schedule.periods.tolist()
+    for i, t in enumerate(periods):
+        t = t + carry
+        carry = 0.0
+        is_last = i == len(periods) - 1
+        if t <= c and not is_last:
+            carry = t
+        else:
+            merged.append(t)
+    if carry > 0.0:
+        if merged:
+            merged[-1] += carry
+        else:
+            merged.append(carry)
+    return EpisodeSchedule(merged)
+
+
+def make_fully_productive(schedule: EpisodeSchedule, setup_cost: float) -> EpisodeSchedule:
+    """Make every period (including the last) strictly exceed ``c`` if possible.
+
+    Applies :func:`make_productive` and then, if the final period is still
+    ``<= c``, merges it into its predecessor.  A single-period schedule is
+    returned unchanged (there is nothing to merge it into).
+    """
+    c = float(setup_cost)
+    productive = make_productive(schedule, setup_cost)
+    periods = productive.periods.tolist()
+    if len(periods) >= 2 and periods[-1] <= c:
+        periods[-2] += periods[-1]
+        periods = periods[:-1]
+    return EpisodeSchedule(periods)

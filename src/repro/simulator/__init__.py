@@ -1,0 +1,17 @@
+"""Discrete-event simulator of cycle-stealing in a network of workstations."""
+
+from .engine import CycleStealingSimulation
+from .events import Event, EventKind, EventQueue
+from .metrics import SimulationReport, WorkstationMetrics
+from .workstation import BorrowedWorkstation, WorkstationState
+
+__all__ = [
+    "CycleStealingSimulation",
+    "BorrowedWorkstation",
+    "WorkstationState",
+    "SimulationReport",
+    "WorkstationMetrics",
+    "Event",
+    "EventKind",
+    "EventQueue",
+]

@@ -1,0 +1,75 @@
+"""Event primitives of the NOW discrete-event simulator.
+
+The simulator is a classic event-queue design: every state change is an
+:class:`Event` with a timestamp, events are processed in time order, and
+ties are broken deterministically by a monotonically increasing sequence
+number so that runs are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+__all__ = ["EventKind", "Event", "EventQueue"]
+
+
+class EventKind(enum.Enum):
+    """The kinds of events the cycle-stealing protocol generates."""
+
+    #: The borrowed workstation finishes a period and returns its results.
+    PERIOD_END = "period_end"
+    #: The owner of the borrowed workstation reclaims it (kills work in flight).
+    OWNER_INTERRUPT = "owner_interrupt"
+    #: The contracted lifespan of a borrowed workstation expires.
+    LIFESPAN_END = "lifespan_end"
+
+
+@dataclass(order=True, frozen=True)
+class Event:
+    """One timestamped simulator event.
+
+    Ordering is by ``(time, sequence)`` so simultaneous events are processed
+    in creation order.
+    """
+
+    time: float
+    sequence: int
+    kind: EventKind = field(compare=False)
+    workstation_id: str = field(compare=False)
+    payload: Dict[str, Any] = field(compare=False, default_factory=dict)
+
+
+class EventQueue:
+    """A deterministic min-heap of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, kind: EventKind, workstation_id: str,
+             **payload: Any) -> Event:
+        """Create an event and add it to the queue."""
+        event = Event(time=float(time), sequence=next(self._counter), kind=kind,
+                      workstation_id=workstation_id, payload=dict(payload))
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest event, or ``None`` when empty."""
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the earliest pending event (``None`` when empty)."""
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

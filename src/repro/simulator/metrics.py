@@ -1,0 +1,120 @@
+"""Metrics collected by the NOW simulator.
+
+The accounting follows the model's decomposition of every time unit of the
+contracted lifespan into exactly one of four buckets:
+
+* **productive** — period time beyond the set-up cost in periods that
+  completed (this, scaled by machine speed, is the accomplished work);
+* **overhead** — the set-up portion of completed periods;
+* **wasted** — time spent in periods that an owner interrupt killed
+  (both their set-up and their in-flight productive part are lost);
+* **idle** — lifespan during which no period was in flight (e.g. the
+  scheduler stopped early, or nothing was left to dispatch).
+
+The invariant ``productive + overhead + wasted + idle == lifespan`` is
+asserted by :meth:`WorkstationMetrics.check_conservation` and exercised by
+the property tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["WorkstationMetrics", "SimulationReport"]
+
+
+@dataclass
+class WorkstationMetrics:
+    """Per-workstation accounting of one simulation run."""
+
+    workstation_id: str
+    productive_time: float = 0.0
+    overhead_time: float = 0.0
+    wasted_time: float = 0.0
+    idle_time: float = 0.0
+    completed_work: float = 0.0
+    completed_periods: int = 0
+    killed_periods: int = 0
+    owner_interrupts: int = 0
+    episodes: int = 0
+    tasks_completed: int = 0
+
+    def record_completed_period(self, length: float, setup_cost: float,
+                                speed: float = 1.0) -> float:
+        """Account for a period that ran to completion; returns the work done."""
+        productive = max(0.0, length - setup_cost)
+        self.productive_time += productive
+        self.overhead_time += min(length, setup_cost)
+        self.completed_periods += 1
+        work = productive * speed
+        self.completed_work += work
+        return work
+
+    def record_killed_period(self, elapsed: float) -> None:
+        """Account for a period killed after ``elapsed`` time units in flight."""
+        self.wasted_time += max(0.0, elapsed)
+        self.killed_periods += 1
+        self.owner_interrupts += 1
+
+    def record_idle(self, duration: float) -> None:
+        """Account for lifespan during which nothing was in flight."""
+        self.idle_time += max(0.0, duration)
+
+    @property
+    def accounted_time(self) -> float:
+        """Total lifespan accounted for across the four buckets."""
+        return self.productive_time + self.overhead_time + self.wasted_time + self.idle_time
+
+    def utilization(self, lifespan: float) -> float:
+        """Fraction of the lifespan converted into productive time."""
+        return self.productive_time / lifespan if lifespan > 0 else 0.0
+
+    def check_conservation(self, lifespan: float, *, tol: float = 1e-6) -> None:
+        """Raise ``AssertionError`` unless the four buckets sum to the lifespan."""
+        assert abs(self.accounted_time - lifespan) <= tol * max(1.0, lifespan), (
+            f"time accounting for {self.workstation_id} is off: "
+            f"{self.accounted_time!r} != {lifespan!r}"
+        )
+
+
+@dataclass
+class SimulationReport:
+    """Aggregate outcome of one simulation run across all workstations."""
+
+    per_workstation: Dict[str, WorkstationMetrics] = field(default_factory=dict)
+    #: Total simulated time (the largest contracted lifespan).
+    makespan: float = 0.0
+
+    @property
+    def total_work(self) -> float:
+        """Work accomplished across all borrowed workstations."""
+        return sum(m.completed_work for m in self.per_workstation.values())
+
+    @property
+    def total_interrupts(self) -> int:
+        """Owner interrupts observed across all workstations."""
+        return sum(m.owner_interrupts for m in self.per_workstation.values())
+
+    @property
+    def total_tasks_completed(self) -> int:
+        """Tasks of the data-parallel workload completed across the NOW."""
+        return sum(m.tasks_completed for m in self.per_workstation.values())
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Tabular summary (one row per workstation) for the reporting layer."""
+        out: List[Dict[str, object]] = []
+        for wid, m in sorted(self.per_workstation.items()):
+            out.append({
+                "workstation": wid,
+                "work": m.completed_work,
+                "productive": m.productive_time,
+                "overhead": m.overhead_time,
+                "wasted": m.wasted_time,
+                "idle": m.idle_time,
+                "periods": m.completed_periods,
+                "killed": m.killed_periods,
+                "interrupts": m.owner_interrupts,
+                "tasks": m.tasks_completed,
+            })
+        return out

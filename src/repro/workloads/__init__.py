@@ -1,0 +1,27 @@
+"""Workloads: task bags, owner-activity traces and canonical scenarios."""
+
+from .owner_activity import (
+    bursty_interrupts,
+    evenly_spaced_interrupts,
+    poisson_interrupts,
+    workday_interrupts,
+    worst_case_interrupts_for_schedule,
+)
+from .scenarios import Scenario, laptop_evening, overnight_desktops, shared_lab
+from .tasks import TaskBag, constant_tasks, lognormal_tasks, uniform_tasks
+
+__all__ = [
+    "TaskBag",
+    "constant_tasks",
+    "uniform_tasks",
+    "lognormal_tasks",
+    "poisson_interrupts",
+    "evenly_spaced_interrupts",
+    "workday_interrupts",
+    "bursty_interrupts",
+    "worst_case_interrupts_for_schedule",
+    "Scenario",
+    "laptop_evening",
+    "overnight_desktops",
+    "shared_lab",
+]

@@ -1,0 +1,115 @@
+"""Canonical NOW cycle-stealing scenarios used by the examples and benchmarks.
+
+Each scenario bundles the three ingredients a simulation needs — borrowed
+workstation contracts (with owner interrupt traces), a data-parallel task
+bag, and the analytic parameters of the guarantee — into one object, so the
+examples read like the situations the paper's introduction describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.params import CycleStealingParams
+from ..simulator.workstation import BorrowedWorkstation
+from .owner_activity import bursty_interrupts, poisson_interrupts, workday_interrupts
+from .tasks import TaskBag, lognormal_tasks, uniform_tasks
+
+__all__ = ["Scenario", "laptop_evening", "overnight_desktops", "shared_lab"]
+
+
+@dataclass
+class Scenario:
+    """A ready-to-run cycle-stealing situation."""
+
+    #: Human-readable name.
+    name: str
+    #: The borrowed workstations (contracts plus owner traces).
+    workstations: List[BorrowedWorkstation]
+    #: The data-parallel workload to burn through.
+    task_bag: TaskBag
+    #: Analytic parameters of the *first* (or only) contract, for comparing
+    #: simulated output against the guaranteed-output theory.
+    params: CycleStealingParams
+
+    def describe(self) -> str:
+        """One-line summary used by the examples."""
+        return (f"{self.name}: {len(self.workstations)} workstation(s), "
+                f"{self.task_bag.total_tasks} tasks, "
+                f"U={self.params.lifespan:g}, c={self.params.setup_cost:g}, "
+                f"p={self.params.max_interrupts}")
+
+
+def laptop_evening(*, lifespan: float = 240.0, setup_cost: float = 2.0,
+                   interrupt_budget: int = 2, seed: Optional[int] = 7) -> Scenario:
+    """A colleague's laptop borrowed for an evening.
+
+    The laptop may be unplugged (killing everything) a couple of times —
+    exactly the draconian contract the paper motivates.  The owner trace is
+    a small number of Poisson reclaims.
+    """
+    interrupts = poisson_interrupts(lifespan, rate=interrupt_budget / lifespan,
+                                    seed=seed, max_interrupts=interrupt_budget)
+    ws = BorrowedWorkstation(workstation_id="laptop-0", lifespan=lifespan,
+                             setup_cost=setup_cost, interrupt_budget=interrupt_budget,
+                             owner_interrupts=interrupts)
+    bag = uniform_tasks(4000, low=0.05, high=0.15, seed=seed)
+    params = CycleStealingParams(lifespan=lifespan, setup_cost=setup_cost,
+                                 max_interrupts=interrupt_budget)
+    return Scenario(name="laptop-evening", workstations=[ws], task_bag=bag, params=params)
+
+
+def overnight_desktops(*, num_machines: int = 8, lifespan: float = 600.0,
+                       setup_cost: float = 1.0, interrupt_budget: int = 1,
+                       seed: Optional[int] = 11) -> Scenario:
+    """A pool of office desktops borrowed overnight.
+
+    Most owners never come back before morning; a few do once.  Machine
+    speeds are mildly heterogeneous.
+    """
+    workstations: List[BorrowedWorkstation] = []
+    for i in range(num_machines):
+        machine_seed = None if seed is None else seed + i
+        interrupts = poisson_interrupts(lifespan, rate=0.5 / lifespan,
+                                        seed=machine_seed,
+                                        max_interrupts=interrupt_budget)
+        workstations.append(BorrowedWorkstation(
+            workstation_id=f"desktop-{i}", lifespan=lifespan, setup_cost=setup_cost,
+            interrupt_budget=interrupt_budget, owner_interrupts=interrupts,
+            speed=1.0 + 0.1 * (i % 3)))
+    bag = lognormal_tasks(20_000, median=0.2, sigma=0.4, seed=seed)
+    params = CycleStealingParams(lifespan=lifespan, setup_cost=setup_cost,
+                                 max_interrupts=interrupt_budget)
+    return Scenario(name="overnight-desktops", workstations=workstations,
+                    task_bag=bag, params=params)
+
+
+def shared_lab(*, num_machines: int = 4, lifespan: float = 480.0,
+               setup_cost: float = 3.0, interrupt_budget: int = 4,
+               seed: Optional[int] = 23) -> Scenario:
+    """Daytime borrowing of shared lab machines with bursty owner activity.
+
+    Owners wander back in clusters; the negotiated interrupt budget is
+    generous but can still be exceeded, which is exactly the regime where
+    the guaranteed-output guarantees degrade gracefully rather than hold
+    exactly.
+    """
+    workstations: List[BorrowedWorkstation] = []
+    for i in range(num_machines):
+        machine_seed = None if seed is None else seed + 13 * i
+        if i % 2 == 0:
+            interrupts = bursty_interrupts(lifespan, num_bursts=2, burst_size=2,
+                                           burst_spread=4.0, seed=machine_seed)
+        else:
+            interrupts = workday_interrupts(lifespan, day_length=lifespan,
+                                            busy_fraction=0.3, rate_when_busy=0.01,
+                                            seed=machine_seed)
+        workstations.append(BorrowedWorkstation(
+            workstation_id=f"lab-{i}", lifespan=lifespan, setup_cost=setup_cost,
+            interrupt_budget=interrupt_budget, owner_interrupts=interrupts))
+    bag = uniform_tasks(30_000, low=0.02, high=0.2, seed=seed)
+    params = CycleStealingParams(lifespan=lifespan, setup_cost=setup_cost,
+                                 max_interrupts=interrupt_budget)
+    return Scenario(name="shared-lab", workstations=workstations, task_bag=bag,
+                    params=params)

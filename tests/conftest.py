@@ -1,0 +1,24 @@
+"""Shared fixtures for the test-suite."""
+
+import pytest
+
+from repro import CycleStealingParams
+from repro.dp import solve
+
+
+@pytest.fixture(scope="session")
+def small_table():
+    """A solved DP table (c = 1, L <= 600, p <= 3) reused across tests."""
+    return solve(600, 1, 3)
+
+
+@pytest.fixture
+def params_p1():
+    """A medium-sized single-interrupt opportunity."""
+    return CycleStealingParams(lifespan=400.0, setup_cost=1.0, max_interrupts=1)
+
+
+@pytest.fixture
+def params_p2():
+    """A medium-sized two-interrupt opportunity."""
+    return CycleStealingParams(lifespan=400.0, setup_cost=1.0, max_interrupts=2)

@@ -1,0 +1,55 @@
+"""Smoke tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_parses_each_command(self):
+        parser = build_parser()
+        assert parser.parse_args(["table1"]).command == "table1"
+        assert parser.parse_args(["table2"]).command == "table2"
+        assert parser.parse_args(["nonadaptive"]).command == "nonadaptive"
+        assert parser.parse_args(["adaptive"]).command == "adaptive"
+        assert parser.parse_args(["gap"]).command == "gap"
+        assert parser.parse_args(["simulate"]).command == "simulate"
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1", "-U", "50", "-c", "1", "-p", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "no interrupt" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2", "--lifespans", "100", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "opt_num_periods" in out
+
+    def test_nonadaptive(self, capsys):
+        assert main(["nonadaptive", "--lifespans", "200", "--interrupts", "1", "2"]) == 0
+        assert "measured_work" in capsys.readouterr().out
+
+    def test_adaptive(self, capsys):
+        assert main(["adaptive", "--lifespans", "200", "--interrupts", "1"]) == 0
+        assert "theorem51_bound" in capsys.readouterr().out
+
+    def test_gap(self, capsys):
+        assert main(["gap", "-U", "300", "-c", "1", "-p", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "dp-optimal" in out
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "--scenario", "laptop", "--scheduler", "equalizing"]) == 0
+        assert "laptop-0" in capsys.readouterr().out
+
+    def test_csv_output(self, tmp_path, capsys):
+        path = tmp_path / "rows.csv"
+        assert main(["--csv", str(path), "table2", "--lifespans", "100"]) == 0
+        assert path.exists()
+        assert "lifespan" in path.read_text()

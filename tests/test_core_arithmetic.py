@@ -1,0 +1,113 @@
+"""Unit and property tests for positive subtraction and period work."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.arithmetic import (
+    is_at_least,
+    is_close,
+    monus,
+    period_work,
+    period_work_array,
+    positive_subtraction,
+    positive_subtraction_array,
+)
+
+finite = st.floats(min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False)
+nonneg = st.floats(min_value=0.0, max_value=1e9, allow_nan=False, allow_infinity=False)
+
+
+class TestPositiveSubtraction:
+    def test_basic(self):
+        assert positive_subtraction(5.0, 2.0) == 3.0
+
+    def test_clamps_to_zero(self):
+        assert positive_subtraction(1.0, 4.0) == 0.0
+
+    def test_equal_operands(self):
+        assert positive_subtraction(3.0, 3.0) == 0.0
+
+    def test_accepts_ints(self):
+        assert positive_subtraction(7, 2) == 5.0
+
+    def test_monus_is_alias(self):
+        assert monus is positive_subtraction
+
+    def test_nan_propagates(self):
+        assert math.isnan(positive_subtraction(float("nan"), 1.0))
+
+    @given(finite, finite)
+    def test_never_negative(self, x, y):
+        assert positive_subtraction(x, y) >= 0.0
+
+    @given(finite, finite)
+    def test_matches_max_definition(self, x, y):
+        assert positive_subtraction(x, y) == pytest.approx(max(0.0, x - y))
+
+    @given(finite)
+    def test_zero_right_identity_for_nonnegative(self, x):
+        expected = x if x > 0 else 0.0
+        assert positive_subtraction(x, 0.0) == pytest.approx(expected)
+
+    @given(finite, nonneg, nonneg)
+    def test_antitone_in_second_argument(self, x, y1, extra):
+        assert positive_subtraction(x, y1 + extra) <= positive_subtraction(x, y1) + 1e-9
+
+
+class TestVectorised:
+    def test_array_matches_scalar(self):
+        xs = np.array([0.0, 1.0, 5.0, -2.0])
+        ys = np.array([1.0, 1.0, 2.0, 3.0])
+        out = positive_subtraction_array(xs, ys)
+        expected = [positive_subtraction(x, y) for x, y in zip(xs, ys)]
+        assert np.allclose(out, expected)
+
+    def test_broadcasting(self):
+        out = positive_subtraction_array(np.array([1.0, 2.0, 3.0]), 2.0)
+        assert np.allclose(out, [0.0, 0.0, 1.0])
+
+    @given(st.lists(finite, min_size=1, max_size=30), nonneg)
+    def test_period_work_array_matches_scalar(self, lengths, c):
+        arr = period_work_array(np.array(lengths), c)
+        expected = [period_work(t, c) for t in lengths]
+        assert np.allclose(arr, expected)
+
+
+class TestPeriodWork:
+    def test_productive_period(self):
+        assert period_work(10.0, 3.0) == 7.0
+
+    def test_short_period_yields_nothing(self):
+        assert period_work(2.0, 3.0) == 0.0
+
+    def test_negative_setup_cost_rejected(self):
+        with pytest.raises(ValueError):
+            period_work(10.0, -1.0)
+
+    def test_array_negative_setup_cost_rejected(self):
+        with pytest.raises(ValueError):
+            period_work_array([1.0, 2.0], -0.5)
+
+
+class TestTolerantComparisons:
+    def test_is_close_exact(self):
+        assert is_close(1.0, 1.0)
+
+    def test_is_close_within_tolerance(self):
+        assert is_close(1.0, 1.0 + 1e-12)
+
+    def test_is_close_rejects_distinct(self):
+        assert not is_close(1.0, 1.1)
+
+    def test_is_at_least_greater(self):
+        assert is_at_least(2.0, 1.0)
+
+    def test_is_at_least_close_counts(self):
+        assert is_at_least(1.0 - 1e-12, 1.0)
+
+    def test_is_at_least_rejects_smaller(self):
+        assert not is_at_least(0.5, 1.0)

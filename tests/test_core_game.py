@@ -1,0 +1,134 @@
+"""Tests for the game referees and the exact minimax evaluation."""
+
+import pytest
+
+from repro import CycleStealingParams, EpisodeSchedule, guaranteed_adaptive_work
+from repro.adversary import (
+    FirstPeriodAdversary,
+    LastPeriodAdversary,
+    MinimaxAdversary,
+    NeverInterruptAdversary,
+    OptimalNonAdaptiveAdversary,
+)
+from repro.core.game import play_adaptive, play_nonadaptive
+from repro.core.exceptions import SchedulingError
+from repro.schedules import (
+    EqualizingAdaptiveScheduler,
+    ExactP1Scheduler,
+    FixedPeriodScheduler,
+    RosenbergNonAdaptiveScheduler,
+    SinglePeriodScheduler,
+)
+
+
+class TestPlayAdaptive:
+    def test_no_adversary_yields_single_long_period_work(self):
+        params = CycleStealingParams(100.0, 1.0, 2)
+        result = play_adaptive(SinglePeriodScheduler(), NeverInterruptAdversary(), params)
+        assert result.total_work == pytest.approx(99.0)
+        assert result.num_episodes == 1
+        assert result.num_interrupts == 0
+        assert result.efficiency == pytest.approx(0.99)
+        assert result.loss == pytest.approx(1.0)
+
+    def test_single_period_scheduler_killed_by_last_period_adversary(self):
+        params = CycleStealingParams(100.0, 1.0, 1)
+        result = play_adaptive(SinglePeriodScheduler(), LastPeriodAdversary(), params)
+        # Only episode is killed just before its end; the residual sliver is
+        # scheduled as a new (vanishingly short) episode.
+        assert result.total_work == pytest.approx(0.0, abs=1e-6)
+        assert result.num_interrupts == 1
+
+    def test_interrupt_budget_enforced(self):
+        params = CycleStealingParams(100.0, 1.0, 1)
+        # An adversary that always wants to interrupt only gets to do so once.
+        result = play_adaptive(ExactP1Scheduler(), FirstPeriodAdversary(), params)
+        assert result.num_interrupts == 1
+
+    def test_transcript_conservation(self):
+        params = CycleStealingParams(200.0, 1.0, 2)
+        scheduler = EqualizingAdaptiveScheduler()
+        result = play_adaptive(scheduler, FirstPeriodAdversary(), params)
+        assert result.transcript.total_elapsed <= params.lifespan + 1e-6
+        assert 0.0 <= result.total_work <= params.lifespan
+
+    def test_rejects_bad_adversary_time(self):
+        class BadAdversary:
+            name = "bad"
+
+            def choose_interrupt(self, schedule, residual, p, c):
+                return schedule.total_length + 5.0
+
+        params = CycleStealingParams(50.0, 1.0, 1)
+        with pytest.raises(SchedulingError):
+            play_adaptive(SinglePeriodScheduler(), BadAdversary(), params)
+
+    def test_rejects_overcommitting_scheduler(self):
+        class BadScheduler:
+            name = "bad"
+
+            def episode_schedule(self, residual, p, c):
+                return EpisodeSchedule([residual * 2.0])
+
+        params = CycleStealingParams(50.0, 1.0, 1)
+        with pytest.raises(SchedulingError):
+            play_adaptive(BadScheduler(), NeverInterruptAdversary(), params)
+
+
+class TestPlayNonAdaptive:
+    def test_oblivious_tail_reuse(self):
+        params = CycleStealingParams(100.0, 1.0, 2)
+        scheduler = FixedPeriodScheduler(period_length=10.0)
+        result = play_nonadaptive(scheduler, NeverInterruptAdversary(), params)
+        assert result.total_work == pytest.approx(90.0)
+
+    def test_with_optimal_adversary_matches_worst_case(self):
+        params = CycleStealingParams(400.0, 1.0, 2)
+        scheduler = RosenbergNonAdaptiveScheduler()
+        result = play_nonadaptive(scheduler, OptimalNonAdaptiveAdversary(), params)
+        assert result.total_work == pytest.approx(scheduler.guaranteed_work(params),
+                                                  rel=1e-6, abs=1e-4)
+
+    def test_budget_exhaustion_gives_long_final_period(self):
+        params = CycleStealingParams(100.0, 1.0, 1)
+        scheduler = FixedPeriodScheduler(period_length=10.0)
+        result = play_nonadaptive(scheduler, FirstPeriodAdversary(), params)
+        # First period killed at ~10; remainder (~90) runs as one long period.
+        assert result.total_work == pytest.approx(89.0, abs=0.1)
+        assert result.num_interrupts == 1
+
+    def test_single_period_baseline_zeroed_by_adversary(self):
+        params = CycleStealingParams(100.0, 1.0, 1)
+        result = play_nonadaptive(SinglePeriodScheduler(), LastPeriodAdversary(), params)
+        assert result.total_work == pytest.approx(0.0, abs=1e-5)
+
+
+class TestGuaranteedAdaptiveWork:
+    def test_p0_is_single_period_work(self):
+        params = CycleStealingParams(50.0, 1.0, 0)
+        assert guaranteed_adaptive_work(SinglePeriodScheduler(), params) == pytest.approx(49.0)
+
+    def test_single_period_guarantees_nothing_under_interrupts(self):
+        params = CycleStealingParams(50.0, 1.0, 1)
+        assert guaranteed_adaptive_work(SinglePeriodScheduler(), params) == pytest.approx(0.0)
+
+    def test_matches_minimax_adversary_play(self):
+        params = CycleStealingParams(300.0, 1.0, 2)
+        scheduler = EqualizingAdaptiveScheduler()
+        value = guaranteed_adaptive_work(scheduler, params)
+        result = play_adaptive(scheduler, MinimaxAdversary(scheduler), params)
+        assert result.total_work == pytest.approx(value, rel=1e-6, abs=1e-3)
+
+    def test_never_exceeds_p0_optimum(self):
+        params = CycleStealingParams(300.0, 1.0, 3)
+        scheduler = EqualizingAdaptiveScheduler()
+        assert guaranteed_adaptive_work(scheduler, params) <= params.lifespan - params.setup_cost
+
+    def test_heuristic_adversaries_never_beat_minimax(self):
+        params = CycleStealingParams(300.0, 1.0, 2)
+        scheduler = EqualizingAdaptiveScheduler()
+        guarantee = guaranteed_adaptive_work(scheduler, params)
+        for adversary in (NeverInterruptAdversary(), FirstPeriodAdversary(),
+                          LastPeriodAdversary()):
+            result = play_adaptive(scheduler, adversary, params)
+            assert result.total_work >= guarantee - 1e-6

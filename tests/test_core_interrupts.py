@@ -1,0 +1,105 @@
+"""Unit tests for interrupt patterns."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import InvalidInterruptError, PeriodEndInterrupts, TimedInterrupts
+
+
+class TestPeriodEndInterrupts:
+    def test_basic(self):
+        p = PeriodEndInterrupts([2, 5, 7])
+        assert p.count == 3
+        assert not p.is_empty
+        assert p.last_index == 7
+        assert p.contains(5)
+        assert not p.contains(4)
+
+    def test_empty(self):
+        p = PeriodEndInterrupts()
+        assert p.is_empty and p.count == 0 and p.last_index == 0
+
+    def test_rejects_zero_and_negative_indices(self):
+        with pytest.raises(InvalidInterruptError):
+            PeriodEndInterrupts([0])
+        with pytest.raises(InvalidInterruptError):
+            PeriodEndInterrupts([-3])
+
+    def test_rejects_non_increasing(self):
+        with pytest.raises(InvalidInterruptError):
+            PeriodEndInterrupts([3, 3])
+        with pytest.raises(InvalidInterruptError):
+            PeriodEndInterrupts([5, 2])
+
+    def test_validate_budget(self):
+        p = PeriodEndInterrupts([1, 2, 3])
+        p.validate(num_periods=5, max_interrupts=3)
+        with pytest.raises(InvalidInterruptError):
+            p.validate(num_periods=5, max_interrupts=2)
+        with pytest.raises(InvalidInterruptError):
+            p.validate(num_periods=2, max_interrupts=5)
+
+    def test_last_periods_constructor(self):
+        p = PeriodEndInterrupts.last_periods(10, 3)
+        assert p.indices == (8, 9, 10)
+
+    def test_last_periods_clips(self):
+        p = PeriodEndInterrupts.last_periods(2, 5)
+        assert p.indices == (1, 2)
+
+    @given(st.integers(min_value=1, max_value=50), st.integers(min_value=0, max_value=10))
+    def test_last_periods_always_valid(self, m, count):
+        p = PeriodEndInterrupts.last_periods(m, count)
+        p.validate(num_periods=m, max_interrupts=max(count, p.count))
+        assert p.count == min(m, count)
+
+
+class TestTimedInterrupts:
+    def test_basic(self):
+        t = TimedInterrupts([1.0, 2.5, 2.5, 9.0])
+        assert t.count == 4
+        assert not t.is_empty
+
+    def test_rejects_negative_and_nan(self):
+        with pytest.raises(InvalidInterruptError):
+            TimedInterrupts([-1.0])
+        with pytest.raises(InvalidInterruptError):
+            TimedInterrupts([float("nan")])
+
+    def test_rejects_decreasing(self):
+        with pytest.raises(InvalidInterruptError):
+            TimedInterrupts([3.0, 1.0])
+
+    def test_validate(self):
+        t = TimedInterrupts([1.0, 2.0])
+        t.validate(lifespan=5.0, max_interrupts=2)
+        with pytest.raises(InvalidInterruptError):
+            t.validate(lifespan=5.0, max_interrupts=1)
+        with pytest.raises(InvalidInterruptError):
+            t.validate(lifespan=2.0, max_interrupts=5)
+
+    def test_within(self):
+        t = TimedInterrupts([1.0, 2.0, 5.0])
+        assert t.within(1.5, 5.0) == (2.0,)
+        assert t.within(0.0, 10.0) == (1.0, 2.0, 5.0)
+
+    def test_first_after(self):
+        t = TimedInterrupts([1.0, 4.0])
+        assert t.first_after(0.0) == 1.0
+        assert t.first_after(2.0) == 4.0
+        assert t.first_after(5.0) == float("inf")
+
+    def test_evenly_spaced(self):
+        t = TimedInterrupts.evenly_spaced(10.0, 4)
+        assert t.times == (2.0, 4.0, 6.0, 8.0)
+        assert TimedInterrupts.evenly_spaced(10.0, 0).is_empty
+
+    def test_from_sorted(self):
+        assert TimedInterrupts.from_sorted([0.5, 1.5]).count == 2
+
+    @given(st.floats(min_value=1.0, max_value=1e6), st.integers(min_value=1, max_value=20))
+    def test_evenly_spaced_inside_lifespan(self, lifespan, count):
+        t = TimedInterrupts.evenly_spaced(lifespan, count)
+        t.validate(lifespan=lifespan, max_interrupts=count)
+        assert t.count == count

@@ -1,0 +1,123 @@
+"""Unit and property tests for CycleStealingParams."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import CycleStealingParams, InvalidParameterError
+
+lifespans = st.floats(min_value=1e-3, max_value=1e9, allow_nan=False, allow_infinity=False)
+costs = st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False)
+budgets = st.integers(min_value=0, max_value=50)
+
+
+class TestValidation:
+    def test_valid_construction(self):
+        p = CycleStealingParams(lifespan=100.0, setup_cost=1.0, max_interrupts=3)
+        assert p.lifespan == 100.0
+        assert p.setup_cost == 1.0
+        assert p.max_interrupts == 3
+
+    @pytest.mark.parametrize("lifespan", [0.0, -1.0, float("nan"), float("inf")])
+    def test_bad_lifespan_rejected(self, lifespan):
+        with pytest.raises(InvalidParameterError):
+            CycleStealingParams(lifespan=lifespan, setup_cost=1.0, max_interrupts=1)
+
+    @pytest.mark.parametrize("cost", [-0.1, float("nan"), float("inf")])
+    def test_bad_setup_cost_rejected(self, cost):
+        with pytest.raises(InvalidParameterError):
+            CycleStealingParams(lifespan=10.0, setup_cost=cost, max_interrupts=1)
+
+    @pytest.mark.parametrize("p", [-1, 1.5, "two", True])
+    def test_bad_interrupts_rejected(self, p):
+        with pytest.raises(InvalidParameterError):
+            CycleStealingParams(lifespan=10.0, setup_cost=1.0, max_interrupts=p)
+
+    def test_integer_inputs_coerced_to_float(self):
+        p = CycleStealingParams(lifespan=10, setup_cost=1, max_interrupts=0)
+        assert isinstance(p.lifespan, float)
+        assert isinstance(p.setup_cost, float)
+
+
+class TestDerivedQuantities:
+    def test_normalized_lifespan(self):
+        p = CycleStealingParams(lifespan=100.0, setup_cost=4.0, max_interrupts=1)
+        assert p.normalized_lifespan == 25.0
+
+    def test_normalized_lifespan_free_communication(self):
+        p = CycleStealingParams(lifespan=100.0, setup_cost=0.0, max_interrupts=1)
+        assert math.isinf(p.normalized_lifespan)
+
+    def test_zero_work_threshold_matches_prop41c(self):
+        p = CycleStealingParams(lifespan=100.0, setup_cost=2.0, max_interrupts=3)
+        assert p.zero_work_threshold == 8.0
+
+    def test_can_guarantee_work(self):
+        assert CycleStealingParams(10.0, 2.0, 3).can_guarantee_work
+        assert not CycleStealingParams(8.0, 2.0, 3).can_guarantee_work
+
+    def test_single_period_work(self):
+        assert CycleStealingParams(10.0, 2.0, 0).single_period_work == 8.0
+        assert CycleStealingParams(1.0, 2.0, 0).single_period_work == 0.0
+
+    @given(lifespans, costs, budgets)
+    def test_threshold_formula(self, U, c, p):
+        params = CycleStealingParams(lifespan=U, setup_cost=c, max_interrupts=p)
+        assert params.zero_work_threshold == pytest.approx((p + 1) * c)
+
+
+class TestTransformers:
+    def test_with_lifespan(self):
+        p = CycleStealingParams(100.0, 1.0, 2).with_lifespan(50.0)
+        assert p.lifespan == 50.0 and p.max_interrupts == 2
+
+    def test_with_interrupts(self):
+        p = CycleStealingParams(100.0, 1.0, 2).with_interrupts(5)
+        assert p.max_interrupts == 5
+
+    def test_with_setup_cost(self):
+        p = CycleStealingParams(100.0, 1.0, 2).with_setup_cost(3.0)
+        assert p.setup_cost == 3.0
+
+    def test_after_interrupt(self):
+        p = CycleStealingParams(100.0, 1.0, 2).after_interrupt(30.0)
+        assert p.lifespan == 70.0
+        assert p.max_interrupts == 1
+
+    def test_after_interrupt_requires_budget(self):
+        with pytest.raises(InvalidParameterError):
+            CycleStealingParams(100.0, 1.0, 0).after_interrupt(10.0)
+
+    def test_after_interrupt_requires_positive_residual(self):
+        with pytest.raises(InvalidParameterError):
+            CycleStealingParams(100.0, 1.0, 1).after_interrupt(100.0)
+
+    def test_after_interrupt_rejects_negative_elapsed(self):
+        with pytest.raises(InvalidParameterError):
+            CycleStealingParams(100.0, 1.0, 1).after_interrupt(-1.0)
+
+    def test_normalized_constructor(self):
+        p = CycleStealingParams.normalized(500.0, 2)
+        assert p.setup_cost == 1.0 and p.lifespan == 500.0 and p.max_interrupts == 2
+
+    def test_sweep_interrupts(self):
+        base = CycleStealingParams(100.0, 1.0, 0)
+        ps = list(base.sweep_interrupts(3))
+        assert [x.max_interrupts for x in ps] == [0, 1, 2, 3]
+        assert all(x.lifespan == 100.0 for x in ps)
+
+    def test_frozen(self):
+        p = CycleStealingParams(100.0, 1.0, 2)
+        with pytest.raises(Exception):
+            p.lifespan = 5.0
+
+    @given(lifespans, costs, budgets.filter(lambda p: p >= 1))
+    def test_after_interrupt_conserves_budget_and_time(self, U, c, p):
+        params = CycleStealingParams(lifespan=U, setup_cost=c, max_interrupts=p)
+        elapsed = U / 3.0
+        nxt = params.after_interrupt(elapsed)
+        assert nxt.max_interrupts == p - 1
+        assert nxt.lifespan == pytest.approx(U - elapsed)
+        assert nxt.setup_cost == c

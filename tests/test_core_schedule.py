@@ -1,0 +1,236 @@
+"""Unit and property tests for EpisodeSchedule and OpportunitySchedule."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import EpisodeSchedule, InvalidScheduleError
+from repro.core.schedule import EpisodeRecord, OpportunitySchedule
+
+period_lists = st.lists(
+    st.floats(min_value=0.01, max_value=1e4, allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=40)
+
+
+class TestConstruction:
+    def test_basic(self):
+        s = EpisodeSchedule([3.0, 2.0, 1.0])
+        assert s.num_periods == 3
+        assert s.total_length == 6.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidScheduleError):
+            EpisodeSchedule([])
+
+    @pytest.mark.parametrize("bad", [[0.0], [-1.0, 2.0], [float("nan")], [float("inf")]])
+    def test_rejects_bad_lengths(self, bad):
+        with pytest.raises(InvalidScheduleError):
+            EpisodeSchedule(bad)
+
+    def test_rejects_2d(self):
+        with pytest.raises(InvalidScheduleError):
+            EpisodeSchedule(np.ones((2, 2)))
+
+    def test_periods_are_read_only(self):
+        s = EpisodeSchedule([1.0, 2.0])
+        with pytest.raises(ValueError):
+            s.periods[0] = 5.0
+
+    def test_equality_and_hash(self):
+        a = EpisodeSchedule([1.0, 2.0])
+        b = EpisodeSchedule([1.0, 2.0])
+        c = EpisodeSchedule([2.0, 1.0])
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+        assert a != "not a schedule"
+
+    def test_iteration_and_indexing(self):
+        s = EpisodeSchedule([1.0, 2.0, 3.0])
+        assert list(s) == [1.0, 2.0, 3.0]
+        assert s[1] == 2.0
+        assert len(s) == 3
+
+
+class TestTiming:
+    def test_finish_and_start_times(self):
+        s = EpisodeSchedule([2.0, 3.0, 5.0])
+        assert np.allclose(s.finish_times, [2.0, 5.0, 10.0])
+        assert np.allclose(s.start_times, [0.0, 2.0, 5.0])
+
+    def test_finish_time_indexing(self):
+        s = EpisodeSchedule([2.0, 3.0])
+        assert s.finish_time(0) == 0.0
+        assert s.finish_time(1) == 2.0
+        assert s.finish_time(2) == 5.0
+        with pytest.raises(IndexError):
+            s.finish_time(3)
+
+    def test_period_containing(self):
+        s = EpisodeSchedule([2.0, 3.0, 5.0])
+        assert s.period_containing(0.0) == 1
+        assert s.period_containing(1.999) == 1
+        assert s.period_containing(2.0) == 2
+        assert s.period_containing(9.999) == 3
+
+    def test_period_containing_out_of_range(self):
+        s = EpisodeSchedule([2.0])
+        with pytest.raises(InvalidScheduleError):
+            s.period_containing(2.0)
+        with pytest.raises(InvalidScheduleError):
+            s.period_containing(-0.1)
+
+    @given(period_lists)
+    def test_prefix_sums_consistent(self, lengths):
+        s = EpisodeSchedule(lengths)
+        finishes = s.finish_times
+        assert finishes[-1] == pytest.approx(s.total_length)
+        assert np.all(np.diff(finishes) > 0.0)
+        for k in range(1, s.num_periods + 1):
+            assert s.finish_time(k) == pytest.approx(float(finishes[k - 1]))
+
+
+class TestProductivity:
+    def test_fully_productive(self):
+        s = EpisodeSchedule([3.0, 2.5, 1.1])
+        assert s.is_fully_productive(1.0)
+        assert s.is_productive(1.0)
+
+    def test_short_last_period_is_productive_but_not_fully(self):
+        s = EpisodeSchedule([3.0, 0.5])
+        assert s.is_productive(1.0)
+        assert not s.is_fully_productive(1.0)
+
+    def test_short_middle_period_not_productive(self):
+        s = EpisodeSchedule([3.0, 0.5, 3.0])
+        assert not s.is_productive(1.0)
+
+    def test_single_period_always_productive(self):
+        assert EpisodeSchedule([0.5]).is_productive(1.0)
+
+    def test_productive_mask(self):
+        s = EpisodeSchedule([3.0, 0.5, 1.5])
+        assert list(s.productive_mask(1.0)) == [True, False, True]
+
+
+class TestWorkHelpers:
+    def test_work_if_uninterrupted(self):
+        s = EpisodeSchedule([3.0, 0.5, 2.0])
+        assert s.work_if_uninterrupted(1.0) == pytest.approx(2.0 + 0.0 + 1.0)
+
+    def test_work_of_prefix(self):
+        s = EpisodeSchedule([3.0, 2.0, 4.0])
+        assert s.work_of_prefix(0, 1.0) == 0.0
+        assert s.work_of_prefix(2, 1.0) == pytest.approx(3.0)
+        with pytest.raises(IndexError):
+            s.work_of_prefix(4, 1.0)
+
+    def test_overhead_if_uninterrupted(self):
+        s = EpisodeSchedule([3.0, 0.5, 2.0])
+        assert s.overhead_if_uninterrupted(1.0) == pytest.approx(1.0 + 0.5 + 1.0)
+
+    @given(period_lists, st.floats(min_value=0.0, max_value=100.0))
+    def test_work_plus_overhead_equals_length(self, lengths, c):
+        s = EpisodeSchedule(lengths)
+        total = s.work_if_uninterrupted(c) + s.overhead_if_uninterrupted(c)
+        assert total == pytest.approx(s.total_length, rel=1e-9)
+
+
+class TestDerivedSchedules:
+    def test_tail_from(self):
+        s = EpisodeSchedule([1.0, 2.0, 3.0])
+        tail = s.tail_from(2)
+        assert list(tail) == [2.0, 3.0]
+        assert s.tail_from(4) is None
+        with pytest.raises(IndexError):
+            s.tail_from(0)
+
+    def test_truncated_to(self):
+        s = EpisodeSchedule([2.0, 2.0, 2.0])
+        t = s.truncated_to(3.0)
+        assert list(t) == [2.0, 1.0]
+        assert s.truncated_to(10.0) is s
+        assert s.truncated_to(0.0) is None
+
+    def test_with_appended(self):
+        s = EpisodeSchedule([1.0]).with_appended(2.0)
+        assert list(s) == [1.0, 2.0]
+
+    def test_single_period_and_equal_periods(self):
+        assert list(EpisodeSchedule.single_period(5.0)) == [5.0]
+        eq = EpisodeSchedule.equal_periods(6.0, 3)
+        assert list(eq) == [2.0, 2.0, 2.0]
+        with pytest.raises(InvalidScheduleError):
+            EpisodeSchedule.equal_periods(6.0, 0)
+
+    def test_from_period_lengths_absorbs_remainder(self):
+        s = EpisodeSchedule.from_period_lengths([2.0, 2.0], 7.0)
+        assert s.total_length == pytest.approx(7.0)
+        assert s.num_periods == 2
+        assert s[1] == pytest.approx(5.0)
+
+    def test_from_period_lengths_clips_overrun(self):
+        s = EpisodeSchedule.from_period_lengths([4.0, 4.0, 4.0], 6.0)
+        assert s.total_length == pytest.approx(6.0)
+        assert list(s) == [4.0, 2.0]
+
+    def test_from_period_lengths_empty_input(self):
+        s = EpisodeSchedule.from_period_lengths([], 5.0)
+        assert list(s) == [5.0]
+
+    def test_from_period_lengths_rejects_nonpositive_lifespan(self):
+        with pytest.raises(InvalidScheduleError):
+            EpisodeSchedule.from_period_lengths([1.0], 0.0)
+
+    @given(period_lists, st.floats(min_value=0.5, max_value=1e4))
+    def test_from_period_lengths_always_covers_lifespan(self, lengths, lifespan):
+        s = EpisodeSchedule.from_period_lengths(lengths, lifespan)
+        assert s.total_length == pytest.approx(lifespan, rel=1e-9, abs=1e-9)
+
+
+class TestValidation:
+    def test_exact_cover_required_by_default(self):
+        s = EpisodeSchedule([2.0, 2.0])
+        s.validate_for_lifespan(4.0)
+        with pytest.raises(InvalidScheduleError):
+            s.validate_for_lifespan(5.0)
+
+    def test_overrun_always_rejected(self):
+        s = EpisodeSchedule([2.0, 2.0])
+        with pytest.raises(InvalidScheduleError):
+            s.validate_for_lifespan(3.0, require_exact=False)
+
+    def test_undershoot_allowed_when_not_exact(self):
+        EpisodeSchedule([2.0]).validate_for_lifespan(5.0, require_exact=False)
+
+
+class TestOpportunitySchedule:
+    def _record(self, periods, interrupt, c=1.0):
+        sched = EpisodeSchedule(periods)
+        from repro.core.work import episode_elapsed, episode_work
+        return EpisodeRecord(
+            schedule=sched, residual_lifespan=sched.total_length,
+            interrupts_remaining=1, interrupt_time=interrupt,
+            work=episode_work(sched, c, interrupt),
+            elapsed=episode_elapsed(sched, interrupt))
+
+    def test_aggregation(self):
+        opp = OpportunitySchedule()
+        opp.append(self._record([5.0, 5.0], None))
+        opp.append(self._record([4.0], 3.0))
+        assert opp.num_episodes == 2
+        assert opp.num_interrupts == 1
+        assert opp.total_work == pytest.approx(8.0)
+        assert opp.total_elapsed == pytest.approx(13.0)
+        assert opp.interrupt_times() == (3.0,)
+
+    def test_work_lost_to_interrupts(self):
+        opp = OpportunitySchedule()
+        opp.append(self._record([4.0], 3.0))  # 3 units elapsed, 2 productive lost
+        assert opp.work_lost_to_interrupts(1.0) == pytest.approx(2.0)
+
+    def test_was_interrupted_flag(self):
+        rec = self._record([4.0], None)
+        assert not rec.was_interrupted
+        rec2 = self._record([4.0], 2.0)
+        assert rec2.was_interrupted

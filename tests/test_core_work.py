@@ -1,0 +1,220 @@
+"""Unit and property tests for the work-accounting layer (Section 2.2)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import CycleStealingParams, EpisodeSchedule, PeriodEndInterrupts, TimedInterrupts
+from repro.core.work import (
+    episode_elapsed,
+    episode_work,
+    nonadaptive_opportunity_work,
+    nonadaptive_work_under_times,
+    worst_case_nonadaptive_pattern,
+    worst_case_nonadaptive_work,
+)
+
+
+class TestEpisodeWork:
+    def test_uninterrupted(self):
+        s = EpisodeSchedule([3.0, 2.0])
+        assert episode_work(s, 1.0) == pytest.approx(3.0)
+        assert episode_elapsed(s) == pytest.approx(5.0)
+
+    def test_interrupt_in_first_period(self):
+        s = EpisodeSchedule([3.0, 2.0])
+        assert episode_work(s, 1.0, interrupt_time=2.5) == 0.0
+        assert episode_elapsed(s, 2.5) == 2.5
+
+    def test_interrupt_in_second_period(self):
+        s = EpisodeSchedule([3.0, 2.0])
+        assert episode_work(s, 1.0, interrupt_time=3.0) == pytest.approx(2.0)
+        assert episode_work(s, 1.0, interrupt_time=4.999) == pytest.approx(2.0)
+
+    def test_interrupt_after_episode_is_no_interrupt(self):
+        s = EpisodeSchedule([3.0, 2.0])
+        assert episode_work(s, 1.0, interrupt_time=5.0) == pytest.approx(3.0)
+        assert episode_elapsed(s, 5.0) == pytest.approx(5.0)
+
+    def test_negative_interrupt_rejected(self):
+        s = EpisodeSchedule([3.0])
+        with pytest.raises(Exception):
+            episode_work(s, 1.0, interrupt_time=-1.0)
+
+    @given(st.lists(st.floats(min_value=0.5, max_value=50.0), min_size=1, max_size=15),
+           st.floats(min_value=0.0, max_value=3.0),
+           st.floats(min_value=0.0, max_value=0.999))
+    def test_interrupt_never_increases_work(self, lengths, c, frac):
+        s = EpisodeSchedule(lengths)
+        t = frac * s.total_length
+        assert episode_work(s, c, t) <= episode_work(s, c) + 1e-9
+
+
+def brute_force_worst_case(schedule, params):
+    """Enumerate every period-end interrupt pattern (small instances only)."""
+    best = schedule.work_if_uninterrupted(params.setup_cost)
+    m = schedule.num_periods
+    for count in range(1, params.max_interrupts + 1):
+        for combo in itertools.combinations(range(1, m + 1), count):
+            work = nonadaptive_opportunity_work(schedule, params, PeriodEndInterrupts(combo))
+            best = min(best, work)
+    return best
+
+
+class TestNonAdaptiveOpportunityWork:
+    def _params(self, U, p, c=1.0):
+        return CycleStealingParams(lifespan=U, setup_cost=c, max_interrupts=p)
+
+    def test_no_interrupts(self):
+        s = EpisodeSchedule([4.0, 4.0, 2.0])
+        params = self._params(10.0, 2)
+        work = nonadaptive_opportunity_work(s, params, PeriodEndInterrupts())
+        assert work == pytest.approx(3.0 + 3.0 + 1.0)
+
+    def test_partial_budget_drops_killed_periods(self):
+        s = EpisodeSchedule([4.0, 4.0, 2.0])
+        params = self._params(10.0, 2)
+        work = nonadaptive_opportunity_work(s, params, PeriodEndInterrupts([1]))
+        assert work == pytest.approx(3.0 + 1.0)
+
+    def test_budget_exhausted_triggers_long_tail(self):
+        s = EpisodeSchedule([4.0, 4.0, 2.0])
+        params = self._params(10.0, 1)
+        # One interrupt (the whole budget) at period 1: tail = 10 - 4 = 6 as
+        # one long period -> 5 units of work.
+        work = nonadaptive_opportunity_work(s, params, PeriodEndInterrupts([1]))
+        assert work == pytest.approx(5.0)
+
+    def test_paper_formula_matches_manual(self):
+        # W(S) = sum_{k not in I} (t_k - c) + (U - T_{i_p} - c)
+        s = EpisodeSchedule([5.0, 5.0, 5.0, 5.0])
+        params = self._params(20.0, 2)
+        work = nonadaptive_opportunity_work(s, params, PeriodEndInterrupts([2, 3]))
+        expected = (5.0 - 1.0) + ((20.0 - 15.0) - 1.0)
+        assert work == pytest.approx(expected)
+
+    def test_interrupting_last_period_with_full_budget(self):
+        s = EpisodeSchedule([5.0, 5.0])
+        params = self._params(10.0, 1)
+        work = nonadaptive_opportunity_work(s, params, PeriodEndInterrupts([2]))
+        assert work == pytest.approx(4.0)
+
+    def test_budget_violation_rejected(self):
+        s = EpisodeSchedule([5.0, 5.0])
+        params = self._params(10.0, 1)
+        with pytest.raises(Exception):
+            nonadaptive_opportunity_work(s, params, PeriodEndInterrupts([1, 2]))
+
+    def test_schedule_must_cover_lifespan(self):
+        s = EpisodeSchedule([5.0])
+        params = self._params(10.0, 1)
+        with pytest.raises(Exception):
+            nonadaptive_opportunity_work(s, params, PeriodEndInterrupts())
+
+
+class TestWorstCaseNonAdaptive:
+    def _params(self, U, p, c=1.0):
+        return CycleStealingParams(lifespan=U, setup_cost=c, max_interrupts=p)
+
+    @pytest.mark.parametrize("lengths,p", [
+        ([4.0, 4.0, 2.0], 1),
+        ([4.0, 4.0, 2.0], 2),
+        ([5.0, 5.0, 5.0, 5.0], 2),
+        ([1.5, 8.0, 0.5, 3.0, 7.0], 2),
+        ([2.0] * 8, 3),
+        ([10.0, 1.0, 1.0, 1.0, 1.0, 6.0], 3),
+    ])
+    def test_matches_brute_force(self, lengths, p):
+        s = EpisodeSchedule(lengths)
+        params = self._params(s.total_length, p)
+        fast = worst_case_nonadaptive_work(s, params)
+        brute = brute_force_worst_case(s, params)
+        assert fast == pytest.approx(brute, abs=1e-9)
+
+    def test_pattern_evaluates_to_reported_work(self):
+        s = EpisodeSchedule([3.0, 6.0, 2.0, 5.0, 4.0])
+        params = self._params(s.total_length, 2)
+        pattern, work = worst_case_nonadaptive_pattern(s, params)
+        assert nonadaptive_opportunity_work(s, params, pattern) == pytest.approx(work)
+
+    def test_zero_budget(self):
+        s = EpisodeSchedule([3.0, 6.0])
+        params = self._params(9.0, 0)
+        pattern, work = worst_case_nonadaptive_pattern(s, params)
+        assert pattern.is_empty
+        assert work == pytest.approx(s.work_if_uninterrupted(1.0))
+
+    def test_single_period_schedule_with_interrupt_budget(self):
+        s = EpisodeSchedule([10.0])
+        params = self._params(10.0, 1)
+        assert worst_case_nonadaptive_work(s, params) == 0.0
+
+    @settings(deadline=None, max_examples=60)
+    @given(st.lists(st.floats(min_value=0.5, max_value=20.0), min_size=1, max_size=7),
+           st.integers(min_value=0, max_value=3),
+           st.floats(min_value=0.0, max_value=2.0))
+    def test_property_matches_brute_force(self, lengths, p, c):
+        s = EpisodeSchedule(lengths)
+        params = CycleStealingParams(lifespan=s.total_length, setup_cost=c, max_interrupts=p)
+        fast = worst_case_nonadaptive_work(s, params)
+        brute = brute_force_worst_case(s, params)
+        assert fast == pytest.approx(brute, abs=1e-6)
+
+    @settings(deadline=None, max_examples=40)
+    @given(st.lists(st.floats(min_value=0.5, max_value=20.0), min_size=1, max_size=10),
+           st.integers(min_value=0, max_value=3))
+    def test_worst_case_never_exceeds_uninterrupted(self, lengths, p):
+        s = EpisodeSchedule(lengths)
+        params = CycleStealingParams(lifespan=s.total_length, setup_cost=1.0, max_interrupts=p)
+        assert worst_case_nonadaptive_work(s, params) <= s.work_if_uninterrupted(1.0) + 1e-9
+
+
+class TestWorkUnderTimes:
+    def _params(self, U, p, c=1.0):
+        return CycleStealingParams(lifespan=U, setup_cost=c, max_interrupts=p)
+
+    def test_no_interrupts_matches_uninterrupted(self):
+        s = EpisodeSchedule([4.0, 4.0, 2.0])
+        params = self._params(10.0, 2)
+        work = nonadaptive_work_under_times(s, params, TimedInterrupts())
+        assert work == pytest.approx(s.work_if_uninterrupted(1.0))
+
+    def test_agrees_with_period_end_formula_on_last_instants(self):
+        s = EpisodeSchedule([4.0, 4.0, 2.0])
+        eps = 1e-9
+        # Budget not exhausted: a single last-instant kill of period 1.
+        params = self._params(10.0, 2)
+        assert nonadaptive_work_under_times(s, params, TimedInterrupts([4.0 - eps])) == \
+            pytest.approx(nonadaptive_opportunity_work(s, params, PeriodEndInterrupts([1])),
+                          abs=1e-6)
+        # Budget exhausted (p = 1): the remainder runs as one long period.
+        params1 = self._params(10.0, 1)
+        assert nonadaptive_work_under_times(s, params1, TimedInterrupts([4.0 - eps])) == \
+            pytest.approx(nonadaptive_opportunity_work(s, params1, PeriodEndInterrupts([1])),
+                          abs=1e-6)
+
+    def test_mid_period_interrupt_then_tail(self):
+        s = EpisodeSchedule([4.0, 4.0, 2.0])
+        params = self._params(10.0, 2)
+        work = nonadaptive_work_under_times(s, params, TimedInterrupts([2.0]))
+        # Period 1 killed at t=2; tail periods (4, 2) run from t=2, finishing
+        # at t=8; the extension covers [8, 10) as one extra period.
+        assert work == pytest.approx(3.0 + 1.0 + 1.0)
+
+    def test_budget_exhaustion_long_period(self):
+        s = EpisodeSchedule([4.0, 4.0, 2.0])
+        params = self._params(10.0, 1)
+        work = nonadaptive_work_under_times(s, params, TimedInterrupts([2.0]))
+        # Budget exhausted after the kill at t=2: remainder is 8 long -> 7.
+        assert work == pytest.approx(7.0)
+
+    def test_extend_final_period_flag(self):
+        s = EpisodeSchedule([4.0])
+        params = self._params(10.0, 0)
+        with_ext = nonadaptive_work_under_times(s, params, TimedInterrupts())
+        without = nonadaptive_work_under_times(s, params, TimedInterrupts(),
+                                               extend_final_period=False)
+        assert with_ext == pytest.approx(3.0 + 5.0)
+        assert without == pytest.approx(3.0)

@@ -1,0 +1,154 @@
+"""Tests for the expected-output companion submodel."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import EpisodeSchedule
+from repro.expected import (
+    DeterministicReclaim,
+    ExponentialReclaim,
+    GeometricReclaim,
+    UniformReclaim,
+    completion_probabilities,
+    expected_work,
+    expected_yield_exponential,
+    optimal_equal_period_exponential,
+    optimize_schedule,
+    simulate_expected_work,
+)
+
+
+class TestDistributions:
+    def test_exponential(self):
+        d = ExponentialReclaim(rate=0.1)
+        assert d.survival(0.0) == 1.0
+        assert d.survival(10.0) == pytest.approx(math.exp(-1.0))
+        assert d.mean() == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            ExponentialReclaim(rate=0.0)
+
+    def test_uniform(self):
+        d = UniformReclaim(10.0, 20.0)
+        assert d.survival(5.0) == 1.0
+        assert d.survival(15.0) == 0.5
+        assert d.survival(25.0) == 0.0
+        assert d.mean() == 15.0
+        with pytest.raises(ValueError):
+            UniformReclaim(5.0, 5.0)
+
+    def test_deterministic(self):
+        d = DeterministicReclaim(10.0)
+        assert d.survival(9.0) == 1.0 and d.survival(11.0) == 0.0
+        assert d.mean() == 10.0
+        assert d.sample(np.random.default_rng(0)) == 10.0
+        with pytest.raises(ValueError):
+            DeterministicReclaim(0.0)
+
+    def test_geometric(self):
+        d = GeometricReclaim(per_slot_probability=0.5, slot=2.0)
+        assert d.survival(0.0) == 1.0
+        assert d.survival(2.0) == 0.5
+        assert d.survival(4.5) == 0.25
+        assert d.mean() == pytest.approx(4.0)
+        with pytest.raises(ValueError):
+            GeometricReclaim(per_slot_probability=1.5)
+
+    @pytest.mark.parametrize("dist", [
+        ExponentialReclaim(0.05), UniformReclaim(0.0, 50.0),
+        DeterministicReclaim(20.0), GeometricReclaim(0.1, 1.0),
+    ])
+    def test_survival_monotone_and_bounded(self, dist):
+        times = np.linspace(0.0, 100.0, 50)
+        surv = dist.survival_array(times)
+        assert np.all((0.0 <= surv) & (surv <= 1.0))
+        assert np.all(np.diff(surv) <= 1e-12)
+        assert dist.describe()
+
+    @pytest.mark.parametrize("dist", [
+        ExponentialReclaim(0.05), UniformReclaim(0.0, 50.0), GeometricReclaim(0.1, 1.0),
+    ])
+    def test_samples_match_mean(self, dist):
+        rng = np.random.default_rng(1)
+        samples = np.asarray(dist.sample(rng, size=20_000), dtype=float)
+        assert samples.mean() == pytest.approx(dist.mean(), rel=0.1)
+
+
+class TestExpectedWork:
+    def test_deterministic_reclaim_counts_completed_periods(self):
+        schedule = EpisodeSchedule([5.0, 5.0, 5.0])
+        dist = DeterministicReclaim(11.0)
+        # First two periods finish by t=10 <= 11; the third does not.
+        assert expected_work(schedule, dist, 1.0) == pytest.approx(8.0)
+
+    def test_exponential_formula(self):
+        schedule = EpisodeSchedule([10.0, 10.0])
+        dist = ExponentialReclaim(rate=0.1)
+        expected = 9.0 * math.exp(-1.0) + 9.0 * math.exp(-2.0)
+        assert expected_work(schedule, dist, 1.0) == pytest.approx(expected)
+
+    def test_completion_probabilities(self):
+        schedule = EpisodeSchedule([5.0, 5.0])
+        probs = completion_probabilities(schedule, DeterministicReclaim(7.0))
+        assert list(probs) == [1.0, 0.0]
+
+    def test_monte_carlo_agrees_with_exact(self):
+        schedule = EpisodeSchedule([8.0, 8.0, 8.0])
+        dist = ExponentialReclaim(rate=0.05)
+        exact = expected_work(schedule, dist, 1.0)
+        approx = simulate_expected_work(schedule, dist, 1.0, num_samples=40_000,
+                                        rng=np.random.default_rng(7))
+        assert approx == pytest.approx(exact, rel=0.05)
+
+    def test_simulate_validates_samples(self):
+        with pytest.raises(ValueError):
+            simulate_expected_work(EpisodeSchedule([5.0]), DeterministicReclaim(3.0),
+                                   1.0, num_samples=0)
+
+    @settings(deadline=None, max_examples=40)
+    @given(st.lists(st.floats(min_value=0.5, max_value=20.0), min_size=1, max_size=10),
+           st.floats(min_value=0.01, max_value=1.0))
+    def test_expected_work_at_most_uninterrupted(self, lengths, rate):
+        schedule = EpisodeSchedule(lengths)
+        dist = ExponentialReclaim(rate)
+        assert expected_work(schedule, dist, 1.0) <= schedule.work_if_uninterrupted(1.0) + 1e-9
+
+
+class TestOptimisers:
+    def test_yield_zero_for_short_periods(self):
+        assert expected_yield_exponential(0.5, 0.1, 1.0) == 0.0
+
+    def test_optimal_equal_period_beats_neighbours(self):
+        rate, c = 0.02, 1.0
+        best = optimal_equal_period_exponential(rate, c)
+        y_best = expected_yield_exponential(best, rate, c)
+        for other in (best * 0.7, best * 1.3):
+            assert y_best >= expected_yield_exponential(other, rate, c) - 1e-9
+
+    def test_optimal_equal_period_scales_with_rate(self):
+        c = 1.0
+        frequent = optimal_equal_period_exponential(0.1, c)
+        rare = optimal_equal_period_exponential(0.001, c)
+        assert rare > frequent
+
+    def test_optimize_schedule_deterministic_deadline(self):
+        # With a hard deadline at t=10, the best single period ends at 10.
+        schedule, value = optimize_schedule(DeterministicReclaim(10.0), horizon=10.0,
+                                            setup_cost=1.0, grid=100)
+        assert value == pytest.approx(9.0, abs=0.2)
+        assert schedule.total_length == pytest.approx(10.0)
+
+    def test_optimize_schedule_beats_naive_split(self):
+        dist = UniformReclaim(0.0, 100.0)
+        optimized, value = optimize_schedule(dist, horizon=100.0, setup_cost=1.0, grid=200)
+        naive = expected_work(EpisodeSchedule.equal_periods(100.0, 2), dist, 1.0)
+        assert value >= naive - 1e-9
+
+    def test_optimize_schedule_validation(self):
+        with pytest.raises(ValueError):
+            optimize_schedule(DeterministicReclaim(5.0), horizon=0.0, setup_cost=1.0)
+        with pytest.raises(ValueError):
+            optimize_schedule(DeterministicReclaim(5.0), horizon=10.0, setup_cost=1.0, grid=1)

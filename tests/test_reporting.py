@@ -1,0 +1,113 @@
+"""Tests for the reporting layer (tables, CSV, series summaries)."""
+
+import numpy as np
+import pytest
+
+from repro.reporting import (
+    crossover_point,
+    format_value,
+    pivot_series,
+    ratio_summary,
+    render_table,
+    rows_to_csv,
+    write_csv,
+)
+
+
+ROWS = [
+    {"scheduler": "adaptive", "lifespan": 100.0, "work": 85.857},
+    {"scheduler": "adaptive", "lifespan": 1000.0, "work": 955.3},
+    {"scheduler": "nonadaptive", "lifespan": 100.0, "work": 81.0},
+    {"scheduler": "nonadaptive", "lifespan": 1000.0, "work": 937.7},
+]
+
+
+class TestFormatting:
+    def test_format_value_variants(self):
+        assert format_value(None) == "-"
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+        assert format_value(3.14159) == "3.142"
+        assert format_value("abc") == "abc"
+        assert format_value((1.0, 2.0)) == "(1, 2)"
+
+    def test_render_table_alignment(self):
+        text = render_table(ROWS, title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "scheduler" in lines[1]
+        assert len(lines) == 3 + len(ROWS)
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # all rows padded to the same width
+
+    def test_render_table_empty(self):
+        assert "(no rows)" in render_table([], title="empty")
+
+    def test_render_table_column_selection(self):
+        text = render_table(ROWS, columns=["work"])
+        assert "scheduler" not in text
+
+    def test_rows_to_csv(self):
+        csv_text = rows_to_csv(ROWS)
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "scheduler,lifespan,work"
+        assert len(lines) == 5
+
+    def test_write_csv(self, tmp_path):
+        path = tmp_path / "out.csv"
+        write_csv(path, ROWS)
+        assert path.read_text().startswith("scheduler,")
+
+    def test_missing_keys_render_as_dash(self):
+        rows = [{"a": 1}, {"b": 2}]
+        text = render_table(rows)
+        assert "-" in text
+
+
+class TestSeries:
+    def test_pivot(self):
+        series = pivot_series(ROWS, x="lifespan", y="work", series_key="scheduler")
+        assert set(series) == {"adaptive", "nonadaptive"}
+        xs, ys = series["adaptive"]
+        assert list(xs) == [100.0, 1000.0]
+        assert ys[0] == pytest.approx(85.857)
+
+    def test_pivot_skips_incomplete_rows(self):
+        rows = ROWS + [{"scheduler": "adaptive", "lifespan": None, "work": 1.0},
+                       {"scheduler": "adaptive"}]
+        series = pivot_series(rows, x="lifespan", y="work", series_key="scheduler")
+        assert len(series["adaptive"][0]) == 2
+
+    def test_ratio_summary(self):
+        series = pivot_series(ROWS, x="lifespan", y="work", series_key="scheduler")
+        summary = ratio_summary(series, "adaptive", "nonadaptive")
+        assert summary["min"] >= 1.0
+        assert summary["min"] <= summary["median"] <= summary["max"]
+
+    def test_ratio_summary_missing_series(self):
+        series = pivot_series(ROWS, x="lifespan", y="work", series_key="scheduler")
+        with pytest.raises(KeyError):
+            ratio_summary(series, "adaptive", "bogus")
+
+    def test_ratio_summary_disjoint_grids(self):
+        series = {"a": (np.array([1.0]), np.array([1.0])),
+                  "b": (np.array([2.0]), np.array([1.0]))}
+        with pytest.raises(ValueError):
+            ratio_summary(series, "a", "b")
+
+    def test_crossover_point(self):
+        series = {
+            "a": (np.array([1.0, 2.0, 3.0]), np.array([0.0, 5.0, 9.0])),
+            "b": (np.array([1.0, 2.0, 3.0]), np.array([4.0, 4.0, 4.0])),
+        }
+        assert crossover_point(series, "a", "b") == 2.0
+        assert crossover_point(series, "b", "a") == 1.0
+
+    def test_crossover_none(self):
+        series = {
+            "a": (np.array([1.0, 2.0]), np.array([0.0, 1.0])),
+            "b": (np.array([1.0, 2.0]), np.array([5.0, 5.0])),
+        }
+        assert crossover_point(series, "a", "b") is None
+        with pytest.raises(KeyError):
+            crossover_point(series, "a", "zzz")

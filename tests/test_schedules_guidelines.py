@@ -1,0 +1,242 @@
+"""Tests for the paper's guideline schedulers (Sections 3.1, 3.2, 5.2)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import CycleStealingParams
+from repro.analysis import bounds
+from repro.core.exceptions import SchedulingError
+from repro.schedules import (
+    EqualizingAdaptiveScheduler,
+    ExactP1Scheduler,
+    RosenbergAdaptiveScheduler,
+    RosenbergNonAdaptiveScheduler,
+    TunedEqualPeriodScheduler,
+)
+
+lifespans = st.floats(min_value=20.0, max_value=50_000.0, allow_nan=False, allow_infinity=False)
+budgets = st.integers(min_value=0, max_value=4)
+
+
+class TestRosenbergNonAdaptive:
+    def test_p0_single_period(self):
+        params = CycleStealingParams(100.0, 1.0, 0)
+        schedule = RosenbergNonAdaptiveScheduler().opportunity_schedule(params)
+        assert schedule.num_periods == 1
+
+    def test_period_count_matches_formula(self):
+        params = CycleStealingParams(10_000.0, 1.0, 2)
+        schedule = RosenbergNonAdaptiveScheduler().opportunity_schedule(params)
+        assert schedule.num_periods == bounds.nonadaptive_num_periods(10_000.0, 1.0, 2)
+
+    def test_periods_equal_and_close_to_formula(self):
+        params = CycleStealingParams(10_000.0, 1.0, 2)
+        schedule = RosenbergNonAdaptiveScheduler().opportunity_schedule(params)
+        expected = bounds.nonadaptive_period_length(10_000.0, 1.0, 2)
+        first = schedule[0]
+        assert all(t == pytest.approx(first) for t in schedule.periods)
+        assert first == pytest.approx(expected, rel=0.02)
+
+    def test_guaranteed_work_matches_section31(self):
+        """Measured worst-case work equals the derived closed form exactly."""
+        for U in (1_000.0, 10_000.0, 40_000.0):
+            for p in (1, 2, 4):
+                params = CycleStealingParams(U, 1.0, p)
+                scheduler = RosenbergNonAdaptiveScheduler()
+                measured = scheduler.guaranteed_work(params)
+                predicted = bounds.nonadaptive_guarantee(U, 1.0, p)
+                # The floor in m and the remainder absorbed by the last
+                # period keep the two within a few setup costs of each other.
+                assert measured == pytest.approx(predicted, abs=6.0)
+
+    @settings(deadline=None, max_examples=30)
+    @given(lifespans, budgets)
+    def test_schedule_always_covers_lifespan(self, U, p):
+        params = CycleStealingParams(U, 1.0, p)
+        schedule = RosenbergNonAdaptiveScheduler().opportunity_schedule(params)
+        assert schedule.total_length == pytest.approx(U, rel=1e-9)
+
+    def test_predicted_work_helper(self):
+        params = CycleStealingParams(5_000.0, 2.0, 3)
+        scheduler = RosenbergNonAdaptiveScheduler()
+        assert scheduler.predicted_work(params) == pytest.approx(
+            bounds.nonadaptive_guarantee(5_000.0, 2.0, 3))
+
+    def test_degenerate_small_lifespan(self):
+        params = CycleStealingParams(1.5, 1.0, 3)
+        schedule = RosenbergNonAdaptiveScheduler().opportunity_schedule(params)
+        assert schedule.total_length == pytest.approx(1.5)
+
+
+class TestTunedEqualPeriod:
+    def test_never_worse_than_guideline(self):
+        params = CycleStealingParams(2_000.0, 1.0, 2)
+        guideline = RosenbergNonAdaptiveScheduler().guaranteed_work(params)
+        tuned = TunedEqualPeriodScheduler(max_candidates=80).guaranteed_work(params)
+        assert tuned >= guideline - 1e-9
+
+    def test_rejects_bad_max_candidates(self):
+        with pytest.raises(ValueError):
+            TunedEqualPeriodScheduler(max_candidates=0)
+
+
+class TestExactP1:
+    def test_p0_single_period(self):
+        schedule = ExactP1Scheduler().episode_schedule(100.0, 0, 1.0)
+        assert schedule.num_periods == 1
+
+    def test_p2_rejected(self):
+        with pytest.raises(SchedulingError):
+            ExactP1Scheduler().episode_schedule(100.0, 2, 1.0)
+
+    def test_nonpositive_lifespan_rejected(self):
+        with pytest.raises(SchedulingError):
+            ExactP1Scheduler().episode_schedule(0.0, 1, 1.0)
+
+    def test_matches_table2_structure(self):
+        U, c = 10_000.0, 1.0
+        schedule = ExactP1Scheduler().episode_schedule(U, 1, c)
+        m = bounds.optimal_p1_num_periods(U, c)
+        eps = bounds.optimal_p1_epsilon(U, c)
+        assert schedule.num_periods == m
+        assert 0.0 < eps <= 1.0
+        # Last two periods are (1 + eps)c, earlier ones (m - k + eps)c.
+        assert schedule[m - 1] == pytest.approx((1 + eps) * c, rel=1e-6)
+        assert schedule[m - 2] == pytest.approx((1 + eps) * c, rel=1e-6)
+        assert schedule[0] == pytest.approx((m - 1 + eps) * c, rel=1e-6)
+        # Consecutive differences of c in the body (Table 2 / Section 5.2).
+        for k in range(0, m - 3):
+            assert schedule[k] - schedule[k + 1] == pytest.approx(c, rel=1e-6)
+
+    def test_schedule_covers_lifespan_exactly(self):
+        for U in (57.0, 313.0, 9_999.5):
+            schedule = ExactP1Scheduler().episode_schedule(U, 1, 1.0)
+            assert schedule.total_length == pytest.approx(U)
+
+    def test_guaranteed_work_matches_w1_formula(self):
+        """W^(1)[U] = U - sqrt(2cU) - c/2 up to O(1)."""
+        for U in (1_000.0, 10_000.0, 100_000.0):
+            params = CycleStealingParams(U, 1.0, 1)
+            measured = ExactP1Scheduler().guaranteed_work(params)
+            assert measured == pytest.approx(bounds.optimal_p1_work(U, 1.0), abs=2.0)
+
+    def test_is_optimal_against_dp(self, small_table):
+        params = CycleStealingParams(500.0, 1.0, 1)
+        measured = ExactP1Scheduler().guaranteed_work(params)
+        assert measured >= small_table.value(1, 500) - 1.5
+
+    def test_small_lifespan_falls_back_to_single_period(self):
+        schedule = ExactP1Scheduler().episode_schedule(1.5, 1, 1.0)
+        assert schedule.num_periods == 1
+
+
+class TestEqualizingAdaptive:
+    def test_p0_single_period(self):
+        schedule = EqualizingAdaptiveScheduler().episode_schedule(100.0, 0, 1.0)
+        assert schedule.num_periods == 1
+
+    def test_invalid_tail_epsilon(self):
+        with pytest.raises(ValueError):
+            EqualizingAdaptiveScheduler(tail_epsilon=0.0)
+        with pytest.raises(ValueError):
+            EqualizingAdaptiveScheduler(tail_epsilon=1.5)
+
+    def test_schedule_covers_residual(self):
+        scheduler = EqualizingAdaptiveScheduler()
+        for L in (10.0, 123.4, 5_000.0):
+            for p in (1, 2, 3):
+                schedule = scheduler.episode_schedule(L, p, 1.0)
+                assert schedule.total_length == pytest.approx(L, rel=1e-9)
+
+    def test_fully_productive_body(self):
+        schedule = EqualizingAdaptiveScheduler().episode_schedule(5_000.0, 2, 1.0)
+        assert schedule.is_fully_productive(1.0)
+
+    def test_p1_close_to_exact_optimum(self):
+        params = CycleStealingParams(10_000.0, 1.0, 1)
+        eq = EqualizingAdaptiveScheduler().guaranteed_work(params)
+        opt = bounds.optimal_p1_work(10_000.0, 1.0)
+        assert eq >= opt - 3.0
+
+    def test_p2_close_to_dp_optimum(self, small_table):
+        params = CycleStealingParams(600.0, 1.0, 2)
+        eq = EqualizingAdaptiveScheduler().guaranteed_work(params)
+        assert eq >= small_table.value(2, 600) - 3.0
+
+    def test_dp_oracle_variant_not_worse(self, small_table):
+        params = CycleStealingParams(600.0, 1.0, 2)
+        closed = EqualizingAdaptiveScheduler().guaranteed_work(params)
+        exact = EqualizingAdaptiveScheduler(oracle=small_table.as_oracle()).guaranteed_work(params)
+        assert exact >= closed - 2.0
+
+    def test_respects_theorem51_shape(self):
+        """Loss stays Θ(√(cU)): bounded by ~2.6·sqrt(2cU) for any p."""
+        for p in (1, 2, 3, 4):
+            params = CycleStealingParams(20_000.0, 1.0, p)
+            work = EqualizingAdaptiveScheduler().guaranteed_work(params)
+            loss = params.lifespan - work
+            assert loss <= 2.6 * math.sqrt(2 * 20_000.0) + 4 * p
+
+    def test_nonpositive_lifespan_rejected(self):
+        with pytest.raises(SchedulingError):
+            EqualizingAdaptiveScheduler().episode_schedule(0.0, 1, 1.0)
+
+    def test_predicted_work(self):
+        s = EqualizingAdaptiveScheduler()
+        assert s.predicted_work(10_000.0, 1.0, 2) == pytest.approx(
+            bounds.adaptive_guarantee(10_000.0, 1.0, 2))
+
+
+class TestRosenbergAdaptive:
+    def test_tail_period_count(self):
+        assert RosenbergAdaptiveScheduler.tail_period_count(1) == 1
+        assert RosenbergAdaptiveScheduler.tail_period_count(2) == 2
+        assert RosenbergAdaptiveScheduler.tail_period_count(3) == 2
+        assert RosenbergAdaptiveScheduler.tail_period_count(0) == 0
+
+    def test_period_increment(self):
+        assert RosenbergAdaptiveScheduler.period_increment(1, 1.0) == pytest.approx(1.0)
+        assert RosenbergAdaptiveScheduler.period_increment(2, 1.0) == pytest.approx(0.25)
+        assert RosenbergAdaptiveScheduler.period_increment(3, 2.0) == pytest.approx(2.0 / 16)
+
+    def test_invalid_tail_epsilon(self):
+        with pytest.raises(ValueError):
+            RosenbergAdaptiveScheduler(tail_epsilon=2.0)
+
+    def test_schedule_covers_residual(self):
+        scheduler = RosenbergAdaptiveScheduler()
+        for L in (10.0, 777.0, 5_000.0):
+            for p in (1, 2, 3):
+                schedule = scheduler.episode_schedule(L, p, 1.0)
+                assert schedule.total_length == pytest.approx(L, rel=1e-9)
+
+    def test_p1_matches_table2_guideline(self):
+        U, c = 10_000.0, 1.0
+        schedule = RosenbergAdaptiveScheduler().episode_schedule(U, 1, c)
+        m = schedule.num_periods
+        # Table 2: m = floor(sqrt(2U/c)) + 2 (up to the front-period rounding
+        # and the printed tail-count formula giving one 3c/2 period for p=1).
+        assert abs(m - bounds.guideline_p1_num_periods(U, c)) <= 3
+        # Short tail period(s) of 3c/2 and arithmetic increments of c.
+        assert schedule[m - 1] == pytest.approx(1.5 * c)
+        for k in range(1, m - 2):
+            assert schedule[k] - schedule[k + 1] == pytest.approx(c, rel=1e-6)
+
+    def test_p1_work_close_to_optimal(self):
+        params = CycleStealingParams(10_000.0, 1.0, 1)
+        work = RosenbergAdaptiveScheduler().guaranteed_work(params)
+        assert work >= bounds.optimal_p1_work(10_000.0, 1.0) - 5.0
+
+    def test_p0_single_period(self):
+        schedule = RosenbergAdaptiveScheduler().episode_schedule(100.0, 0, 1.0)
+        assert schedule.num_periods == 1
+
+    @settings(deadline=None, max_examples=25)
+    @given(lifespans, st.integers(min_value=1, max_value=3))
+    def test_always_valid_episode(self, L, p):
+        schedule = RosenbergAdaptiveScheduler().episode_schedule(L, p, 1.0)
+        assert schedule.total_length == pytest.approx(L, rel=1e-9)
+        assert all(t > 0 for t in schedule)

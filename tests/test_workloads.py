@@ -1,0 +1,152 @@
+"""Tests for task bags, owner-activity traces and scenarios."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.workloads import (
+    TaskBag,
+    bursty_interrupts,
+    constant_tasks,
+    evenly_spaced_interrupts,
+    laptop_evening,
+    lognormal_tasks,
+    overnight_desktops,
+    poisson_interrupts,
+    shared_lab,
+    uniform_tasks,
+    workday_interrupts,
+)
+
+
+class TestTaskBag:
+    def test_basic_accounting(self):
+        bag = TaskBag([1.0, 2.0, 3.0])
+        assert bag.total_tasks == 3
+        assert bag.total_work == 6.0
+        assert bag.remaining_work == 6.0
+        assert not bag.is_empty
+
+    def test_take_whole_tasks_only(self):
+        bag = TaskBag([1.0, 2.0, 3.0])
+        count, used = bag.take(2.5)
+        assert count == 1 and used == 1.0
+        count, used = bag.take(5.5)
+        assert count == 2 and used == 5.0
+        assert bag.is_empty and bag.completed_tasks == 3
+
+    def test_take_with_no_capacity(self):
+        bag = TaskBag([1.0])
+        assert bag.take(0.0) == (0, 0.0)
+
+    def test_reset(self):
+        bag = TaskBag([1.0, 1.0])
+        bag.take(10.0)
+        bag.reset()
+        assert bag.remaining_tasks == 2 and bag.completed_tasks == 0
+
+    def test_chunk_of(self):
+        bag = TaskBag([1.0, 2.0, 3.0])
+        assert bag.chunk_of(2) == 3.0
+        assert bag.chunk_of(10) == 6.0
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            TaskBag([1.0, -1.0])
+        with pytest.raises(ValueError):
+            TaskBag([0.0])
+
+    def test_generators(self):
+        assert constant_tasks(5, 2.0).total_work == 10.0
+        assert uniform_tasks(100, 0.5, 1.5, seed=0).total_tasks == 100
+        assert lognormal_tasks(100, median=1.0, seed=0).total_tasks == 100
+        with pytest.raises(ValueError):
+            constant_tasks(-1)
+        with pytest.raises(ValueError):
+            uniform_tasks(10, 2.0, 1.0)
+        with pytest.raises(ValueError):
+            lognormal_tasks(10, median=-1.0)
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=5.0), min_size=1, max_size=30),
+           st.floats(min_value=0.0, max_value=100.0))
+    def test_take_never_exceeds_capacity(self, sizes, capacity):
+        bag = TaskBag(sizes)
+        count, used = bag.take(capacity)
+        assert used <= capacity + 1e-9
+        assert count == bag.completed_tasks
+
+
+class TestOwnerActivity:
+    def test_poisson_interrupts_within_lifespan(self):
+        times = poisson_interrupts(100.0, rate=0.1, seed=1)
+        assert all(0.0 <= t < 100.0 for t in times)
+        assert times == sorted(times)
+
+    def test_poisson_zero_rate(self):
+        assert poisson_interrupts(100.0, rate=0.0) == []
+
+    def test_poisson_max_interrupts_cap(self):
+        times = poisson_interrupts(1_000.0, rate=1.0, seed=1, max_interrupts=3)
+        assert len(times) == 3
+
+    def test_poisson_validation(self):
+        with pytest.raises(ValueError):
+            poisson_interrupts(0.0, rate=1.0)
+
+    def test_evenly_spaced(self):
+        assert evenly_spaced_interrupts(100.0, 3) == [25.0, 50.0, 75.0]
+        assert evenly_spaced_interrupts(100.0, 0) == []
+
+    def test_workday_pattern(self):
+        times = workday_interrupts(960.0, day_length=480.0, busy_fraction=0.5,
+                                   rate_when_busy=0.05, seed=2)
+        assert all(0.0 <= t < 960.0 for t in times)
+        # No interrupt should land in the quiet half of either day.
+        for t in times:
+            assert (t % 480.0) <= 240.0
+        with pytest.raises(ValueError):
+            workday_interrupts(100.0, busy_fraction=2.0)
+
+    def test_bursty(self):
+        times = bursty_interrupts(200.0, num_bursts=3, burst_size=2, seed=3)
+        assert all(0.0 <= t < 200.0 for t in times)
+        assert times == sorted(times)
+        with pytest.raises(ValueError):
+            bursty_interrupts(200.0, num_bursts=-1)
+
+    def test_worst_case_trace(self):
+        from repro import CycleStealingParams, EpisodeSchedule
+        from repro.workloads import worst_case_interrupts_for_schedule
+
+        schedule = EpisodeSchedule.equal_periods(100.0, 10)
+        params = CycleStealingParams(100.0, 1.0, 2)
+        trace = worst_case_interrupts_for_schedule(schedule, params)
+        assert len(trace) <= 2
+        assert all(0.0 <= t < 100.0 for t in trace)
+
+
+class TestScenarios:
+    @pytest.mark.parametrize("factory", [laptop_evening, overnight_desktops, shared_lab])
+    def test_scenarios_construct_and_describe(self, factory):
+        scenario = factory()
+        assert scenario.workstations
+        assert scenario.task_bag.total_tasks > 0
+        assert scenario.params.lifespan > 0
+        assert scenario.name in scenario.describe()
+
+    def test_scenarios_are_reproducible(self):
+        a = laptop_evening(seed=5)
+        b = laptop_evening(seed=5)
+        assert a.workstations[0].owner_interrupts == b.workstations[0].owner_interrupts
+
+    def test_scenarios_run_through_simulator(self):
+        from repro.schedules import EqualizingAdaptiveScheduler
+        from repro.simulator import CycleStealingSimulation
+
+        scenario = laptop_evening()
+        report = CycleStealingSimulation(scenario.workstations,
+                                         EqualizingAdaptiveScheduler(),
+                                         task_bag=scenario.task_bag).run()
+        assert report.total_work > 0.0
+        for ws in scenario.workstations:
+            report.per_workstation[ws.workstation_id].check_conservation(ws.lifespan)
