@@ -1,8 +1,9 @@
-"""Ablation: cost of the exact DP solver (fast bisection vs reference).
+"""Ablation: cost of the exact DP solver (fast vs reference).
 
-DESIGN.md calls out the ``O(p·L·log L)`` bisection solver as an
-implementation choice over the straightforward ``O(p·L²)`` recurrence; this
-benchmark quantifies the difference and checks the two stay bit-identical.
+The fast solver replaces the straightforward ``O(p·L²)`` recurrence with an
+amortised ``O(p·L)`` monotone-crossing pointer (see
+:mod:`repro.dp.solver`); this benchmark quantifies the difference and
+checks the two stay bit-identical.
 """
 
 import numpy as np
@@ -32,4 +33,4 @@ def test_bench_dp_agreement():
         "lifespan": 2_000, "setup_cost": 3, "max_interrupts": 3,
         "solvers_agree": True,
         "table_cells": int(fast.values.size),
-    }], title="DP solver ablation: fast bisection vs reference recurrence")
+    }], title="DP solver ablation: fast crossing-pointer vs reference recurrence")

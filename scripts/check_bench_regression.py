@@ -1,0 +1,164 @@
+#!/usr/bin/env python
+"""Guard the committed benchmark results against silent drift.
+
+Recomputes a small, fast subgrid of the numbers committed under
+``benchmarks/results/*.csv`` — guaranteed work, DP optima and the
+guideline-vs-optimal ratios — and fails (exit code 1) if any recomputed
+value drifts from its committed counterpart beyond a relative tolerance.
+Every quantity involved is deterministic (exact worst-case analysis and an
+exact integer DP), so drift means the *code* changed behaviour: exactly
+what a CI gate should catch before the CSVs are regenerated blindly.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_bench_regression.py \
+        [--max-lifespan 5000] [--tolerance 1e-9] [--results-dir benchmarks/results]
+
+The default ``--max-lifespan`` keeps the check under a few seconds; raise
+it to re-verify the full committed grid.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import os
+import sys
+
+# Allow running from a repo checkout without installing the package.
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro import CycleStealingParams  # noqa: E402
+from repro.analysis import measure_guaranteed_work, optimality_gap  # noqa: E402
+from repro.experiments import DPTableCache  # noqa: E402
+from repro.schedules import (  # noqa: E402
+    EqualizingAdaptiveScheduler,
+    RosenbergAdaptiveScheduler,
+    RosenbergNonAdaptiveScheduler,
+)
+
+SCHEDULERS = {
+    "equalizing-adaptive": EqualizingAdaptiveScheduler,
+    "rosenberg-adaptive (literal)": RosenbergAdaptiveScheduler,
+    "rosenberg-nonadaptive": RosenbergNonAdaptiveScheduler,
+}
+
+
+def read_rows(path):
+    with open(path, newline="") as handle:
+        return list(csv.DictReader(handle))
+
+
+def relative_drift(committed: float, recomputed: float) -> float:
+    scale = max(abs(committed), abs(recomputed), 1.0)
+    return abs(committed - recomputed) / scale
+
+
+def check_optimality_gap(results_dir: str, max_lifespan: float,
+                         tolerance: float, cache: DPTableCache):
+    """Re-derive guideline work, DP optimum and their ratio per row."""
+    path = os.path.join(results_dir, "optimality_gap.csv")
+    failures = []
+    checked = 0
+    for row in read_rows(path):
+        U = float(row["lifespan"])
+        if U > max_lifespan:
+            continue
+        name = row["scheduler"]
+        if name not in SCHEDULERS:
+            failures.append(f"{path}: unknown scheduler {name!r}")
+            continue
+        p = int(row["max_interrupts"])
+        params = CycleStealingParams(lifespan=U, setup_cost=1.0,
+                                     max_interrupts=p)
+        report = optimality_gap(SCHEDULERS[name](), params, cache=cache)
+        committed_work = float(row["guaranteed_work"])
+        committed_opt = float(row["dp_optimal"])
+        committed_ratio = committed_work / committed_opt
+        ratio = report.guaranteed_work / report.optimal_work
+        for label, committed, recomputed in [
+                ("guaranteed_work", committed_work, report.guaranteed_work),
+                ("dp_optimal", committed_opt, report.optimal_work),
+                ("guideline/optimal ratio", committed_ratio, ratio)]:
+            drift = relative_drift(committed, recomputed)
+            if drift > tolerance:
+                failures.append(
+                    f"{path}: {name} U={U:g} p={p}: {label} drifted "
+                    f"{drift:.3e} (committed {committed!r}, "
+                    f"recomputed {recomputed!r})")
+        checked += 1
+    return checked, failures
+
+
+def check_nonadaptive_section31(results_dir: str, max_lifespan: float,
+                                tolerance: float):
+    """Re-derive the Section 3.1 guideline's measured worst-case work."""
+    path = os.path.join(results_dir, "nonadaptive_section31.csv")
+    failures = []
+    checked = 0
+    scheduler = RosenbergNonAdaptiveScheduler()
+    for row in read_rows(path):
+        U = float(row["lifespan"])
+        if U > max_lifespan:
+            continue
+        p = int(row["max_interrupts"])
+        params = CycleStealingParams(lifespan=U, setup_cost=1.0,
+                                     max_interrupts=p)
+        recomputed = measure_guaranteed_work(scheduler, params,
+                                             mode="nonadaptive")
+        committed = float(row["measured_work"])
+        drift = relative_drift(committed, recomputed)
+        if drift > tolerance:
+            failures.append(
+                f"{path}: U={U:g} p={p}: measured_work drifted {drift:.3e} "
+                f"(committed {committed!r}, recomputed {recomputed!r})")
+        checked += 1
+    return checked, failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--results-dir",
+                        default=os.path.join(_ROOT, "benchmarks", "results"))
+    parser.add_argument("--max-lifespan", type=float, default=5_000.0,
+                        help="only re-verify committed rows up to this lifespan")
+    parser.add_argument("--tolerance", type=float, default=1e-9,
+                        help="maximum allowed relative drift")
+    parser.add_argument("--cache-dir", default=None,
+                        help="optional on-disk DP-table cache directory")
+    args = parser.parse_args(argv)
+
+    cache = DPTableCache(cache_dir=args.cache_dir)
+    total_checked = 0
+    all_failures = []
+    for checker in (
+            lambda: check_optimality_gap(args.results_dir, args.max_lifespan,
+                                         args.tolerance, cache),
+            lambda: check_nonadaptive_section31(args.results_dir,
+                                               args.max_lifespan,
+                                               args.tolerance)):
+        checked, failures = checker()
+        total_checked += checked
+        all_failures.extend(failures)
+
+    if total_checked == 0:
+        print("error: no committed rows matched the requested grid",
+              file=sys.stderr)
+        return 1
+    if all_failures:
+        print(f"BENCH REGRESSION: {len(all_failures)} drifted value(s) "
+              f"across {total_checked} checked row(s):", file=sys.stderr)
+        for failure in all_failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"ok: {total_checked} committed benchmark rows re-verified "
+          f"(tolerance {args.tolerance:g}, DP cache "
+          f"{cache.stats.lookups - cache.stats.misses}/{cache.stats.lookups} hits)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,6 +20,9 @@ The package is organised around the paper's structure:
 * :mod:`repro.expected` — the companion expected-output submodel.
 * :mod:`repro.simulator` / :mod:`repro.workloads` — a discrete-event NOW
   simulator plus task bags, owner traces and canned scenarios.
+* :mod:`repro.experiments` — the experiment harness: parallel sweep
+  orchestration, Monte-Carlo replication over stochastic owners, and a
+  two-level (LRU + on-disk) cache of solved DP tables.
 * :mod:`repro.reporting` — ASCII/CSV rendering of results.
 
 Quick start

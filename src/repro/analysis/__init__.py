@@ -1,7 +1,7 @@
 """Analysis layer: closed-form bounds, optimality gaps, tables and sweeps."""
 
 from . import bounds
-from .gap import GapReport, measure_guaranteed_work, optimality_gap
+from .gap import GapReport, dp_table_for, measure_guaranteed_work, optimality_gap
 from .sweeps import (
     adaptive_guarantee_sweep,
     nonadaptive_guarantee_sweep,
@@ -15,6 +15,7 @@ __all__ = [
     "GapReport",
     "measure_guaranteed_work",
     "optimality_gap",
+    "dp_table_for",
     "table1_rows",
     "table2_rows",
     "nonadaptive_guarantee_sweep",

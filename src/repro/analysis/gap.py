@@ -23,7 +23,8 @@ from ..core.params import CycleStealingParams
 from ..core.work import worst_case_nonadaptive_work
 from ..dp import ValueTable
 
-__all__ = ["GapReport", "measure_guaranteed_work", "optimality_gap"]
+__all__ = ["GapReport", "measure_guaranteed_work", "optimality_gap",
+           "dp_table_for"]
 
 
 @dataclass(frozen=True)
@@ -97,18 +98,43 @@ def measure_guaranteed_work(scheduler: Union[AdaptiveSchedulerProtocol,
     raise TypeError(f"object {scheduler!r} implements neither scheduler protocol")
 
 
+def dp_table_for(params: CycleStealingParams, *, cache=None,
+                 method: str = "fast") -> ValueTable:
+    """The exact DP table covering ``params``, via the experiment cache.
+
+    Requires integer-valued lifespan and set-up cost (the DP grid).  Pass a
+    :class:`repro.experiments.DPTableCache` to share tables across calls,
+    sweeps and processes; the process-wide shared cache is used otherwise,
+    so back-to-back gap measurements solve each table exactly once.
+    """
+    from ..experiments.cache import cached_solve
+
+    L, c = params.lifespan, params.setup_cost
+    if not (float(L).is_integer() and float(c).is_integer()):
+        raise ValueError(
+            f"DP tables need integer-valued parameters, got U={L!r}, c={c!r}")
+    return cached_solve(int(L), int(c), params.max_interrupts,
+                        method=method, cache=cache)
+
+
 def optimality_gap(scheduler, params: CycleStealingParams,
                    dp_table: Optional[ValueTable] = None,
-                   *, mode: str = "auto") -> GapReport:
+                   *, mode: str = "auto", cache=None) -> GapReport:
     """Measure a scheduler's guaranteed work and its gap to the exact optimum.
 
     Parameters
     ----------
     dp_table:
         A solved :class:`repro.dp.ValueTable` covering ``params``; when
-        omitted only the guaranteed work is reported.
+        omitted (and no ``cache`` is given) only the guaranteed work is
+        reported.
+    cache:
+        A :class:`repro.experiments.DPTableCache` used to resolve the table
+        when ``dp_table`` is omitted (integer-valued parameters only).
     """
     work = measure_guaranteed_work(scheduler, params, mode=mode)
+    if dp_table is None and cache is not None:
+        dp_table = dp_table_for(params, cache=cache)
     optimal = None
     if dp_table is not None:
         optimal = dp_table.value(min(params.max_interrupts, dp_table.max_interrupts),

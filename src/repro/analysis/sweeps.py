@@ -3,6 +3,13 @@
 Every sweep returns a list of plain dictionaries (one per configuration) so
 the same data can be rendered as an ASCII table, written to CSV, or asserted
 on in tests without any further dependencies.
+
+All sweeps route through the experiment orchestrator
+(:mod:`repro.experiments.orchestrator`): each one expands its grid into
+picklable per-point payloads handled by a module-level row builder, so the
+same code runs serially (``jobs=1``, the default) or fanned out over a
+``concurrent.futures`` process pool (``jobs=N``) with byte-identical
+results in both modes.
 """
 
 from __future__ import annotations
@@ -23,9 +30,98 @@ __all__ = [
 ]
 
 
+def _parallel_map(func, payloads, jobs: int):
+    # Deferred import: repro.analysis must stay importable without pulling
+    # in the experiments subsystem (which itself imports repro.analysis).
+    from ..experiments.orchestrator import parallel_map
+    return parallel_map(func, payloads, jobs=jobs)
+
+
+# ----------------------------------------------------------------------
+# Module-level row builders (picklable worker payloads)
+# ----------------------------------------------------------------------
+def _nonadaptive_guarantee_row(payload) -> Dict[str, float]:
+    U, c, p = payload
+    from ..schedules.nonadaptive import RosenbergNonAdaptiveScheduler
+
+    scheduler = RosenbergNonAdaptiveScheduler()
+    params = CycleStealingParams(lifespan=U, setup_cost=c, max_interrupts=p)
+    schedule = scheduler.opportunity_schedule(params)
+    measured = measure_guaranteed_work(scheduler, params, mode="nonadaptive")
+    return {
+        "lifespan": U,
+        "setup_cost": c,
+        "max_interrupts": p,
+        "num_periods": schedule.num_periods,
+        "measured_work": measured,
+        "predicted_work": bounds.nonadaptive_guarantee(U, c, p),
+        "predicted_work_paper": bounds.nonadaptive_guarantee_paper(U, c, p),
+        "efficiency": measured / U,
+    }
+
+
+def _adaptive_guarantee_row(payload) -> Dict[str, float]:
+    U, c, p, scheduler = payload
+    if scheduler is None:
+        from ..schedules.adaptive import EqualizingAdaptiveScheduler
+        scheduler = EqualizingAdaptiveScheduler()
+    params = CycleStealingParams(lifespan=U, setup_cost=c, max_interrupts=p)
+    measured = measure_guaranteed_work(scheduler, params, mode="adaptive")
+    first_episode = scheduler.episode_schedule(U, p, c)
+    return {
+        "lifespan": U,
+        "setup_cost": c,
+        "max_interrupts": p,
+        "num_periods": first_episode.num_periods,
+        "measured_work": measured,
+        "theorem51_bound": bounds.adaptive_guarantee(U, c, p),
+        "loss_coefficient": bounds.adaptive_loss_coefficient(p),
+        "efficiency": measured / U,
+    }
+
+
+def _resolve_dp_ref(dp_ref) -> Optional[ValueTable]:
+    """Materialise a worker payload's DP reference.
+
+    ``dp_ref`` is either an actual :class:`ValueTable` (serial mode), a
+    ``(L, c, p, method)`` cache key (parallel mode — resolving through the
+    per-worker cache is far cheaper than pickling megabyte tables into
+    every payload), or ``None``.
+    """
+    if dp_ref is None or isinstance(dp_ref, ValueTable):
+        return dp_ref
+    from ..experiments.orchestrator import _worker_cache
+    L, c, p, method = dp_ref
+    return _worker_cache(None).solve(L, c, p, method=method)
+
+
+def _comparison_row(payload) -> Dict[str, object]:
+    label, scheduler, params, dp_ref = payload
+    dp_table = _resolve_dp_ref(dp_ref)
+    work = measure_guaranteed_work(scheduler, params)
+    row: Dict[str, object] = {
+        "scheduler": label,
+        "lifespan": params.lifespan,
+        "setup_cost": params.setup_cost,
+        "max_interrupts": params.max_interrupts,
+        "guaranteed_work": work,
+        "efficiency": work / params.lifespan,
+    }
+    if dp_table is not None:
+        optimal = dp_table.value(
+            min(params.max_interrupts, dp_table.max_interrupts),
+            int(params.lifespan))
+        row["optimal_work"] = float(optimal)
+        row["gap"] = float(optimal) - work
+    return row
+
+
+# ----------------------------------------------------------------------
+# Public sweeps
+# ----------------------------------------------------------------------
 def nonadaptive_guarantee_sweep(lifespans: Iterable[float], setup_cost: float,
-                                interrupt_budgets: Iterable[int]
-                                ) -> List[Dict[str, float]]:
+                                interrupt_budgets: Iterable[int],
+                                *, jobs: int = 1) -> List[Dict[str, float]]:
     """Measured vs. predicted guaranteed work of the non-adaptive guideline.
 
     Reproduces the Section 3.1 analysis: for every ``(U, p)`` pair the
@@ -33,90 +129,54 @@ def nonadaptive_guarantee_sweep(lifespans: Iterable[float], setup_cost: float,
     and compared with both closed-form estimates (the derived
     ``U − 2√(pcU) + pc`` and the printed ``U − √(2pcU) + pc``).
     """
-    from ..schedules.nonadaptive import RosenbergNonAdaptiveScheduler
-
-    scheduler = RosenbergNonAdaptiveScheduler()
     c = float(setup_cost)
-    rows: List[Dict[str, float]] = []
-    for p in interrupt_budgets:
-        for U in lifespans:
-            params = CycleStealingParams(lifespan=float(U), setup_cost=c,
-                                         max_interrupts=int(p))
-            schedule = scheduler.opportunity_schedule(params)
-            measured = measure_guaranteed_work(scheduler, params, mode="nonadaptive")
-            rows.append({
-                "lifespan": float(U),
-                "setup_cost": c,
-                "max_interrupts": int(p),
-                "num_periods": schedule.num_periods,
-                "measured_work": measured,
-                "predicted_work": bounds.nonadaptive_guarantee(U, c, p),
-                "predicted_work_paper": bounds.nonadaptive_guarantee_paper(U, c, p),
-                "efficiency": measured / float(U),
-            })
-    return rows
+    payloads = [(float(U), c, int(p))
+                for p in interrupt_budgets for U in lifespans]
+    return _parallel_map(_nonadaptive_guarantee_row, payloads, jobs)
 
 
 def adaptive_guarantee_sweep(lifespans: Iterable[float], setup_cost: float,
                              interrupt_budgets: Iterable[int],
-                             *, scheduler=None) -> List[Dict[str, float]]:
-    """Measured vs. Theorem 5.1 guaranteed work of an adaptive guideline."""
-    from ..schedules.adaptive import EqualizingAdaptiveScheduler
+                             *, scheduler=None, jobs: int = 1
+                             ) -> List[Dict[str, float]]:
+    """Measured vs. Theorem 5.1 guaranteed work of an adaptive guideline.
 
-    if scheduler is None:
-        scheduler = EqualizingAdaptiveScheduler()
+    With ``jobs > 1`` a custom ``scheduler`` must be picklable (every
+    scheduler shipped in :mod:`repro.schedules` is).
+    """
     c = float(setup_cost)
-    rows: List[Dict[str, float]] = []
-    for p in interrupt_budgets:
-        for U in lifespans:
-            params = CycleStealingParams(lifespan=float(U), setup_cost=c,
-                                         max_interrupts=int(p))
-            measured = measure_guaranteed_work(scheduler, params, mode="adaptive")
-            first_episode = scheduler.episode_schedule(float(U), int(p), c)
-            rows.append({
-                "lifespan": float(U),
-                "setup_cost": c,
-                "max_interrupts": int(p),
-                "num_periods": first_episode.num_periods,
-                "measured_work": measured,
-                "theorem51_bound": bounds.adaptive_guarantee(U, c, p),
-                "loss_coefficient": bounds.adaptive_loss_coefficient(p),
-                "efficiency": measured / float(U),
-            })
-    return rows
+    payloads = [(float(U), c, int(p), scheduler)
+                for p in interrupt_budgets for U in lifespans]
+    return _parallel_map(_adaptive_guarantee_row, payloads, jobs)
 
 
 def scheduler_comparison_sweep(schedulers: Mapping[str, object],
                                params_list: Iterable[CycleStealingParams],
-                               dp_table: Optional[ValueTable] = None
-                               ) -> List[Dict[str, object]]:
+                               dp_table: Optional[ValueTable] = None,
+                               *, jobs: int = 1) -> List[Dict[str, object]]:
     """Guaranteed work of several schedulers across several opportunities."""
-    rows: List[Dict[str, object]] = []
-    for params in params_list:
-        for label, scheduler in schedulers.items():
-            work = measure_guaranteed_work(scheduler, params)
-            row: Dict[str, object] = {
-                "scheduler": label,
-                "lifespan": params.lifespan,
-                "setup_cost": params.setup_cost,
-                "max_interrupts": params.max_interrupts,
-                "guaranteed_work": work,
-                "efficiency": work / params.lifespan,
-            }
-            if dp_table is not None:
-                optimal = dp_table.value(
-                    min(params.max_interrupts, dp_table.max_interrupts),
-                    int(params.lifespan))
-                row["optimal_work"] = float(optimal)
-                row["gap"] = float(optimal) - work
-            rows.append(row)
-    return rows
+    dp_ref = dp_table
+    if jobs != 1 and dp_table is not None:
+        # Don't pickle the table into every payload: send its cache key and
+        # let each worker solve/fetch it once.  (Any correct solver yields
+        # identical values, so "fast" is a faithful stand-in.)
+        dp_ref = (dp_table.max_lifespan, dp_table.setup_cost,
+                  dp_table.max_interrupts, "fast")
+    payloads = [(label, scheduler, params, dp_ref)
+                for params in params_list
+                for label, scheduler in schedulers.items()]
+    return _parallel_map(_comparison_row, payloads, jobs)
 
 
 def play_out_sweep(schedulers: Mapping[str, object], adversaries: Mapping[str, object],
                    params: CycleStealingParams, *, adaptive: bool = True
                    ) -> List[Dict[str, object]]:
-    """Play every scheduler against every adversary once and tabulate the outcomes."""
+    """Play every scheduler against every adversary once and tabulate the outcomes.
+
+    (Stateful adversaries make this sweep order-dependent by design, so it
+    always runs serially; use :func:`repro.experiments.run_sweep` with
+    ``replications`` for the parallel Monte-Carlo version.)
+    """
     rows: List[Dict[str, object]] = []
     for sched_label, scheduler in schedulers.items():
         for adv_label, adversary in adversaries.items():

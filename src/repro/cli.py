@@ -8,6 +8,10 @@ Sub-commands
 ``adaptive``   Sweep the Theorem 5.1 adaptive guarantee.
 ``gap``        Optimality gaps of every scheduler against the exact DP optimum.
 ``simulate``   Run a canned NOW scenario through the discrete-event simulator.
+``sweep``      Parallel experiment sweep (guaranteed work, DP optima and
+               Monte-Carlo replication) over a lifespan × cost × interrupts ×
+               scheduler × adversary grid, with ``--jobs``, ``--replications``,
+               ``--seed`` and a shared DP-table ``--cache-dir``.
 
 Each command prints an aligned ASCII table; ``--csv PATH`` writes the same
 rows to a CSV file.
@@ -66,11 +70,44 @@ def build_parser() -> argparse.ArgumentParser:
     gp.add_argument("--lifespan", "-U", type=int, default=2_000)
     gp.add_argument("--setup-cost", "-c", type=int, default=1)
     gp.add_argument("--interrupts", "-p", type=int, default=2)
+    gp.add_argument("--jobs", type=int, default=1,
+                    help="worker processes for the comparison sweep")
+    gp.add_argument("--cache-dir", default=None,
+                    help="on-disk DP-table cache directory (solve once, reuse)")
+
+    from .workloads.scenarios import SCENARIO_FAMILIES
 
     sim = sub.add_parser("simulate", help="run a canned NOW scenario")
-    sim.add_argument("--scenario", choices=["laptop", "desktops", "lab"], default="laptop")
+    sim.add_argument("--scenario", choices=sorted(SCENARIO_FAMILIES),
+                     default="laptop")
     sim.add_argument("--scheduler", choices=["equalizing", "rosenberg", "fixed", "single"],
                      default="equalizing")
+    sim.add_argument("--seed", type=int, default=None,
+                     help="scenario seed (default: the family's canonical seed)")
+
+    from .experiments.grid import adversary_names, scheduler_names
+
+    sw = sub.add_parser(
+        "sweep", help="parallel experiment sweep with Monte-Carlo replication")
+    sw.add_argument("--lifespans", type=float, nargs="+",
+                    default=[200.0, 400.0, 800.0])
+    sw.add_argument("--setup-costs", type=float, nargs="+", default=[1.0])
+    sw.add_argument("--interrupts", type=int, nargs="+", default=[1, 2])
+    sw.add_argument("--schedulers", nargs="+", choices=scheduler_names(),
+                    default=["equalizing-adaptive", "rosenberg-nonadaptive"])
+    sw.add_argument("--adversaries", nargs="+", choices=adversary_names(),
+                    default=[],
+                    help="stochastic owners to sample (enables the Monte-Carlo columns)")
+    sw.add_argument("--jobs", "-j", type=int, default=1,
+                    help="worker processes (0 = one per CPU)")
+    sw.add_argument("--replications", "-n", type=int, default=0,
+                    help="Monte-Carlo replications per point (0 = analytic only)")
+    sw.add_argument("--seed", type=int, default=0,
+                    help="base seed for deterministic per-point trace sampling")
+    sw.add_argument("--cache-dir", default=None,
+                    help="on-disk DP-table cache directory shared by all workers")
+    sw.add_argument("--optimal", action="store_true",
+                    help="also compute the exact DP optimum per point (integer grids)")
 
     return parser
 
@@ -98,7 +135,7 @@ def _cmd_adaptive(args) -> List[dict]:
 
 
 def _cmd_gap(args) -> List[dict]:
-    from .dp import solve
+    from .experiments.cache import DPTableCache
     from .schedules import (
         DPOptimalScheduler,
         EqualizingAdaptiveScheduler,
@@ -112,7 +149,8 @@ def _cmd_gap(args) -> List[dict]:
     params = CycleStealingParams(lifespan=float(args.lifespan),
                                  setup_cost=float(args.setup_cost),
                                  max_interrupts=args.interrupts)
-    table = solve(int(args.lifespan), int(args.setup_cost), args.interrupts)
+    cache = DPTableCache(cache_dir=args.cache_dir)
+    table = cache.solve(int(args.lifespan), int(args.setup_cost), args.interrupts)
     schedulers = {
         "dp-optimal": DPOptimalScheduler(table),
         "equalizing-adaptive": EqualizingAdaptiveScheduler(),
@@ -122,7 +160,8 @@ def _cmd_gap(args) -> List[dict]:
         "equal-split": EqualSplitScheduler(),
         "single-period": SinglePeriodScheduler(),
     }
-    return scheduler_comparison_sweep(schedulers, [params], dp_table=table)
+    return scheduler_comparison_sweep(schedulers, [params], dp_table=table,
+                                      jobs=args.jobs)
 
 
 def _cmd_simulate(args) -> List[dict]:
@@ -133,10 +172,10 @@ def _cmd_simulate(args) -> List[dict]:
         SinglePeriodScheduler,
     )
     from .simulator import CycleStealingSimulation
-    from .workloads import laptop_evening, overnight_desktops, shared_lab
+    from .workloads.scenarios import SCENARIO_FAMILIES
 
-    scenario = {"laptop": laptop_evening, "desktops": overnight_desktops,
-                "lab": shared_lab}[args.scenario]()
+    family = SCENARIO_FAMILIES[args.scenario]
+    scenario = family() if args.seed is None else family(seed=args.seed)
     scheduler = {
         "equalizing": EqualizingAdaptiveScheduler(),
         "rosenberg": RosenbergAdaptiveScheduler(),
@@ -146,6 +185,27 @@ def _cmd_simulate(args) -> List[dict]:
     report = CycleStealingSimulation(scenario.workstations, scheduler,
                                      task_bag=scenario.task_bag).run()
     return report.rows()
+
+
+def _cmd_sweep(args) -> List[dict]:
+    from .experiments import SweepGrid, run_sweep
+
+    adversaries = tuple(args.adversaries)
+    if args.replications > 0 and not adversaries:
+        # Asking for replications implies a Monte-Carlo layer; silently
+        # producing none would be a no-op, so default to a Poisson owner.
+        adversaries = ("poisson-owner",)
+        print("note: --replications given without --adversaries; "
+              "defaulting to 'poisson-owner'", file=sys.stderr)
+
+    grid = SweepGrid(lifespans=tuple(args.lifespans),
+                     setup_costs=tuple(args.setup_costs),
+                     interrupt_budgets=tuple(args.interrupts),
+                     schedulers=tuple(args.schedulers),
+                     adversaries=adversaries)
+    return run_sweep(grid, jobs=args.jobs, replications=args.replications,
+                     seed=args.seed, cache_dir=args.cache_dir,
+                     include_optimal=args.optimal)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -159,6 +219,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "adaptive": _cmd_adaptive,
         "gap": _cmd_gap,
         "simulate": _cmd_simulate,
+        "sweep": _cmd_sweep,
     }
     rows = handlers[args.command](args)
     print(render_table(rows, title=f"cycle-stealing {args.command}"))

@@ -1,20 +1,29 @@
 """Fast exact solver for the ``W^(p)[L]`` dynamic program.
 
 :func:`solve_fast` computes exactly the same table as
-:func:`repro.dp.value.solve_reference` but replaces the ``O(L)`` inner
-maximisation with an ``O(log L)`` binary search, using two structural facts
-about the recurrence (both verified by the property tests in
-``tests/dp/test_structure.py``):
+:func:`repro.dp.value.solve_reference` in ``O(p·L)`` total work — one
+amortised-constant-time step per state — using two structural facts about
+the recurrence (both verified by the property tests in the test-suite).
+Substituting ``s = L − t`` (the lifespan left after the first period), the
+adversary's two options become
 
-* the "let it run" branch ``g(t) = (t ⊖ c) + W^(p)[L − t]`` is
-  non-decreasing in ``t`` on ``t >= c`` because ``W^(p)`` is 1-Lipschitz;
-* the "interrupt" branch ``h(t) = W^(p−1)[L − t]`` is non-increasing in
-  ``t`` because ``W^(p−1)`` is non-decreasing in the lifespan.
+* "let it run":  ``g(s) = (L − s − c) + W^(p)[s]`` — **non-increasing**
+  in ``s`` because ``W^(p)`` is 1-Lipschitz;
+* "interrupt":   ``h(s) = W^(p−1)[s]`` — **non-decreasing** in ``s``.
 
-The maximum of ``min(g, h)`` over ``t ∈ [c, L]`` is therefore attained at
-the crossing of the two curves, located by bisection; period lengths below
-``c`` are dominated by the single candidate ``W^(p)[L − 1]`` (wasting one
-time unit), which is checked separately.
+The maximum of ``min(g, h)`` is attained where the curves cross, i.e. at
+the largest ``s`` with ``W^(p)[s] − s − W^(p−1)[s] ≥ c − L`` (or one past
+it).  The left-hand side is a non-increasing function of ``s`` that does
+not depend on ``L``, while the threshold ``c − L`` falls by one per unit of
+``L`` — so the crossing index is non-decreasing in ``L`` and a single
+forward-moving pointer locates it for every state of a row in ``O(L)``
+amortised time.  (Earlier revisions used a per-state ``O(log L)`` binary
+search and, before that, the reference ``O(L)`` scan.)  Period lengths
+below ``c`` are dominated by the single candidate ``W^(p)[L − 1]``
+(wasting one time unit), which is checked separately.  The ``p = 0`` base
+row and the final table assembly are vectorised with NumPy; the pointer
+sweep itself runs on plain Python lists, which profile measurably faster
+than per-element ``ndarray`` indexing.
 
 :func:`solve` is the public entry point choosing between the two solvers,
 and :func:`solve_for_params` adapts real-valued
@@ -35,7 +44,7 @@ __all__ = ["solve", "solve_fast", "solve_for_params", "discretize_params"]
 
 
 def solve_fast(max_lifespan: int, setup_cost: int, max_interrupts: int) -> ValueTable:
-    """Solve the recurrence with the bisection inner step (``O(p·L·log L)``)."""
+    """Solve the recurrence with the monotone-crossing pointer (``O(p·L)``)."""
     _validate_inputs(max_lifespan, setup_cost, max_interrupts)
     L_max = int(max_lifespan)
     c = int(setup_cost)
@@ -48,61 +57,50 @@ def solve_fast(max_lifespan: int, setup_cost: int, max_interrupts: int) -> Value
     values[0] = work
     first[0] = np.arange(L_max + 1)
 
+    # Shortest first period the s-scan must consider: periods shorter than
+    # max(c, 1) are dominated by the waste-one-unit candidate W^(q)[L − 1].
+    cm = max(c, 1)
+
     for q in range(1, p_max + 1):
-        row = values[q]
-        prev = values[q - 1]
-        row_first = first[q]
+        prev = values[q - 1].tolist()
+        row = [0] * (L_max + 1)
+        row_first = [0] * (L_max + 1)
+        # diff[s] = W^(q)[s] − s − W^(q−1)[s]: non-increasing in s (the row
+        # is 1-Lipschitz, the previous row non-decreasing), independent of
+        # L.  The crossing is the largest s with diff[s] >= c − L.
+        diff = [0] * (L_max + 1)
+        s_ptr = 0
         for L in range(1, L_max + 1):
-            best_val, best_t = _best_first_period(row, prev, work, L, c)
-            row[L] = best_val
-            row_first[L] = best_t
+            # Candidate 1: waste one time unit (dominates every t <= c; for
+            # c >= 1 its exact value is W^(q)[L − 1], for c = 0 that is a
+            # safe lower bound and t = 1 is re-examined by the scan below).
+            best_val = row[L - 1]
+            best_t = 1
 
-    return ValueTable(setup_cost=c, values=values, first_periods=first)
-
-
-def _best_first_period(row: np.ndarray, prev: np.ndarray, work: np.ndarray,
-                       L: int, c: int):
-    """Maximise ``min(g, h)`` over the first-period length for one state."""
-    def g(t: int) -> int:
-        return int(work[t] + row[L - t])
-
-    def h(t: int) -> int:
-        return int(prev[L - t])
-
-    # Candidate 1: waste one time unit (covers every t <= c, all of which are
-    # dominated by t = 1 because g(t) = W^(q)[L - t] is largest at t = 1 and
-    # is always the smaller branch there).
-    best_val = int(row[L - 1])
-    best_t = 1
-
-    lo = max(1, min(c, L))
-    hi = L
-    if lo <= hi:
-        # Find the smallest t in [lo, hi] with g(t) >= h(t); min(g, h) peaks
-        # at that crossing (or at hi when g stays below h).
-        a, b = lo, hi
-        if g(b) < h(b):
-            cross = b + 1  # no crossing: g below h everywhere
-        else:
-            while a < b:
-                mid = (a + b) // 2
-                if g(mid) >= h(mid):
-                    b = mid
-                else:
-                    a = mid + 1
-            cross = a
-        for t in (cross - 1, cross):
-            if lo <= t <= hi:
-                val = min(g(t), h(t))
+            s_max = L - cm
+            if s_max >= 0:
+                threshold = c - L
+                while s_ptr < s_max and diff[s_ptr + 1] >= threshold:
+                    s_ptr += 1
+                # At the crossing the "interrupt" branch is the minimum.
+                val = prev[s_ptr]
                 if val > best_val:
                     best_val = val
-                    best_t = t
-        if cross > hi:
-            val = min(g(hi), h(hi))
-            if val > best_val:
-                best_val = val
-                best_t = hi
-    return best_val, best_t
+                    best_t = L - s_ptr
+                # One past the crossing the "let it run" branch is.
+                s_past = s_ptr + 1
+                if s_past <= s_max:
+                    val = (L - s_past - c) + row[s_past]
+                    if val > best_val:
+                        best_val = val
+                        best_t = L - s_past
+            row[L] = best_val
+            row_first[L] = best_t
+            diff[L] = best_val - L - prev[L]
+        values[q] = row
+        first[q] = row_first
+
+    return ValueTable(setup_cost=c, values=values, first_periods=first)
 
 
 def solve(max_lifespan: int, setup_cost: int, max_interrupts: int,

@@ -1,0 +1,251 @@
+"""Two-level cache for solved ``W^(p)[L]`` dynamic-programming tables.
+
+Every parameter sweep, optimality-gap measurement and benchmark needs the
+same handful of :class:`~repro.dp.value.ValueTable` objects, and solving one
+is by far the most expensive primitive in the library (``O(p·L)`` after the
+fast-solver rewrite, but with ``L`` in the tens of thousands).  The cache
+here makes a table a solve-once artefact:
+
+* **Level 1 — in-process LRU.**  An ``OrderedDict`` of the most recently
+  used tables, keyed by the exact ``(max_lifespan, setup_cost,
+  max_interrupts, method)`` tuple.  A *covering* lookup is also supported:
+  a cached table with the same ``(setup_cost, method)`` but a larger
+  lifespan/interrupt range answers requests for any smaller range, because
+  the DP over a lifespan prefix is independent of ``L_max``.
+* **Level 2 — on-disk ``.npz`` store.**  Compressed NumPy archives under a
+  cache directory, one file per key, written atomically (temp file +
+  ``os.replace``) so concurrent sweep workers sharing the directory never
+  observe a torn file.  Corrupt or unreadable files are treated as misses
+  and transparently rewritten.
+
+The orchestrator in :mod:`repro.experiments.orchestrator` gives every worker
+process its own :class:`DPTableCache` pointed at the same directory, so a
+table is computed once per parameter point across *all* sweeps and runs.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import zipfile
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..core.exceptions import InvalidParameterError
+from ..dp.solver import solve
+from ..dp.value import ValueTable
+
+__all__ = ["CacheStats", "DPTableCache", "cached_solve", "shared_cache",
+           "configure_shared_cache"]
+
+#: Cache key: ``(max_lifespan, setup_cost, max_interrupts, method)``.
+CacheKey = Tuple[int, int, int, str]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one :class:`DPTableCache`."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total number of :meth:`DPTableCache.solve` calls."""
+        return self.memory_hits + self.disk_hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered without re-solving the DP."""
+        if self.lookups == 0:
+            return 0.0
+        return (self.memory_hits + self.disk_hits) / self.lookups
+
+
+class DPTableCache:
+    """LRU + on-disk cache in front of :func:`repro.dp.solver.solve`.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory for the on-disk ``.npz`` level.  ``None`` disables the
+        disk level (the LRU level always operates).  Created on demand.
+    max_memory_entries:
+        Capacity of the in-process LRU level.
+    allow_covering:
+        When ``True`` (the default) an in-memory table whose range covers
+        the request (same ``setup_cost`` and ``method``, lifespan and
+        interrupt range at least as large) is returned instead of solving a
+        smaller table from scratch.
+    """
+
+    def __init__(self, cache_dir: Optional[str] = None,
+                 max_memory_entries: int = 16,
+                 allow_covering: bool = True):
+        if max_memory_entries < 1:
+            raise InvalidParameterError(
+                f"max_memory_entries must be >= 1, got {max_memory_entries!r}")
+        self.cache_dir = cache_dir
+        self.max_memory_entries = int(max_memory_entries)
+        self.allow_covering = bool(allow_covering)
+        self._memory: "OrderedDict[CacheKey, ValueTable]" = OrderedDict()
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def solve(self, max_lifespan: int, setup_cost: int, max_interrupts: int,
+              *, method: str = "fast") -> ValueTable:
+        """Return the solved table, computing it at most once per key."""
+        key = self._key(max_lifespan, setup_cost, max_interrupts, method)
+
+        table = self._memory_lookup(key)
+        if table is not None:
+            self.stats.memory_hits += 1
+            return table
+
+        table = self._disk_lookup(key)
+        if table is not None:
+            self.stats.disk_hits += 1
+            self._memory_store(key, table)
+            return table
+
+        self.stats.misses += 1
+        table = solve(key[0], key[1], key[2], method=key[3])
+        self._memory_store(key, table)
+        self._disk_store(key, table)
+        return table
+
+    def clear(self, *, memory: bool = True, disk: bool = False) -> None:
+        """Drop cached tables (the disk level only when asked explicitly)."""
+        if memory:
+            self._memory.clear()
+        if disk and self.cache_dir and os.path.isdir(self.cache_dir):
+            for name in os.listdir(self.cache_dir):
+                if name.startswith("dp_") and name.endswith(".npz"):
+                    try:
+                        os.remove(os.path.join(self.cache_dir, name))
+                    except OSError:
+                        pass
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    # ------------------------------------------------------------------
+    # Level 1: in-process LRU
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _key(max_lifespan: int, setup_cost: int, max_interrupts: int,
+             method: str) -> CacheKey:
+        L, c, p = int(max_lifespan), int(setup_cost), int(max_interrupts)
+        if (L, c, p) != (max_lifespan, setup_cost, max_interrupts):
+            raise InvalidParameterError(
+                "DP cache keys must be integer-valued, got "
+                f"({max_lifespan!r}, {setup_cost!r}, {max_interrupts!r})")
+        return (L, c, p, str(method))
+
+    def _memory_lookup(self, key: CacheKey) -> Optional[ValueTable]:
+        if key in self._memory:
+            self._memory.move_to_end(key)
+            return self._memory[key]
+        if self.allow_covering:
+            L, c, p, method = key
+            for (kL, kc, kp, kmethod), table in self._memory.items():
+                if kc == c and kmethod == method and kL >= L and kp >= p:
+                    self._memory.move_to_end((kL, kc, kp, kmethod))
+                    return table
+        return None
+
+    def _memory_store(self, key: CacheKey, table: ValueTable) -> None:
+        self._memory[key] = table
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.max_memory_entries:
+            self._memory.popitem(last=False)
+            self.stats.evictions += 1
+
+    # ------------------------------------------------------------------
+    # Level 2: on-disk .npz store
+    # ------------------------------------------------------------------
+    def _path(self, key: CacheKey) -> Optional[str]:
+        if not self.cache_dir:
+            return None
+        L, c, p, method = key
+        return os.path.join(self.cache_dir, f"dp_L{L}_c{c}_p{p}_{method}.npz")
+
+    def _disk_lookup(self, key: CacheKey) -> Optional[ValueTable]:
+        path = self._path(key)
+        if path is None or not os.path.exists(path):
+            return None
+        try:
+            with np.load(path) as archive:
+                values = np.asarray(archive["values"], dtype=np.int64)
+                first = np.asarray(archive["first_periods"], dtype=np.int64)
+                setup_cost = int(archive["setup_cost"])
+            L, c, p, _method = key
+            if (setup_cost != c or values.shape != (p + 1, L + 1)
+                    or first.shape != values.shape):
+                return None  # stale or mismatched file: treat as a miss
+            return ValueTable(setup_cost=setup_cost, values=values,
+                              first_periods=first)
+        except (OSError, KeyError, ValueError, EOFError, zipfile.BadZipFile):
+            return None  # corrupt file: recompute and rewrite
+
+    def _disk_store(self, key: CacheKey, table: ValueTable) -> None:
+        path = self._path(key)
+        if path is None:
+            return
+        os.makedirs(self.cache_dir, exist_ok=True)
+        # Atomic publish: concurrent workers may race on the same key, but
+        # each writes a complete temp file and os.replace() is atomic, so
+        # readers only ever see whole archives.
+        fd, tmp_path = tempfile.mkstemp(dir=self.cache_dir, suffix=".npz.tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez_compressed(
+                    handle,
+                    values=table.values,
+                    first_periods=table.first_periods,
+                    setup_cost=np.int64(table.setup_cost),
+                )
+            os.replace(tmp_path, path)
+        except OSError:
+            try:
+                os.remove(tmp_path)
+            except OSError:
+                pass
+
+
+# ----------------------------------------------------------------------
+# Shared default cache
+# ----------------------------------------------------------------------
+_shared: Optional[DPTableCache] = None
+
+
+def shared_cache() -> DPTableCache:
+    """The process-wide default cache (memory-only until configured)."""
+    global _shared
+    if _shared is None:
+        _shared = DPTableCache(cache_dir=os.environ.get("REPRO_DP_CACHE_DIR"))
+    return _shared
+
+
+def configure_shared_cache(cache_dir: Optional[str] = None,
+                           max_memory_entries: int = 16) -> DPTableCache:
+    """Replace the process-wide default cache (e.g. to point it at a directory)."""
+    global _shared
+    _shared = DPTableCache(cache_dir=cache_dir,
+                           max_memory_entries=max_memory_entries)
+    return _shared
+
+
+def cached_solve(max_lifespan: int, setup_cost: int, max_interrupts: int,
+                 *, method: str = "fast",
+                 cache: Optional[DPTableCache] = None) -> ValueTable:
+    """Drop-in replacement for :func:`repro.dp.solver.solve` with caching."""
+    cache = cache if cache is not None else shared_cache()
+    return cache.solve(max_lifespan, setup_cost, max_interrupts, method=method)

@@ -1,0 +1,146 @@
+"""Monte-Carlo replication on top of the single-trace game and simulator.
+
+The analytic layer answers "what is the *worst case*?" exactly; this module
+answers "what happens *typically*?" by replication: ``N`` randomized
+owner-interrupt traces per parameter point, drawn from the stochastic
+adversaries in :mod:`repro.adversary` (game-level replication) or from the
+randomized scenario generators in :mod:`repro.workloads.scenarios`
+(simulator-level replication), aggregated into mean/std/quantile rows.
+
+Determinism: replication ``r`` of point ``i`` is seeded with
+``point_seed(base_seed, i, r)``, so aggregate rows are bit-identical no
+matter how the orchestrator spreads replications over worker processes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..core.game import play_adaptive, play_nonadaptive
+from .grid import SweepPoint, make_adversary, make_scheduler, point_seed
+
+__all__ = ["aggregate", "replicate_point", "replicate_scenario"]
+
+#: Quantiles reported for every replicated statistic.
+QUANTILES = (0.1, 0.5, 0.9)
+
+
+def aggregate(values: Sequence[float], prefix: str) -> Dict[str, float]:
+    """Mean/std/min/max/quantile summary of one replicated statistic.
+
+    The standard deviation is the *sample* standard deviation (``ddof=1``)
+    when two or more replications are available, ``0.0`` otherwise.
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return {f"{prefix}_n": 0}
+    out: Dict[str, float] = {
+        f"{prefix}_n": int(arr.size),
+        f"{prefix}_mean": float(arr.mean()),
+        f"{prefix}_std": float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        f"{prefix}_min": float(arr.min()),
+        f"{prefix}_max": float(arr.max()),
+    }
+    for q in QUANTILES:
+        out[f"{prefix}_q{int(round(q * 100))}"] = float(np.quantile(arr, q))
+    return out
+
+
+def replicate_point(point: SweepPoint, replications: int,
+                    base_seed: int = 0) -> Dict[str, float]:
+    """Play ``replications`` randomized traces of one sweep point.
+
+    The point's scheduler plays against freshly seeded instances of the
+    point's adversary; adaptive schedulers use the adaptive referee,
+    pure non-adaptive ones the oblivious referee.  Returns the aggregated
+    ``work_*`` / ``efficiency_*`` / ``interrupts_*`` columns.
+    """
+    if point.adversary is None:
+        raise ValueError(f"point {point.index} has no adversary to sample")
+    if replications < 1:
+        raise ValueError(f"replications must be >= 1, got {replications!r}")
+    params = point.params()
+    scheduler = make_scheduler(point.scheduler, params)
+    adaptive = hasattr(scheduler, "episode_schedule")
+
+    works: List[float] = []
+    interrupts: List[float] = []
+    episodes: List[float] = []
+    for r in range(int(replications)):
+        seed = point_seed(base_seed, point.index, r)
+        adversary = make_adversary(point.adversary, params, seed=seed)
+        if adaptive:
+            result = play_adaptive(scheduler, adversary, params)
+        else:
+            result = play_nonadaptive(scheduler, adversary, params)
+        works.append(result.total_work)
+        interrupts.append(float(result.num_interrupts))
+        episodes.append(float(result.num_episodes))
+
+    row: Dict[str, float] = {}
+    row.update(aggregate(works, "work"))
+    row.update(aggregate([w / params.lifespan for w in works], "efficiency"))
+    row.update(aggregate(interrupts, "interrupts"))
+    row.update(aggregate(episodes, "episodes"))
+    return row
+
+
+def replicate_scenario(family, replications: int, *, base_seed: int = 0,
+                       scheduler=None, scheduler_factory=None,
+                       **family_kwargs) -> Dict[str, float]:
+    """Replicate a randomized scenario family through the NOW simulator.
+
+    Parameters
+    ----------
+    family:
+        A scenario generator from :mod:`repro.workloads.scenarios` (or any
+        callable accepting a ``seed=`` keyword and returning a
+        :class:`~repro.workloads.scenarios.Scenario`).
+    replications:
+        How many independently seeded scenario instances to simulate.
+    scheduler / scheduler_factory:
+        Passed through to
+        :class:`~repro.simulator.engine.CycleStealingSimulation`; defaults
+        to a fresh :class:`~repro.schedules.EqualizingAdaptiveScheduler`.
+    family_kwargs:
+        Extra keyword arguments forwarded to the scenario generator.
+    """
+    from ..simulator import CycleStealingSimulation
+
+    if replications < 1:
+        raise ValueError(f"replications must be >= 1, got {replications!r}")
+
+    # Stable label for seeding and reporting.  Never fall back to repr():
+    # it embeds the object's memory address, which would break the
+    # bit-identical determinism this module promises (e.g. for
+    # functools.partial-wrapped families).
+    family_label = (getattr(family, "__name__", None)
+                    or getattr(getattr(family, "func", None), "__name__", None)
+                    or type(family).__name__)
+
+    works: List[float] = []
+    tasks: List[float] = []
+    interrupts: List[float] = []
+    for r in range(int(replications)):
+        scenario = family(seed=point_seed(base_seed, family_label, r),
+                          **family_kwargs)
+        if scheduler is None and scheduler_factory is None:
+            from ..schedules import EqualizingAdaptiveScheduler
+            run_scheduler = EqualizingAdaptiveScheduler()
+        else:
+            run_scheduler = scheduler
+        sim = CycleStealingSimulation(scenario.workstations, run_scheduler,
+                                      task_bag=scenario.task_bag,
+                                      scheduler_factory=scheduler_factory)
+        report = sim.run()
+        works.append(report.total_work)
+        tasks.append(float(report.total_tasks_completed))
+        interrupts.append(float(report.total_interrupts))
+
+    row: Dict[str, float] = {"scenario": family_label}
+    row.update(aggregate(works, "work"))
+    row.update(aggregate(tasks, "tasks"))
+    row.update(aggregate(interrupts, "interrupts"))
+    return row

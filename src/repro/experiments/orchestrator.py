@@ -1,0 +1,159 @@
+"""Parallel experiment orchestrator.
+
+Fans a :class:`~repro.experiments.grid.SweepGrid` out over a
+``concurrent.futures`` worker pool and assembles one result row per point:
+
+* **guaranteed work** — the exact worst case of the point's scheduler,
+  via the minimax referee (always computed);
+* **DP optimum** — ``W^(p)[U]`` from the two-level
+  :class:`~repro.experiments.cache.DPTableCache` (optional; only for
+  integer-valued parameters);
+* **Monte-Carlo statistics** — mean/std/quantiles over ``N`` randomized
+  owner traces (optional; only for points that name an adversary).
+
+Three properties the tests pin down:
+
+1. **Determinism.**  Rows depend only on ``(grid, seed, replications)`` —
+   never on ``jobs``, worker scheduling or iteration order — because every
+   replication is seeded from its own ``(point index, replication index)``
+   coordinates.
+2. **Serial equivalence.**  ``jobs=1`` runs everything in-process (no pool,
+   easier debugging, identical rows).
+3. **Solve-once DP.**  Workers share the on-disk cache level through
+   ``cache_dir``, and each process keeps a memory-level cache, so a DP
+   table is computed once per ``(L, c, p, method)`` across the whole sweep
+   — and across *repeated* sweeps when ``cache_dir`` persists.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.gap import measure_guaranteed_work
+from .cache import DPTableCache
+from .grid import SweepGrid, SweepPoint, make_scheduler
+from .montecarlo import replicate_point
+
+__all__ = ["ExperimentConfig", "run_sweep", "parallel_map"]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Everything a worker needs besides the point itself (picklable)."""
+
+    replications: int = 0
+    seed: int = 0
+    cache_dir: Optional[str] = None
+    dp_method: str = "fast"
+    include_optimal: bool = False
+    include_guaranteed: bool = True
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+# One memory-level DP cache per worker process, keyed by cache directory so
+# a worker reused across sweeps with different directories stays correct.
+_worker_caches: Dict[Optional[str], DPTableCache] = {}
+
+
+def _worker_cache(cache_dir: Optional[str]) -> DPTableCache:
+    cache = _worker_caches.get(cache_dir)
+    if cache is None:
+        cache = DPTableCache(cache_dir=cache_dir)
+        _worker_caches[cache_dir] = cache
+    return cache
+
+
+def _evaluate_point(payload: Tuple[SweepPoint, ExperimentConfig]) -> Dict[str, Any]:
+    """Compute one result row.  Module-level so it pickles to worker processes."""
+    point, config = payload
+    params = point.params()
+    row: Dict[str, Any] = point.key_columns()
+
+    if config.include_guaranteed:
+        scheduler = make_scheduler(point.scheduler, params)
+        guaranteed = measure_guaranteed_work(scheduler, params)
+        row["guaranteed_work"] = guaranteed
+        row["efficiency"] = guaranteed / params.lifespan
+
+    if config.include_optimal:
+        L, c = params.lifespan, params.setup_cost
+        if float(L).is_integer() and float(c).is_integer():
+            table = _worker_cache(config.cache_dir).solve(
+                int(L), int(c), params.max_interrupts, method=config.dp_method)
+            optimal = table.value(params.max_interrupts, int(L))
+            row["optimal_work"] = float(optimal)
+            if config.include_guaranteed:
+                row["gap"] = float(optimal) - row["guaranteed_work"]
+
+    if config.replications > 0 and point.adversary is not None:
+        row.update(replicate_point(point, config.replications,
+                                   base_seed=config.seed))
+    return row
+
+
+# ----------------------------------------------------------------------
+# Driver side
+# ----------------------------------------------------------------------
+def _resolve_jobs(jobs: Optional[int]) -> int:
+    if jobs is None or jobs <= 0:  # 0 / None: one worker per CPU
+        return max(1, os.cpu_count() or 1)
+    return int(jobs)
+
+
+def parallel_map(func: Callable[[Any], Any], payloads: Sequence[Any],
+                 *, jobs: int = 1, chunksize: Optional[int] = None) -> List[Any]:
+    """Order-preserving map over a process pool (serial when ``jobs <= 1``).
+
+    ``func`` must be a module-level callable and every payload picklable
+    when ``jobs > 1``.  Results come back in payload order regardless of
+    which worker finished first.
+    """
+    payloads = list(payloads)
+    jobs = _resolve_jobs(jobs)
+    if jobs <= 1 or len(payloads) <= 1:
+        return [func(p) for p in payloads]
+    if chunksize is None:
+        chunksize = max(1, len(payloads) // (4 * jobs))
+    with ProcessPoolExecutor(max_workers=min(jobs, len(payloads))) as pool:
+        return list(pool.map(func, payloads, chunksize=chunksize))
+
+
+def run_sweep(grid: SweepGrid, *, jobs: int = 1, replications: int = 0,
+              seed: int = 0, cache_dir: Optional[str] = None,
+              include_optimal: bool = False, dp_method: str = "fast",
+              include_guaranteed: bool = True) -> List[Dict[str, Any]]:
+    """Run a full sweep and return one row per grid point, in grid order.
+
+    Parameters
+    ----------
+    grid:
+        The parameter grid to expand.
+    jobs:
+        Worker processes (``1`` = in-process serial; ``0`` = one per CPU).
+    replications:
+        Monte-Carlo replications per point (``0`` disables the layer;
+        points without an adversary are always purely analytic).
+    seed:
+        Base seed for the deterministic per-(point, replication) seeding.
+    cache_dir:
+        Directory for the shared on-disk DP-table cache level.
+    include_optimal:
+        Also compute the exact DP optimum (and the gap to it) for
+        integer-valued parameter points.
+    dp_method:
+        DP solver method (``"fast"`` or ``"reference"``).
+    include_guaranteed:
+        Compute the exact worst-case (guaranteed) work per point.  Switch
+        off for sweeps that only need the Monte-Carlo layer.
+    """
+    config = ExperimentConfig(replications=int(replications), seed=int(seed),
+                              cache_dir=cache_dir, dp_method=dp_method,
+                              include_optimal=bool(include_optimal),
+                              include_guaranteed=bool(include_guaranteed))
+    payloads = [(point, config) for point in grid.points()]
+    return parallel_map(_evaluate_point, payloads, jobs=jobs)

@@ -24,6 +24,7 @@ Design notes
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Dict, Optional, Sequence, Union
 
 from ..core.exceptions import SimulationError
@@ -46,32 +47,65 @@ class CycleStealingSimulation:
     workstations:
         The borrowed machines (contracts) to drive.
     scheduler:
-        Either a single adaptive scheduler shared by every contract or a
-        callable mapping a :class:`BorrowedWorkstation` to the scheduler to
-        use for it.
+        A single adaptive scheduler shared by every contract.  (Passing a
+        bare callable factory here is deprecated — the old heuristic
+        misclassified callable objects that also define
+        ``episode_schedule``; use ``scheduler_factory=`` instead.)
     task_bag:
         Optional data-parallel workload (see
         :class:`repro.workloads.TaskBag`).  When present, completed
         productive time is converted into completed tasks, shared across
         all workstations (first come, first served).
+    scheduler_factory:
+        Keyword-only: a callable mapping a :class:`BorrowedWorkstation` to
+        the scheduler to use for it (e.g. to give heterogeneous machines
+        different guidelines).  Mutually exclusive with ``scheduler``.
     """
 
     def __init__(self, workstations: Sequence[BorrowedWorkstation],
-                 scheduler: SchedulerFactory,
-                 task_bag=None):
+                 scheduler: Optional[SchedulerFactory] = None,
+                 task_bag=None, *,
+                 scheduler_factory: Optional[
+                     Callable[[BorrowedWorkstation],
+                              AdaptiveSchedulerProtocol]] = None):
         if not workstations:
             raise SimulationError("at least one borrowed workstation is required")
         ids = [w.workstation_id for w in workstations]
         if len(set(ids)) != len(ids):
             raise SimulationError(f"workstation ids must be unique, got {ids}")
         self.workstations = list(workstations)
-        self._scheduler_for = (scheduler if callable(scheduler)
-                               and not hasattr(scheduler, "episode_schedule")
-                               else (lambda _ws: scheduler))
+        self._scheduler_for = self._resolve_scheduler(scheduler, scheduler_factory)
         self.task_bag = task_bag
         self._queue = EventQueue()
         self._states: Dict[str, WorkstationState] = {}
         self._clock = 0.0
+
+    @staticmethod
+    def _resolve_scheduler(scheduler: Optional[SchedulerFactory],
+                           scheduler_factory) -> Callable[[BorrowedWorkstation],
+                                                          AdaptiveSchedulerProtocol]:
+        if scheduler_factory is not None:
+            if scheduler is not None:
+                raise SimulationError(
+                    "pass either scheduler or scheduler_factory, not both")
+            if not callable(scheduler_factory):
+                raise SimulationError(
+                    f"scheduler_factory must be callable, got {scheduler_factory!r}")
+            return scheduler_factory
+        if scheduler is None:
+            raise SimulationError("a scheduler (or scheduler_factory) is required")
+        if hasattr(scheduler, "episode_schedule"):
+            # A scheduler instance — even if it also happens to be callable.
+            return lambda _ws: scheduler
+        if callable(scheduler):
+            warnings.warn(
+                "passing a bare callable as the scheduler is deprecated; "
+                "use the explicit scheduler_factory= keyword instead",
+                DeprecationWarning, stacklevel=3)
+            return scheduler
+        raise SimulationError(
+            f"{scheduler!r} implements neither the adaptive scheduler "
+            "protocol nor a factory callable")
 
     # ------------------------------------------------------------------
     # Public API

@@ -7,7 +7,16 @@ from .owner_activity import (
     workday_interrupts,
     worst_case_interrupts_for_schedule,
 )
-from .scenarios import Scenario, laptop_evening, overnight_desktops, shared_lab
+from .scenarios import (
+    SCENARIO_FAMILIES,
+    Scenario,
+    bursty_office_day,
+    flaky_owners,
+    heterogeneous_cluster,
+    laptop_evening,
+    overnight_desktops,
+    shared_lab,
+)
 from .tasks import TaskBag, constant_tasks, lognormal_tasks, uniform_tasks
 
 __all__ = [
@@ -24,4 +33,8 @@ __all__ = [
     "laptop_evening",
     "overnight_desktops",
     "shared_lab",
+    "bursty_office_day",
+    "heterogeneous_cluster",
+    "flaky_owners",
+    "SCENARIO_FAMILIES",
 ]

@@ -4,19 +4,37 @@ Each scenario bundles the three ingredients a simulation needs — borrowed
 workstation contracts (with owner interrupt traces), a data-parallel task
 bag, and the analytic parameters of the guarantee — into one object, so the
 examples read like the situations the paper's introduction describes.
+
+Every generator is a *parameterised scenario family*: calling it with a
+different ``seed`` yields an independent random instance with the same
+shape, which is exactly what the Monte-Carlo layer in
+:mod:`repro.experiments.montecarlo` samples.  :data:`SCENARIO_FAMILIES`
+maps stable names to the generators for the CLI and the experiment harness.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
 
 from ..core.params import CycleStealingParams
 from ..simulator.workstation import BorrowedWorkstation
 from .owner_activity import bursty_interrupts, poisson_interrupts, workday_interrupts
 from .tasks import TaskBag, lognormal_tasks, uniform_tasks
 
-__all__ = ["Scenario", "laptop_evening", "overnight_desktops", "shared_lab"]
+__all__ = [
+    "Scenario",
+    "laptop_evening",
+    "overnight_desktops",
+    "shared_lab",
+    "bursty_office_day",
+    "heterogeneous_cluster",
+    "flaky_owners",
+    "SCENARIO_FAMILIES",
+]
 
 
 @dataclass
@@ -113,3 +131,113 @@ def shared_lab(*, num_machines: int = 4, lifespan: float = 480.0,
                                  max_interrupts=interrupt_budget)
     return Scenario(name="shared-lab", workstations=workstations, task_bag=bag,
                     params=params)
+
+
+def bursty_office_day(*, num_machines: int = 6, day_length: float = 480.0,
+                      setup_cost: float = 2.0, interrupt_budget: int = 3,
+                      seed: Optional[int] = 31) -> Scenario:
+    """A full office day of borrowing: coffee-break bursts on a workday rhythm.
+
+    Owners are quiet in long stretches but come back in clusters (stand-up,
+    lunch, end-of-day), so each machine's trace is the *union* of a workday
+    background process and two or three tight bursts.  This is the regime
+    where adaptive guidelines shine: interrupts arrive bunched, and a
+    re-planned episode after the burst recovers most of the quiet tail.
+    """
+    rng = np.random.default_rng(seed)
+    workstations: List[BorrowedWorkstation] = []
+    for i in range(num_machines):
+        machine_seed = None if seed is None else int(rng.integers(0, 2**31 - 1))
+        background = workday_interrupts(day_length, day_length=day_length,
+                                        busy_fraction=0.25, rate_when_busy=0.008,
+                                        seed=machine_seed)
+        burst_seed = None if machine_seed is None else machine_seed + 1
+        bursts = bursty_interrupts(day_length, num_bursts=3, burst_size=2,
+                                   burst_spread=6.0, seed=burst_seed)
+        trace = sorted(background + bursts)
+        workstations.append(BorrowedWorkstation(
+            workstation_id=f"office-{i}", lifespan=day_length,
+            setup_cost=setup_cost, interrupt_budget=interrupt_budget,
+            owner_interrupts=trace))
+    bag = lognormal_tasks(25_000, median=0.15, sigma=0.5, seed=seed)
+    params = CycleStealingParams(lifespan=day_length, setup_cost=setup_cost,
+                                 max_interrupts=interrupt_budget)
+    return Scenario(name="bursty-office-day", workstations=workstations,
+                    task_bag=bag, params=params)
+
+
+def heterogeneous_cluster(*, num_machines: int = 12, lifespan: float = 720.0,
+                          interrupt_budget: int = 2, base_setup_cost: float = 1.0,
+                          speed_sigma: float = 0.6,
+                          seed: Optional[int] = 37) -> Scenario:
+    """A cluster whose machines differ widely in speed *and* set-up cost.
+
+    Speeds are log-normal (a few machines several times faster than the
+    median); slower machines also sit on slower links, so their per-period
+    set-up cost scales up.  The family stresses exactly the dimension the
+    single-opportunity analysis abstracts away — how to spread one task bag
+    over contracts of very different quality.
+    """
+    rng = np.random.default_rng(seed)
+    workstations: List[BorrowedWorkstation] = []
+    for i in range(num_machines):
+        machine_seed = None if seed is None else int(rng.integers(0, 2**31 - 1))
+        speed = float(np.exp(rng.normal(0.0, speed_sigma)))
+        # Slow machines pay proportionally more set-up (slower round trips),
+        # bounded away from zero so the DP grid stays sane.
+        setup_cost = max(0.25, base_setup_cost / math.sqrt(speed))
+        interrupts = poisson_interrupts(lifespan,
+                                        rate=interrupt_budget / lifespan,
+                                        seed=machine_seed,
+                                        max_interrupts=interrupt_budget)
+        workstations.append(BorrowedWorkstation(
+            workstation_id=f"node-{i}", lifespan=lifespan,
+            setup_cost=setup_cost, interrupt_budget=interrupt_budget,
+            owner_interrupts=interrupts, speed=speed))
+    bag = lognormal_tasks(60_000, median=0.25, sigma=0.6, seed=seed)
+    params = CycleStealingParams(lifespan=lifespan, setup_cost=base_setup_cost,
+                                 max_interrupts=interrupt_budget)
+    return Scenario(name="heterogeneous-cluster", workstations=workstations,
+                    task_bag=bag, params=params)
+
+
+def flaky_owners(*, num_machines: int = 5, lifespan: float = 360.0,
+                 setup_cost: float = 1.5, interrupt_budget: int = 1,
+                 breach_factor: float = 4.0,
+                 seed: Optional[int] = 41) -> Scenario:
+    """Owners who break the negotiated contract.
+
+    Each contract was negotiated for ``interrupt_budget`` reclaims, but the
+    actual traces contain roughly ``breach_factor`` times as many: the
+    guarantee no longer applies and the interesting question — which the
+    paper raises and the simulator answers — is how *gracefully* each
+    guideline degrades once the premise fails.
+    """
+    if breach_factor < 1.0:
+        raise ValueError(f"breach_factor must be >= 1, got {breach_factor!r}")
+    rng = np.random.default_rng(seed)
+    workstations: List[BorrowedWorkstation] = []
+    for i in range(num_machines):
+        machine_seed = None if seed is None else int(rng.integers(0, 2**31 - 1))
+        rate = breach_factor * max(interrupt_budget, 1) / lifespan
+        interrupts = poisson_interrupts(lifespan, rate=rate, seed=machine_seed)
+        workstations.append(BorrowedWorkstation(
+            workstation_id=f"flaky-{i}", lifespan=lifespan,
+            setup_cost=setup_cost, interrupt_budget=interrupt_budget,
+            owner_interrupts=interrupts))
+    bag = uniform_tasks(15_000, low=0.05, high=0.25, seed=seed)
+    params = CycleStealingParams(lifespan=lifespan, setup_cost=setup_cost,
+                                 max_interrupts=interrupt_budget)
+    return Scenario(name="flaky-owners", workstations=workstations,
+                    task_bag=bag, params=params)
+
+
+#: Stable names for every scenario family (CLI + Monte-Carlo sampling).
+SCENARIO_FAMILIES: Dict[str, Callable[..., Scenario]] = {
+    "laptop": laptop_evening,
+    "desktops": overnight_desktops,
+    "lab": shared_lab,
+    "office": bursty_office_day,
+    "cluster": heterogeneous_cluster,
+    "flaky": flaky_owners,
+}

@@ -1,5 +1,7 @@
 """Smoke tests for the command-line interface."""
 
+import os
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -18,6 +20,15 @@ class TestParser:
         assert parser.parse_args(["adaptive"]).command == "adaptive"
         assert parser.parse_args(["gap"]).command == "gap"
         assert parser.parse_args(["simulate"]).command == "simulate"
+        assert parser.parse_args(["sweep"]).command == "sweep"
+
+    def test_sweep_flags(self):
+        args = build_parser().parse_args(
+            ["sweep", "--jobs", "4", "--replications", "50", "--seed", "3",
+             "--cache-dir", "/tmp/x", "--adversaries", "poisson-owner"])
+        assert args.jobs == 4 and args.replications == 50
+        assert args.seed == 3 and args.cache_dir == "/tmp/x"
+        assert args.adversaries == ["poisson-owner"]
 
 
 class TestCommands:
@@ -53,3 +64,35 @@ class TestCommands:
         assert main(["--csv", str(path), "table2", "--lifespans", "100"]) == 0
         assert path.exists()
         assert "lifespan" in path.read_text()
+
+    def test_simulate_new_scenarios(self, capsys):
+        assert main(["simulate", "--scenario", "office", "--seed", "5"]) == 0
+        assert "office-0" in capsys.readouterr().out
+        assert main(["simulate", "--scenario", "flaky"]) == 0
+        assert "flaky-0" in capsys.readouterr().out
+        assert main(["simulate", "--scenario", "cluster"]) == 0
+        assert "node-0" in capsys.readouterr().out
+
+    def test_sweep_analytic(self, capsys):
+        assert main(["sweep", "--lifespans", "100", "--interrupts", "1",
+                     "--schedulers", "equalizing-adaptive"]) == 0
+        out = capsys.readouterr().out
+        assert "guaranteed_work" in out
+
+    def test_sweep_montecarlo_with_cache(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "dp")
+        assert main(["sweep", "--lifespans", "100", "--interrupts", "1",
+                     "--schedulers", "equalizing-adaptive",
+                     "--adversaries", "poisson-owner",
+                     "--replications", "5", "--seed", "1", "--jobs", "2",
+                     "--optimal", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "work_mean" in out and "optimal_work" in out
+        assert any(name.endswith(".npz") for name in os.listdir(cache_dir))
+
+    def test_gap_with_cache_dir(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "dp")
+        assert main(["gap", "-U", "200", "-p", "1",
+                     "--cache-dir", cache_dir]) == 0
+        assert "dp-optimal" in capsys.readouterr().out
+        assert any(name.endswith(".npz") for name in os.listdir(cache_dir))

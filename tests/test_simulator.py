@@ -136,14 +136,115 @@ class TestSimulationBasics:
             factory_calls.append(ws.workstation_id)
             return SinglePeriodScheduler()
 
-        report = CycleStealingSimulation(machines, factory).run()
+        report = CycleStealingSimulation(machines, scheduler_factory=factory).run()
         assert sorted(factory_calls) == ["ws-0", "ws-1"]
         assert report.total_work == pytest.approx(198.0)
+
+    def test_bare_callable_scheduler_is_deprecated(self):
+        with pytest.warns(DeprecationWarning):
+            sim = CycleStealingSimulation([_single()],
+                                          lambda ws: SinglePeriodScheduler())
+        assert sim.run().total_work == pytest.approx(99.0)
+
+    def test_callable_scheduler_object_is_not_misclassified(self):
+        # A scheduler that is *also* callable used to be ambiguous under the
+        # old duck-typing heuristic; it must be treated as a scheduler.
+        class CallableScheduler(SinglePeriodScheduler):
+            def __call__(self, ws):  # pragma: no cover - must never run
+                raise AssertionError("treated as a factory")
+
+        report = CycleStealingSimulation([_single()], CallableScheduler()).run()
+        assert report.per_workstation["ws-0"].completed_work == pytest.approx(99.0)
+
+    def test_scheduler_and_factory_are_mutually_exclusive(self):
+        with pytest.raises(SimulationError):
+            CycleStealingSimulation([_single()], SinglePeriodScheduler(),
+                                    scheduler_factory=lambda ws: SinglePeriodScheduler())
+
+    def test_scheduler_required(self):
+        with pytest.raises(SimulationError):
+            CycleStealingSimulation([_single()])
+        with pytest.raises(SimulationError):
+            CycleStealingSimulation([_single()], scheduler=object())
 
     def test_report_rows(self):
         report = CycleStealingSimulation([_single()], SinglePeriodScheduler()).run()
         rows = report.rows()
         assert len(rows) == 1 and rows[0]["workstation"] == "ws-0"
+
+
+class _ShortEpisodeScheduler:
+    """Under-commits: one 10-unit period per episode, idling the rest."""
+
+    name = "short-episode"
+
+    def episode_schedule(self, residual, interrupts_remaining, setup_cost):
+        from repro import EpisodeSchedule
+        return EpisodeSchedule.single_period(min(10.0, residual))
+
+
+class TestEdgeAccounting:
+    """Interrupt-while-idle and exact-boundary paths of the event handlers."""
+
+    def test_interrupt_while_idle_closes_the_gap(self):
+        # Episode [0, 10] completes, machine idles until the owner reclaims
+        # at t = 50 with nothing in flight: no kill, but the idle gap must
+        # be accounted for exactly and a new episode must start.
+        ws = _single(interrupts=[50.0])
+        report = CycleStealingSimulation([ws], _ShortEpisodeScheduler()).run()
+        m = report.per_workstation["ws-0"]
+        assert m.killed_periods == 0
+        assert m.wasted_time == pytest.approx(0.0)
+        assert m.owner_interrupts == 1
+        assert m.completed_periods == 2       # [0,10] and [50,60]
+        assert m.completed_work == pytest.approx(18.0)
+        assert m.idle_time == pytest.approx(80.0)
+        m.check_conservation(100.0)
+
+    def test_period_ending_exactly_at_lifespan_counts(self):
+        # Four periods of 25 tile the lifespan exactly; the last one ends at
+        # the contract boundary and its results make it back in time.
+        ws = _single(budget=0)
+        report = CycleStealingSimulation([ws], FixedPeriodScheduler(25.0)).run()
+        m = report.per_workstation["ws-0"]
+        assert m.completed_periods == 4
+        assert m.killed_periods == 0
+        assert m.completed_work == pytest.approx(4 * 24.0)
+        assert m.idle_time == pytest.approx(0.0)
+        m.check_conservation(100.0)
+
+    def test_period_overshooting_lifespan_is_wasted(self):
+        # A scheduler that always commits a 30-unit period: the episode
+        # started by the t = 85 interrupt is still in flight at the
+        # contract boundary, so its 15 elapsed units never make it back.
+        class Overcommit:
+            name = "overcommit"
+
+            def episode_schedule(self, residual, interrupts_remaining, setup_cost):
+                from repro import EpisodeSchedule
+                return EpisodeSchedule.single_period(30.0)
+
+        ws = _single(interrupts=[85.0])
+        report = CycleStealingSimulation([ws], Overcommit()).run()
+        m = report.per_workstation["ws-0"]
+        assert m.completed_periods == 1        # [0, 30]
+        assert m.killed_periods == 1           # in flight at lifespan end
+        assert m.wasted_time == pytest.approx(15.0)
+        assert m.idle_time == pytest.approx(55.0)
+        assert m.completed_work == pytest.approx(29.0)
+        m.check_conservation(100.0)
+
+    def test_interrupt_at_idle_tail_then_quiet_until_lifespan(self):
+        # Interrupt at t = 95 during idle leaves only 5 units; the fresh
+        # episode [95, 100] ends exactly at the lifespan boundary.
+        ws = _single(interrupts=[95.0])
+        report = CycleStealingSimulation([ws], _ShortEpisodeScheduler()).run()
+        m = report.per_workstation["ws-0"]
+        assert m.completed_periods == 2       # [0,10] and [95,100]
+        assert m.completed_work == pytest.approx(9.0 + 4.0)
+        assert m.owner_interrupts == 1
+        assert m.killed_periods == 0
+        m.check_conservation(100.0)
 
 
 class TestTasksIntegration:

@@ -150,3 +150,69 @@ class TestScenarios:
         assert report.total_work > 0.0
         for ws in scenario.workstations:
             report.per_workstation[ws.workstation_id].check_conservation(ws.lifespan)
+
+
+class TestNewScenarioFamilies:
+    def test_registry_covers_all_families(self):
+        from repro.workloads import SCENARIO_FAMILIES
+
+        assert set(SCENARIO_FAMILIES) == {"laptop", "desktops", "lab",
+                                          "office", "cluster", "flaky"}
+        for factory in SCENARIO_FAMILIES.values():
+            scenario = factory()
+            assert scenario.workstations and scenario.task_bag.total_tasks > 0
+
+    def test_office_day_is_seeded_and_bursty(self):
+        from repro.workloads import bursty_office_day
+
+        a = bursty_office_day(seed=9)
+        b = bursty_office_day(seed=9)
+        for wa, wb in zip(a.workstations, b.workstations):
+            assert wa.owner_interrupts == wb.owner_interrupts
+        c = bursty_office_day(seed=10)
+        assert any(wa.owner_interrupts != wc.owner_interrupts
+                   for wa, wc in zip(a.workstations, c.workstations))
+
+    def test_cluster_speeds_and_setup_costs_vary(self):
+        from repro.workloads import heterogeneous_cluster
+
+        scenario = heterogeneous_cluster(seed=3)
+        speeds = {ws.speed for ws in scenario.workstations}
+        costs = {ws.setup_cost for ws in scenario.workstations}
+        assert len(speeds) > 1 and len(costs) > 1
+        assert all(ws.setup_cost >= 0.25 for ws in scenario.workstations)
+
+    def test_flaky_owners_break_the_budget(self):
+        from repro.workloads import flaky_owners
+
+        scenario = flaky_owners(seed=4, num_machines=8, lifespan=600.0,
+                                interrupt_budget=1, breach_factor=5.0)
+        total_interrupts = sum(len(ws.owner_interrupts)
+                               for ws in scenario.workstations)
+        total_budget = sum(ws.interrupt_budget for ws in scenario.workstations)
+        assert total_interrupts > total_budget  # the contract premise fails
+
+    def test_flaky_rejects_bad_breach_factor(self):
+        from repro.workloads import flaky_owners
+
+        with pytest.raises(ValueError):
+            flaky_owners(breach_factor=0.5)
+
+    def test_families_run_through_simulator(self):
+        from repro.schedules import EqualizingAdaptiveScheduler
+        from repro.simulator import CycleStealingSimulation
+        from repro.workloads import (
+            bursty_office_day,
+            flaky_owners,
+            heterogeneous_cluster,
+        )
+
+        for factory in (bursty_office_day, heterogeneous_cluster, flaky_owners):
+            scenario = factory()
+            report = CycleStealingSimulation(scenario.workstations,
+                                             EqualizingAdaptiveScheduler(),
+                                             task_bag=scenario.task_bag).run()
+            assert report.total_work > 0.0
+            for ws in scenario.workstations:
+                report.per_workstation[ws.workstation_id].check_conservation(
+                    ws.lifespan)
