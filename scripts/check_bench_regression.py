@@ -16,6 +16,16 @@ Usage::
 
 The default ``--max-lifespan`` keeps the check under a few seconds; raise
 it to re-verify the full committed grid.
+
+Exit codes (so CI can distinguish the failure modes):
+
+* ``0`` — all re-verified rows match;
+* ``1`` — at least one committed value drifted (the code changed behaviour);
+* ``2`` — the committed baseline itself is missing or empty (results CSV
+  absent, or no row matched the requested grid).
+
+Failures are also emitted as GitHub Actions ``::error::`` annotations so
+drift is visible directly in the Actions summary.
 """
 
 from __future__ import annotations
@@ -46,10 +56,34 @@ SCHEDULERS = {
     "rosenberg-nonadaptive": RosenbergNonAdaptiveScheduler,
 }
 
+#: Exit codes — distinct so CI can tell "the code drifted" (fix the code or
+#: regenerate the table) from "the baseline is gone" (fix the workflow).
+EXIT_OK = 0
+EXIT_DRIFT = 1
+EXIT_MISSING_BASELINE = 2
+
+
+class MissingBaselineError(Exception):
+    """A committed results file the guard needs does not exist (or is empty)."""
+
+
+def github_error(message: str) -> None:
+    """Emit a GitHub Actions error annotation (harmless plain text locally)."""
+    first_line = str(message).splitlines()[0]
+    print(f"::error title=bench regression::{first_line}")
+
 
 def read_rows(path):
-    with open(path, newline="") as handle:
-        return list(csv.DictReader(handle))
+    try:
+        with open(path, newline="") as handle:
+            rows = list(csv.DictReader(handle))
+    except FileNotFoundError:
+        raise MissingBaselineError(
+            f"committed baseline {path} is missing — benchmarks/results must "
+            "be regenerated and committed") from None
+    if not rows:
+        raise MissingBaselineError(f"committed baseline {path} has no rows")
+    return rows
 
 
 def relative_drift(committed: float, recomputed: float) -> float:
@@ -134,30 +168,40 @@ def main(argv=None) -> int:
     cache = DPTableCache(cache_dir=args.cache_dir)
     total_checked = 0
     all_failures = []
-    for checker in (
-            lambda: check_optimality_gap(args.results_dir, args.max_lifespan,
-                                         args.tolerance, cache),
-            lambda: check_nonadaptive_section31(args.results_dir,
-                                               args.max_lifespan,
-                                               args.tolerance)):
-        checked, failures = checker()
-        total_checked += checked
-        all_failures.extend(failures)
+    try:
+        for checker in (
+                lambda: check_optimality_gap(args.results_dir, args.max_lifespan,
+                                             args.tolerance, cache),
+                lambda: check_nonadaptive_section31(args.results_dir,
+                                                    args.max_lifespan,
+                                                    args.tolerance)):
+            checked, failures = checker()
+            total_checked += checked
+            all_failures.extend(failures)
+    except MissingBaselineError as exc:
+        github_error(str(exc))
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_MISSING_BASELINE
 
     if total_checked == 0:
-        print("error: no committed rows matched the requested grid",
-              file=sys.stderr)
-        return 1
+        message = ("no committed rows matched the requested grid "
+                   f"(--max-lifespan {args.max_lifespan:g})")
+        github_error(message)
+        print(f"error: {message}", file=sys.stderr)
+        return EXIT_MISSING_BASELINE
     if all_failures:
+        github_error(
+            f"{len(all_failures)} committed benchmark value(s) drifted "
+            f"across {total_checked} checked row(s) — see the job log")
         print(f"BENCH REGRESSION: {len(all_failures)} drifted value(s) "
               f"across {total_checked} checked row(s):", file=sys.stderr)
         for failure in all_failures:
             print(f"  - {failure}", file=sys.stderr)
-        return 1
+        return EXIT_DRIFT
     print(f"ok: {total_checked} committed benchmark rows re-verified "
           f"(tolerance {args.tolerance:g}, DP cache "
           f"{cache.stats.lookups - cache.stats.misses}/{cache.stats.lookups} hits)")
-    return 0
+    return EXIT_OK
 
 
 if __name__ == "__main__":

@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Guard the batch replication backend against divergence from the reference.
+
+Runs the same Monte-Carlo sweep twice — once through the event-driven
+reference engine, once through the vectorized batch backend — with
+identical seeds, and fails if any aggregate column diverges beyond a
+relative tolerance.  Both backends consume identical randomness, so the
+only admissible difference is float summation order (~1e-15 relative);
+anything larger means one backend's accounting changed behaviour.
+
+This is the nightly CI job's workhorse (see
+``.github/workflows/nightly.yml``), sized so a medium sweep with hundreds
+of replications per point finishes in minutes, and it doubles as a local
+smoke test::
+
+    PYTHONPATH=src python scripts/compare_backends.py --replications 500 --jobs 2
+
+Exit codes: ``0`` agreement, ``1`` divergence, ``2`` could not run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+# Allow running from a repo checkout without installing the package.
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.experiments import SweepGrid, run_sweep  # noqa: E402
+
+EXIT_OK = 0
+EXIT_DIVERGED = 1
+EXIT_ERROR = 2
+
+
+def github_error(message: str) -> None:
+    """Emit a GitHub Actions error annotation (harmless plain text locally)."""
+    print(f"::error title=backend divergence::{str(message).splitlines()[0]}")
+
+
+def compare_rows(event_rows, batch_rows, tolerance: float):
+    """Yield one message per diverging (row, column) pair."""
+    for index, (event_row, batch_row) in enumerate(zip(event_rows, batch_rows)):
+        keys = set(event_row) | set(batch_row)
+        for key in sorted(keys):
+            if key not in event_row or key not in batch_row:
+                yield f"row {index}: column {key!r} present in only one backend"
+                continue
+            a, b = event_row[key], batch_row[key]
+            if isinstance(a, str) or isinstance(b, str):
+                if a != b:
+                    yield f"row {index}: {key} {a!r} != {b!r}"
+                continue
+            drift = abs(float(a) - float(b)) / max(1.0, abs(float(a)))
+            if drift > tolerance:
+                yield (f"row {index}: {key} drifted {drift:.3e} "
+                       f"(event {a!r}, batch {b!r})")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--lifespans", type=float, nargs="+",
+                        default=[200.0, 400.0, 800.0])
+    parser.add_argument("--setup-costs", type=float, nargs="+", default=[1.0])
+    parser.add_argument("--interrupts", type=int, nargs="+", default=[1, 2])
+    parser.add_argument("--schedulers", nargs="+",
+                        default=["equalizing-adaptive", "rosenberg-adaptive"])
+    parser.add_argument("--adversaries", nargs="+",
+                        default=["poisson-owner", "uniform-owner"])
+    parser.add_argument("--replications", "-n", type=int, default=500)
+    parser.add_argument("--jobs", "-j", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--tolerance", type=float, default=1e-9,
+                        help="maximum allowed relative divergence per column")
+    args = parser.parse_args(argv)
+
+    try:
+        grid = SweepGrid(lifespans=tuple(args.lifespans),
+                         setup_costs=tuple(args.setup_costs),
+                         interrupt_budgets=tuple(args.interrupts),
+                         schedulers=tuple(args.schedulers),
+                         adversaries=tuple(args.adversaries))
+    except Exception as exc:  # bad grid arguments
+        github_error(f"invalid sweep grid: {exc}")
+        print(f"error: invalid sweep grid: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+
+    timings = {}
+    rows = {}
+    for backend in ("event", "batch"):
+        start = time.perf_counter()
+        rows[backend] = run_sweep(grid, jobs=args.jobs,
+                                  replications=args.replications,
+                                  seed=args.seed,
+                                  include_guaranteed=False,
+                                  backend=backend)
+        timings[backend] = time.perf_counter() - start
+        print(f"{backend:>5} backend: {len(rows[backend])} points x "
+              f"{args.replications} replications in {timings[backend]:.1f}s")
+
+    if len(rows["event"]) != len(rows["batch"]):
+        github_error("backends produced different row counts")
+        return EXIT_DIVERGED
+
+    failures = list(compare_rows(rows["event"], rows["batch"], args.tolerance))
+    if failures:
+        github_error(f"{len(failures)} aggregate(s) diverged between the "
+                     "batch and event backends — see the job log")
+        print(f"BACKEND DIVERGENCE ({len(failures)} value(s), "
+              f"tolerance {args.tolerance:g}):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return EXIT_DIVERGED
+
+    speedup = timings["event"] / timings["batch"] if timings["batch"] else float("inf")
+    print(f"ok: {len(rows['event'])} points agree within {args.tolerance:g} "
+          f"(batch backend speedup on the MC layer: {speedup:.1f}x)")
+    return EXIT_OK
+
+
+if __name__ == "__main__":
+    sys.exit(main())

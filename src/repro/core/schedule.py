@@ -54,7 +54,7 @@ class EpisodeSchedule:
     by the analysis code.
     """
 
-    __slots__ = ("_periods",)
+    __slots__ = ("_periods", "_total_length", "_finish_times")
 
     def __init__(self, periods: Iterable[float]):
         arr = np.asarray(list(periods), dtype=float)
@@ -69,6 +69,26 @@ class EpisodeSchedule:
             raise InvalidScheduleError(f"period lengths must be positive, got {bad!r}")
         arr.setflags(write=False)
         self._periods = arr
+        self._total_length = None
+        self._finish_times = None
+
+    @classmethod
+    def from_validated_array(cls, periods: np.ndarray) -> "EpisodeSchedule":
+        """Wrap an array the caller guarantees to be valid (positive, finite).
+
+        Used by the batch backends, which assemble thousands of schedules
+        from already-validated shared prefixes; skipping the per-element
+        re-validation keeps that path array-speed.  The array is copied
+        into a read-only float buffer, so later mutation of the input
+        cannot corrupt the schedule.
+        """
+        self = cls.__new__(cls)
+        arr = np.array(periods, dtype=float)
+        arr.setflags(write=False)
+        self._periods = arr
+        self._total_length = None
+        self._finish_times = None
+        return self
 
     # ------------------------------------------------------------------
     # Basic container behaviour
@@ -116,13 +136,23 @@ class EpisodeSchedule:
     # ------------------------------------------------------------------
     @property
     def total_length(self) -> float:
-        """Total scheduled time ``T_m = t_1 + ... + t_m``."""
-        return float(self._periods.sum())
+        """Total scheduled time ``T_m = t_1 + ... + t_m`` (cached)."""
+        if self._total_length is None:
+            self._total_length = float(self._periods.sum())
+        return self._total_length
 
     @property
     def finish_times(self) -> np.ndarray:
-        """Prefix sums ``T_1, ..., T_m`` (the paper's period end times)."""
-        return np.cumsum(self._periods)
+        """Prefix sums ``T_1, ..., T_m`` (the paper's period end times).
+
+        Cached (the schedule is immutable) and read-only — adversaries and
+        both simulation backends consult it on hot paths.
+        """
+        if self._finish_times is None:
+            finishes = np.cumsum(self._periods)
+            finishes.setflags(write=False)
+            self._finish_times = finishes
+        return self._finish_times
 
     @property
     def start_times(self) -> np.ndarray:

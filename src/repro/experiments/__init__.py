@@ -31,7 +31,7 @@ from .grid import (
     point_seed,
     scheduler_names,
 )
-from .montecarlo import aggregate, replicate_point, replicate_scenario
+from .montecarlo import BACKENDS, aggregate, replicate_point, replicate_scenario
 from .orchestrator import ExperimentConfig, parallel_map, run_sweep
 
 __all__ = [
@@ -47,6 +47,7 @@ __all__ = [
     "make_adversary",
     "scheduler_names",
     "adversary_names",
+    "BACKENDS",
     "aggregate",
     "replicate_point",
     "replicate_scenario",

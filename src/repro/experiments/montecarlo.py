@@ -10,21 +10,43 @@ randomized scenario generators in :mod:`repro.workloads.scenarios`
 Determinism: replication ``r`` of point ``i`` is seeded with
 ``point_seed(base_seed, i, r)``, so aggregate rows are bit-identical no
 matter how the orchestrator spreads replications over worker processes.
+
+Backends
+--------
+Both replication entry points accept ``backend="event"`` (the reference:
+one event-driven game/simulation per replication) or ``backend="batch"``
+(the vectorized backend of :mod:`repro.simulator.batch`, which plays all
+replications of a point level-by-level, sharing episode-schedule
+construction and doing the accounting with array passes).  Adversaries are
+seeded and consulted identically under both backends, so for the same
+seeds the batch results match the event results exactly up to float
+summation order (``~1e-15`` relative; the equivalence tests pin ``1e-9``).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..core.exceptions import InvalidScheduleError, SchedulingError
 from ..core.game import play_adaptive, play_nonadaptive
+from ..core.schedule import EpisodeSchedule
 from .grid import SweepPoint, make_adversary, make_scheduler, point_seed
 
-__all__ = ["aggregate", "replicate_point", "replicate_scenario"]
+__all__ = ["aggregate", "replicate_point", "replicate_scenario", "BACKENDS"]
 
 #: Quantiles reported for every replicated statistic.
 QUANTILES = (0.1, 0.5, 0.9)
+
+#: Recognised replication backends.
+BACKENDS = ("event", "batch")
+
+
+def _check_backend(backend: str) -> str:
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; known: {list(BACKENDS)}")
+    return backend
 
 
 def aggregate(values: Sequence[float], prefix: str) -> Dict[str, float]:
@@ -49,35 +71,44 @@ def aggregate(values: Sequence[float], prefix: str) -> Dict[str, float]:
 
 
 def replicate_point(point: SweepPoint, replications: int,
-                    base_seed: int = 0) -> Dict[str, float]:
+                    base_seed: int = 0, *, backend: str = "event") -> Dict[str, float]:
     """Play ``replications`` randomized traces of one sweep point.
 
     The point's scheduler plays against freshly seeded instances of the
     point's adversary; adaptive schedulers use the adaptive referee,
     pure non-adaptive ones the oblivious referee.  Returns the aggregated
     ``work_*`` / ``efficiency_*`` / ``interrupts_*`` columns.
+
+    ``backend="batch"`` plays all replications level-synchronously with
+    shared episode-schedule construction (adaptive schedulers only;
+    non-adaptive points transparently use the event referee, which is
+    already cheap for them).
     """
     if point.adversary is None:
         raise ValueError(f"point {point.index} has no adversary to sample")
     if replications < 1:
         raise ValueError(f"replications must be >= 1, got {replications!r}")
+    _check_backend(backend)
     params = point.params()
     scheduler = make_scheduler(point.scheduler, params)
     adaptive = hasattr(scheduler, "episode_schedule")
 
-    works: List[float] = []
-    interrupts: List[float] = []
-    episodes: List[float] = []
-    for r in range(int(replications)):
-        seed = point_seed(base_seed, point.index, r)
-        adversary = make_adversary(point.adversary, params, seed=seed)
-        if adaptive:
-            result = play_adaptive(scheduler, adversary, params)
-        else:
-            result = play_nonadaptive(scheduler, adversary, params)
-        works.append(result.total_work)
-        interrupts.append(float(result.num_interrupts))
-        episodes.append(float(result.num_episodes))
+    if backend == "batch" and adaptive:
+        works, interrupts, episodes = _play_point_batch(point, scheduler,
+                                                        int(replications),
+                                                        base_seed)
+    else:
+        works, interrupts, episodes = [], [], []
+        for r in range(int(replications)):
+            seed = point_seed(base_seed, point.index, r)
+            adversary = make_adversary(point.adversary, params, seed=seed)
+            if adaptive:
+                result = play_adaptive(scheduler, adversary, params)
+            else:
+                result = play_nonadaptive(scheduler, adversary, params)
+            works.append(result.total_work)
+            interrupts.append(float(result.num_interrupts))
+            episodes.append(float(result.num_episodes))
 
     row: Dict[str, float] = {}
     row.update(aggregate(works, "work"))
@@ -87,8 +118,100 @@ def replicate_point(point: SweepPoint, replications: int,
     return row
 
 
+def _play_point_batch(point: SweepPoint, scheduler, replications: int,
+                      base_seed: int):
+    """Adaptive game over all replications at once, level by level.
+
+    Mirrors :func:`repro.core.game.play_adaptive` step for step: every
+    replication's adversary is constructed with the same seed and consulted
+    in the same episode order as under the event backend, so both backends
+    consume identical randomness.  Replications sharing a game state
+    (residual lifespan, interrupts left) share one validated schedule and
+    its prefix-sum work table; only the interrupted episodes' work values
+    differ from the referee's by float summation order (``~1e-15``).
+    """
+    params = point.params()
+    c = params.setup_cost
+    adversaries = [make_adversary(point.adversary, params,
+                                  seed=point_seed(base_seed, point.index, r))
+                   for r in range(replications)]
+    residual = [params.lifespan] * replications
+    p_left = [params.max_interrupts] * replications
+    works = [0.0] * replications
+    interrupts = [0.0] * replications
+    episodes = [0.0] * replications
+    alive = list(range(replications))
+
+    # (residual, interrupts_left) -> (schedule, total_length, finishes,
+    #                                 prefix work, uninterrupted work)
+    memo: Dict[tuple, tuple] = {}
+    while alive:
+        groups: Dict[tuple, List[int]] = {}
+        for r in alive:
+            groups.setdefault((residual[r], p_left[r]), []).append(r)
+
+        missing: Dict[int, List[float]] = {}
+        for (res, p) in groups:
+            if (res, p) not in memo:
+                missing.setdefault(p, []).append(res)
+        for p, residuals in missing.items():
+            build = getattr(scheduler, "episode_schedule_batch", None)
+            if build is not None:
+                schedules = build(residuals, p, c)
+            else:
+                schedules = [scheduler.episode_schedule(res, p, c)
+                             for res in residuals]
+            for res, schedule in zip(residuals, schedules):
+                # The referee's checks, once per distinct schedule.
+                if not isinstance(schedule, EpisodeSchedule):
+                    raise SchedulingError(
+                        f"scheduler returned {type(schedule).__name__}, "
+                        "expected EpisodeSchedule")
+                try:
+                    schedule.validate_for_lifespan(res, require_exact=False)
+                except InvalidScheduleError as exc:
+                    raise SchedulingError(
+                        "scheduler produced an inadmissible schedule for "
+                        f"residual {res!r}: {exc}") from exc
+                finishes = schedule.finish_times
+                prefix = np.maximum(schedule.periods - c, 0.0).cumsum()
+                memo[(res, p)] = (schedule, schedule.total_length, finishes,
+                                  prefix, schedule.work_if_uninterrupted(c))
+
+        next_alive: List[int] = []
+        for (res, p), group_reps in groups.items():
+            schedule, total_length, finishes, prefix, full_work = memo[(res, p)]
+            for r in group_reps:
+                episodes[r] += 1.0
+                interrupt: Optional[float] = None
+                if p > 0:
+                    interrupt = adversaries[r].choose_interrupt(schedule, res,
+                                                                p, c)
+                    if interrupt is not None:
+                        interrupt = float(interrupt)
+                        if not (0.0 <= interrupt < total_length):
+                            raise SchedulingError(
+                                f"adversary chose interrupt time {interrupt!r} "
+                                f"outside [0, {total_length!r})")
+                if interrupt is None:
+                    works[r] += full_work
+                    continue
+                completed = int(np.searchsorted(finishes, interrupt,
+                                                side="right"))
+                if completed:
+                    works[r] += float(prefix[completed - 1])
+                interrupts[r] += 1.0
+                residual[r] = residual[r] - interrupt
+                p_left[r] = p - 1
+                if residual[r] > 0.0:
+                    next_alive.append(r)
+        alive = next_alive
+    return works, interrupts, episodes
+
+
 def replicate_scenario(family, replications: int, *, base_seed: int = 0,
                        scheduler=None, scheduler_factory=None,
+                       backend: str = "event",
                        **family_kwargs) -> Dict[str, float]:
     """Replicate a randomized scenario family through the NOW simulator.
 
@@ -104,6 +227,11 @@ def replicate_scenario(family, replications: int, *, base_seed: int = 0,
         Passed through to
         :class:`~repro.simulator.engine.CycleStealingSimulation`; defaults
         to a fresh :class:`~repro.schedules.EqualizingAdaptiveScheduler`.
+    backend:
+        ``"event"`` simulates each replication through the event-driven
+        engine; ``"batch"`` runs them all through
+        :func:`repro.simulator.batch.simulate_scenarios_batch` in one array
+        pass (bit-identical reports, see the module docstring).
     family_kwargs:
         Extra keyword arguments forwarded to the scenario generator.
     """
@@ -111,6 +239,7 @@ def replicate_scenario(family, replications: int, *, base_seed: int = 0,
 
     if replications < 1:
         raise ValueError(f"replications must be >= 1, got {replications!r}")
+    _check_backend(backend)
 
     # Stable label for seeding and reporting.  Never fall back to repr():
     # it embeds the object's memory address, which would break the
@@ -120,21 +249,38 @@ def replicate_scenario(family, replications: int, *, base_seed: int = 0,
                     or getattr(getattr(family, "func", None), "__name__", None)
                     or type(family).__name__)
 
+    def default_scheduler():
+        from ..schedules import EqualizingAdaptiveScheduler
+        return EqualizingAdaptiveScheduler()
+
     works: List[float] = []
     tasks: List[float] = []
     interrupts: List[float] = []
-    for r in range(int(replications)):
-        scenario = family(seed=point_seed(base_seed, family_label, r),
-                          **family_kwargs)
+    if backend == "batch":
+        from ..simulator.batch import simulate_scenarios_batch
+
+        scenarios = [family(seed=point_seed(base_seed, family_label, r),
+                            **family_kwargs)
+                     for r in range(int(replications))]
+        run_scheduler = scheduler
         if scheduler is None and scheduler_factory is None:
-            from ..schedules import EqualizingAdaptiveScheduler
-            run_scheduler = EqualizingAdaptiveScheduler()
-        else:
-            run_scheduler = scheduler
-        sim = CycleStealingSimulation(scenario.workstations, run_scheduler,
-                                      task_bag=scenario.task_bag,
-                                      scheduler_factory=scheduler_factory)
-        report = sim.run()
+            run_scheduler = default_scheduler()
+        reports = simulate_scenarios_batch(scenarios, run_scheduler,
+                                           scheduler_factory=scheduler_factory)
+    else:
+        reports = []
+        for r in range(int(replications)):
+            scenario = family(seed=point_seed(base_seed, family_label, r),
+                              **family_kwargs)
+            if scheduler is None and scheduler_factory is None:
+                run_scheduler = default_scheduler()
+            else:
+                run_scheduler = scheduler
+            sim = CycleStealingSimulation(scenario.workstations, run_scheduler,
+                                          task_bag=scenario.task_bag,
+                                          scheduler_factory=scheduler_factory)
+            reports.append(sim.run())
+    for report in reports:
         works.append(report.total_work)
         tasks.append(float(report.total_tasks_completed))
         interrupts.append(float(report.total_interrupts))

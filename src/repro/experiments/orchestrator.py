@@ -50,6 +50,7 @@ class ExperimentConfig:
     dp_method: str = "fast"
     include_optimal: bool = False
     include_guaranteed: bool = True
+    backend: str = "event"
 
 
 # ----------------------------------------------------------------------
@@ -92,7 +93,8 @@ def _evaluate_point(payload: Tuple[SweepPoint, ExperimentConfig]) -> Dict[str, A
 
     if config.replications > 0 and point.adversary is not None:
         row.update(replicate_point(point, config.replications,
-                                   base_seed=config.seed))
+                                   base_seed=config.seed,
+                                   backend=config.backend))
     return row
 
 
@@ -126,7 +128,8 @@ def parallel_map(func: Callable[[Any], Any], payloads: Sequence[Any],
 def run_sweep(grid: SweepGrid, *, jobs: int = 1, replications: int = 0,
               seed: int = 0, cache_dir: Optional[str] = None,
               include_optimal: bool = False, dp_method: str = "fast",
-              include_guaranteed: bool = True) -> List[Dict[str, Any]]:
+              include_guaranteed: bool = True,
+              backend: str = "event") -> List[Dict[str, Any]]:
     """Run a full sweep and return one row per grid point, in grid order.
 
     Parameters
@@ -150,10 +153,19 @@ def run_sweep(grid: SweepGrid, *, jobs: int = 1, replications: int = 0,
     include_guaranteed:
         Compute the exact worst-case (guaranteed) work per point.  Switch
         off for sweeps that only need the Monte-Carlo layer.
+    backend:
+        Replication backend: ``"event"`` (reference, one game per trace) or
+        ``"batch"`` (vectorized, see
+        :mod:`repro.experiments.montecarlo`).  Aggregates agree to float
+        summation order for the same seeds.
     """
+    from .montecarlo import _check_backend
+
+    _check_backend(backend)
     config = ExperimentConfig(replications=int(replications), seed=int(seed),
                               cache_dir=cache_dir, dp_method=dp_method,
                               include_optimal=bool(include_optimal),
-                              include_guaranteed=bool(include_guaranteed))
+                              include_guaranteed=bool(include_guaranteed),
+                              backend=str(backend))
     payloads = [(point, config) for point in grid.points()]
     return parallel_map(_evaluate_point, payloads, jobs=jobs)

@@ -32,6 +32,8 @@ from __future__ import annotations
 import math
 from typing import Callable, List, Optional
 
+import numpy as np
+
 from ..analysis import bounds
 from ..core.exceptions import SchedulingError
 from ..core.schedule import EpisodeSchedule
@@ -48,6 +50,100 @@ WorkOracle = Callable[[float, int, float], float]
 def _closed_form_oracle(residual: float, interrupts: int, setup_cost: float) -> float:
     """Default oracle: the closed-form optimal-work approximation (Thm 5.1)."""
     return bounds.closed_form_optimal_work(residual, setup_cost, interrupts)
+
+
+class _BackwardPrefix:
+    """Shared backward construction state for one ``(p, c)`` episode family.
+
+    Both guideline schedulers build episode-schedules *backwards*: a short
+    tail, then body periods whose values depend only on how much lifespan
+    has been placed behind them — never on the residual lifespan ``L``
+    itself.  ``L`` enters solely through two cutoffs (how much of the tail
+    fits, and where the frontmost period absorbs the remainder).  One
+    lazily-extended prefix therefore serves every residual of a batch, and
+    each row's schedule is a slice of it plus its own front period — with
+    float-for-float the same values as the scalar construction.
+    """
+
+    __slots__ = ("short", "tail_count", "tail_end", "body_t", "body_placed",
+                 "prev_t", "placed", "capped")
+
+    def __init__(self, short: float, tail_count: int, tail_end: float,
+                 prev_t: float, capped: bool):
+        self.short = short
+        self.tail_count = tail_count
+        self.tail_end = tail_end          # lifespan placed by the full tail
+        self.body_t: List[float] = []     # body period lengths, back to front
+        self.body_placed: List[float] = []  # placed-total after each body append
+        self.prev_t = prev_t
+        self.placed = tail_end
+        self.capped = capped              # max_periods reached while extending
+
+
+def _assemble_from_prefix(scheduler, residuals, p: int, c: float,
+                          state: Optional[_BackwardPrefix],
+                          max_periods: int) -> List[EpisodeSchedule]:
+    """Slice one shared backward prefix into per-residual episode-schedules.
+
+    Residuals the prefix cannot serve bit-identically — shorter than the
+    full tail, hitting the ``max_periods`` cap, or non-positive — fall back
+    to the scalar ``episode_schedule`` (which also raises the scalar error
+    messages), so the result is always float-for-float what a per-residual
+    loop would have produced.
+    """
+    values = [float(x) for x in residuals]
+    out: List[Optional[EpisodeSchedule]] = [None] * len(values)
+    vec_idx: List[int] = []
+    for i, L in enumerate(values):
+        if 0.0 < L <= 2.0 * c:
+            # The scalar short-residual branch: one long period.
+            out[i] = EpisodeSchedule.from_validated_array((L,))
+        elif state is None or state.capped or p == 0 or c == 0.0 \
+                or L < state.tail_end:
+            out[i] = scheduler.episode_schedule(L, p, c)
+        elif L == state.tail_end:
+            # The tail alone covers the residual; the body loop never runs.
+            out[i] = EpisodeSchedule.from_validated_array(
+                np.full(state.tail_count, state.short))
+        else:
+            vec_idx.append(i)
+    if not vec_idx:
+        return out  # type: ignore[return-value]
+
+    body_t = np.asarray(state.body_t)
+    if body_t.size == 0:
+        for i in vec_idx:
+            out[i] = scheduler.episode_schedule(values[i], p, c)
+        return out  # type: ignore[return-value]
+    placed_before = np.empty(body_t.size)
+    placed_before[0] = state.tail_end
+    placed_before[1:] = np.asarray(state.body_placed[:-1])
+    lifespans = np.asarray([values[i] for i in vec_idx])
+    # The scalar loop stops at the first body period with
+    # ``t >= remaining - 1e-12`` and lets the front period absorb the
+    # remainder; replaying the comparison element-for-element keeps the
+    # cut-off (and the front period's value) bit-identical.
+    remaining = lifespans[:, None] - placed_before[None, :]
+    stop = body_t[None, :] >= remaining - 1e-12
+    covered = stop.any(axis=1)
+    first_stop = stop.argmax(axis=1)
+
+    sliver = max(c, 1e-12) * 1e-6
+    tail = np.full(state.tail_count, state.short)
+    for row, i in enumerate(vec_idx):
+        j = int(first_stop[row])
+        if not covered[row] or state.tail_count + j + 1 > max_periods:
+            out[i] = scheduler.episode_schedule(values[i], p, c)
+            continue
+        periods = np.empty(state.tail_count + j + 1)
+        periods[0] = remaining[row, j]
+        periods[1:j + 1] = body_t[j - 1::-1] if j else ()
+        periods[j + 1:] = tail
+        if periods.size >= 2 and periods[0] < sliver:
+            periods[1] += periods[0]
+            periods = periods[1:]
+        out[i] = EpisodeSchedule.from_validated_array(periods)
+    return out  # type: ignore[return-value]
 
 
 class EqualizingAdaptiveScheduler(AdaptiveScheduler):
@@ -89,6 +185,7 @@ class EqualizingAdaptiveScheduler(AdaptiveScheduler):
         self.oracle: WorkOracle = oracle if oracle is not None else _closed_form_oracle
         self.tail_epsilon = float(tail_epsilon)
         self.max_periods = int(max_periods)
+        self._prefix_cache: dict = {}
 
     def episode_schedule(self, residual_lifespan: float, interrupts_remaining: int,
                          setup_cost: float) -> EpisodeSchedule:
@@ -156,6 +253,77 @@ class EqualizingAdaptiveScheduler(AdaptiveScheduler):
             periods = periods[1:]
         return EpisodeSchedule(periods)
 
+    def episode_schedule_batch(self, residual_lifespans, interrupts_remaining: int,
+                               setup_cost: float) -> List[EpisodeSchedule]:
+        """Vectorized :meth:`episode_schedule` over many residual lifespans.
+
+        All residuals of one ``(interrupts_remaining, setup_cost)`` state
+        share the backward tail/body prefix; each row only gets its own
+        cut-off and front period.  Bit-identical to the scalar construction
+        (residuals the prefix cannot serve fall back to it).
+        """
+        p = int(interrupts_remaining)
+        c = float(setup_cost)
+        values = [float(x) for x in residual_lifespans]
+        state = None
+        if p > 0 and c > 0.0 and values:
+            state = self._ensure_prefix(p, c, max(values))
+        return _assemble_from_prefix(self, values, p, c, state, self.max_periods)
+
+    def _ensure_prefix(self, p: int, c: float,
+                       limit: float) -> Optional[_BackwardPrefix]:
+        key = (p, c)
+        state = self._prefix_cache.get(key)
+        tol = 1e-12 * max(c, 1.0)
+        if state is None:
+            short = (1.0 + self.tail_epsilon) * c
+            placed = 0.0
+            count = 0
+            capped = False
+            # The ℓ_p transition: short periods while the residual behind the
+            # current position is still in the zero-work region (the scalar
+            # loop's L-cutoff only truncates rows the assembly falls back on).
+            # A degenerate oracle that never leaves the zero-work region must
+            # not spin to max_periods: a tail longer than every residual of
+            # the batch serves no row, so cap there and let the scalar
+            # construction (bounded by its own L-cutoff) handle everything.
+            limit_capped = False
+            while self.oracle(placed, p - 1, c) <= tol:
+                if count >= self.max_periods:
+                    capped = True
+                    break
+                if placed > limit:
+                    capped = limit_capped = True
+                    break
+                placed += short
+                count += 1
+            state = _BackwardPrefix(short=short, tail_count=count, tail_end=placed,
+                                    prev_t=short, capped=capped)
+            if not limit_capped:
+                # A limit-induced cap is batch-specific — a later batch with
+                # larger residuals must rebuild rather than inherit it.
+                self._prefix_cache[key] = state
+        if state.capped or state.tail_count == 0:
+            return state
+        while state.placed <= limit and not state.capped:
+            self._extend_body(state, p, c)
+        self._extend_body(state, p, c)  # one spare: every row finds its cut-off
+        return state
+
+    def _extend_body(self, state: _BackwardPrefix, p: int, c: float) -> None:
+        if state.capped:
+            return
+        w_here = self.oracle(state.placed, p - 1, c)
+        w_prev = self.oracle(max(0.0, state.placed - state.prev_t), p - 1, c)
+        t = c + max(0.0, w_here - w_prev)
+        t = max(t, c * 1e-9 if c > 0 else 1e-9)
+        state.body_t.append(t)
+        state.placed += t
+        state.body_placed.append(state.placed)
+        state.prev_t = t
+        if state.tail_count + len(state.body_t) >= self.max_periods:
+            state.capped = True
+
     def predicted_work(self, lifespan: float, setup_cost: float,
                        max_interrupts: int) -> float:
         """Theorem 5.1's closed-form prediction for this guideline."""
@@ -190,6 +358,7 @@ class RosenbergAdaptiveScheduler(AdaptiveScheduler):
             raise ValueError(f"tail_epsilon must lie in (0, 1], got {tail_epsilon!r}")
         self.tail_epsilon = float(tail_epsilon)
         self.max_periods = int(max_periods)
+        self._prefix_cache: dict = {}
 
     @staticmethod
     def tail_period_count(interrupts_remaining: int) -> int:
@@ -248,6 +417,49 @@ class RosenbergAdaptiveScheduler(AdaptiveScheduler):
             periods[1] += periods[0]
             periods = periods[1:]
         return EpisodeSchedule(periods)
+
+    def episode_schedule_batch(self, residual_lifespans, interrupts_remaining: int,
+                               setup_cost: float) -> List[EpisodeSchedule]:
+        """Vectorized :meth:`episode_schedule` (see the equalizing variant)."""
+        p = int(interrupts_remaining)
+        c = float(setup_cost)
+        values = [float(x) for x in residual_lifespans]
+        state = None
+        if p > 0 and c > 0.0 and values:
+            state = self._ensure_prefix(p, c, max(values))
+        return _assemble_from_prefix(self, values, p, c, state, self.max_periods)
+
+    def _ensure_prefix(self, p: int, c: float,
+                       limit: float) -> Optional[_BackwardPrefix]:
+        key = (p, c)
+        state = self._prefix_cache.get(key)
+        if state is None:
+            short = (1.0 + self.tail_epsilon) * c
+            placed = 0.0
+            count = self.tail_period_count(p)
+            for _ in range(count):
+                placed += short
+            state = _BackwardPrefix(short=short, tail_count=count, tail_end=placed,
+                                    prev_t=short, capped=count >= self.max_periods)
+            self._prefix_cache[key] = state
+        if state.capped or state.tail_count == 0:
+            return state
+        increment = self.period_increment(p, c)
+        while state.placed <= limit and not state.capped:
+            self._extend_body(state, increment)
+        self._extend_body(state, increment)  # one spare: every row finds its cut-off
+        return state
+
+    def _extend_body(self, state: _BackwardPrefix, increment: float) -> None:
+        if state.capped:
+            return
+        t = state.prev_t + increment
+        state.body_t.append(t)
+        state.placed += t
+        state.body_placed.append(state.placed)
+        state.prev_t = t
+        if state.tail_count + len(state.body_t) >= self.max_periods:
+            state.capped = True
 
     def predicted_work(self, lifespan: float, setup_cost: float,
                        max_interrupts: int) -> float:

@@ -82,6 +82,21 @@ class AdaptiveScheduler(_NamedScheduler):
             Communication set-up cost ``c``.
         """
 
+    def episode_schedule_batch(self, residual_lifespans, interrupts_remaining: int,
+                               setup_cost: float):
+        """Episode-schedules for a whole array of residual lifespans at once.
+
+        The batch simulation backend calls this with every residual that
+        needs a schedule for one ``(interrupts_remaining, setup_cost)``
+        state.  The base implementation simply loops; schedulers whose
+        construction shares work across residuals (see the guideline
+        schedulers in :mod:`repro.schedules.adaptive`) override it with a
+        vectorized version that must return bit-identical schedules.
+        """
+        return [self.episode_schedule(float(residual), interrupts_remaining,
+                                      setup_cost)
+                for residual in residual_lifespans]
+
     def opportunity_schedule(self, params: CycleStealingParams) -> EpisodeSchedule:
         """The first episode's schedule (what the scheduler commits to at t=0).
 

@@ -1,5 +1,12 @@
-"""Discrete-event simulator of cycle-stealing in a network of workstations."""
+"""Simulators of cycle-stealing in a network of workstations.
 
+Two backends produce identical :class:`SimulationReport` results: the
+event-driven reference engine (:class:`CycleStealingSimulation`) and the
+NumPy-vectorized batch backend (:func:`simulate_scenarios_batch`), which
+simulates many replications in one array pass.
+"""
+
+from .batch import simulate_batch, simulate_scenarios_batch
 from .engine import CycleStealingSimulation
 from .events import Event, EventKind, EventQueue
 from .metrics import SimulationReport, WorkstationMetrics
@@ -7,6 +14,8 @@ from .workstation import BorrowedWorkstation, WorkstationState
 
 __all__ = [
     "CycleStealingSimulation",
+    "simulate_scenarios_batch",
+    "simulate_batch",
     "BorrowedWorkstation",
     "WorkstationState",
     "SimulationReport",

@@ -1,0 +1,553 @@
+"""Vectorized batch backend: simulate many replications at once.
+
+The event-driven :class:`~repro.simulator.engine.CycleStealingSimulation`
+walks one heap event at a time, which makes Monte-Carlo replication —
+thousands of randomized owner traces per parameter point — the wall-clock
+bottleneck of ``sweep``.  This module replaces the per-event Python loop
+with array passes over a whole *batch* of replications of one
+(scenario × scheduler) point:
+
+* every (replication, workstation) pair becomes one *row*;
+* owner-interrupt traces are packed as arrays and partition each row's
+  timeline into *segments* (one episode per segment);
+* rows that share an episode state — same residual lifespan, interrupt
+  budget and set-up cost — share a single scheduler call and a single
+  prefix-sum of the episode's period lengths;
+* per-episode completed-period counts come from ``searchsorted`` of the
+  segment boundary into the episode's cumulative finish times, and all
+  per-period accounting (productive/overhead/work) is done with
+  ``cumsum`` passes over each row's chronological period stream.
+
+Equivalence with the event engine is exact, not approximate: ``np.cumsum``
+accumulates sequentially, i.e. in the same order as the engine's ``+=``
+loops, so on identical traces the batch backend reproduces the engine's
+float metrics bit for bit (the test-suite pins this on several scenario
+families).  The one construct the array passes do not model — an owner
+interrupt arriving while a workstation sits idle between episodes, which
+re-plans relative to the *accounted* time — is detected per replication
+and routed through the event engine, which stays the reference
+implementation.
+
+The task-bag pass replays :meth:`TaskBag.take`'s greedy packing against the
+bag's size prefix-sums in global completion order (completion time, then
+workstation creation order — exactly the event heap's tie-breaking), so
+``tasks_completed`` also matches the engine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..core.exceptions import SimulationError
+from ..workloads.owner_activity import pad_traces
+from .engine import CycleStealingSimulation, SchedulerFactory
+from .metrics import SimulationReport, WorkstationMetrics
+
+__all__ = ["simulate_scenarios_batch", "simulate_batch"]
+
+#: The engine's tolerance for a period finishing exactly at the contract
+#: boundary (see ``CycleStealingSimulation._handle_lifespan_end``).
+LIFESPAN_SLACK = 1e-9
+
+
+def simulate_scenarios_batch(scenarios: Sequence, scheduler: Optional[SchedulerFactory] = None,
+                             *, scheduler_factory=None) -> List[SimulationReport]:
+    """Simulate one report per scenario, all replications in one array pass.
+
+    Parameters
+    ----------
+    scenarios:
+        The replications to simulate — typically independently seeded
+        instances of one scenario family (see
+        :mod:`repro.workloads.scenarios`).  Each scenario contributes one
+        :class:`~repro.simulator.metrics.SimulationReport` to the result,
+        in order.
+    scheduler / scheduler_factory:
+        Same contract as :class:`CycleStealingSimulation`.  A factory is
+        invoked once per (replication, workstation) row; factories must be
+        pure functions of the workstation (which the adaptive-scheduler
+        protocol requires anyway).
+
+    Notes
+    -----
+    Unlike the event engine, the batch backend does **not** mutate the
+    scenarios' task bags — completed-task counts are reported in the
+    returned metrics only.  Replications that exercise the idle-interrupt
+    corner case are transparently re-run through the event engine (their
+    bags are then consumed, matching what the event backend would do).
+    """
+    scenarios = list(scenarios)
+    reports: List[Optional[SimulationReport]] = [None] * len(scenarios)
+    if not scenarios:
+        return []
+
+    resolve = CycleStealingSimulation._resolve_scheduler(scheduler, scheduler_factory)
+    kernel = _BatchKernel(resolve)
+    for rep, scenario in enumerate(scenarios):
+        kernel.add_replication(rep, scenario.workstations, scenario.task_bag)
+    kernel.run()
+
+    for rep, scenario in enumerate(scenarios):
+        if rep in kernel.fallback_reps:
+            # Reference path for the rare corner cases the array passes do
+            # not model (owner interrupt while the machine sits idle).
+            sim = CycleStealingSimulation(scenario.workstations, scheduler,
+                                          task_bag=scenario.task_bag,
+                                          scheduler_factory=scheduler_factory)
+            reports[rep] = sim.run()
+        else:
+            reports[rep] = kernel.report(rep)
+    return reports
+
+
+def simulate_batch(workstation_sets: Sequence[Sequence], scheduler=None, *,
+                   task_bags: Optional[Sequence] = None,
+                   scheduler_factory=None) -> List[SimulationReport]:
+    """Lower-level entry point taking raw workstation lists (no Scenario).
+
+    ``workstation_sets[r]`` is the list of
+    :class:`~repro.simulator.workstation.BorrowedWorkstation` contracts of
+    replication ``r``; ``task_bags[r]`` (optional) its data-parallel
+    workload.
+    """
+    class _Bare:
+        __slots__ = ("workstations", "task_bag")
+
+        def __init__(self, workstations, task_bag):
+            self.workstations = workstations
+            self.task_bag = task_bag
+
+    bags = list(task_bags) if task_bags is not None else [None] * len(workstation_sets)
+    if len(bags) != len(workstation_sets):
+        raise SimulationError("task_bags must match workstation_sets in length")
+    return simulate_scenarios_batch(
+        [_Bare(ws, bag) for ws, bag in zip(workstation_sets, bags)],
+        scheduler, scheduler_factory=scheduler_factory)
+
+
+# ----------------------------------------------------------------------
+# Kernel
+# ----------------------------------------------------------------------
+class _BatchKernel:
+    """Array-level replay of the event engine over (replication × workstation) rows."""
+
+    def __init__(self, resolve_scheduler):
+        self._resolve = resolve_scheduler
+        # Static row data (parallel lists; scalars stay Python floats to
+        # avoid numpy-scalar boxing in the hot grouping loop).
+        self.row_rep: List[int] = []
+        self.row_order: List[int] = []       # workstation creation order within its rep
+        self.row_id: List[str] = []
+        self.row_lifespan: List[float] = []
+        self.row_setup: List[float] = []
+        self.row_speed: List[float] = []
+        self.row_budget: List[int] = []
+        self.row_trace: List[np.ndarray] = []
+        self.row_scheduler: List[object] = []
+        # Per-replication data.
+        self.rep_rows: Dict[int, List[int]] = {}
+        self.rep_bag: Dict[int, Optional[object]] = {}
+        self.rep_makespan: Dict[int, float] = {}
+        self.fallback_reps: Set[int] = set()
+        # Mutable accounting, filled by run().  A "piece" is one episode's
+        # run of completed periods: (segment index, lengths, end times).
+        self._pieces: List[List[Tuple[int, np.ndarray, np.ndarray]]] = []
+        self._piece_works: List[List[np.ndarray]] = []
+        self._boundary: List[bool] = []      # last completion handled at LIFESPAN_END
+        self._wasted_parts: List[List[float]] = []
+        self._killed: List[int] = []
+        self._interrupts: List[int] = []
+        self._idle_tail: List[bool] = []
+        self._metrics: List[Optional[WorkstationMetrics]] = []
+        self._schedule_memo: Dict[Tuple[int, float, int, float], object] = {}
+
+    # ------------------------------------------------------------------
+    def add_replication(self, rep: int, workstations: Sequence, task_bag) -> None:
+        workstations = list(workstations)
+        if not workstations:
+            raise SimulationError("at least one borrowed workstation is required")
+        ids = [w.workstation_id for w in workstations]
+        if len(set(ids)) != len(ids):
+            raise SimulationError(f"workstation ids must be unique, got {ids}")
+        rows = []
+        for order, ws in enumerate(workstations):
+            row = len(self.row_rep)
+            rows.append(row)
+            self.row_rep.append(rep)
+            self.row_order.append(order)
+            self.row_id.append(ws.workstation_id)
+            self.row_lifespan.append(float(ws.lifespan))
+            self.row_setup.append(float(ws.setup_cost))
+            self.row_speed.append(float(ws.speed))
+            self.row_budget.append(int(ws.interrupt_budget))
+            # The engine only schedules interrupts strictly inside the lifespan.
+            trace = np.asarray([t for t in ws.owner_interrupts if t < ws.lifespan],
+                               dtype=float)
+            self.row_trace.append(trace)
+            self.row_scheduler.append(self._resolve(ws))
+        self.rep_rows[rep] = rows
+        self.rep_bag[rep] = task_bag
+        self.rep_makespan[rep] = max(float(w.lifespan) for w in workstations)
+
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        n = len(self.row_rep)
+        self._pieces = [[] for _ in range(n)]
+        self._piece_works = [[] for _ in range(n)]
+        self._boundary = [False] * n
+        self._wasted_parts = [[] for _ in range(n)]
+        self._killed = [0] * n
+        self._interrupts = [0] * n
+        self._idle_tail = [False] * n
+        self._metrics = [None] * n
+
+        # The (rows × max-interrupts) trace matrix: segment boundaries for
+        # the whole batch in one array (+inf padding never compares true).
+        self._trace_matrix, trace_counts = pad_traces(self.row_trace)
+        self._trace_counts = trace_counts.tolist()
+
+        max_segments = 1 + self._trace_matrix.shape[1]
+        for segment in range(max_segments):
+            self._run_segment(segment)
+        self._finalize_rows()
+        self._assign_tasks()
+
+    # ------------------------------------------------------------------
+    def _run_segment(self, segment: int) -> None:
+        """Process episode ``segment`` of every row that reaches it."""
+        groups: Dict[Tuple[int, float, float, int, float], List[int]] = {}
+        starts = (self._trace_matrix[:, segment - 1].tolist() if segment
+                  else None)
+        for row in range(len(self.row_rep)):
+            if self.row_rep[row] in self.fallback_reps:
+                continue
+            if segment > self._trace_counts[row]:
+                continue
+            start = starts[row] if segment else 0.0
+            key = (id(self.row_scheduler[row]), start, self.row_lifespan[row],
+                   max(0, self.row_budget[row] - segment), self.row_setup[row])
+            groups.setdefault(key, []).append(row)
+
+        self._fill_schedule_memo(groups)
+        for (sid, start, lifespan, p_rem, setup), rows in groups.items():
+            residual = lifespan - start
+            schedule = self._schedule_memo[(sid, residual, p_rem, setup)]
+            periods = schedule.periods
+            m = periods.size
+            # Absolute finish times, accumulated exactly like the engine's
+            # successive ``event.time + schedule[j]`` pushes.
+            if m == 1:
+                # Dominant shape for short residuals (single long period).
+                finishes = np.array((start + periods[0],))
+            else:
+                shifted = np.empty(m + 1)
+                shifted[0] = start
+                shifted[1:] = periods
+                finishes = np.cumsum(shifted)[1:]
+
+            final_rows = [r for r in rows if segment == self._trace_counts[r]]
+            int_rows = [r for r in rows if segment < self._trace_counts[r]]
+
+            if final_rows:
+                self._close_final(segment, final_rows, periods, finishes, start,
+                                  lifespan)
+            if int_rows:
+                ends = self._trace_matrix[int_rows, segment]
+                # Strict '<': an interrupt landing exactly on a period end
+                # is processed first (it was queued earlier), killing the period.
+                ks = np.searchsorted(finishes, ends, side="left")
+                for r, k, end in zip(int_rows, ks.tolist(), ends.tolist()):
+                    if k < m:
+                        in_flight_start = float(finishes[k - 1]) if k else start
+                        self._wasted_parts[r].append(max(0.0, end - in_flight_start))
+                        self._killed[r] += 1
+                        self._interrupts[r] += 1
+                    else:
+                        # Interrupt while idle: the engine re-plans relative
+                        # to the accounted time — reference path handles it.
+                        self.fallback_reps.add(self.row_rep[r])
+                        continue
+                    if k:
+                        self._pieces[r].append((segment, periods[:k], finishes[:k]))
+
+    def _fill_schedule_memo(self, groups: Dict[Tuple, List[int]]) -> None:
+        """Build every schedule a segment needs, batched per scheduler state.
+
+        All residuals that share a ``(scheduler, interrupts-left, setup)``
+        state go through one ``episode_schedule_batch`` call, so schedulers
+        with a vectorized construction amortise their work across the whole
+        batch (the base class falls back to a loop).
+        """
+        missing: Dict[Tuple[int, int, float], List[Tuple[float, Tuple]]] = {}
+        scheduler_of: Dict[int, object] = {}
+        for (sid, start, lifespan, p_rem, setup), rows in groups.items():
+            residual = lifespan - start
+            memo_key = (sid, residual, p_rem, setup)
+            if memo_key not in self._schedule_memo:
+                missing.setdefault((sid, p_rem, setup), []).append((residual, memo_key))
+                scheduler_of[sid] = self.row_scheduler[rows[0]]
+        for (sid, p_rem, setup), items in missing.items():
+            scheduler = scheduler_of[sid]
+            residuals = [residual for residual, _key in items]
+            build = getattr(scheduler, "episode_schedule_batch", None)
+            if build is not None:
+                schedules = build(residuals, p_rem, setup)
+            else:
+                schedules = [scheduler.episode_schedule(residual, p_rem, setup)
+                             for residual in residuals]
+            for (_residual, memo_key), schedule in zip(items, schedules):
+                self._schedule_memo[memo_key] = schedule
+
+    def _close_final(self, segment: int, rows: List[int], periods: np.ndarray,
+                     finishes: np.ndarray, start: float, lifespan: float) -> None:
+        """Account the last episode of ``rows`` up to the contract boundary."""
+        m = periods.size
+        # Periods finishing strictly before the lifespan complete normally ...
+        kp = int(np.searchsorted(finishes, lifespan, side="left"))
+        lengths_piece = periods[:kp]
+        times_piece = finishes[:kp]
+        boundary_kill: Optional[float] = None
+        boundary_complete = False
+        idle_tail = False
+        if kp < m:
+            # ... and the one in flight at LIFESPAN_END completes only if it
+            # ends within the engine's boundary slack.
+            in_flight_start = float(finishes[kp - 1]) if kp else start
+            if float(finishes[kp]) <= lifespan + LIFESPAN_SLACK:
+                boundary_complete = True
+                lengths_piece = periods[:kp + 1]
+                times_piece = finishes[:kp + 1].copy()
+                # Processed by the LIFESPAN_END handler at time U, which is
+                # where it lands in the task-bag order.
+                times_piece[-1] = lifespan
+            else:
+                boundary_kill = max(0.0, lifespan - in_flight_start)
+        else:
+            idle_tail = True
+        for r in rows:
+            if lengths_piece.size:
+                self._pieces[r].append((segment, lengths_piece, times_piece))
+            if boundary_kill is not None:
+                self._wasted_parts[r].append(boundary_kill)
+                self._killed[r] += 1          # lifespan kill: no owner interrupt
+            self._boundary[r] = boundary_complete
+            self._idle_tail[r] = idle_tail
+
+    # ------------------------------------------------------------------
+    def _finalize_rows(self) -> None:
+        # One flat elementwise pass over every completed period of the whole
+        # batch, then a per-row cumsum for the totals.  cumsum accumulates
+        # sequentially — the same order as the engine's per-period ``+=`` —
+        # so the totals are bit-exact.
+        n = len(self.row_rep)
+        live = [row for row in range(n) if self.row_rep[row] not in self.fallback_reps]
+        all_pieces: List[np.ndarray] = []
+        row_setups: List[float] = []
+        row_speeds: List[float] = []
+        row_counts: List[int] = []
+        for row in live:
+            count = 0
+            for _seg, lengths, _times in self._pieces[row]:
+                all_pieces.append(lengths)
+                count += lengths.size
+            row_setups.append(self.row_setup[row])
+            row_speeds.append(self.row_speed[row])
+            row_counts.append(count)
+        if all_pieces:
+            flat_len = np.concatenate(all_pieces)
+            counts_arr = np.asarray(row_counts)
+            flat_setup = np.repeat(np.asarray(row_setups), counts_arr)
+            productive = np.maximum(flat_len - flat_setup, 0.0)
+            overhead = np.minimum(flat_len, flat_setup)
+            work = productive * np.repeat(np.asarray(row_speeds), counts_arr)
+        else:
+            productive = overhead = work = np.empty(0, dtype=float)
+
+        offset = 0
+        for row, count in zip(live, row_counts):
+            if count:
+                sl = slice(offset, offset + count)
+                productive_time = float(np.cumsum(productive[sl])[-1])
+                overhead_time = float(np.cumsum(overhead[sl])[-1])
+                row_work = work[sl]
+                completed_work = float(np.cumsum(row_work)[-1])
+                # Per-piece work values, reused by the task-bag pass.
+                works, piece_offset = [], 0
+                for _seg, lengths, _times in self._pieces[row]:
+                    works.append(row_work[piece_offset:piece_offset + lengths.size])
+                    piece_offset += lengths.size
+                self._piece_works[row] = works
+                offset += count
+            else:
+                productive_time = overhead_time = completed_work = 0.0
+                self._piece_works[row] = []
+            wasted_time = 0.0
+            for part in self._wasted_parts[row]:
+                wasted_time += part
+            idle_time = 0.0
+            if self._idle_tail[row]:
+                accounted = productive_time + overhead_time + wasted_time + idle_time
+                idle_time = max(0.0, self.row_lifespan[row] - accounted)
+            self._metrics[row] = WorkstationMetrics(
+                workstation_id=self.row_id[row],
+                productive_time=productive_time,
+                overhead_time=overhead_time,
+                wasted_time=wasted_time,
+                idle_time=idle_time,
+                completed_work=completed_work,
+                completed_periods=count,
+                killed_periods=self._killed[row],
+                owner_interrupts=self._interrupts[row],
+                episodes=self.row_trace[row].size + 1,
+            )
+
+    # ------------------------------------------------------------------
+    def _assign_tasks(self) -> None:
+        """Replay the shared task bag in global completion order per replication."""
+        for rep, rows in self.rep_rows.items():
+            bag = self.rep_bag[rep]
+            if bag is None or rep in self.fallback_reps:
+                continue
+            sizes = bag.sizes
+            total = sizes.size
+            pointer = bag.completed_tasks
+            if total == 0 or pointer >= total:
+                continue
+            prefix = np.empty(total + 1)
+            prefix[0] = 0.0
+            np.cumsum(sizes, out=prefix[1:])
+            search = prefix.searchsorted
+            counts: Dict[int, int] = {}
+            if len(rows) == 1:
+                (row,) = rows
+                taken = 0
+                anchor = float(prefix[pointer])
+                for work_arr in self._piece_works[row]:
+                    for budget in work_arr.tolist():
+                        if budget <= 0.0:
+                            continue
+                        # TaskBag.take's greedy packing, via prefix sums:
+                        # whole tasks fit while their cumulative size stays
+                        # within budget + slack.
+                        new_pointer = int(search(anchor + budget + 1e-12,
+                                                 side="right")) - 1
+                        if new_pointer > pointer:
+                            taken += new_pointer - pointer
+                            pointer = new_pointer
+                            anchor = float(prefix[pointer])
+                            if pointer >= total:
+                                break
+                    if pointer >= total:
+                        break
+                if taken:
+                    counts[row] = taken
+            else:
+                ordered = self._merged_completions(rows)
+                if ordered is None:
+                    ordered = self._completion_order(rows)
+                for row, work in ordered:
+                    budget = float(work)
+                    if budget <= 0.0:
+                        continue
+                    new_pointer = int(search(float(prefix[pointer]) + budget + 1e-12,
+                                             side="right")) - 1
+                    if new_pointer > pointer:
+                        counts[row] = counts.get(row, 0) + (new_pointer - pointer)
+                        pointer = new_pointer
+                        if pointer >= total:
+                            break
+            for row, count in counts.items():
+                self._metrics[row].tasks_completed = count
+
+    def _merged_completions(self, rows: List[int]):
+        """Completions of several workstations merged by time — tie-free only.
+
+        When no two completion times across the replication coincide
+        exactly, a stable sort by time reproduces the event heap's order
+        without replaying it.  Returns ``None`` when exact ties exist (the
+        heap replay of :meth:`_completion_order` then decides them).
+        """
+        times_list, works_list, rows_list = [], [], []
+        for r in rows:
+            for (_seg, _lengths, t), w in zip(self._pieces[r],
+                                              self._piece_works[r]):
+                times_list.append(t)
+                works_list.append(w)
+                rows_list.append(np.full(t.size, r, dtype=np.int64))
+        if not times_list:
+            return []
+        times = np.concatenate(times_list)
+        order = np.argsort(times, kind="stable")
+        sorted_times = times[order]
+        if sorted_times.size > 1 and not np.all(sorted_times[:-1] < sorted_times[1:]):
+            return None
+        works = np.concatenate(works_list)[order]
+        row_ids = np.concatenate(rows_list)[order]
+        return zip(row_ids.tolist(), works.tolist())
+
+    def _completion_order(self, rows: List[int]):
+        """Yield ``(row, work)`` for every completed period in event-heap order.
+
+        A single workstation's completions are simply chronological.  With
+        several workstations sharing the bag, ties between equal completion
+        times are broken by the heap's *push order*, which chains from each
+        workstation's previous event — so we replay the heap discipline over
+        the already-known completion streams.  Only event ordering is
+        replayed here; all the expensive accounting stayed vectorized.
+        """
+        import heapq
+        import itertools
+
+        counter = itertools.count()
+        heap: List[Tuple[float, int, int, int, int]] = []  # time, seq, kind, row, index
+        PE, INT, LIFE = 0, 1, 2
+        # piece lookup per row: segment -> (times, works); last piece may end
+        # with the boundary completion, which the LIFESPAN_END pop processes.
+        piece_of: Dict[int, Dict[int, Tuple[np.ndarray, np.ndarray]]] = {}
+        chain_len: Dict[Tuple[int, int], int] = {}  # completions reached via PE pops
+
+        def push_first(row: int, segment: int) -> None:
+            per_seg = piece_of[row].get(segment)
+            if per_seg is not None and chain_len[(row, segment)] > 0:
+                heapq.heappush(heap, (float(per_seg[0][0]), next(counter), PE,
+                                      row, segment << 32))
+
+        for row in rows:               # init pushes, in workstation order
+            per_seg = {}
+            for (segment, _lengths, times), works in zip(self._pieces[row],
+                                                         self._piece_works[row]):
+                per_seg[segment] = (times, works)
+                boundary_here = (self._boundary[row]
+                                 and segment == self.row_trace[row].size)
+                chain_len[(row, segment)] = times.size - (1 if boundary_here else 0)
+            piece_of[row] = per_seg
+            for seg, t in enumerate(self.row_trace[row].tolist()):
+                heapq.heappush(heap, (t, next(counter), INT, row, seg))
+            heapq.heappush(heap, (self.row_lifespan[row], next(counter), LIFE, row, 0))
+            push_first(row, 0)
+
+        while heap:
+            _time, _seq, kind, row, index = heapq.heappop(heap)
+            if kind == PE:
+                segment, i = index >> 32, index & 0xFFFFFFFF
+                times, works = piece_of[row][segment]
+                yield row, works[i]
+                if i + 1 < chain_len[(row, segment)]:
+                    heapq.heappush(heap, (float(times[i + 1]), next(counter), PE,
+                                          row, (segment << 32) | (i + 1)))
+            elif kind == INT:
+                push_first(row, index + 1)
+            else:  # LIFE: the boundary completion is processed here, at time U
+                if self._boundary[row]:
+                    final_seg = int(self.row_trace[row].size)
+                    per_seg = piece_of[row].get(final_seg)
+                    if per_seg is not None:
+                        yield row, per_seg[1][-1]
+
+    # ------------------------------------------------------------------
+    def report(self, rep: int) -> SimulationReport:
+        per_ws = {self.row_id[r]: self._metrics[r] for r in self.rep_rows[rep]}
+        return SimulationReport(per_workstation=per_ws,
+                                makespan=self.rep_makespan[rep])

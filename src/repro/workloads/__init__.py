@@ -3,7 +3,9 @@
 from .owner_activity import (
     bursty_interrupts,
     evenly_spaced_interrupts,
+    pad_traces,
     poisson_interrupts,
+    poisson_interrupts_batch,
     workday_interrupts,
     worst_case_interrupts_for_schedule,
 )
@@ -25,6 +27,8 @@ __all__ = [
     "uniform_tasks",
     "lognormal_tasks",
     "poisson_interrupts",
+    "poisson_interrupts_batch",
+    "pad_traces",
     "evenly_spaced_interrupts",
     "workday_interrupts",
     "bursty_interrupts",

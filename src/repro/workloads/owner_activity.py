@@ -10,16 +10,18 @@ analysis so the simulator can reproduce the analytic guarantees end-to-end.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 __all__ = [
     "poisson_interrupts",
+    "poisson_interrupts_batch",
     "evenly_spaced_interrupts",
     "workday_interrupts",
     "bursty_interrupts",
     "worst_case_interrupts_for_schedule",
+    "pad_traces",
 ]
 
 
@@ -42,6 +44,66 @@ def poisson_interrupts(lifespan: float, rate: float,
         if max_interrupts is not None and len(times) >= max_interrupts:
             break
     return times
+
+
+def poisson_interrupts_batch(lifespan: float, rate: float,
+                             seeds: Sequence[Optional[int]],
+                             max_interrupts: Optional[int] = None
+                             ) -> List[np.ndarray]:
+    """One Poisson owner trace per seed, generated at array level.
+
+    Returns a list of float arrays, one per seed, bit-identical to calling
+    :func:`poisson_interrupts` with each seed in turn (NumPy generators
+    draw the same stream whether asked for scalars one at a time or for a
+    whole ``size=K`` block, and ``cumsum`` accumulates in the same order as
+    the scalar loop's ``t += gap``).  The per-trace cost is a couple of
+    array operations instead of one Python-level draw per event; the
+    Poisson-owner scenario families in :mod:`repro.workloads.scenarios`
+    generate all their machines' traces through it, which keeps batch
+    replication (see :mod:`repro.simulator.batch`) cheap end to end.
+    """
+    if lifespan <= 0.0 or rate < 0.0:
+        raise ValueError("lifespan must be positive and rate non-negative")
+    traces: List[np.ndarray] = []
+    if rate == 0.0:
+        return [np.empty(0, dtype=float) for _ in seeds]
+    # Enough draws that a second block is rarely needed (mean + 6 sigma).
+    expected = rate * lifespan
+    block = max(8, int(expected + 6.0 * max(1.0, expected ** 0.5)) + 1)
+    scale = 1.0 / rate
+    for seed in seeds:
+        rng = np.random.default_rng(seed)
+        times = np.cumsum(rng.exponential(scale, size=block))
+        while times[-1] < lifespan:
+            # Continue the accumulation from times[-1] *inside* the cumsum so
+            # the additions happen in the scalar loop's exact order
+            # ((T + g1) + g2, not (g1 + g2) + T) — bit-identity is the contract.
+            more = np.cumsum(np.concatenate((times[-1:],
+                                             rng.exponential(scale, size=block))))[1:]
+            times = np.concatenate((times, more))
+        trace = times[:int(np.searchsorted(times, lifespan, side="left"))]
+        if max_interrupts is not None:
+            trace = trace[:max_interrupts]
+        traces.append(trace)
+    return traces
+
+
+def pad_traces(traces: Sequence[Sequence[float]],
+               fill: float = np.inf) -> Tuple[np.ndarray, np.ndarray]:
+    """Pack ragged interrupt traces into one padded (R × K) array.
+
+    Returns ``(padded, counts)`` where ``padded[r, :counts[r]]`` holds
+    trace ``r`` and the remainder is ``fill`` (``+inf`` by default, so
+    time comparisons against the padding are always false).  The batch
+    simulation kernel stores every row's segment boundaries this way.
+    """
+    arrays = [np.asarray(t, dtype=float) for t in traces]
+    counts = np.asarray([a.size for a in arrays], dtype=np.int64)
+    width = int(counts.max()) if arrays else 0
+    padded = np.full((len(arrays), width), fill, dtype=float)
+    for r, a in enumerate(arrays):
+        padded[r, :a.size] = a
+    return padded, counts
 
 
 def evenly_spaced_interrupts(lifespan: float, count: int) -> List[float]:

@@ -22,7 +22,12 @@ import numpy as np
 
 from ..core.params import CycleStealingParams
 from ..simulator.workstation import BorrowedWorkstation
-from .owner_activity import bursty_interrupts, poisson_interrupts, workday_interrupts
+from .owner_activity import (
+    bursty_interrupts,
+    poisson_interrupts,
+    poisson_interrupts_batch,
+    workday_interrupts,
+)
 from .tasks import TaskBag, lognormal_tasks, uniform_tasks
 
 __all__ = [
@@ -86,16 +91,16 @@ def overnight_desktops(*, num_machines: int = 8, lifespan: float = 600.0,
     Most owners never come back before morning; a few do once.  Machine
     speeds are mildly heterogeneous.
     """
-    workstations: List[BorrowedWorkstation] = []
-    for i in range(num_machines):
-        machine_seed = None if seed is None else seed + i
-        interrupts = poisson_interrupts(lifespan, rate=0.5 / lifespan,
-                                        seed=machine_seed,
-                                        max_interrupts=interrupt_budget)
-        workstations.append(BorrowedWorkstation(
+    machine_seeds = [None if seed is None else seed + i
+                     for i in range(num_machines)]
+    traces = poisson_interrupts_batch(lifespan, 0.5 / lifespan, machine_seeds,
+                                      max_interrupts=interrupt_budget)
+    workstations = [
+        BorrowedWorkstation(
             workstation_id=f"desktop-{i}", lifespan=lifespan, setup_cost=setup_cost,
-            interrupt_budget=interrupt_budget, owner_interrupts=interrupts,
-            speed=1.0 + 0.1 * (i % 3)))
+            interrupt_budget=interrupt_budget, owner_interrupts=trace,
+            speed=1.0 + 0.1 * (i % 3))
+        for i, trace in enumerate(traces)]
     bag = lognormal_tasks(20_000, median=0.2, sigma=0.4, seed=seed)
     params = CycleStealingParams(lifespan=lifespan, setup_cost=setup_cost,
                                  max_interrupts=interrupt_budget)
@@ -179,21 +184,26 @@ def heterogeneous_cluster(*, num_machines: int = 12, lifespan: float = 720.0,
     over contracts of very different quality.
     """
     rng = np.random.default_rng(seed)
-    workstations: List[BorrowedWorkstation] = []
-    for i in range(num_machines):
-        machine_seed = None if seed is None else int(rng.integers(0, 2**31 - 1))
-        speed = float(np.exp(rng.normal(0.0, speed_sigma)))
+    machine_seeds: List[Optional[int]] = []
+    speeds: List[float] = []
+    for _ in range(num_machines):
+        # Seed and speed draws interleave on one generator stream; the order
+        # is part of the family's deterministic identity.
+        machine_seeds.append(None if seed is None
+                             else int(rng.integers(0, 2**31 - 1)))
+        speeds.append(float(np.exp(rng.normal(0.0, speed_sigma))))
+    traces = poisson_interrupts_batch(lifespan, interrupt_budget / lifespan,
+                                      machine_seeds,
+                                      max_interrupts=interrupt_budget)
+    workstations = []
+    for i, (speed, trace) in enumerate(zip(speeds, traces)):
         # Slow machines pay proportionally more set-up (slower round trips),
         # bounded away from zero so the DP grid stays sane.
         setup_cost = max(0.25, base_setup_cost / math.sqrt(speed))
-        interrupts = poisson_interrupts(lifespan,
-                                        rate=interrupt_budget / lifespan,
-                                        seed=machine_seed,
-                                        max_interrupts=interrupt_budget)
         workstations.append(BorrowedWorkstation(
             workstation_id=f"node-{i}", lifespan=lifespan,
             setup_cost=setup_cost, interrupt_budget=interrupt_budget,
-            owner_interrupts=interrupts, speed=speed))
+            owner_interrupts=trace, speed=speed))
     bag = lognormal_tasks(60_000, median=0.25, sigma=0.6, seed=seed)
     params = CycleStealingParams(lifespan=lifespan, setup_cost=base_setup_cost,
                                  max_interrupts=interrupt_budget)
@@ -216,15 +226,16 @@ def flaky_owners(*, num_machines: int = 5, lifespan: float = 360.0,
     if breach_factor < 1.0:
         raise ValueError(f"breach_factor must be >= 1, got {breach_factor!r}")
     rng = np.random.default_rng(seed)
-    workstations: List[BorrowedWorkstation] = []
-    for i in range(num_machines):
-        machine_seed = None if seed is None else int(rng.integers(0, 2**31 - 1))
-        rate = breach_factor * max(interrupt_budget, 1) / lifespan
-        interrupts = poisson_interrupts(lifespan, rate=rate, seed=machine_seed)
-        workstations.append(BorrowedWorkstation(
+    machine_seeds = [None if seed is None else int(rng.integers(0, 2**31 - 1))
+                    for _ in range(num_machines)]
+    rate = breach_factor * max(interrupt_budget, 1) / lifespan
+    traces = poisson_interrupts_batch(lifespan, rate, machine_seeds)
+    workstations = [
+        BorrowedWorkstation(
             workstation_id=f"flaky-{i}", lifespan=lifespan,
             setup_cost=setup_cost, interrupt_budget=interrupt_budget,
-            owner_interrupts=interrupts))
+            owner_interrupts=trace)
+        for i, trace in enumerate(traces)]
     bag = uniform_tasks(15_000, low=0.05, high=0.25, seed=seed)
     params = CycleStealingParams(lifespan=lifespan, setup_cost=setup_cost,
                                  max_interrupts=interrupt_budget)

@@ -38,6 +38,13 @@ class TaskBag:
 
     # ------------------------------------------------------------------
     @property
+    def sizes(self) -> np.ndarray:
+        """Read-only array of every task's size (the batch backend's view)."""
+        view = self._sizes.view()
+        view.setflags(write=False)
+        return view
+
+    @property
     def total_tasks(self) -> int:
         """Number of tasks the bag started with."""
         return int(self._sizes.size)

@@ -1,9 +1,24 @@
 """Shared fixtures for the test-suite."""
 
+import os
+
 import pytest
 
 from repro import CycleStealingParams
 from repro.dp import solve
+
+try:
+    from hypothesis import settings as _hypothesis_settings
+
+    # Property tests on slow shared runners (CI, coverage instrumentation)
+    # flake on hypothesis' wall-clock deadline; the "ci" profile disables it.
+    # Only the profile registered here is loaded — an unrelated
+    # HYPOTHESIS_PROFILE value from the environment must not abort collection.
+    _hypothesis_settings.register_profile("ci", deadline=None)
+    if os.environ.get("HYPOTHESIS_PROFILE") == "ci":
+        _hypothesis_settings.load_profile("ci")
+except ImportError:  # pragma: no cover - hypothesis is a test dependency
+    pass
 
 
 @pytest.fixture(scope="session")

@@ -29,6 +29,14 @@ class TestParser:
         assert args.jobs == 4 and args.replications == 50
         assert args.seed == 3 and args.cache_dir == "/tmp/x"
         assert args.adversaries == ["poisson-owner"]
+        assert args.backend == "event"  # reference backend is the default
+
+    def test_backend_flags(self):
+        parser = build_parser()
+        assert parser.parse_args(["sweep", "--backend", "batch"]).backend == "batch"
+        assert parser.parse_args(["simulate", "--backend", "batch"]).backend == "batch"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["sweep", "--backend", "warp"])
 
 
 class TestCommands:
@@ -72,6 +80,21 @@ class TestCommands:
         assert "flaky-0" in capsys.readouterr().out
         assert main(["simulate", "--scenario", "cluster"]) == 0
         assert "node-0" in capsys.readouterr().out
+
+    def test_simulate_batch_backend_prints_same_rows(self, capsys):
+        assert main(["simulate", "--scenario", "laptop", "--backend", "event"]) == 0
+        event_out = capsys.readouterr().out
+        assert main(["simulate", "--scenario", "laptop", "--backend", "batch"]) == 0
+        batch_out = capsys.readouterr().out
+        assert event_out == batch_out  # bit-identical reports, same table
+
+    def test_sweep_batch_backend(self, capsys):
+        assert main(["sweep", "--lifespans", "150", "--interrupts", "1",
+                     "--schedulers", "equalizing-adaptive",
+                     "--adversaries", "poisson-owner",
+                     "--replications", "5", "--seed", "1",
+                     "--backend", "batch"]) == 0
+        assert "work_mean" in capsys.readouterr().out
 
     def test_sweep_analytic(self, capsys):
         assert main(["sweep", "--lifespans", "100", "--interrupts", "1",

@@ -84,8 +84,34 @@ class TestMonteCarlo:
         assert stats["x_q50"] == pytest.approx(2.5)
 
     def test_single_value_has_zero_std(self):
+        # A single replication must not apply the ddof=1 correction (which
+        # would divide by zero); the sample std is defined as 0.0.
         stats = aggregate([7.0], "x")
         assert stats["x_std"] == 0.0 and stats["x_mean"] == 7.0
+        assert stats["x_min"] == stats["x_max"] == 7.0
+        assert stats["x_q10"] == stats["x_q50"] == stats["x_q90"] == 7.0
+
+    def test_empty_input_reports_only_count(self):
+        stats = aggregate([], "x")
+        assert stats == {"x_n": 0}
+
+    def test_quantile_keys_are_integer_percent(self):
+        stats = aggregate([1.0, 2.0, 3.0], "eff")
+        assert {"eff_q10", "eff_q50", "eff_q90"} <= set(stats)
+        assert not any(key.startswith("eff_q0.") for key in stats)
+        values = list(range(101))
+        deciles = aggregate(values, "v")
+        assert deciles["v_q10"] == pytest.approx(10.0)
+        assert deciles["v_q90"] == pytest.approx(90.0)
+
+    def test_two_values_use_sample_std(self):
+        stats = aggregate([1.0, 3.0], "x")
+        assert stats["x_std"] == pytest.approx(np.std([1.0, 3.0], ddof=1))
+
+    def test_accepts_any_sequence_type(self):
+        from_tuple = aggregate((2.0, 4.0), "x")
+        from_generator = aggregate(iter([2.0, 4.0]), "x")
+        assert from_tuple == from_generator
 
     def test_replication_is_deterministic(self):
         point = SweepPoint(index=0, lifespan=150.0, setup_cost=1.0,

@@ -167,6 +167,32 @@ class TestSimulationBasics:
         with pytest.raises(SimulationError):
             CycleStealingSimulation([_single()], scheduler=object())
 
+    def test_non_callable_factory_rejected(self):
+        with pytest.raises(SimulationError):
+            CycleStealingSimulation([_single()], scheduler_factory=42)
+
+    def test_deprecated_callable_names_the_replacement(self):
+        with pytest.warns(DeprecationWarning, match="scheduler_factory"):
+            CycleStealingSimulation([_single()],
+                                    lambda ws: SinglePeriodScheduler())
+
+    def test_deprecated_callable_still_routes_per_workstation(self):
+        # The legacy bare-callable form keeps factory behaviour until it is
+        # removed: it must be invoked with each workstation.
+        machines = [_single(),
+                    BorrowedWorkstation("ws-1", lifespan=100.0, setup_cost=1.0,
+                                        interrupt_budget=0)]
+        seen = []
+
+        def legacy(ws):
+            seen.append(ws.workstation_id)
+            return SinglePeriodScheduler()
+
+        with pytest.warns(DeprecationWarning):
+            report = CycleStealingSimulation(machines, legacy).run()
+        assert sorted(set(seen)) == ["ws-0", "ws-1"]
+        assert report.total_work == pytest.approx(198.0)
+
     def test_report_rows(self):
         report = CycleStealingSimulation([_single()], SinglePeriodScheduler()).run()
         rows = report.rows()

@@ -1,0 +1,310 @@
+"""Equivalence tests: the vectorized batch backend vs the event engine.
+
+The batch backend's contract is *exact* agreement with the event-driven
+reference on identical traces — every float metric bit for bit — plus
+``~1e-15``-order agreement (pinned at 1e-9) on Monte-Carlo aggregates when
+randomness is involved, because only float summation order may differ.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.schedule import EpisodeSchedule
+from repro.schedules import (
+    EqualizingAdaptiveScheduler,
+    FixedPeriodScheduler,
+    RosenbergAdaptiveScheduler,
+    SinglePeriodScheduler,
+)
+from repro.simulator import (
+    BorrowedWorkstation,
+    CycleStealingSimulation,
+    simulate_batch,
+    simulate_scenarios_batch,
+)
+from repro.core.exceptions import SimulationError
+from repro.workloads import (
+    SCENARIO_FAMILIES,
+    bursty_office_day,
+    constant_tasks,
+    flaky_owners,
+    heterogeneous_cluster,
+    laptop_evening,
+    overnight_desktops,
+    pad_traces,
+    poisson_interrupts,
+    poisson_interrupts_batch,
+    shared_lab,
+)
+
+METRIC_FIELDS = [
+    "productive_time", "overhead_time", "wasted_time", "idle_time",
+    "completed_work", "completed_periods", "killed_periods",
+    "owner_interrupts", "episodes", "tasks_completed",
+]
+
+
+def assert_reports_identical(event_report, batch_report):
+    """Every per-workstation metric must agree exactly (== on floats)."""
+    assert set(event_report.per_workstation) == set(batch_report.per_workstation)
+    for wid, event_metrics in event_report.per_workstation.items():
+        batch_metrics = batch_report.per_workstation[wid]
+        for field in METRIC_FIELDS:
+            a = getattr(event_metrics, field)
+            b = getattr(batch_metrics, field)
+            assert a == b, f"{wid}.{field}: event={a!r} batch={b!r}"
+    assert event_report.makespan == batch_report.makespan
+
+
+def run_both(scenario_a, scenario_b, scheduler_factory_fn):
+    event_report = CycleStealingSimulation(
+        scenario_a.workstations, scheduler_factory_fn(),
+        task_bag=scenario_a.task_bag).run()
+    (batch_report,) = simulate_scenarios_batch(
+        [scenario_b], scheduler_factory_fn())
+    return event_report, batch_report
+
+
+# ----------------------------------------------------------------------
+# Bit-for-bit equivalence on the deterministic scenario families
+# ----------------------------------------------------------------------
+class TestScenarioEquivalence:
+    """Canonical-seed scenario families are deterministic: given the same
+    seed both backends see identical traces, so reports must match exactly."""
+
+    @pytest.mark.parametrize("family", [
+        laptop_evening, overnight_desktops, shared_lab,
+        bursty_office_day, heterogeneous_cluster, flaky_owners,
+    ])
+    @pytest.mark.parametrize("make_scheduler", [
+        EqualizingAdaptiveScheduler,
+        RosenbergAdaptiveScheduler,
+        SinglePeriodScheduler,
+        lambda: FixedPeriodScheduler(period_length=17.0),
+    ])
+    def test_bit_for_bit(self, family, make_scheduler):
+        event_report, batch_report = run_both(family(), family(), make_scheduler)
+        assert_reports_identical(event_report, batch_report)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 99])
+    def test_bit_for_bit_across_seeds(self, seed):
+        event_report, batch_report = run_both(
+            shared_lab(seed=seed), shared_lab(seed=seed),
+            EqualizingAdaptiveScheduler)
+        assert_reports_identical(event_report, batch_report)
+
+    def test_whole_batch_at_once(self):
+        scenarios_a = [laptop_evening(seed=s) for s in range(8)]
+        scenarios_b = [laptop_evening(seed=s) for s in range(8)]
+        scheduler = EqualizingAdaptiveScheduler()
+        batch_reports = simulate_scenarios_batch(scenarios_b, scheduler)
+        for scenario, batch_report in zip(scenarios_a, batch_reports):
+            event_report = CycleStealingSimulation(
+                scenario.workstations, scheduler,
+                task_bag=scenario.task_bag).run()
+            assert_reports_identical(event_report, batch_report)
+
+
+# ----------------------------------------------------------------------
+# Hand-built edge cases
+# ----------------------------------------------------------------------
+def _ws(wid="ws-0", lifespan=100.0, setup=2.0, budget=2, interrupts=(), speed=1.0):
+    return BorrowedWorkstation(workstation_id=wid, lifespan=lifespan,
+                               setup_cost=setup, interrupt_budget=budget,
+                               owner_interrupts=interrupts, speed=speed)
+
+
+class TestEdgeCases:
+    def _check(self, workstations, scheduler_fn, bag_fn=lambda: None):
+        # Contracts are immutable; only the task bags must be per-backend.
+        event_report = CycleStealingSimulation(
+            workstations, scheduler_fn(), task_bag=bag_fn()).run()
+        (batch_report,) = simulate_batch([workstations], scheduler_fn(),
+                                         task_bags=[bag_fn()])
+        assert_reports_identical(event_report, batch_report)
+
+    def test_no_interrupts(self):
+        self._check([_ws()], EqualizingAdaptiveScheduler)
+
+    def test_interrupt_at_time_zero(self):
+        self._check([_ws(interrupts=(0.0, 41.5))], EqualizingAdaptiveScheduler)
+
+    def test_interrupt_exactly_at_period_end(self):
+        # The owner event was queued first, so it kills the period even at
+        # the exact finish instant.
+        scheduler = SinglePeriodScheduler()
+        first = scheduler.episode_schedule(100.0, 2, 2.0)
+        self._check([_ws(interrupts=(float(first.total_length) / 2,))],
+                    SinglePeriodScheduler)
+
+    def test_period_ending_exactly_at_lifespan(self):
+        # Single period covers the lifespan exactly: completes at U.
+        self._check([_ws(budget=0)], SinglePeriodScheduler)
+
+    def test_owner_exceeding_budget(self):
+        self._check([_ws(budget=1, interrupts=(10.0, 20.0, 30.0, 44.4))],
+                    EqualizingAdaptiveScheduler)
+
+    def test_interrupts_beyond_lifespan_are_ignored(self):
+        self._check([_ws(interrupts=(50.0, 150.0, 220.0))],
+                    EqualizingAdaptiveScheduler)
+
+    def test_constant_task_bag_exact(self):
+        # Exactly representable sizes: greedy packing must agree exactly.
+        self._check([_ws(interrupts=(33.0,))], EqualizingAdaptiveScheduler,
+                    bag_fn=lambda: constant_tasks(4096, size=0.125))
+
+    def test_tiny_task_bag_exhausts(self):
+        self._check([_ws()], EqualizingAdaptiveScheduler,
+                    bag_fn=lambda: constant_tasks(3, size=0.5))
+
+    def test_idle_interrupt_falls_back_to_event_engine(self):
+        # A scheduler that under-commits leaves the machine idle before the
+        # owner returns — the corner case the array passes hand back to the
+        # reference engine.
+        class HalfScheduler:
+            def episode_schedule(self, residual, interrupts_remaining, setup_cost):
+                return EpisodeSchedule.single_period(residual / 2.0)
+
+        ws = [_ws(interrupts=(80.0,))]
+        event_report = CycleStealingSimulation(ws, HalfScheduler()).run()
+        (batch_report,) = simulate_batch([ws], HalfScheduler())
+        assert_reports_identical(event_report, batch_report)
+        # Sanity: the case really exercises idle-then-interrupt.
+        assert event_report.per_workstation["ws-0"].idle_time > 0.0
+
+    def test_multi_workstation_shared_bag_ties(self):
+        # Identical contracts → identical period end times → the task bag
+        # is contended at exactly tied instants; heap-order replay must
+        # agree with the engine.
+        ws = [_ws(wid=f"m-{i}") for i in range(4)]
+        self._check(ws, EqualizingAdaptiveScheduler,
+                    bag_fn=lambda: constant_tasks(1000, size=0.25))
+
+    def test_validation_matches_engine(self):
+        with pytest.raises(SimulationError):
+            simulate_batch([[]], EqualizingAdaptiveScheduler())
+        dup = [_ws(wid="same"), _ws(wid="same")]
+        with pytest.raises(SimulationError):
+            simulate_batch([dup], EqualizingAdaptiveScheduler())
+        with pytest.raises(SimulationError):
+            simulate_batch([[_ws()]], None)  # no scheduler at all
+
+    def test_scheduler_factory_routes_per_workstation(self):
+        ws = [_ws(wid="fast", speed=2.0), _ws(wid="slow", speed=0.5)]
+
+        def factory(workstation):
+            return (EqualizingAdaptiveScheduler() if workstation.speed > 1.0
+                    else SinglePeriodScheduler())
+
+        event_report = CycleStealingSimulation(
+            ws, scheduler_factory=factory).run()
+        (batch_report,) = simulate_batch([ws], scheduler_factory=factory)
+        assert_reports_identical(event_report, batch_report)
+
+    def test_bare_callable_deprecation_matches_engine(self):
+        ws = [_ws()]
+        with pytest.warns(DeprecationWarning):
+            (batch_report,) = simulate_batch(
+                [ws], lambda workstation: SinglePeriodScheduler())
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            event_report = CycleStealingSimulation(
+                ws, lambda workstation: SinglePeriodScheduler()).run()
+        assert_reports_identical(event_report, batch_report)
+
+    def test_empty_batch(self):
+        assert simulate_scenarios_batch([], EqualizingAdaptiveScheduler()) == []
+
+
+# ----------------------------------------------------------------------
+# Vectorized schedule construction
+# ----------------------------------------------------------------------
+class TestEpisodeScheduleBatch:
+    @pytest.mark.parametrize("make_scheduler", [EqualizingAdaptiveScheduler,
+                                                RosenbergAdaptiveScheduler])
+    def test_bit_identical_to_scalar(self, make_scheduler):
+        scheduler = make_scheduler()
+        rng = np.random.default_rng(7)
+        for c in (0.5, 1.0, 3.0):
+            for p in (1, 2, 4):
+                residuals = np.concatenate([
+                    rng.uniform(2 * c + 1e-9, 12 * c, 30),
+                    rng.uniform(12 * c, 5_000 * c, 60),
+                ])
+                batch = scheduler.episode_schedule_batch(residuals, p, c)
+                for residual, from_batch in zip(residuals, batch):
+                    scalar = scheduler.episode_schedule(float(residual), p, c)
+                    assert np.array_equal(scalar.periods, from_batch.periods), \
+                        (make_scheduler.__name__, c, p, residual)
+
+    def test_tail_end_boundary(self):
+        scheduler = EqualizingAdaptiveScheduler()
+        state = scheduler._ensure_prefix(2, 1.0, 50.0)
+        L = state.tail_end
+        (from_batch,) = scheduler.episode_schedule_batch([L], 2, 1.0)
+        scalar = scheduler.episode_schedule(L, 2, 1.0)
+        assert np.array_equal(scalar.periods, from_batch.periods)
+
+    def test_base_class_fallback_loops(self):
+        scheduler = SinglePeriodScheduler()
+        batch = scheduler.episode_schedule_batch([10.0, 20.0], 1, 1.0)
+        assert [s.total_length for s in batch] == [10.0, 20.0]
+
+    def test_from_validated_array_is_readonly_copy(self):
+        source = np.array([1.0, 2.0, 3.0])
+        schedule = EpisodeSchedule.from_validated_array(source)
+        source[0] = 99.0
+        assert schedule[0] == 1.0
+        with pytest.raises(ValueError):
+            schedule.periods[0] = 5.0
+
+
+# ----------------------------------------------------------------------
+# Batch trace samplers
+# ----------------------------------------------------------------------
+class TestBatchSamplers:
+    def test_poisson_batch_bit_identical(self):
+        seeds = list(range(40))
+        for rate, lifespan, cap in ((0.01, 240.0, 2), (0.05, 500.0, None)):
+            batch = poisson_interrupts_batch(lifespan, rate, seeds,
+                                             max_interrupts=cap)
+            for seed, trace in zip(seeds, batch):
+                scalar = poisson_interrupts(lifespan, rate, seed=seed,
+                                            max_interrupts=cap)
+                assert np.array_equal(np.asarray(scalar), trace)
+
+    def test_poisson_batch_zero_rate(self):
+        traces = poisson_interrupts_batch(100.0, 0.0, [1, 2, 3])
+        assert all(t.size == 0 for t in traces)
+
+    def test_poisson_batch_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            poisson_interrupts_batch(0.0, 1.0, [1])
+        with pytest.raises(ValueError):
+            poisson_interrupts_batch(10.0, -1.0, [1])
+
+    def test_pad_traces(self):
+        padded, counts = pad_traces([[1.0, 2.0], [], [3.0]])
+        assert padded.shape == (3, 2)
+        assert counts.tolist() == [2, 0, 1]
+        assert padded[0].tolist() == [1.0, 2.0]
+        assert np.isinf(padded[1]).all()
+        assert padded[2, 0] == 3.0 and np.isinf(padded[2, 1])
+
+    def test_pad_traces_empty(self):
+        padded, counts = pad_traces([])
+        assert padded.shape == (0, 0) and counts.size == 0
+
+
+# ----------------------------------------------------------------------
+# All registered families stay equivalent (guards future families)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("family_name", sorted(SCENARIO_FAMILIES))
+def test_registered_family_equivalence(family_name):
+    family = SCENARIO_FAMILIES[family_name]
+    event_report, batch_report = run_both(family(), family(),
+                                          EqualizingAdaptiveScheduler)
+    assert_reports_identical(event_report, batch_report)
