@@ -8,27 +8,23 @@ one completes, how much time is wasted on killed periods, and how much goes
 to communication set-up.
 """
 
+from repro.experiments import make_scheduler
+from repro.registry import SCENARIO_FAMILIES
 from repro.reporting import render_table
-from repro.schedules import (
-    EqualizingAdaptiveScheduler,
-    FixedPeriodScheduler,
-    RosenbergAdaptiveScheduler,
-    SinglePeriodScheduler,
-)
 from repro.simulator import CycleStealingSimulation
-from repro.workloads import laptop_evening
+
+# The schedulers to compare, by registry name — the same names the CLI,
+# sweep grids and spec files accept (see repro.registry).
+SCHEDULER_NAMES = ("equalizing-adaptive", "rosenberg-adaptive",
+                   "fixed-period", "single-period")
 
 
 def main() -> None:
     rows = []
-    schedulers = {
-        "equalizing-adaptive (guideline)": EqualizingAdaptiveScheduler(),
-        "rosenberg-adaptive (literal)": RosenbergAdaptiveScheduler(),
-        "fixed 15-unit chunks": FixedPeriodScheduler(period_length=15.0),
-        "one long period": SinglePeriodScheduler(),
-    }
-    for label, scheduler in schedulers.items():
-        scenario = laptop_evening()          # fresh task bag per run
+    for name in SCHEDULER_NAMES:
+        scenario = SCENARIO_FAMILIES.create("laptop")   # fresh task bag per run
+        label = name
+        scheduler = make_scheduler(name, scenario.params)
         print(f"Running {scenario.describe()} with {label} ...")
         report = CycleStealingSimulation(scenario.workstations, scheduler,
                                          task_bag=scenario.task_bag).run()

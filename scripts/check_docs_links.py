@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""CI gate: fail on broken intra-repository markdown links.
+
+Scans README.md, CONTRIBUTING.md and everything under docs/ for inline
+markdown links and images (``[text](target)``), resolves each relative
+target against the file containing it, and verifies that
+
+* the target file or directory exists in the working tree, and
+* when the target carries a ``#fragment``, the referenced heading exists
+  in the target markdown file (GitHub-style anchor slugs).
+
+External links (``http(s)://``, ``mailto:``) and targets that resolve
+outside the repository (e.g. the ``../../actions/...`` CI badge) are
+skipped — this guard is about the repo's own docs tree staying
+self-consistent, not about the wider internet.
+
+Exit codes: ``0`` all links resolve, ``1`` at least one broken link
+(each emitted as a ``::error::`` annotation for the Actions summary),
+``2`` no markdown files found (misconfigured invocation).
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import os
+import re
+import sys
+from typing import List, Tuple
+
+#: Inline markdown links/images: [text](target) — target captured lazily
+#: so titles ("...") and closing parens in prose stay out of the path.
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+_CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+#: Default scan set, relative to the repository root.
+DEFAULT_GLOBS = ("README.md", "CONTRIBUTING.md", "CHANGES.md", "docs/**/*.md")
+
+
+def github_anchor(heading: str) -> str:
+    """The GitHub anchor slug of a markdown heading line's text."""
+    text = heading.strip().lstrip("#").strip().lower()
+    text = re.sub(r"`([^`]*)`", r"\1", text)          # unwrap inline code
+    text = re.sub(r"[^\w\s-]", "", text)               # drop punctuation
+    return text.replace(" ", "-")
+
+
+def heading_anchors(path: str) -> set:
+    anchors = set()
+    in_fence = False
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            if _CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if not in_fence and line.lstrip().startswith("#"):
+                anchors.add(github_anchor(line))
+    return anchors
+
+
+def markdown_links(path: str) -> List[Tuple[int, str]]:
+    links: List[Tuple[int, str]] = []
+    in_fence = False
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            if _CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for match in _LINK_RE.finditer(line):
+                links.append((lineno, match.group(1)))
+    return links
+
+
+def check_file(path: str, repo_root: str) -> List[str]:
+    errors: List[str] = []
+    for lineno, target in markdown_links(path):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("#"):  # same-file anchor
+            fragment = target[1:]
+            if fragment not in heading_anchors(path):
+                errors.append(f"{path}:{lineno}: broken anchor {target!r}")
+            continue
+        target_path, _, fragment = target.partition("#")
+        resolved = os.path.normpath(
+            os.path.join(os.path.dirname(path), target_path))
+        if not os.path.abspath(resolved).startswith(repo_root + os.sep):
+            continue  # escapes the repo (e.g. the Actions badge): external
+        if not os.path.exists(resolved):
+            errors.append(f"{path}:{lineno}: broken link {target!r} "
+                          f"(no such file {resolved!r})")
+            continue
+        if fragment:
+            if not resolved.endswith(".md"):
+                errors.append(f"{path}:{lineno}: fragment on non-markdown "
+                              f"target {target!r}")
+            elif fragment not in heading_anchors(resolved):
+                errors.append(f"{path}:{lineno}: broken anchor {target!r} "
+                              f"(no heading #{fragment} in {resolved!r})")
+    return errors
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("globs", nargs="*", default=list(DEFAULT_GLOBS),
+                        help="markdown files/globs to scan "
+                             f"(default: {' '.join(DEFAULT_GLOBS)})")
+    parser.add_argument("--root", default=".",
+                        help="repository root (default: current directory)")
+    args = parser.parse_args(argv)
+
+    repo_root = os.path.abspath(args.root)
+    files: List[str] = []
+    for pattern in args.globs:
+        files.extend(sorted(glob.glob(os.path.join(args.root, pattern),
+                                      recursive=True)))
+    files = [f for f in dict.fromkeys(files) if os.path.isfile(f)]
+    if not files:
+        print("::error::check_docs_links: no markdown files matched "
+              f"{args.globs!r}")
+        return 2
+
+    all_errors: List[str] = []
+    for path in files:
+        all_errors.extend(check_file(path, repo_root))
+
+    if all_errors:
+        for error in all_errors:
+            print(f"::error::{error}")
+        print(f"\n{len(all_errors)} broken link(s) across "
+              f"{len(files)} file(s)", file=sys.stderr)
+        return 1
+    print(f"checked {len(files)} markdown file(s): all intra-repo links OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,7 @@ from .sweeps import (
     adaptive_guarantee_sweep,
     nonadaptive_guarantee_sweep,
     play_out_sweep,
+    registry_comparison_sweep,
     scheduler_comparison_sweep,
 )
 from .tables import table1_rows, table2_rows
@@ -21,5 +22,6 @@ __all__ = [
     "nonadaptive_guarantee_sweep",
     "adaptive_guarantee_sweep",
     "scheduler_comparison_sweep",
+    "registry_comparison_sweep",
     "play_out_sweep",
 ]

@@ -26,6 +26,7 @@ __all__ = [
     "nonadaptive_guarantee_sweep",
     "adaptive_guarantee_sweep",
     "scheduler_comparison_sweep",
+    "registry_comparison_sweep",
     "play_out_sweep",
 ]
 
@@ -95,9 +96,8 @@ def _resolve_dp_ref(dp_ref) -> Optional[ValueTable]:
     return _worker_cache(None).solve(L, c, p, method=method)
 
 
-def _comparison_row(payload) -> Dict[str, object]:
-    label, scheduler, params, dp_ref = payload
-    dp_table = _resolve_dp_ref(dp_ref)
+def _comparison_row_for(label: str, scheduler, params: CycleStealingParams,
+                        dp_table: Optional[ValueTable]) -> Dict[str, object]:
     work = measure_guaranteed_work(scheduler, params)
     row: Dict[str, object] = {
         "scheduler": label,
@@ -114,6 +114,26 @@ def _comparison_row(payload) -> Dict[str, object]:
         row["optimal_work"] = float(optimal)
         row["gap"] = float(optimal) - work
     return row
+
+
+def _comparison_row(payload) -> Dict[str, object]:
+    label, scheduler, params, dp_ref = payload
+    return _comparison_row_for(label, scheduler, params, _resolve_dp_ref(dp_ref))
+
+
+def _registry_comparison_row(payload) -> Dict[str, object]:
+    name, params, dp_ref = payload
+    from ..experiments.grid import make_scheduler
+
+    dp_table = _resolve_dp_ref(dp_ref)
+    if name == "dp-optimal" and dp_table is not None:
+        # Reuse the sweep's already-solved table instead of re-deriving it
+        # through the scheduler factory's shared cache.
+        from ..schedules import DPOptimalScheduler
+        scheduler = DPOptimalScheduler(dp_table)
+    else:
+        scheduler = make_scheduler(name, params)
+    return _comparison_row_for(name, scheduler, params, dp_table)
 
 
 # ----------------------------------------------------------------------
@@ -166,6 +186,31 @@ def scheduler_comparison_sweep(schedulers: Mapping[str, object],
                 for params in params_list
                 for label, scheduler in schedulers.items()]
     return _parallel_map(_comparison_row, payloads, jobs)
+
+
+def registry_comparison_sweep(scheduler_names: Iterable[str],
+                              params_list: Iterable[CycleStealingParams],
+                              dp_table: Optional[ValueTable] = None,
+                              *, jobs: int = 1) -> List[Dict[str, object]]:
+    """Guaranteed work of registry-named schedulers across opportunities.
+
+    Like :func:`scheduler_comparison_sweep`, but schedulers are referenced
+    by :data:`repro.registry.SCHEDULERS` name and instantiated inside the
+    worker — payloads stay plain data, and anything registered downstream
+    participates without code changes here.  The special name
+    ``"dp-optimal"`` reuses ``dp_table`` when one is supplied.
+    """
+    from ..registry import SCHEDULERS
+
+    names = list(scheduler_names)
+    SCHEDULERS.validate(names, context="registry_comparison_sweep")
+    dp_ref = dp_table
+    if jobs != 1 and dp_table is not None:
+        dp_ref = (dp_table.max_lifespan, dp_table.setup_cost,
+                  dp_table.max_interrupts, "fast")
+    payloads = [(name, params, dp_ref)
+                for params in params_list for name in names]
+    return _parallel_map(_registry_comparison_row, payloads, jobs)
 
 
 def play_out_sweep(schedulers: Mapping[str, object], adversaries: Mapping[str, object],

@@ -6,15 +6,22 @@ Sub-commands
 ``table2``     Reproduce Table 2 (the p = 1 closed forms vs. measurements).
 ``nonadaptive``Sweep the Section 3.1 non-adaptive guarantee.
 ``adaptive``   Sweep the Theorem 5.1 adaptive guarantee.
-``gap``        Optimality gaps of every scheduler against the exact DP optimum.
+``gap``        Optimality gaps of every registered scheduler against the
+               exact DP optimum.
 ``simulate``   Run a canned NOW scenario through the discrete-event simulator.
 ``sweep``      Parallel experiment sweep (guaranteed work, DP optima and
                Monte-Carlo replication) over a lifespan × cost × interrupts ×
                scheduler × adversary grid, with ``--jobs``, ``--replications``,
                ``--seed`` and a shared DP-table ``--cache-dir``.
+``run``        Execute a declarative experiment spec (TOML/JSON, see
+               :mod:`repro.specs`) into the resumable run store.
+``resume``     Finish an interrupted run from its last completed point.
+``report``     Render a stored run as a paper-style markdown report.
 
-Each command prints an aligned ASCII table; ``--csv PATH`` writes the same
-rows to a CSV file.
+Scheduler, adversary and scenario-family names accepted by the commands
+are the :mod:`repro.registry` names.  Each table-producing command prints
+an aligned ASCII table; ``--csv PATH`` writes the same rows to a CSV file.
+``report`` prints markdown.
 """
 
 from __future__ import annotations
@@ -26,7 +33,6 @@ from typing import List, Optional
 from .analysis import (
     adaptive_guarantee_sweep,
     nonadaptive_guarantee_sweep,
-    scheduler_comparison_sweep,
     table1_rows,
     table2_rows,
 )
@@ -34,6 +40,22 @@ from .core.params import CycleStealingParams
 from .reporting import render_table, write_csv
 
 __all__ = ["main", "build_parser"]
+
+#: The one true description of ``--cache-dir`` — shared by every
+#: sub-command and asserted (together with README.md) by the CLI tests, so
+#: help text, docs and code cannot drift apart again.
+CACHE_DIR_HELP_DEFAULT = None
+CACHE_DIR_HELP = ("on-disk DP-table cache directory shared by all workers "
+                  "(default: disabled — DP tables are cached in memory, "
+                  "per process, for the current run only)")
+
+#: Pre-registry short scheduler names still accepted by ``simulate``.
+LEGACY_SCHEDULER_ALIASES = {
+    "equalizing": "equalizing-adaptive",
+    "rosenberg": "rosenberg-adaptive",
+    "fixed": "fixed-period",
+    "single": "single-period",
+}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -66,22 +88,25 @@ def build_parser() -> argparse.ArgumentParser:
                     default=[100.0, 1_000.0, 10_000.0])
     ad.add_argument("--interrupts", type=int, nargs="+", default=[1, 2, 3, 4])
 
+    from .registry import SCENARIO_FAMILIES, SCHEDULERS
+
     gp = sub.add_parser("gap", help="optimality gap of every scheduler vs the DP optimum")
     gp.add_argument("--lifespan", "-U", type=int, default=2_000)
     gp.add_argument("--setup-cost", "-c", type=int, default=1)
     gp.add_argument("--interrupts", "-p", type=int, default=2)
     gp.add_argument("--jobs", type=int, default=1,
                     help="worker processes for the comparison sweep")
-    gp.add_argument("--cache-dir", default=None,
-                    help="on-disk DP-table cache directory (solve once, reuse)")
-
-    from .workloads.scenarios import SCENARIO_FAMILIES
+    gp.add_argument("--cache-dir", default=CACHE_DIR_HELP_DEFAULT,
+                    help=CACHE_DIR_HELP)
 
     sim = sub.add_parser("simulate", help="run a canned NOW scenario")
-    sim.add_argument("--scenario", choices=sorted(SCENARIO_FAMILIES),
+    sim.add_argument("--scenario", choices=SCENARIO_FAMILIES.names(),
                      default="laptop")
-    sim.add_argument("--scheduler", choices=["equalizing", "rosenberg", "fixed", "single"],
-                     default="equalizing")
+    sim.add_argument("--scheduler",
+                     choices=SCHEDULERS.names() + sorted(LEGACY_SCHEDULER_ALIASES),
+                     default="equalizing-adaptive",
+                     help="registry scheduler name (legacy short aliases "
+                          "equalizing/rosenberg/fixed/single still accepted)")
     sim.add_argument("--seed", type=int, default=None,
                      help="scenario seed (default: the family's canonical seed)")
     sim.add_argument("--backend", choices=["event", "batch"], default="event",
@@ -106,13 +131,60 @@ def build_parser() -> argparse.ArgumentParser:
                     help="Monte-Carlo replications per point (0 = analytic only)")
     sw.add_argument("--seed", type=int, default=0,
                     help="base seed for deterministic per-point trace sampling")
-    sw.add_argument("--cache-dir", default=None,
-                    help="on-disk DP-table cache directory shared by all workers")
+    sw.add_argument("--cache-dir", default=CACHE_DIR_HELP_DEFAULT,
+                    help=CACHE_DIR_HELP)
     sw.add_argument("--optimal", action="store_true",
                     help="also compute the exact DP optimum per point (integer grids)")
     sw.add_argument("--backend", choices=["event", "batch"], default="event",
                     help="Monte-Carlo replication backend (batch = vectorized; "
                          "~10x faster on large --replications, same aggregates)")
+
+    from .runstore import DEFAULT_RUNS_DIR
+
+    rn = sub.add_parser(
+        "run", help="run a declarative experiment spec into the run store")
+    rn.add_argument("spec", help="path to a .toml or .json experiment spec "
+                                 "(see specs/ and docs/specs.md)")
+    rn.add_argument("--runs-dir", default=DEFAULT_RUNS_DIR,
+                    help=f"run-store root directory (default: {DEFAULT_RUNS_DIR}/)")
+    rn.add_argument("--run-id", default=None,
+                    help="run id (default: spec name + content digest)")
+    rn.add_argument("--jobs", "-j", type=int, default=1,
+                    help="worker processes (0 = one per CPU)")
+    rn.add_argument("--replications", "-n", type=int, default=None,
+                    help="override the spec's replication count")
+    rn.add_argument("--seed", type=int, default=None,
+                    help="override the spec's base seed")
+    rn.add_argument("--backend", choices=["event", "batch"], default=None,
+                    help="override the spec's replication backend")
+    rn.add_argument("--cache-dir", default=CACHE_DIR_HELP_DEFAULT,
+                    help=CACHE_DIR_HELP)
+    rn.add_argument("--max-points", type=int, default=None,
+                    help="checkpoint: stop after completing N new points "
+                         "(resume later with `resume`)")
+    rn.add_argument("--resume", action="store_true",
+                    help="continue the run if it already exists")
+
+    rs = sub.add_parser(
+        "resume", help="finish an interrupted run from its last completed point")
+    rs.add_argument("run_id", help="id of a run under --runs-dir")
+    rs.add_argument("--runs-dir", default=DEFAULT_RUNS_DIR,
+                    help=f"run-store root directory (default: {DEFAULT_RUNS_DIR}/)")
+    rs.add_argument("--jobs", "-j", type=int, default=1,
+                    help="worker processes (0 = one per CPU)")
+    rs.add_argument("--cache-dir", default=CACHE_DIR_HELP_DEFAULT,
+                    help=CACHE_DIR_HELP)
+    rs.add_argument("--max-points", type=int, default=None,
+                    help="checkpoint: stop after completing N new points")
+
+    rp = sub.add_parser(
+        "report", help="render a stored run as a markdown report")
+    rp.add_argument("run_id", help="id of a run under --runs-dir")
+    rp.add_argument("--runs-dir", default=DEFAULT_RUNS_DIR,
+                    help=f"run-store root directory (default: {DEFAULT_RUNS_DIR}/)")
+    rp.add_argument("--output", default=None,
+                    help="where to write the markdown "
+                         "(default: <runs-dir>/<run-id>/report.md; '-' = print only)")
 
     return parser
 
@@ -140,53 +212,45 @@ def _cmd_adaptive(args) -> List[dict]:
 
 
 def _cmd_gap(args) -> List[dict]:
-    from .experiments.cache import DPTableCache
-    from .schedules import (
-        DPOptimalScheduler,
-        EqualizingAdaptiveScheduler,
-        EqualSplitScheduler,
-        FixedPeriodScheduler,
-        RosenbergAdaptiveScheduler,
-        RosenbergNonAdaptiveScheduler,
-        SinglePeriodScheduler,
-    )
+    from .analysis.sweeps import registry_comparison_sweep
+    from .experiments.cache import configure_shared_cache
+    from .registry import SCHEDULERS
 
     params = CycleStealingParams(lifespan=float(args.lifespan),
                                  setup_cost=float(args.setup_cost),
                                  max_interrupts=args.interrupts)
-    cache = DPTableCache(cache_dir=args.cache_dir)
+    # The shared cache serves both this solve and any dp-optimal factory
+    # instantiation, so the table is computed exactly once per process.
+    cache = configure_shared_cache(cache_dir=args.cache_dir)
     table = cache.solve(int(args.lifespan), int(args.setup_cost), args.interrupts)
-    schedulers = {
-        "dp-optimal": DPOptimalScheduler(table),
-        "equalizing-adaptive": EqualizingAdaptiveScheduler(),
-        "rosenberg-adaptive": RosenbergAdaptiveScheduler(),
-        "rosenberg-nonadaptive": RosenbergNonAdaptiveScheduler(),
-        "fixed-period": FixedPeriodScheduler(period_length=max(10.0, args.lifespan / 50)),
-        "equal-split": EqualSplitScheduler(),
-        "single-period": SinglePeriodScheduler(),
-    }
-    return scheduler_comparison_sweep(schedulers, [params], dp_table=table,
-                                      jobs=args.jobs)
+    names = ["dp-optimal"] + [n for n in SCHEDULERS.names() if n != "dp-optimal"]
+    return registry_comparison_sweep(names, [params], dp_table=table,
+                                     jobs=args.jobs)
 
 
 def _cmd_simulate(args) -> List[dict]:
-    from .schedules import (
-        EqualizingAdaptiveScheduler,
-        FixedPeriodScheduler,
-        RosenbergAdaptiveScheduler,
-        SinglePeriodScheduler,
-    )
+    from .experiments.grid import make_scheduler
+    from .registry import SCENARIO_FAMILIES
     from .simulator import CycleStealingSimulation
-    from .workloads.scenarios import SCENARIO_FAMILIES
 
     family = SCENARIO_FAMILIES[args.scenario]
     scenario = family() if args.seed is None else family(seed=args.seed)
-    scheduler = {
-        "equalizing": EqualizingAdaptiveScheduler(),
-        "rosenberg": RosenbergAdaptiveScheduler(),
-        "fixed": FixedPeriodScheduler(period_length=scenario.params.lifespan / 20),
-        "single": SinglePeriodScheduler(),
-    }[args.scheduler]
+    if args.scheduler == "fixed":
+        # The legacy alias predates the registry and always used U/20
+        # chunks (the registry's `fixed-period` factory uses max(10, U/50));
+        # keep its historical behaviour so old invocations reproduce.
+        from .schedules import FixedPeriodScheduler
+        scheduler = FixedPeriodScheduler(
+            period_length=scenario.params.lifespan / 20)
+    else:
+        name = LEGACY_SCHEDULER_ALIASES.get(args.scheduler, args.scheduler)
+        scheduler = make_scheduler(name, scenario.params)
+        if not hasattr(scheduler, "episode_schedule"):
+            raise SystemExit(
+                f"error: scheduler {name!r} implements only the non-adaptive "
+                "protocol and cannot drive the NOW simulator (it cannot "
+                "re-plan after an owner reclaim); choose an adaptive "
+                "scheduler such as 'equalizing-adaptive'")
     if args.backend == "batch":
         from .simulator.batch import simulate_scenarios_batch
 
@@ -218,6 +282,61 @@ def _cmd_sweep(args) -> List[dict]:
                      include_optimal=args.optimal, backend=args.backend)
 
 
+def _spec_with_overrides(args):
+    """Load the spec file and re-validate it with any CLI overrides applied."""
+    from .specs import load_spec, parse_spec, spec_to_dict
+
+    spec = load_spec(args.spec)
+    overrides = {key: getattr(args, key, None)
+                 for key in ("replications", "seed", "backend")}
+    if any(value is not None for value in overrides.values()):
+        data = spec_to_dict(spec)
+        for key, value in overrides.items():
+            if value is not None:
+                data["experiment"][key] = value
+        spec = parse_spec(data, source=f"{args.spec} (with CLI overrides)")
+    return spec
+
+
+def _cmd_run(args) -> List[dict]:
+    from .runstore import run_spec
+
+    run = run_spec(_spec_with_overrides(args), runs_dir=args.runs_dir,
+                   run_id=args.run_id, jobs=args.jobs,
+                   cache_dir=args.cache_dir, max_points=args.max_points,
+                   resume=args.resume)
+    rows = run.rows()
+    print(f"run {run.run_id}: {run.status} "
+          f"({len(rows)}/{run.num_points} points) "
+          f"under {args.runs_dir}/", file=sys.stderr)
+    return rows
+
+
+def _cmd_resume(args) -> List[dict]:
+    from .runstore import resume_run
+
+    run = resume_run(args.run_id, runs_dir=args.runs_dir, jobs=args.jobs,
+                     cache_dir=args.cache_dir, max_points=args.max_points)
+    rows = run.rows()
+    print(f"run {run.run_id}: {run.status} "
+          f"({len(rows)}/{run.num_points} points)", file=sys.stderr)
+    return rows
+
+
+def _cmd_report(args) -> str:
+    from .reporting import render_run_report
+    from .runstore import RunStore
+
+    run = RunStore(args.runs_dir).open(args.run_id)
+    text = render_run_report(run)  # render once; shard IO dominates
+    if args.output != "-":
+        path = args.output or run.report_path
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {path}", file=sys.stderr)
+    return text
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -230,12 +349,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         "gap": _cmd_gap,
         "simulate": _cmd_simulate,
         "sweep": _cmd_sweep,
+        "run": _cmd_run,
+        "resume": _cmd_resume,
+        "report": _cmd_report,
     }
-    rows = handlers[args.command](args)
-    print(render_table(rows, title=f"cycle-stealing {args.command}"))
+    result = handlers[args.command](args)
+    if isinstance(result, str):  # pre-rendered output (markdown reports)
+        print(result)
+        return 0
+    print(render_table(result, title=f"cycle-stealing {args.command}"))
     if args.csv:
-        write_csv(args.csv, rows)
-        print(f"\nwrote {len(rows)} rows to {args.csv}")
+        write_csv(args.csv, result)
+        print(f"\nwrote {len(result)} rows to {args.csv}")
     return 0
 
 

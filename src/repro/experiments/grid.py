@@ -3,9 +3,11 @@
 A sweep is the Cartesian product of lifespans × set-up costs × interrupt
 budgets × schedulers × adversaries.  Because the orchestrator fans points
 out over worker *processes*, a point carries only plain data — scheduler
-and adversary are referenced **by registry name** and instantiated inside
-the worker.  This keeps every payload picklable and, more importantly,
-makes results independent of how points are assigned to workers.
+and adversary are referenced **by registry name** (see
+:mod:`repro.registry`, where downstream code can add its own entries) and
+instantiated inside the worker.  This keeps every payload picklable and,
+more importantly, makes results independent of how points are assigned to
+workers.
 
 Seeding is deterministic and collision-resistant: :func:`point_seed`
 derives a 63-bit seed from SHA-256 of the base seed plus the point's
@@ -23,6 +25,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.exceptions import InvalidParameterError
 from ..core.params import CycleStealingParams
+from ..registry import ADVERSARIES, SCHEDULERS
 
 __all__ = [
     "SweepPoint",
@@ -48,11 +51,24 @@ def point_seed(base_seed: int, *coordinates) -> int:
 
 
 # ----------------------------------------------------------------------
-# Registries (names -> factories), used inside worker processes
+# Built-in registry entries (names -> factories), used inside workers.
+# The canonical registries live in repro.registry; this module registers
+# the built-ins and re-exports Mapping views under the historical names.
 # ----------------------------------------------------------------------
 def _fixed_period(params: CycleStealingParams):
     from ..schedules import FixedPeriodScheduler
     return FixedPeriodScheduler(period_length=max(10.0, params.lifespan / 50.0))
+
+
+def _dp_optimal(params: CycleStealingParams):
+    """The exactly-optimal DP scheduler, via the shared solve-once cache.
+
+    Requires integer-valued lifespan and set-up cost (the DP grid);
+    :func:`repro.analysis.gap.dp_table_for` raises a clear error otherwise.
+    """
+    from ..analysis.gap import dp_table_for
+    from ..schedules import DPOptimalScheduler
+    return DPOptimalScheduler(dp_table_for(params))
 
 
 def _simple(name: str) -> Callable[[CycleStealingParams], object]:
@@ -63,8 +79,7 @@ def _simple(name: str) -> Callable[[CycleStealingParams], object]:
     return factory
 
 
-#: Scheduler factories: ``name -> factory(params) -> scheduler``.
-SCHEDULER_FACTORIES: Dict[str, Callable[[CycleStealingParams], object]] = {
+for _name, _factory in {
     "equalizing-adaptive": _simple("EqualizingAdaptiveScheduler"),
     "rosenberg-adaptive": _simple("RosenbergAdaptiveScheduler"),
     "rosenberg-nonadaptive": _simple("RosenbergNonAdaptiveScheduler"),
@@ -72,7 +87,14 @@ SCHEDULER_FACTORIES: Dict[str, Callable[[CycleStealingParams], object]] = {
     "equal-split": _simple("EqualSplitScheduler"),
     "geometric": _simple("GeometricPeriodScheduler"),
     "fixed-period": _fixed_period,
-}
+    "dp-optimal": _dp_optimal,
+}.items():
+    if _name not in SCHEDULERS:
+        SCHEDULERS.register(_name, _factory)
+
+#: Scheduler factories: ``name -> factory(params) -> scheduler``
+#: (a read-only view of :data:`repro.registry.SCHEDULERS`).
+SCHEDULER_FACTORIES = SCHEDULERS
 
 
 def _poisson_owner(params: CycleStealingParams, seed: Optional[int]):
@@ -101,47 +123,41 @@ def _last_period(params: CycleStealingParams, seed: Optional[int]):
     return LastPeriodAdversary()
 
 
-#: Adversary factories: ``name -> factory(params, seed) -> adversary``.
-#: Stochastic owners consume the seed; deterministic ones ignore it.
-ADVERSARY_FACTORIES: Dict[
-    str, Callable[[CycleStealingParams, Optional[int]], object]] = {
+for _name, _factory in {
     "poisson-owner": _poisson_owner,
     "uniform-owner": _uniform_owner,
     "random-period": _random_period,
     "never": _never,
     "last-period": _last_period,
-}
+}.items():
+    if _name not in ADVERSARIES:
+        ADVERSARIES.register(_name, _factory)
+
+#: Adversary factories: ``name -> factory(params, seed) -> adversary``
+#: (a read-only view of :data:`repro.registry.ADVERSARIES`).
+#: Stochastic owners consume the seed; deterministic ones ignore it.
+ADVERSARY_FACTORIES = ADVERSARIES
 
 
 def scheduler_names() -> List[str]:
     """Registered scheduler names, for CLI choices and error messages."""
-    return sorted(SCHEDULER_FACTORIES)
+    return SCHEDULERS.names()
 
 
 def adversary_names() -> List[str]:
     """Registered adversary names, for CLI choices and error messages."""
-    return sorted(ADVERSARY_FACTORIES)
+    return ADVERSARIES.names()
 
 
 def make_scheduler(name: str, params: CycleStealingParams):
     """Instantiate a registered scheduler for the given opportunity."""
-    try:
-        factory = SCHEDULER_FACTORIES[name]
-    except KeyError:
-        raise InvalidParameterError(
-            f"unknown scheduler {name!r}; known: {scheduler_names()}") from None
-    return factory(params)
+    return SCHEDULERS.create(name, params)
 
 
 def make_adversary(name: str, params: CycleStealingParams,
                    seed: Optional[int] = None):
     """Instantiate a registered adversary (seeded when stochastic)."""
-    try:
-        factory = ADVERSARY_FACTORIES[name]
-    except KeyError:
-        raise InvalidParameterError(
-            f"unknown adversary {name!r}; known: {adversary_names()}") from None
-    return factory(params, seed)
+    return ADVERSARIES.create(name, params, seed)
 
 
 # ----------------------------------------------------------------------

@@ -52,6 +52,14 @@ def _check_backend(backend: str) -> str:
 def aggregate(values: Sequence[float], prefix: str) -> Dict[str, float]:
     """Mean/std/min/max/quantile summary of one replicated statistic.
 
+    ``values`` are the per-replication measurements of one quantity in
+    whatever unit that quantity carries — work and efficiency statistics
+    inherit the time unit of the lifespan ``U`` (the paper's ``L`` on the
+    integer grid) and the set-up cost ``c``; interrupt and episode counts
+    are dimensionless.  The returned columns are ``{prefix}_n`` (the
+    replication count), ``{prefix}_mean/std/min/max`` and one
+    ``{prefix}_q<percent>`` per entry of :data:`QUANTILES`.
+
     The standard deviation is the *sample* standard deviation (``ddof=1``)
     when two or more replications are available, ``0.0`` otherwise.
     """
@@ -77,7 +85,12 @@ def replicate_point(point: SweepPoint, replications: int,
     The point's scheduler plays against freshly seeded instances of the
     point's adversary; adaptive schedulers use the adaptive referee,
     pure non-adaptive ones the oblivious referee.  Returns the aggregated
-    ``work_*`` / ``efficiency_*`` / ``interrupts_*`` columns.
+    ``work_*`` / ``efficiency_*`` / ``interrupts_*`` / ``episodes_*``
+    columns: work is in the time unit of the point's lifespan ``U`` (the
+    paper's ``L`` on the integer DP grid) and set-up cost ``c``;
+    efficiency is work divided by ``U`` (dimensionless); interrupts per
+    game never exceed the point's budget ``p`` because the referee stops
+    consulting the adversary once the budget is spent.
 
     ``backend="batch"`` plays all replications level-synchronously with
     shared episode-schedule construction (adaptive schedulers only;
@@ -234,6 +247,17 @@ def replicate_scenario(family, replications: int, *, base_seed: int = 0,
         pass (bit-identical reports, see the module docstring).
     family_kwargs:
         Extra keyword arguments forwarded to the scenario generator.
+
+    Returns the aggregated ``work_*`` / ``tasks_*`` / ``interrupts_*``
+    columns plus a ``scenario`` label.  Work is in the scenario's time
+    unit (that of its contracts' lifespans ``U`` and set-up costs ``c``);
+    task counts and interrupt counts are dimensionless; interrupts here
+    are the *observed* owner reclaims, which may exceed the negotiated
+    budget ``p`` for contract-breaking families.  Replication ``r``
+    samples scenario instance ``family(seed=point_seed(base_seed,
+    family_label, r))`` — the seed depends on the family and replication
+    only, never on the scheduler, so different schedulers face identical
+    instances (paired comparison).
     """
     from ..simulator import CycleStealingSimulation
 

@@ -1,0 +1,211 @@
+"""String-keyed registries for schedulers, adversaries and scenario families.
+
+Everything the experiment layer fans out over worker processes — and
+everything a declarative spec (:mod:`repro.specs`) may name — is referenced
+by a **stable string name** rather than by a Python object: a name is
+picklable, diffable, printable in error messages, and survives in a
+``runs/<run-id>/manifest.json`` long after the process that wrote it has
+exited.  This module is the single source of truth for those names.
+
+Three registries are exposed:
+
+``SCHEDULERS``
+    ``name -> factory(params) -> scheduler``.  A factory receives the
+    opportunity's :class:`~repro.core.params.CycleStealingParams` (lifespan
+    ``U`` — the paper also writes ``L`` for the integer DP grid — set-up
+    cost ``c`` in the same time units, interrupt budget ``p``) so
+    parameter-dependent baselines such as ``fixed-period`` can size
+    themselves.
+``ADVERSARIES``
+    ``name -> factory(params, seed) -> adversary``.  Stochastic owners
+    consume the seed; deterministic ones ignore it.
+``SCENARIO_FAMILIES``
+    ``name -> generator(seed=..., **kwargs) -> Scenario``.  Parameterised
+    NOW scenario generators from :mod:`repro.workloads.scenarios`.
+
+Each registry is a read-only :class:`~collections.abc.Mapping` (iteration,
+``in``, ``[...]``, ``len`` all work), plus :meth:`Registry.register` for
+adding entries and :meth:`Registry.create` for instantiating with a helpful
+error on unknown names.  The built-in entries live next to the objects they
+name (:mod:`repro.experiments.grid` registers schedulers and adversaries,
+:mod:`repro.workloads.scenarios` registers scenario families); the
+registries import those modules lazily on first lookup, so
+``from repro.registry import SCHEDULERS`` alone is enough to see every
+built-in name.
+
+Adding an entry from downstream code is one call::
+
+    from repro.registry import SCHEDULERS
+    SCHEDULERS.register("my-scheduler", lambda params: MyScheduler())
+
+and the name immediately works everywhere names do: ``sweep --schedulers``,
+spec files, the run store, the report generator.
+"""
+
+from __future__ import annotations
+
+import importlib
+from collections.abc import Mapping
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .core.exceptions import InvalidParameterError
+
+__all__ = [
+    "Registry",
+    "RegistryError",
+    "SCHEDULERS",
+    "ADVERSARIES",
+    "SCENARIO_FAMILIES",
+]
+
+
+class RegistryError(InvalidParameterError):
+    """An unknown or duplicate registry name."""
+
+
+class Registry(Mapping):
+    """A read-only mapping of stable names to factories, with registration.
+
+    Parameters
+    ----------
+    kind:
+        Human label used in error messages (``"scheduler"``, ...).
+    populate_from:
+        Module paths imported lazily before the first lookup; importing
+        them triggers their module-level :meth:`register` calls.  This
+        keeps each built-in entry defined next to the code it names while
+        letting ``repro.registry`` be imported on its own.
+    """
+
+    def __init__(self, kind: str,
+                 populate_from: Sequence[str] = ()) -> None:
+        self.kind = str(kind)
+        self._factories: Dict[str, Callable] = {}
+        self._populate_from: Tuple[str, ...] = tuple(populate_from)
+        self._populated = not self._populate_from
+        self._populating = False
+
+    # ------------------------------------------------------------------
+    # Population
+    # ------------------------------------------------------------------
+    def _ensure_populated(self) -> None:
+        if self._populated or self._populating:
+            return
+        # The imported modules call register(), which reads the mapping
+        # through the Mapping API — the _populating sentinel breaks that
+        # recursion without marking population done, so a failed import
+        # propagates now *and* is retried on the next lookup instead of
+        # leaving the registry silently empty forever.
+        self._populating = True
+        try:
+            for module in self._populate_from:
+                importlib.import_module(module)
+        finally:
+            self._populating = False
+        self._populated = True
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, name: str, factory: Optional[Callable] = None,
+                 *, overwrite: bool = False) -> Callable:
+        """Register ``factory`` under ``name`` (usable as a decorator).
+
+        Names must be non-empty strings; re-registering a taken name raises
+        unless ``overwrite=True`` (tests use overwrite to patch entries).
+        Returns the factory so ``@REGISTRY.register("name")`` works.
+        """
+        # Populate the built-ins first so the duplicate check below sees
+        # them even when register() is the very first call on this
+        # registry.  (No-op during population itself: the _populating
+        # sentinel makes this recursion-safe.)
+        self._ensure_populated()
+        if not isinstance(name, str) or not name:
+            raise RegistryError(
+                f"{self.kind} registry names must be non-empty strings, "
+                f"got {name!r}")
+        if factory is None:  # decorator form
+            def decorator(func: Callable) -> Callable:
+                self.register(name, func, overwrite=overwrite)
+                return func
+            return decorator
+        if not callable(factory):
+            raise RegistryError(
+                f"{self.kind} factory for {name!r} must be callable, "
+                f"got {factory!r}")
+        if not overwrite and name in self._factories:
+            raise RegistryError(
+                f"{self.kind} name {name!r} is already registered; "
+                "pass overwrite=True to replace it")
+        self._factories[name] = factory
+        return factory
+
+    def unregister(self, name: str) -> None:
+        """Remove an entry (primarily for tests patching the registry)."""
+        self._ensure_populated()
+        self._factories.pop(name, None)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def names(self) -> List[str]:
+        """All registered names, sorted (for CLI choices and messages)."""
+        self._ensure_populated()
+        return sorted(self._factories)
+
+    def create(self, name: str, *args, **kwargs):
+        """Instantiate ``name`` with the given arguments.
+
+        Unlike plain ``registry[name](...)`` this raises a
+        :class:`RegistryError` that lists every known name — the message
+        the CLI and the spec validator surface to the user.
+        """
+        self._ensure_populated()
+        try:
+            factory = self._factories[name]
+        except KeyError:
+            raise RegistryError(
+                f"unknown {self.kind} {name!r}; known: {self.names()}"
+            ) from None
+        return factory(*args, **kwargs)
+
+    def validate(self, names: Sequence[str], *, context: str = "") -> None:
+        """Raise a :class:`RegistryError` naming every unknown entry in ``names``."""
+        self._ensure_populated()
+        unknown = [n for n in names if n not in self._factories]
+        if unknown:
+            where = f" in {context}" if context else ""
+            raise RegistryError(
+                f"unknown {self.kind} name(s) {unknown!r}{where}; "
+                f"known: {self.names()}")
+
+    # ------------------------------------------------------------------
+    # Mapping protocol (read-only view)
+    # ------------------------------------------------------------------
+    def __getitem__(self, name: str) -> Callable:
+        self._ensure_populated()
+        return self._factories[name]
+
+    def __iter__(self) -> Iterator[str]:
+        self._ensure_populated()
+        return iter(self._factories)
+
+    def __len__(self) -> int:
+        self._ensure_populated()
+        return len(self._factories)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        self._ensure_populated()
+        return f"Registry({self.kind!r}, {self.names()})"
+
+
+#: ``name -> factory(params) -> scheduler`` (populated by repro.experiments.grid).
+SCHEDULERS = Registry("scheduler", populate_from=("repro.experiments.grid",))
+
+#: ``name -> factory(params, seed) -> adversary`` (populated by repro.experiments.grid).
+ADVERSARIES = Registry("adversary", populate_from=("repro.experiments.grid",))
+
+#: ``name -> generator(seed=..., **kwargs) -> Scenario``
+#: (populated by repro.workloads.scenarios).
+SCENARIO_FAMILIES = Registry("scenario family",
+                             populate_from=("repro.workloads.scenarios",))

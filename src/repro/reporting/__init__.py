@@ -1,14 +1,24 @@
-"""Result rendering: ASCII/CSV tables and sweep-series summaries."""
+"""Result rendering: ASCII/CSV/markdown tables, run reports, series summaries."""
 
+from .report import render_run_report, write_run_report
 from .series import crossover_point, pivot_series, ratio_summary
-from .table import format_value, render_table, rows_to_csv, write_csv
+from .table import (
+    format_value,
+    render_markdown_table,
+    render_table,
+    rows_to_csv,
+    write_csv,
+)
 
 __all__ = [
     "render_table",
+    "render_markdown_table",
     "rows_to_csv",
     "write_csv",
     "format_value",
     "pivot_series",
     "ratio_summary",
     "crossover_point",
+    "render_run_report",
+    "write_run_report",
 ]

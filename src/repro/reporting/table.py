@@ -12,7 +12,8 @@ import csv
 import io
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
-__all__ = ["format_value", "render_table", "rows_to_csv", "write_csv"]
+__all__ = ["format_value", "render_table", "render_markdown_table",
+           "rows_to_csv", "write_csv"]
 
 
 def format_value(value, *, float_format: str = "{:.4g}") -> str:
@@ -63,6 +64,30 @@ def render_table(rows: Sequence[Mapping[str, object]],
     out.append(line("-" * w for w in widths))
     out.extend(line(r) for r in rendered)
     return "\n".join(out)
+
+
+def render_markdown_table(rows: Sequence[Mapping[str, object]],
+                          columns: Optional[Sequence[str]] = None,
+                          *, float_format: str = "{:.4g}") -> str:
+    """Render rows of dictionaries as a GitHub-flavoured markdown table.
+
+    Same cell formatting as :func:`render_table`; used by the run-report
+    generator in :mod:`repro.reporting.report`.  Deterministic: identical
+    rows render to identical bytes.
+    """
+    rows = list(rows)
+    if not rows:
+        return "*(no rows)*"
+    cols = _column_order(rows, columns)
+
+    def cell(value) -> str:
+        return format_value(value, float_format=float_format).replace("|", r"\|")
+
+    lines = ["| " + " | ".join(cols) + " |",
+             "| " + " | ".join("---" for _ in cols) + " |"]
+    for row in rows:
+        lines.append("| " + " | ".join(cell(row.get(col)) for col in cols) + " |")
+    return "\n".join(lines)
 
 
 def rows_to_csv(rows: Sequence[Mapping[str, object]],

@@ -1,0 +1,418 @@
+"""Resumable on-disk run store: durable, self-describing experiment runs.
+
+Results used to evaporate when the sweep process exited; this module makes
+every run a durable artifact.  A *run* is one execution of an
+:class:`~repro.specs.ExperimentSpec`, laid out on disk as::
+
+    runs/<run-id>/
+        manifest.json            # the spec (inline), point count, status
+        points/point-0000.npz    # one shard per completed point
+        points/point-0001.npz
+        report.md                # written by ``repro report`` (optional)
+
+The orchestrator **streams** results into the store: each point's result
+row is written to its own compressed ``.npz`` shard the moment the point
+finishes, atomically (temp file + ``os.replace``), so a run killed at any
+instant — mid-sweep, mid-write, power loss — leaves only whole shards
+behind.  ``repro resume <run-id>`` re-expands the manifest's spec, skips
+every point whose shard exists, and finishes the rest.  Because every
+point and replication is seeded from its own coordinates (see
+:func:`repro.experiments.grid.point_seed`), a resumed run's rows — and the
+report rendered from them — are byte-identical to an uninterrupted run
+with the same seed.
+
+Shards store one row each (scalar statistics keyed by column name), which
+keeps the store format independent of the spec kind: anything expressible
+as a ``{column: scalar}`` row — guaranteed work in time units of the
+lifespan ``U``, DP optima ``W^(p)[L]``, Monte-Carlo aggregates — round-trips
+through :func:`write_row_shard` / :func:`read_row_shard`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import tempfile
+import zipfile
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Any, Dict, List, Optional, Set, Union
+
+import numpy as np
+
+from .core.exceptions import CycleStealingError
+from .specs import (
+    ExperimentSpec,
+    default_run_id,
+    evaluate_payload,
+    expand_payloads,
+    parse_spec,
+    spec_to_dict,
+)
+
+__all__ = [
+    "RunStoreError",
+    "RunStore",
+    "Run",
+    "run_spec",
+    "resume_run",
+    "write_row_shard",
+    "read_row_shard",
+    "DEFAULT_RUNS_DIR",
+]
+
+#: Default root directory for stored runs (relative to the working directory).
+DEFAULT_RUNS_DIR = "runs"
+
+#: Manifest schema version (bump on incompatible layout changes).
+MANIFEST_VERSION = 1
+
+_SHARD_RE = re.compile(r"^point-(\d{4,})\.npz$")
+
+
+class RunStoreError(CycleStealingError, RuntimeError):
+    """A missing, conflicting or corrupt stored run."""
+
+
+# ----------------------------------------------------------------------
+# Row <-> .npz shard round-trip
+# ----------------------------------------------------------------------
+def write_row_shard(path: Union[str, os.PathLike], row: Dict[str, Any]) -> None:
+    """Atomically write one result row as a compressed ``.npz`` shard.
+
+    Scalars (floats, ints, bools, strings) are stored as 0-d arrays.  The
+    write is temp-file + ``os.replace``, so concurrent readers (and any
+    process inspecting a killed run) only ever observe whole shards.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    arrays = {}
+    for key, value in row.items():
+        arr = np.asarray(value)
+        if arr.dtype == object:
+            # An object array (e.g. a None value) would *write* fine but can
+            # never be read back with allow_pickle=False — the shard would
+            # count as corrupt forever and the run could never complete.
+            # Fail loudly at write time instead.
+            raise RunStoreError(
+                f"row value {key}={value!r} cannot be stored in an .npz "
+                "shard; rows must hold scalars (numbers, strings, booleans) "
+                "or numeric/string arrays")
+        arrays[key] = arr
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".npz.tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez_compressed(handle, **arrays)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.remove(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def read_row_shard(path: Union[str, os.PathLike]) -> Dict[str, Any]:
+    """Read one shard back into a plain ``{column: scalar}`` row.
+
+    Raises :class:`RunStoreError` on corrupt/truncated files — the resume
+    path treats that as "point not completed" and recomputes it.
+    """
+    try:
+        with np.load(os.fspath(path), allow_pickle=False) as archive:
+            row: Dict[str, Any] = {}
+            for key in archive.files:
+                value = archive[key]
+                if value.ndim == 0:
+                    item = value.item()
+                    if isinstance(item, (np.generic,)):  # pragma: no cover
+                        item = item.item()
+                    row[key] = item
+                else:
+                    row[key] = value
+            return row
+    except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile) as exc:
+        raise RunStoreError(f"corrupt or unreadable shard {path!r}: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# Run + RunStore
+# ----------------------------------------------------------------------
+class Run:
+    """Handle to one stored run directory."""
+
+    def __init__(self, root: str) -> None:
+        self.root = os.fspath(root)
+        self.run_id = os.path.basename(os.path.normpath(self.root))
+        self._manifest: Optional[Dict[str, Any]] = None
+
+    # -- manifest ------------------------------------------------------
+    @property
+    def manifest_path(self) -> str:
+        return os.path.join(self.root, "manifest.json")
+
+    @property
+    def points_dir(self) -> str:
+        return os.path.join(self.root, "points")
+
+    @property
+    def report_path(self) -> str:
+        return os.path.join(self.root, "report.md")
+
+    @property
+    def manifest(self) -> Dict[str, Any]:
+        """The parsed manifest (cached after first read)."""
+        if self._manifest is None:
+            try:
+                with open(self.manifest_path, "r", encoding="utf-8") as handle:
+                    self._manifest = json.load(handle)
+            except (OSError, json.JSONDecodeError) as exc:
+                raise RunStoreError(
+                    f"run {self.run_id!r} has no readable manifest "
+                    f"({self.manifest_path}): {exc}") from exc
+        return self._manifest
+
+    def spec(self) -> ExperimentSpec:
+        """Re-validate and return the spec stored in the manifest."""
+        return parse_spec(self.manifest["spec"],
+                          source=f"manifest of run {self.run_id!r}")
+
+    @property
+    def num_points(self) -> int:
+        return int(self.manifest["num_points"])
+
+    @property
+    def status(self) -> str:
+        """``"running"`` (shards may be missing) or ``"complete"``."""
+        return str(self.manifest.get("status", "running"))
+
+    def _write_manifest(self, manifest: Dict[str, Any]) -> None:
+        os.makedirs(self.root, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(dir=self.root, suffix=".json.tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(manifest, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            os.replace(tmp_path, self.manifest_path)
+        except BaseException:
+            try:
+                os.remove(tmp_path)
+            except OSError:
+                pass
+            raise
+        self._manifest = manifest
+
+    def mark_complete(self) -> None:
+        manifest = dict(self.manifest)
+        manifest["status"] = "complete"
+        self._write_manifest(manifest)
+
+    # -- shards --------------------------------------------------------
+    def shard_path(self, index: int) -> str:
+        return os.path.join(self.points_dir, f"point-{index:04d}.npz")
+
+    def completed_points(self) -> Set[int]:
+        """Indices of every point with a whole, readable shard on disk.
+
+        A shard that exists but cannot be read (torn by a crash that
+        bypassed the atomic rename, disk corruption) counts as *not*
+        completed, so resume recomputes it rather than trusting it.
+        """
+        completed: Set[int] = set()
+        try:
+            names = os.listdir(self.points_dir)
+        except OSError:
+            return completed
+        for name in names:
+            match = _SHARD_RE.match(name)
+            if not match:
+                continue
+            index = int(match.group(1))
+            try:
+                read_row_shard(os.path.join(self.points_dir, name))
+            except RunStoreError:
+                continue
+            completed.add(index)
+        return completed
+
+    def write_point(self, index: int, row: Dict[str, Any]) -> None:
+        """Persist one point's result row (atomic, idempotent)."""
+        write_row_shard(self.shard_path(index), row)
+
+    def read_point(self, index: int) -> Dict[str, Any]:
+        return read_row_shard(self.shard_path(index))
+
+    def rows(self) -> List[Dict[str, Any]]:
+        """All completed rows, in point order (the grid/spec order).
+
+        Each shard is read exactly once; unreadable shards are skipped
+        (they count as not-completed, same as :meth:`completed_points`).
+        """
+        try:
+            names = os.listdir(self.points_dir)
+        except OSError:
+            return []
+        shards = sorted((int(match.group(1)), name) for name in names
+                        for match in [_SHARD_RE.match(name)] if match)
+        out: List[Dict[str, Any]] = []
+        for _index, name in shards:
+            try:
+                out.append(read_row_shard(os.path.join(self.points_dir, name)))
+            except RunStoreError:
+                continue
+        return out
+
+
+class RunStore:
+    """A directory of stored runs (``runs/`` by default)."""
+
+    def __init__(self, root: Union[str, os.PathLike] = DEFAULT_RUNS_DIR) -> None:
+        self.root = os.fspath(root)
+
+    def run_path(self, run_id: str) -> str:
+        return os.path.join(self.root, run_id)
+
+    def exists(self, run_id: str) -> bool:
+        return os.path.isfile(os.path.join(self.run_path(run_id),
+                                           "manifest.json"))
+
+    def open(self, run_id: str) -> Run:
+        """Open an existing run; raises with the known ids when absent."""
+        if not self.exists(run_id):
+            raise RunStoreError(
+                f"no run {run_id!r} under {self.root!r}; "
+                f"known runs: {self.list_runs()}")
+        return Run(self.run_path(run_id))
+
+    def create(self, spec: ExperimentSpec, *,
+               run_id: Optional[str] = None) -> Run:
+        """Create a fresh run directory for ``spec`` and write its manifest."""
+        run_id = run_id or default_run_id(spec)
+        if self.exists(run_id):
+            raise RunStoreError(
+                f"run {run_id!r} already exists under {self.root!r}; "
+                "use resume_run() / `repro resume` to continue it, or pass "
+                "a different run id")
+        run = Run(self.run_path(run_id))
+        run._write_manifest({
+            "version": MANIFEST_VERSION,
+            "run_id": run_id,
+            "spec": spec_to_dict(spec),
+            "num_points": len(expand_payloads(spec)),
+            "status": "running",
+        })
+        os.makedirs(run.points_dir, exist_ok=True)
+        return run
+
+    def list_runs(self) -> List[str]:
+        """Ids of every run with a manifest, sorted."""
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return []
+        return sorted(n for n in names if self.exists(n))
+
+
+# ----------------------------------------------------------------------
+# Execution: run / resume a spec against a store
+# ----------------------------------------------------------------------
+def run_spec(spec: ExperimentSpec, *,
+             runs_dir: Union[str, os.PathLike] = DEFAULT_RUNS_DIR,
+             run_id: Optional[str] = None, jobs: int = 1,
+             cache_dir: Optional[str] = None,
+             max_points: Optional[int] = None,
+             resume: bool = False) -> Run:
+    """Execute a spec, streaming every completed point into the run store.
+
+    Parameters
+    ----------
+    spec:
+        A validated :class:`~repro.specs.ExperimentSpec`.
+    runs_dir:
+        Root directory of the run store.
+    run_id:
+        Run identifier; defaults to :func:`~repro.specs.default_run_id`
+        (deterministic in the spec contents).
+    jobs:
+        Worker processes (``1`` = in-process serial, ``0`` = one per CPU).
+        Shards are written as each point finishes, in either mode.
+    cache_dir:
+        Shared on-disk DP-table cache directory for sweep points
+        (default: disabled — tables are cached in memory per process only).
+    max_points:
+        Stop after completing this many *new* points (checkpointing knob;
+        the run stays ``"running"`` and can be resumed).
+    resume:
+        Continue an existing run instead of failing on collision.  The
+        stored manifest's spec must match ``spec`` exactly.
+
+    Returns the :class:`Run`; its status is ``"complete"`` once every
+    point has a shard.
+    """
+    store = RunStore(runs_dir)
+    run_id = run_id or default_run_id(spec)
+    if store.exists(run_id):
+        if not resume:
+            raise RunStoreError(
+                f"run {run_id!r} already exists under {store.root!r}; "
+                "use `repro resume` (or resume=True) to continue it")
+        run = store.open(run_id)
+        stored = run.spec()
+        if stored != spec:
+            raise RunStoreError(
+                f"run {run_id!r} was created from a different spec; "
+                "refusing to mix results (start a fresh run id instead)")
+    else:
+        run = store.create(spec, run_id=run_id)
+
+    payloads = expand_payloads(spec, cache_dir=cache_dir)
+    done = run.completed_points()
+    pending = [i for i in range(len(payloads)) if i not in done]
+    if max_points is not None:
+        pending = pending[:max(0, int(max_points))]
+
+    _execute_points(run, payloads, pending, jobs=jobs)
+
+    # _execute_points returning means every pending shard was written and
+    # atomically published, so no re-scan of the store is needed here.
+    if len(done) + len(pending) == len(payloads):
+        run.mark_complete()
+    return run
+
+
+def resume_run(run_id: str, *,
+               runs_dir: Union[str, os.PathLike] = DEFAULT_RUNS_DIR,
+               jobs: int = 1, cache_dir: Optional[str] = None,
+               max_points: Optional[int] = None) -> Run:
+    """Finish an interrupted run from its last completed point.
+
+    Only the manifest is needed — not the original spec file — so a run
+    directory copied to another machine resumes there just as well.
+    """
+    run = RunStore(runs_dir).open(run_id)
+    return run_spec(run.spec(), runs_dir=runs_dir, run_id=run_id, jobs=jobs,
+                    cache_dir=cache_dir, max_points=max_points, resume=True)
+
+
+def _execute_points(run: Run, payloads: List[Any], pending: List[int],
+                    *, jobs: int = 1) -> None:
+    """Evaluate ``pending`` payload indices, persisting each as it finishes."""
+    if not pending:
+        return
+    if jobs is None or jobs <= 0:
+        jobs = max(1, os.cpu_count() or 1)
+    if jobs <= 1 or len(pending) <= 1:
+        for index in pending:
+            run.write_point(index, evaluate_payload(payloads[index]))
+        return
+    # Parallel mode: submit everything, persist futures as they complete.
+    # Rows are keyed by point index, so completion order never matters.
+    with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+        futures = {pool.submit(evaluate_payload, payloads[i]): i
+                   for i in pending}
+        remaining = set(futures)
+        while remaining:
+            finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+            for future in finished:
+                run.write_point(futures[future], future.result())

@@ -77,6 +77,13 @@ def simulate_scenarios_batch(scenarios: Sequence, scheduler: Optional[SchedulerF
     returned metrics only.  Replications that exercise the idle-interrupt
     corner case are transparently re-run through the event engine (their
     bags are then consumed, matching what the event backend would do).
+
+    All reported quantities use the paper's units: work, productive,
+    overhead, wasted and idle time are measured in the contract's time
+    unit (the unit of the lifespan ``U``/``L`` and the set-up cost
+    ``c``); interrupt counts are bounded by each contract's negotiated
+    budget ``p`` only if the trace respects it — contract-breaking
+    traces (e.g. the ``flaky`` family) are simulated as given.
     """
     scenarios = list(scenarios)
     reports: List[Optional[SimulationReport]] = [None] * len(scenarios)
@@ -111,6 +118,13 @@ def simulate_batch(workstation_sets: Sequence[Sequence], scheduler=None, *,
     :class:`~repro.simulator.workstation.BorrowedWorkstation` contracts of
     replication ``r``; ``task_bags[r]`` (optional) its data-parallel
     workload.
+
+    Units follow the paper's notation: each contract's ``lifespan`` (the
+    paper's ``U``, written ``L`` on the integer DP grid), ``setup_cost``
+    (``c``) and owner-interrupt times all share one time unit;
+    ``interrupt_budget`` is the negotiated maximum number of reclaims
+    (``p``, a count); workstation ``speed`` is a dimensionless work-rate
+    multiplier.  Returned reports account work in the same time unit.
     """
     class _Bare:
         __slots__ = ("workstations", "task_bag")

@@ -1,0 +1,624 @@
+"""Declarative experiment specs: TOML/JSON files that *name* an experiment.
+
+A spec is a small, self-describing file that pins down everything needed to
+reproduce an experiment — which scenario family or parameter grid, which
+schedulers and adversaries (by :mod:`repro.registry` name), how many
+Monte-Carlo replications, which backend, and the base seed.  Committed
+specs under ``specs/`` *are* the experiments of this repository: running
+one (``python -m repro run specs/laptop.toml``) streams results into the
+resumable run store of :mod:`repro.runstore`, and the rendered report of
+:mod:`repro.reporting.report` is a pure function of the stored rows.
+
+Two spec kinds exist, mirroring the two experiment styles of the library:
+
+``kind = "sweep"``
+    The analytic/Monte-Carlo grid of ``repro sweep``: lifespans ``U`` ×
+    set-up costs ``c`` × interrupt budgets ``p`` × schedulers ×
+    adversaries, each point evaluated for exact guaranteed work,
+    optionally the DP optimum ``W^(p)[U]``, and optionally ``N``
+    replications against the named stochastic owners.
+``kind = "scenario"``
+    Replication of one scenario family through the NOW simulator: ``N``
+    independently seeded instances of the family per scheduler, with the
+    same instances shared across schedulers (paired comparison).
+
+Units and notation: lifespans and set-up costs are in the paper's single
+time unit (``U`` — written ``L`` on the integer DP grid — and ``c``);
+interrupt budgets are counts (the paper's ``p``); seeds and replication
+counts are dimensionless integers.
+
+File format
+-----------
+TOML (parsed with :mod:`tomllib` on Python ≥ 3.11, with a built-in
+fallback parser for the subset specs use on older interpreters) or JSON
+with the same structure::
+
+    [experiment]
+    name = "laptop-typical-day"     # required
+    kind = "scenario"               # "sweep" | "scenario"
+    seed = 0                        # base seed (default 0)
+    replications = 200              # Monte-Carlo layer (required for scenario)
+    backend = "batch"               # "event" | "batch" (default "event")
+
+    [scenario]                      # when kind = "scenario"
+    family = "laptop"               # a repro.registry.SCENARIO_FAMILIES name
+    schedulers = ["equalizing-adaptive", "fixed-period"]
+
+    [sweep]                         # when kind = "sweep"
+    lifespans = [200.0, 400.0]
+    setup_costs = [1.0]
+    interrupts = [1, 2]
+    schedulers = ["equalizing-adaptive", "rosenberg-nonadaptive"]
+    adversaries = ["poisson-owner"]
+    optimal = true                  # also compute the exact DP optimum
+
+Every name is validated against the registries at parse time, so a typo
+fails immediately with the list of known names — not an hour into a sweep.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+from .core.exceptions import CycleStealingError
+from .registry import ADVERSARIES, SCENARIO_FAMILIES, SCHEDULERS
+
+__all__ = [
+    "SpecError",
+    "ExperimentSpec",
+    "ScenarioPoint",
+    "load_spec",
+    "parse_spec",
+    "spec_to_dict",
+    "canonical_spec_json",
+    "default_run_id",
+    "expand_payloads",
+    "evaluate_payload",
+    "KINDS",
+]
+
+#: Recognised spec kinds.
+KINDS = ("sweep", "scenario")
+
+
+class SpecError(CycleStealingError, ValueError):
+    """A malformed or invalid experiment spec.
+
+    The message always says *where* (file and section/key when known) and
+    *what was expected* — specs are user-facing configuration, and their
+    errors must be actionable without reading this module's source.
+    """
+
+
+# ----------------------------------------------------------------------
+# The spec model
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A fully validated experiment description (plain, picklable data)."""
+
+    #: Experiment name (used in run ids and report headings).
+    name: str
+    #: ``"sweep"`` or ``"scenario"``.
+    kind: str
+    #: Base seed for the deterministic per-point/replication seeding.
+    seed: int = 0
+    #: Monte-Carlo replications (per point for sweeps, per scheduler for
+    #: scenario specs; ``0`` disables the layer for sweeps).
+    replications: int = 0
+    #: Replication backend, ``"event"`` or ``"batch"``.
+    backend: str = "event"
+
+    # --- kind = "sweep" ------------------------------------------------
+    lifespans: Tuple[float, ...] = ()
+    setup_costs: Tuple[float, ...] = (1.0,)
+    interrupts: Tuple[int, ...] = (1,)
+    schedulers: Tuple[str, ...] = ()
+    adversaries: Tuple[str, ...] = ()
+    #: Also compute the exact DP optimum per integer-valued point.
+    optimal: bool = False
+
+    # --- kind = "scenario" ---------------------------------------------
+    family: Optional[str] = None
+    #: Extra keyword arguments forwarded to the scenario generator.
+    family_params: Mapping[str, Any] = field(default_factory=dict)
+
+    def num_points(self) -> int:
+        """How many run-store points this spec expands to."""
+        return len(expand_payloads(self))
+
+    def to_grid(self):
+        """The :class:`~repro.experiments.grid.SweepGrid` of a sweep spec."""
+        from .experiments.grid import SweepGrid
+
+        if self.kind != "sweep":
+            raise SpecError(f"spec {self.name!r} has kind {self.kind!r}, "
+                            "only sweep specs define a grid")
+        return SweepGrid(lifespans=self.lifespans,
+                         setup_costs=self.setup_costs,
+                         interrupt_budgets=self.interrupts,
+                         schedulers=self.schedulers,
+                         adversaries=self.adversaries)
+
+
+@dataclass(frozen=True)
+class ScenarioPoint:
+    """One (scenario family × scheduler) point of a scenario spec.
+
+    Plain picklable data, mirroring
+    :class:`~repro.experiments.grid.SweepPoint`: the family and scheduler
+    travel by registry name and are instantiated inside the worker.
+    """
+
+    index: int
+    family: str
+    scheduler: str
+    replications: int
+    seed: int
+    backend: str = "event"
+    family_params: Tuple[Tuple[str, Any], ...] = ()
+
+    def key_columns(self) -> Dict[str, object]:
+        """The identifying columns shared by this point's result row."""
+        return {"family": self.family, "scheduler": self.scheduler}
+
+
+# ----------------------------------------------------------------------
+# Parsing and validation
+# ----------------------------------------------------------------------
+_EXPERIMENT_KEYS = {"name", "kind", "seed", "replications", "backend"}
+_SWEEP_KEYS = {"lifespans", "setup_costs", "interrupts", "schedulers",
+               "adversaries", "optimal"}
+_SCENARIO_KEYS = {"family", "schedulers", "params"}
+
+
+def _where(source: Optional[str]) -> str:
+    return f" (in {source})" if source else ""
+
+
+def _require_table(data: Mapping, key: str, source: Optional[str]) -> Mapping:
+    table = data.get(key)
+    if not isinstance(table, Mapping):
+        raise SpecError(f"spec is missing the [{key}] table{_where(source)}")
+    return table
+
+
+def _reject_unknown_keys(table: Mapping, allowed: set, section: str,
+                         source: Optional[str]) -> None:
+    unknown = sorted(set(table) - allowed)
+    if unknown:
+        raise SpecError(
+            f"unknown key(s) {unknown!r} in [{section}]{_where(source)}; "
+            f"allowed: {sorted(allowed)}")
+
+
+def _as_int(value, key: str, source: Optional[str], *, minimum: int = 0) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise SpecError(f"{key} must be an integer, got {value!r}{_where(source)}")
+    if value < minimum:
+        raise SpecError(f"{key} must be >= {minimum}, got {value!r}{_where(source)}")
+    return int(value)
+
+
+def _as_number_list(value, key: str, source: Optional[str],
+                    *, integral: bool = False) -> Tuple:
+    if not isinstance(value, (list, tuple)) or not value:
+        raise SpecError(
+            f"{key} must be a non-empty array of numbers, got {value!r}{_where(source)}")
+    out = []
+    for item in value:
+        if isinstance(item, bool) or not isinstance(item, (int, float)):
+            raise SpecError(
+                f"{key} entries must be numbers, got {item!r}{_where(source)}")
+        if integral:
+            if not float(item).is_integer():
+                raise SpecError(
+                    f"{key} entries must be integers, got {item!r}{_where(source)}")
+            out.append(int(item))
+        else:
+            out.append(float(item))
+    return tuple(out)
+
+
+def _as_str_list(value, key: str, source: Optional[str]) -> Tuple[str, ...]:
+    if not isinstance(value, (list, tuple)) or not value \
+            or not all(isinstance(v, str) for v in value):
+        raise SpecError(
+            f"{key} must be a non-empty array of strings, got {value!r}{_where(source)}")
+    return tuple(value)
+
+
+def parse_spec(data: Mapping, *, source: Optional[str] = None) -> ExperimentSpec:
+    """Validate a nested spec dictionary into an :class:`ExperimentSpec`.
+
+    ``source`` (a file path, when known) is woven into every error message.
+    Registry names — schedulers, adversaries, the scenario family — are
+    checked against :mod:`repro.registry` here, at parse time.
+    """
+    if not isinstance(data, Mapping):
+        raise SpecError(f"spec root must be a table/object, got "
+                        f"{type(data).__name__}{_where(source)}")
+    allowed_tables = {"experiment", "sweep", "scenario"}
+    _reject_unknown_keys(data, allowed_tables, "spec root", source)
+
+    exp = _require_table(data, "experiment", source)
+    _reject_unknown_keys(exp, _EXPERIMENT_KEYS, "experiment", source)
+    name = exp.get("name")
+    if not isinstance(name, str) or not name:
+        raise SpecError(
+            f"experiment.name must be a non-empty string, got {name!r}{_where(source)}")
+    kind = exp.get("kind")
+    if kind not in KINDS:
+        raise SpecError(
+            f"experiment.kind must be one of {list(KINDS)}, got {kind!r}{_where(source)}")
+    seed = _as_int(exp.get("seed", 0), "experiment.seed", source)
+    replications = _as_int(exp.get("replications", 0),
+                           "experiment.replications", source)
+    backend = exp.get("backend", "event")
+    from .experiments.montecarlo import BACKENDS
+    if backend not in BACKENDS:
+        raise SpecError(
+            f"experiment.backend must be one of {list(BACKENDS)}, "
+            f"got {backend!r}{_where(source)}")
+
+    if kind == "sweep":
+        if "scenario" in data:
+            raise SpecError(
+                f"a sweep spec must not contain a [scenario] table{_where(source)}")
+        sweep = _require_table(data, "sweep", source)
+        _reject_unknown_keys(sweep, _SWEEP_KEYS, "sweep", source)
+        lifespans = _as_number_list(sweep.get("lifespans"), "sweep.lifespans", source)
+        setup_costs = _as_number_list(sweep.get("setup_costs", [1.0]),
+                                      "sweep.setup_costs", source)
+        interrupts = _as_number_list(sweep.get("interrupts", [1]),
+                                     "sweep.interrupts", source, integral=True)
+        schedulers = _as_str_list(sweep.get("schedulers"), "sweep.schedulers", source)
+        raw_adversaries = sweep.get("adversaries", [])
+        if raw_adversaries in ([], (), None):
+            adversaries: Tuple[str, ...] = ()
+        else:
+            adversaries = _as_str_list(raw_adversaries, "sweep.adversaries", source)
+        optimal = sweep.get("optimal", False)
+        if not isinstance(optimal, bool):
+            raise SpecError(
+                f"sweep.optimal must be a boolean, got {optimal!r}{_where(source)}")
+        try:
+            SCHEDULERS.validate(schedulers, context="sweep.schedulers")
+            ADVERSARIES.validate(adversaries, context="sweep.adversaries")
+        except CycleStealingError as exc:
+            raise SpecError(f"{exc}{_where(source)}") from None
+        if replications > 0 and not adversaries:
+            raise SpecError(
+                "sweep.adversaries must name at least one adversary when "
+                f"experiment.replications > 0{_where(source)}")
+        return ExperimentSpec(name=name, kind=kind, seed=seed,
+                              replications=replications, backend=backend,
+                              lifespans=lifespans, setup_costs=setup_costs,
+                              interrupts=interrupts, schedulers=schedulers,
+                              adversaries=adversaries, optimal=optimal)
+
+    # kind == "scenario"
+    if "sweep" in data:
+        raise SpecError(
+            f"a scenario spec must not contain a [sweep] table{_where(source)}")
+    scen = _require_table(data, "scenario", source)
+    _reject_unknown_keys(scen, _SCENARIO_KEYS, "scenario", source)
+    family = scen.get("family")
+    if not isinstance(family, str) or not family:
+        raise SpecError(
+            f"scenario.family must be a registry name, got {family!r}{_where(source)}")
+    schedulers = _as_str_list(scen.get("schedulers", ["equalizing-adaptive"]),
+                              "scenario.schedulers", source)
+    family_params = scen.get("params", {})
+    if not isinstance(family_params, Mapping):
+        raise SpecError(
+            f"[scenario.params] must be a table, got {family_params!r}{_where(source)}")
+    try:
+        SCENARIO_FAMILIES.validate([family], context="scenario.family")
+        SCHEDULERS.validate(schedulers, context="scenario.schedulers")
+    except CycleStealingError as exc:
+        raise SpecError(f"{exc}{_where(source)}") from None
+    _check_family_params(family, family_params, source)
+    _check_simulator_capable(schedulers, source)
+    if replications < 1:
+        raise SpecError(
+            "scenario specs need experiment.replications >= 1 "
+            f"(got {replications}){_where(source)}")
+    return ExperimentSpec(name=name, kind=kind, seed=seed,
+                          replications=replications, backend=backend,
+                          schedulers=schedulers, family=family,
+                          family_params=dict(family_params))
+
+
+def _check_family_params(family: str, family_params: Mapping[str, Any],
+                         source: Optional[str]) -> None:
+    """Probe the scenario generator with the spec's params at parse time.
+
+    A typo'd keyword (``num_machine`` for ``num_machines``) or an
+    out-of-range value would otherwise surface as a raw worker traceback
+    after the run directory has already been created.  The probe also
+    rejects ``seed`` — the Monte-Carlo layer owns seeding, deriving it
+    per replication from the experiment's base seed.
+    """
+    if "seed" in family_params:
+        raise SpecError(
+            "[scenario.params] must not set 'seed'; seeding is derived per "
+            f"replication from experiment.seed{_where(source)}")
+    try:
+        SCENARIO_FAMILIES.create(family, **dict(family_params))
+    except (TypeError, ValueError) as exc:
+        raise SpecError(
+            f"[scenario.params] {dict(family_params)!r} are not valid for "
+            f"the {family!r} generator: {exc}{_where(source)}") from exc
+
+
+def _check_simulator_capable(schedulers: Tuple[str, ...],
+                             source: Optional[str]) -> None:
+    """Reject scenario schedulers the NOW simulator cannot drive.
+
+    The simulator re-plans per episode, so it needs the adaptive protocol
+    (``episode_schedule``); purely non-adaptive guidelines would only fail
+    deep inside the first replication, so catch them at parse time with a
+    probe instantiation on canonical parameters.
+    """
+    from .core.params import CycleStealingParams
+    from .experiments.grid import make_scheduler
+
+    probe = CycleStealingParams(lifespan=100.0, setup_cost=1.0,
+                                max_interrupts=1)
+    for name in schedulers:
+        if not hasattr(make_scheduler(name, probe), "episode_schedule"):
+            raise SpecError(
+                f"scheduler {name!r} implements only the non-adaptive "
+                "protocol and cannot drive the NOW simulator; scenario "
+                "specs need adaptive schedulers such as "
+                f"'equalizing-adaptive'{_where(source)}")
+
+
+def spec_to_dict(spec: ExperimentSpec) -> Dict[str, Any]:
+    """The nested (file-shaped) dictionary form of a spec.
+
+    ``parse_spec(spec_to_dict(s)) == s`` for every valid spec — the
+    round-trip the manifest of a stored run relies on.
+    """
+    out: Dict[str, Any] = {"experiment": {
+        "name": spec.name, "kind": spec.kind, "seed": spec.seed,
+        "replications": spec.replications, "backend": spec.backend,
+    }}
+    if spec.kind == "sweep":
+        sweep: Dict[str, Any] = {
+            "lifespans": list(spec.lifespans),
+            "setup_costs": list(spec.setup_costs),
+            "interrupts": list(spec.interrupts),
+            "schedulers": list(spec.schedulers),
+            "optimal": spec.optimal,
+        }
+        if spec.adversaries:
+            sweep["adversaries"] = list(spec.adversaries)
+        out["sweep"] = sweep
+    else:
+        scenario: Dict[str, Any] = {
+            "family": spec.family,
+            "schedulers": list(spec.schedulers),
+        }
+        if spec.family_params:
+            scenario["params"] = dict(spec.family_params)
+        out["scenario"] = scenario
+    return out
+
+
+def canonical_spec_json(spec: ExperimentSpec) -> str:
+    """Canonical (sorted-keys, no-whitespace) JSON of a spec."""
+    return json.dumps(spec_to_dict(spec), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def default_run_id(spec: ExperimentSpec) -> str:
+    """Deterministic run id: spec name plus a digest of its contents.
+
+    Re-running an identical spec maps to the same run directory (so a
+    finished run is recognised and an interrupted one resumed), while any
+    change to the spec yields a fresh id.
+    """
+    digest = hashlib.sha256(canonical_spec_json(spec).encode()).hexdigest()
+    return f"{spec.name}-{digest[:10]}"
+
+
+# ----------------------------------------------------------------------
+# File loading (TOML / JSON)
+# ----------------------------------------------------------------------
+def load_spec(path: Union[str, os.PathLike]) -> ExperimentSpec:
+    """Load and validate a spec file (``.toml`` or ``.json``)."""
+    path = os.fspath(path)
+    try:
+        with open(path, "rb") as handle:
+            raw = handle.read()
+    except OSError as exc:
+        raise SpecError(f"cannot read spec file {path!r}: {exc}") from exc
+    lower = path.lower()
+    if lower.endswith(".json"):
+        try:
+            data = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise SpecError(f"invalid JSON in spec file {path!r}: {exc}") from exc
+    elif lower.endswith(".toml"):
+        data = _load_toml(raw, path)
+    else:
+        raise SpecError(
+            f"spec files must end in .toml or .json, got {path!r}")
+    return parse_spec(data, source=path)
+
+
+def _load_toml(raw: bytes, path: str) -> Mapping:
+    try:
+        import tomllib
+    except ImportError:  # Python < 3.11: the bundled subset parser
+        return _parse_mini_toml(raw.decode("utf-8"), path)
+    try:
+        return tomllib.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, tomllib.TOMLDecodeError) as exc:
+        raise SpecError(f"invalid TOML in spec file {path!r}: {exc}") from exc
+
+
+def _parse_mini_toml(text: str, path: str) -> Dict[str, Any]:
+    """Parse the TOML subset spec files use, for interpreters without tomllib.
+
+    Supported: ``#`` comments, ``[dotted.table]`` headers, and
+    ``key = value`` lines where value is a string (double or single
+    quoted), boolean, integer, float, or a single-line array of those.
+    This is deliberately the *whole* dialect committed specs may use, so
+    a spec that parses on Python 3.9 parses identically on 3.12.
+    """
+    root: Dict[str, Any] = {}
+    table = root
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        stripped = _strip_toml_comment(line).strip()
+        if not stripped:
+            continue
+        if stripped.startswith("[") and stripped.endswith("]"):
+            table = root
+            for part in stripped[1:-1].strip().split("."):
+                part = part.strip()
+                if not part:
+                    raise SpecError(
+                        f"{path}:{lineno}: empty table-name component")
+                table = table.setdefault(part, {})
+                if not isinstance(table, dict):
+                    raise SpecError(
+                        f"{path}:{lineno}: {part!r} is both a key and a table")
+            continue
+        if "=" not in stripped:
+            raise SpecError(
+                f"{path}:{lineno}: expected 'key = value', got {line!r}")
+        key, _, value = stripped.partition("=")
+        key = key.strip()
+        if not key:
+            raise SpecError(f"{path}:{lineno}: empty key")
+        table[key] = _parse_toml_value(value.strip(), path, lineno)
+    return root
+
+
+def _strip_toml_comment(line: str) -> str:
+    out = []
+    in_string: Optional[str] = None
+    for ch in line:
+        if in_string:
+            if ch == in_string:
+                in_string = None
+        elif ch in ("'", '"'):
+            in_string = ch
+        elif ch == "#":
+            break
+        out.append(ch)
+    return "".join(out)
+
+
+def _parse_toml_value(token: str, path: str, lineno: int):
+    if not token:
+        raise SpecError(f"{path}:{lineno}: missing value")
+    if token.startswith("[") and token.endswith("]"):
+        inner = token[1:-1].strip()
+        if not inner:
+            return []
+        return [_parse_toml_value(item.strip(), path, lineno)
+                for item in _split_toml_array(inner, path, lineno)]
+    if (token.startswith('"') and token.endswith('"') and len(token) >= 2) or \
+            (token.startswith("'") and token.endswith("'") and len(token) >= 2):
+        return token[1:-1]
+    if token == "true":
+        return True
+    if token == "false":
+        return False
+    try:
+        if any(ch in token for ch in ".eE") and not token.lstrip("+-").isdigit():
+            return float(token)
+        return int(token.replace("_", ""))
+    except ValueError:
+        raise SpecError(
+            f"{path}:{lineno}: unsupported TOML value {token!r} "
+            "(the fallback parser accepts strings, booleans, numbers and "
+            "single-line arrays)") from None
+
+
+def _split_toml_array(inner: str, path: str, lineno: int) -> List[str]:
+    items, depth, current, in_string = [], 0, [], None
+    for ch in inner:
+        if in_string:
+            current.append(ch)
+            if ch == in_string:
+                in_string = None
+        elif ch in ("'", '"'):
+            in_string = ch
+            current.append(ch)
+        elif ch == "[":
+            depth += 1
+            current.append(ch)
+        elif ch == "]":
+            depth -= 1
+            current.append(ch)
+        elif ch == "," and depth == 0:
+            items.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if in_string:
+        raise SpecError(f"{path}:{lineno}: unterminated string in array")
+    tail = "".join(current).strip()
+    if tail:
+        items.append(tail)
+    return items
+
+
+# ----------------------------------------------------------------------
+# Point expansion and evaluation (worker side)
+# ----------------------------------------------------------------------
+def expand_payloads(spec: ExperimentSpec,
+                    cache_dir: Optional[str] = None) -> List[Any]:
+    """Expand a spec into an ordered list of picklable point payloads.
+
+    The order is part of the spec's identity: point ``i`` of a resumed run
+    is the same experiment as point ``i`` of the original run, which is
+    what lets the run store skip completed shards.
+    """
+    if spec.kind == "sweep":
+        from .experiments.orchestrator import ExperimentConfig
+
+        config = ExperimentConfig(replications=spec.replications,
+                                  seed=spec.seed, cache_dir=cache_dir,
+                                  include_optimal=spec.optimal,
+                                  backend=spec.backend)
+        return [(point, config) for point in spec.to_grid().points()]
+    return [ScenarioPoint(index=i, family=spec.family, scheduler=scheduler,
+                          replications=spec.replications, seed=spec.seed,
+                          backend=spec.backend,
+                          family_params=tuple(sorted(spec.family_params.items())))
+            for i, scheduler in enumerate(spec.schedulers)]
+
+
+def evaluate_payload(payload) -> Dict[str, Any]:
+    """Compute one result row from a point payload (runs inside workers)."""
+    if isinstance(payload, ScenarioPoint):
+        return _evaluate_scenario_point(payload)
+    from .experiments.orchestrator import _evaluate_point
+    return _evaluate_point(payload)
+
+
+def _evaluate_scenario_point(point: ScenarioPoint) -> Dict[str, Any]:
+    from .experiments.grid import make_scheduler
+    from .experiments.montecarlo import replicate_scenario
+
+    family = SCENARIO_FAMILIES[point.family]
+    family_params = dict(point.family_params)
+    # A canonical-seed probe instance supplies the opportunity parameters
+    # (U, c, p) that parameter-dependent scheduler factories need.
+    probe = family(**family_params)
+    scheduler = make_scheduler(point.scheduler, probe.params)
+    row: Dict[str, Any] = point.key_columns()
+    row.update(replicate_scenario(family, point.replications,
+                                  base_seed=point.seed, scheduler=scheduler,
+                                  backend=point.backend, **family_params))
+    return row

@@ -2,7 +2,9 @@
 
 from .owner_activity import (
     bursty_interrupts,
+    diurnal_rate,
     evenly_spaced_interrupts,
+    inhomogeneous_poisson_interrupts,
     pad_traces,
     poisson_interrupts,
     poisson_interrupts_batch,
@@ -13,9 +15,11 @@ from .scenarios import (
     SCENARIO_FAMILIES,
     Scenario,
     bursty_office_day,
+    diurnal_owners,
     flaky_owners,
     heterogeneous_cluster,
     laptop_evening,
+    mixed_fleet,
     overnight_desktops,
     shared_lab,
 )
@@ -28,6 +32,8 @@ __all__ = [
     "lognormal_tasks",
     "poisson_interrupts",
     "poisson_interrupts_batch",
+    "inhomogeneous_poisson_interrupts",
+    "diurnal_rate",
     "pad_traces",
     "evenly_spaced_interrupts",
     "workday_interrupts",
@@ -40,5 +46,7 @@ __all__ = [
     "bursty_office_day",
     "heterogeneous_cluster",
     "flaky_owners",
+    "diurnal_owners",
+    "mixed_fleet",
     "SCENARIO_FAMILIES",
 ]

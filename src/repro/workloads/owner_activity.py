@@ -17,6 +17,8 @@ import numpy as np
 __all__ = [
     "poisson_interrupts",
     "poisson_interrupts_batch",
+    "inhomogeneous_poisson_interrupts",
+    "diurnal_rate",
     "evenly_spaced_interrupts",
     "workday_interrupts",
     "bursty_interrupts",
@@ -86,6 +88,82 @@ def poisson_interrupts_batch(lifespan: float, rate: float,
             trace = trace[:max_interrupts]
         traces.append(trace)
     return traces
+
+
+def inhomogeneous_poisson_interrupts(lifespan: float, rate_fn,
+                                     max_rate: float,
+                                     seed: Optional[int] = None,
+                                     max_interrupts: Optional[int] = None
+                                     ) -> List[float]:
+    """Interrupt times from an inhomogeneous Poisson process, by thinning.
+
+    Samples a homogeneous Poisson process at the envelope rate ``max_rate``
+    and keeps each candidate time ``t`` with probability
+    ``rate_fn(t) / max_rate`` (Lewis-Shedler thinning), which yields an
+    exact draw from the inhomogeneous process with instantaneous rate
+    ``rate_fn`` as long as ``rate_fn(t) <= max_rate`` everywhere on
+    ``[0, lifespan)``.  All quantities are in the lifespan's time units:
+    ``lifespan`` is the contract's ``U``, rates are reclaims per time unit.
+
+    Parameters
+    ----------
+    lifespan:
+        Length of the borrowed opportunity (``U > 0``).
+    rate_fn:
+        Callable ``t -> rate`` giving the instantaneous reclaim rate at
+        absolute time ``t``; must stay within ``[0, max_rate]``.
+    max_rate:
+        The thinning envelope (``> 0``); a tight envelope wastes fewer
+        candidate draws but any upper bound is correct.
+    seed:
+        Seed for the candidate/acceptance stream; the draw order
+        (gap, acceptance, gap, acceptance, ...) is part of the function's
+        deterministic identity.
+    max_interrupts:
+        Optional cap on the number of *accepted* reclaims (the contract's
+        interrupt budget ``p``, when the trace should respect it).
+    """
+    if lifespan <= 0.0 or max_rate <= 0.0:
+        raise ValueError("lifespan and max_rate must be positive")
+    rng = np.random.default_rng(seed)
+    times: List[float] = []
+    t = 0.0
+    while True:
+        t += float(rng.exponential(1.0 / max_rate))
+        if t >= lifespan:
+            break
+        rate = float(rate_fn(t))
+        if not 0.0 <= rate <= max_rate * (1.0 + 1e-12):
+            raise ValueError(
+                f"rate_fn({t!r}) = {rate!r} outside [0, max_rate={max_rate!r}]")
+        if float(rng.uniform()) * max_rate < rate:
+            times.append(t)
+            if max_interrupts is not None and len(times) >= max_interrupts:
+                break
+    return times
+
+
+def diurnal_rate(base_rate: float, peak_rate: float, day_length: float = 480.0,
+                 peak_time: float = 240.0):
+    """A smooth day/night reclaim-rate profile for the inhomogeneous sampler.
+
+    Returns a callable ``t -> rate`` that oscillates sinusoidally with
+    period ``day_length`` between ``base_rate`` (quietest, half a day away
+    from the peak) and ``peak_rate`` (busiest, at ``peak_time`` within each
+    day).  Rates are reclaims per time unit of the lifespan ``U``.
+    """
+    if base_rate < 0.0 or peak_rate < base_rate:
+        raise ValueError("need 0 <= base_rate <= peak_rate")
+    if day_length <= 0.0:
+        raise ValueError(f"day_length must be positive, got {day_length!r}")
+    mean = 0.5 * (base_rate + peak_rate)
+    amplitude = 0.5 * (peak_rate - base_rate)
+    omega = 2.0 * np.pi / day_length
+
+    def rate(t: float) -> float:
+        return mean + amplitude * float(np.cos(omega * (t - peak_time)))
+
+    return rate
 
 
 def pad_traces(traces: Sequence[Sequence[float]],

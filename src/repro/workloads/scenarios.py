@@ -21,9 +21,12 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from ..core.params import CycleStealingParams
+from ..registry import SCENARIO_FAMILIES
 from ..simulator.workstation import BorrowedWorkstation
 from .owner_activity import (
     bursty_interrupts,
+    diurnal_rate,
+    inhomogeneous_poisson_interrupts,
     poisson_interrupts,
     poisson_interrupts_batch,
     workday_interrupts,
@@ -38,6 +41,8 @@ __all__ = [
     "bursty_office_day",
     "heterogeneous_cluster",
     "flaky_owners",
+    "diurnal_owners",
+    "mixed_fleet",
     "SCENARIO_FAMILIES",
 ]
 
@@ -243,12 +248,117 @@ def flaky_owners(*, num_machines: int = 5, lifespan: float = 360.0,
                     task_bag=bag, params=params)
 
 
-#: Stable names for every scenario family (CLI + Monte-Carlo sampling).
-SCENARIO_FAMILIES: Dict[str, Callable[..., Scenario]] = {
+def diurnal_owners(*, num_machines: int = 6, num_days: float = 2.0,
+                   day_length: float = 480.0, setup_cost: float = 2.0,
+                   interrupt_budget: int = 3, base_rate_scale: float = 0.2,
+                   peak_rate_scale: float = 3.0,
+                   seed: Optional[int] = 43) -> Scenario:
+    """Owners on a day/night rhythm: inhomogeneous-Poisson reclaims.
+
+    Reclaim pressure is not constant in a real building — it swells towards
+    mid-day and nearly vanishes at night.  Each machine's trace is drawn
+    from an inhomogeneous Poisson process (Lewis-Shedler thinning, see
+    :func:`repro.workloads.owner_activity.inhomogeneous_poisson_interrupts`)
+    whose rate follows a sinusoidal diurnal profile: the *average* rate is
+    calibrated so roughly ``interrupt_budget`` reclaims land per machine
+    over the lifespan, but they bunch into the daytime peaks — the
+    inhomogeneity the constant-rate families cannot express.
+
+    Units and notation: the lifespan ``U = num_days * day_length`` and
+    ``setup_cost`` (the paper's ``c``) are in the same time units;
+    ``interrupt_budget`` is the contract's ``p`` (a count).
+    """
+    if num_days <= 0.0:
+        raise ValueError(f"num_days must be positive, got {num_days!r}")
+    lifespan = float(num_days) * float(day_length)
+    mean_rate = max(interrupt_budget, 1) / lifespan
+    scale_mid = 0.5 * (base_rate_scale + peak_rate_scale)
+    base_rate = mean_rate * base_rate_scale / scale_mid
+    peak_rate = mean_rate * peak_rate_scale / scale_mid
+    rng = np.random.default_rng(seed)
+    workstations: List[BorrowedWorkstation] = []
+    for i in range(num_machines):
+        machine_seed = None if seed is None else int(rng.integers(0, 2**31 - 1))
+        # Owners peak at slightly different times of day (staggered lunches).
+        peak_time = 0.5 * day_length * (1.0 + 0.2 * ((i % 3) - 1))
+        trace = inhomogeneous_poisson_interrupts(
+            lifespan, diurnal_rate(base_rate, peak_rate,
+                                   day_length=day_length, peak_time=peak_time),
+            max_rate=peak_rate, seed=machine_seed)
+        workstations.append(BorrowedWorkstation(
+            workstation_id=f"diurnal-{i}", lifespan=lifespan,
+            setup_cost=setup_cost, interrupt_budget=interrupt_budget,
+            owner_interrupts=trace))
+    bag = lognormal_tasks(20_000, median=0.2, sigma=0.5, seed=seed)
+    params = CycleStealingParams(lifespan=lifespan, setup_cost=setup_cost,
+                                 max_interrupts=interrupt_budget)
+    return Scenario(name="diurnal-owners", workstations=workstations,
+                    task_bag=bag, params=params)
+
+
+def mixed_fleet(*, lifespan: float = 480.0, seed: Optional[int] = 47,
+                num_laptops: int = 2, num_desktops: int = 4,
+                num_lab: int = 2) -> Scenario:
+    """A mixed fleet: laptops, desktops and lab machines under one task bag.
+
+    Real borrowing pools are not uniform — this family combines the three
+    classic contract shapes into one scenario: fragile laptops (high set-up
+    cost ``c``, tiny interrupt budget ``p``, Poisson owners), steady
+    desktops (cheap set-up, owners mostly absent, slightly heterogeneous
+    speeds) and busy lab machines (generous budget, bursty owners).  One
+    shared task bag is spread across all contracts, so the interesting
+    question is how a guideline balances very different ``(U, c, p)``
+    triples at once.  All times (``lifespan``, set-up costs, interrupt
+    times) share the same unit; speeds are dimensionless multipliers.
+    """
+    rng = np.random.default_rng(seed)
+
+    def next_seed() -> Optional[int]:
+        return None if seed is None else int(rng.integers(0, 2**31 - 1))
+
+    workstations: List[BorrowedWorkstation] = []
+    for i in range(num_laptops):
+        trace = poisson_interrupts(lifespan, rate=2.0 / lifespan,
+                                   seed=next_seed(), max_interrupts=2)
+        workstations.append(BorrowedWorkstation(
+            workstation_id=f"fleet-laptop-{i}", lifespan=lifespan,
+            setup_cost=3.0, interrupt_budget=2, owner_interrupts=trace,
+            speed=0.8))
+    for i in range(num_desktops):
+        trace = poisson_interrupts(lifespan, rate=0.5 / lifespan,
+                                   seed=next_seed(), max_interrupts=1)
+        workstations.append(BorrowedWorkstation(
+            workstation_id=f"fleet-desktop-{i}", lifespan=lifespan,
+            setup_cost=1.0, interrupt_budget=1, owner_interrupts=trace,
+            speed=1.0 + 0.15 * (i % 2)))
+    for i in range(num_lab):
+        trace = bursty_interrupts(lifespan, num_bursts=2, burst_size=2,
+                                  burst_spread=5.0, seed=next_seed())
+        workstations.append(BorrowedWorkstation(
+            workstation_id=f"fleet-lab-{i}", lifespan=lifespan,
+            setup_cost=2.0, interrupt_budget=4, owner_interrupts=trace,
+            speed=1.2))
+    bag = lognormal_tasks(25_000, median=0.18, sigma=0.5, seed=seed)
+    params = CycleStealingParams(lifespan=lifespan, setup_cost=1.0,
+                                 max_interrupts=1)
+    return Scenario(name="mixed-fleet", workstations=workstations,
+                    task_bag=bag, params=params)
+
+
+# Stable names for every scenario family (CLI, specs + Monte-Carlo
+# sampling).  The canonical mapping is the registry in
+# :mod:`repro.registry`; registering here keeps each name next to its
+# generator.
+_BUILTIN_FAMILIES: Dict[str, Callable[..., Scenario]] = {
     "laptop": laptop_evening,
     "desktops": overnight_desktops,
     "lab": shared_lab,
     "office": bursty_office_day,
     "cluster": heterogeneous_cluster,
     "flaky": flaky_owners,
+    "diurnal": diurnal_owners,
+    "fleet": mixed_fleet,
 }
+for _name, _family in _BUILTIN_FAMILIES.items():
+    if _name not in SCENARIO_FAMILIES:
+        SCENARIO_FAMILIES.register(_name, _family)

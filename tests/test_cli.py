@@ -4,7 +4,9 @@ import os
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import CACHE_DIR_HELP, build_parser, main
+
+_REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
 
 
 class TestParser:
@@ -37,6 +39,53 @@ class TestParser:
         assert parser.parse_args(["simulate", "--backend", "batch"]).backend == "batch"
         with pytest.raises(SystemExit):
             parser.parse_args(["sweep", "--backend", "warp"])
+
+    def test_run_resume_report_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "specs/laptop.toml", "--jobs", "2",
+                                  "--replications", "5", "--runs-dir", "/tmp/r",
+                                  "--run-id", "rid", "--max-points", "3",
+                                  "--resume"])
+        assert args.command == "run" and args.spec == "specs/laptop.toml"
+        assert args.jobs == 2 and args.replications == 5
+        assert args.runs_dir == "/tmp/r" and args.run_id == "rid"
+        assert args.max_points == 3 and args.resume is True
+        args = parser.parse_args(["resume", "rid"])
+        assert args.command == "resume" and args.run_id == "rid"
+        args = parser.parse_args(["report", "rid", "--output", "-"])
+        assert args.command == "report" and args.output == "-"
+
+    def test_cache_dir_default_is_disabled_everywhere(self):
+        """The help text, the README and the code must agree on the default.
+
+        The default on-disk cache location regressed once (help text and
+        README described different defaults); this pins all three sources
+        to the single CACHE_DIR_HELP constant and the actual None default.
+        """
+        parser = build_parser()
+        for command in (["sweep"], ["gap"], ["run", "spec.toml"],
+                        ["resume", "rid"]):
+            assert parser.parse_args(command).cache_dir is None, command
+        assert "default: disabled" in CACHE_DIR_HELP
+        readme = open(os.path.join(_REPO_ROOT, "README.md")).read()
+        assert "default: disabled — DP tables are cached in memory" in readme
+
+    def test_cache_dir_help_text_matches_constant(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--help"])
+        help_text = capsys.readouterr().out
+        # argparse re-wraps the text; compare whitespace-normalised.
+        assert " ".join(CACHE_DIR_HELP.split()) in " ".join(help_text.split())
+
+    def test_simulate_accepts_registry_and_legacy_names(self):
+        parser = build_parser()
+        assert parser.parse_args(["simulate"]).scheduler == "equalizing-adaptive"
+        assert parser.parse_args(
+            ["simulate", "--scheduler", "equalizing"]).scheduler == "equalizing"
+        assert parser.parse_args(
+            ["simulate", "--scheduler", "geometric"]).scheduler == "geometric"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["simulate", "--scheduler", "nope"])
 
 
 class TestCommands:
@@ -119,3 +168,115 @@ class TestCommands:
                      "--cache-dir", cache_dir]) == 0
         assert "dp-optimal" in capsys.readouterr().out
         assert any(name.endswith(".npz") for name in os.listdir(cache_dir))
+
+    def test_gap_covers_every_registered_scheduler(self, capsys):
+        from repro.registry import SCHEDULERS
+
+        assert main(["gap", "-U", "200", "-c", "1", "-p", "1"]) == 0
+        out = capsys.readouterr().out
+        for name in SCHEDULERS.names():
+            assert name in out
+
+    def test_simulate_legacy_alias_matches_registry_name(self, capsys):
+        assert main(["simulate", "--scenario", "laptop",
+                     "--scheduler", "equalizing"]) == 0
+        legacy = capsys.readouterr().out
+        assert main(["simulate", "--scenario", "laptop",
+                     "--scheduler", "equalizing-adaptive"]) == 0
+        assert legacy == capsys.readouterr().out
+
+    def test_simulate_legacy_fixed_alias_keeps_u_over_20_period(self, capsys):
+        """`--scheduler fixed` predates the registry and sized periods as
+        U/20; the registry's fixed-period factory uses max(10, U/50).  The
+        alias must keep its historical sizing so old invocations reproduce.
+        """
+        assert main(["simulate", "--scenario", "laptop",
+                     "--scheduler", "fixed"]) == 0
+        legacy = capsys.readouterr().out
+        assert main(["simulate", "--scenario", "laptop",
+                     "--scheduler", "fixed-period"]) == 0
+        registry_out = capsys.readouterr().out
+        assert legacy != registry_out  # different period sizing by design
+
+    def test_simulate_rejects_nonadaptive_scheduler_with_message(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["simulate", "--scenario", "laptop",
+                  "--scheduler", "rosenberg-nonadaptive"])
+        assert "NOW simulator" in str(excinfo.value)
+        assert "equalizing-adaptive" in str(excinfo.value)
+
+    def test_simulate_new_families(self, capsys):
+        assert main(["simulate", "--scenario", "diurnal"]) == 0
+        assert "diurnal-0" in capsys.readouterr().out
+        assert main(["simulate", "--scenario", "fleet", "--backend", "batch"]) == 0
+        assert "fleet-laptop-0" in capsys.readouterr().out
+
+
+class TestRunCommands:
+    """End-to-end `run` / `resume` / `report` through main()."""
+
+    SPEC = """\
+[experiment]
+name = "cli-spec"
+kind = "scenario"
+seed = 0
+replications = 4
+backend = "batch"
+
+[scenario]
+family = "laptop"
+schedulers = ["equalizing-adaptive", "fixed-period"]
+"""
+
+    def _write_spec(self, tmp_path):
+        path = tmp_path / "spec.toml"
+        path.write_text(self.SPEC)
+        return str(path)
+
+    def test_run_then_report(self, tmp_path, capsys):
+        spec = self._write_spec(tmp_path)
+        runs = str(tmp_path / "runs")
+        assert main(["run", spec, "--runs-dir", runs, "--run-id", "r1"]) == 0
+        out = capsys.readouterr().out
+        assert "work_mean" in out
+        assert main(["report", "r1", "--runs-dir", runs]) == 0
+        report = capsys.readouterr().out
+        assert "# Run report: cli-spec" in report
+        assert os.path.exists(os.path.join(runs, "r1", "report.md"))
+
+    def test_run_replications_override(self, tmp_path, capsys):
+        spec = self._write_spec(tmp_path)
+        runs = str(tmp_path / "runs")
+        assert main(["run", spec, "--runs-dir", runs, "--run-id", "r2",
+                     "--replications", "2"]) == 0
+        capsys.readouterr()
+        assert main(["report", "r2", "--runs-dir", runs, "--output", "-"]) == 0
+        assert "**replications**: 2" in capsys.readouterr().out
+
+    def test_run_max_points_then_resume(self, tmp_path, capsys):
+        spec = self._write_spec(tmp_path)
+        runs = str(tmp_path / "runs")
+        assert main(["run", spec, "--runs-dir", runs, "--run-id", "r3",
+                     "--max-points", "1"]) == 0
+        capsys.readouterr()
+        assert main(["resume", "r3", "--runs-dir", runs]) == 0
+        out = capsys.readouterr()
+        assert "complete (2/2 points)" in out.err
+
+    def test_run_rejects_malformed_spec_with_message(self, tmp_path, capsys):
+        from repro.specs import SpecError
+
+        bad = tmp_path / "bad.toml"
+        bad.write_text("[experiment]\nname = \"x\"\nkind = \"warp\"\n")
+        with pytest.raises(SpecError) as excinfo:
+            main(["run", str(bad)])
+        assert "warp" in str(excinfo.value)
+        assert "bad.toml" in str(excinfo.value)
+
+    def test_csv_works_with_run_rows(self, tmp_path):
+        spec = self._write_spec(tmp_path)
+        runs = str(tmp_path / "runs")
+        csv_path = tmp_path / "rows.csv"
+        assert main(["--csv", str(csv_path), "run", spec, "--runs-dir", runs,
+                     "--run-id", "r4", "--replications", "2"]) == 0
+        assert "work_mean" in csv_path.read_text()

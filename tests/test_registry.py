@@ -1,0 +1,154 @@
+"""Tests for the string-keyed registries in :mod:`repro.registry`."""
+
+import os
+
+import pytest
+
+from repro.core.exceptions import InvalidParameterError
+from repro.registry import (
+    ADVERSARIES,
+    SCENARIO_FAMILIES,
+    SCHEDULERS,
+    Registry,
+    RegistryError,
+)
+
+
+class TestRegistryBasics:
+    def test_register_and_create(self):
+        reg = Registry("widget")
+        reg.register("a", lambda x: ("a", x))
+        assert reg.create("a", 1) == ("a", 1)
+        assert "a" in reg
+        assert reg.names() == ["a"]
+        assert len(reg) == 1
+        assert reg["a"](2) == ("a", 2)
+
+    def test_decorator_form(self):
+        reg = Registry("widget")
+
+        @reg.register("decorated")
+        def factory():
+            return 42
+
+        assert factory() == 42  # the decorator returns the function
+        assert reg.create("decorated") == 42
+
+    def test_unknown_name_lists_known_names(self):
+        reg = Registry("widget")
+        reg.register("alpha", lambda: None)
+        reg.register("beta", lambda: None)
+        with pytest.raises(RegistryError) as excinfo:
+            reg.create("gamma")
+        message = str(excinfo.value)
+        assert "gamma" in message and "alpha" in message and "beta" in message
+
+    def test_registry_error_is_invalid_parameter_error(self):
+        # Callers catching the library's parameter errors keep working.
+        assert issubclass(RegistryError, InvalidParameterError)
+
+    def test_duplicate_registration_rejected(self):
+        reg = Registry("widget")
+        reg.register("x", lambda: 1)
+        with pytest.raises(RegistryError):
+            reg.register("x", lambda: 2)
+        reg.register("x", lambda: 3, overwrite=True)
+        assert reg.create("x") == 3
+
+    def test_bad_names_and_factories_rejected(self):
+        reg = Registry("widget")
+        with pytest.raises(RegistryError):
+            reg.register("", lambda: None)
+        with pytest.raises(RegistryError):
+            reg.register(3, lambda: None)
+        with pytest.raises(RegistryError):
+            reg.register("y", "not-callable")
+
+    def test_mapping_iteration(self):
+        reg = Registry("widget")
+        reg.register("b", lambda: 2)
+        reg.register("a", lambda: 1)
+        assert sorted(reg) == ["a", "b"]
+        assert {name: factory() for name, factory in reg.items()} \
+            == {"a": 1, "b": 2}
+
+    def test_unregister(self):
+        reg = Registry("widget")
+        reg.register("gone", lambda: None)
+        reg.unregister("gone")
+        assert "gone" not in reg
+        reg.unregister("never-there")  # no-op, no error
+
+    def test_validate_reports_every_unknown_name(self):
+        reg = Registry("widget")
+        reg.register("ok", lambda: None)
+        reg.validate(["ok"])  # no error
+        with pytest.raises(RegistryError) as excinfo:
+            reg.validate(["ok", "bad1", "bad2"], context="test-context")
+        message = str(excinfo.value)
+        assert "bad1" in message and "bad2" in message
+        assert "test-context" in message
+
+
+class TestBuiltinRegistries:
+    def test_register_populates_first_so_duplicates_cannot_shadow_builtins(self):
+        # Registering a built-in name must collide even when register() is
+        # the first-ever call on the registry (lazy population must run
+        # before the duplicate check, not after).
+        import subprocess
+        import sys
+
+        code = (
+            "from repro.registry import SCHEDULERS, RegistryError\n"
+            "try:\n"
+            "    SCHEDULERS.register('fixed-period', lambda params: None)\n"
+            "except RegistryError:\n"
+            "    print('COLLIDED')\n"
+        )
+        src = os.path.join(os.path.dirname(__file__), "..", "src")
+        out = subprocess.run([sys.executable, "-c", code],
+                             env={**os.environ,
+                                  "PYTHONPATH": os.path.abspath(src)},
+                             capture_output=True, text=True)
+        assert out.stdout.strip() == "COLLIDED", out.stderr
+
+    def test_lazy_population_covers_builtins(self):
+        assert "equalizing-adaptive" in SCHEDULERS
+        assert "dp-optimal" in SCHEDULERS
+        assert "poisson-owner" in ADVERSARIES
+        assert "laptop" in SCENARIO_FAMILIES and "diurnal" in SCENARIO_FAMILIES
+
+    def test_grid_views_are_the_registries(self):
+        from repro.experiments.grid import ADVERSARY_FACTORIES, SCHEDULER_FACTORIES
+
+        assert SCHEDULER_FACTORIES is SCHEDULERS
+        assert ADVERSARY_FACTORIES is ADVERSARIES
+
+    def test_downstream_registration_reaches_the_sweep_layer(self):
+        from repro.core.params import CycleStealingParams
+        from repro.experiments.grid import make_scheduler
+        from repro.schedules import SinglePeriodScheduler
+
+        SCHEDULERS.register("test-only-scheduler",
+                            lambda params: SinglePeriodScheduler(),
+                            overwrite=True)
+        try:
+            params = CycleStealingParams(lifespan=50.0, setup_cost=1.0,
+                                         max_interrupts=1)
+            scheduler = make_scheduler("test-only-scheduler", params)
+            assert isinstance(scheduler, SinglePeriodScheduler)
+        finally:
+            SCHEDULERS.unregister("test-only-scheduler")
+
+    def test_dp_optimal_factory_uses_integer_grid(self):
+        from repro.core.params import CycleStealingParams
+        from repro.experiments.grid import make_scheduler
+
+        params = CycleStealingParams(lifespan=60.0, setup_cost=1.0,
+                                     max_interrupts=1)
+        scheduler = make_scheduler("dp-optimal", params)
+        assert hasattr(scheduler, "episode_schedule")
+        with pytest.raises(ValueError):
+            make_scheduler("dp-optimal",
+                           CycleStealingParams(lifespan=60.5, setup_cost=1.0,
+                                               max_interrupts=1))

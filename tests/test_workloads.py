@@ -157,10 +157,18 @@ class TestNewScenarioFamilies:
         from repro.workloads import SCENARIO_FAMILIES
 
         assert set(SCENARIO_FAMILIES) == {"laptop", "desktops", "lab",
-                                          "office", "cluster", "flaky"}
+                                          "office", "cluster", "flaky",
+                                          "diurnal", "fleet"}
         for factory in SCENARIO_FAMILIES.values():
             scenario = factory()
             assert scenario.workstations and scenario.task_bag.total_tasks > 0
+
+    def test_scenario_families_is_the_shared_registry(self):
+        from repro.registry import SCENARIO_FAMILIES as registry_families
+        from repro.workloads import SCENARIO_FAMILIES
+
+        assert SCENARIO_FAMILIES is registry_families
+        assert SCENARIO_FAMILIES["laptop"] is laptop_evening
 
     def test_office_day_is_seeded_and_bursty(self):
         from repro.workloads import bursty_office_day
@@ -208,6 +216,116 @@ class TestNewScenarioFamilies:
         )
 
         for factory in (bursty_office_day, heterogeneous_cluster, flaky_owners):
+            scenario = factory()
+            report = CycleStealingSimulation(scenario.workstations,
+                                             EqualizingAdaptiveScheduler(),
+                                             task_bag=scenario.task_bag).run()
+            assert report.total_work > 0.0
+            for ws in scenario.workstations:
+                report.per_workstation[ws.workstation_id].check_conservation(
+                    ws.lifespan)
+
+
+class TestInhomogeneousPoisson:
+    def test_times_sorted_and_inside_lifespan(self):
+        from repro.workloads import diurnal_rate, inhomogeneous_poisson_interrupts
+
+        rate = diurnal_rate(0.001, 0.05, day_length=480.0)
+        times = inhomogeneous_poisson_interrupts(960.0, rate, max_rate=0.05,
+                                                 seed=11)
+        assert times == sorted(times)
+        assert all(0.0 <= t < 960.0 for t in times)
+
+    def test_deterministic_in_the_seed(self):
+        from repro.workloads import diurnal_rate, inhomogeneous_poisson_interrupts
+
+        rate = diurnal_rate(0.002, 0.04)
+        a = inhomogeneous_poisson_interrupts(500.0, rate, max_rate=0.04, seed=3)
+        b = inhomogeneous_poisson_interrupts(500.0, rate, max_rate=0.04, seed=3)
+        c = inhomogeneous_poisson_interrupts(500.0, rate, max_rate=0.04, seed=4)
+        assert a == b
+        assert a != c
+
+    def test_respects_max_interrupts(self):
+        from repro.workloads import inhomogeneous_poisson_interrupts
+
+        times = inhomogeneous_poisson_interrupts(
+            10_000.0, lambda t: 0.1, max_rate=0.1, seed=0, max_interrupts=3)
+        assert len(times) == 3
+
+    def test_thinning_matches_homogeneous_special_case(self):
+        # With rate_fn == max_rate every candidate is accepted, but the
+        # acceptance draw still advances the stream, so the *count* should
+        # land near the homogeneous expectation rate * lifespan.
+        from repro.workloads import inhomogeneous_poisson_interrupts
+
+        times = inhomogeneous_poisson_interrupts(
+            20_000.0, lambda t: 0.05, max_rate=0.05, seed=5)
+        assert 800 <= len(times) <= 1200  # mean 1000, +-6 sigma
+
+    def test_rejects_rate_above_envelope(self):
+        from repro.workloads import inhomogeneous_poisson_interrupts
+
+        with pytest.raises(ValueError):
+            inhomogeneous_poisson_interrupts(1000.0, lambda t: 1.0,
+                                             max_rate=0.01, seed=0)
+
+    def test_rejects_bad_parameters(self):
+        from repro.workloads import diurnal_rate, inhomogeneous_poisson_interrupts
+
+        with pytest.raises(ValueError):
+            inhomogeneous_poisson_interrupts(0.0, lambda t: 0.1, max_rate=0.1)
+        with pytest.raises(ValueError):
+            diurnal_rate(0.5, 0.1)  # peak below base
+        with pytest.raises(ValueError):
+            diurnal_rate(0.1, 0.5, day_length=0.0)
+
+    def test_diurnal_rate_profile_shape(self):
+        from repro.workloads import diurnal_rate
+
+        rate = diurnal_rate(0.01, 0.09, day_length=480.0, peak_time=240.0)
+        assert rate(240.0) == pytest.approx(0.09)
+        assert rate(0.0) == pytest.approx(0.01)
+        assert rate(480.0 + 240.0) == pytest.approx(0.09)  # next day's peak
+
+
+class TestDiurnalAndFleetFamilies:
+    def test_diurnal_is_seeded_and_daytime_heavy(self):
+        from repro.workloads import diurnal_owners
+
+        a = diurnal_owners(seed=2)
+        b = diurnal_owners(seed=2)
+        for wa, wb in zip(a.workstations, b.workstations):
+            assert wa.owner_interrupts == wb.owner_interrupts
+        # Interrupts should cluster around the diurnal peaks: compare the
+        # in-peak-half density against the off-peak half across machines.
+        day = 480.0
+        in_peak = off_peak = 0
+        for ws in a.workstations:
+            for t in ws.owner_interrupts:
+                phase = t % day
+                if day / 4 <= phase < 3 * day / 4:
+                    in_peak += 1
+                else:
+                    off_peak += 1
+        assert in_peak > off_peak
+
+    def test_fleet_mixes_contract_shapes(self):
+        from repro.workloads import mixed_fleet
+
+        scenario = mixed_fleet(seed=1)
+        costs = {ws.setup_cost for ws in scenario.workstations}
+        budgets = {ws.interrupt_budget for ws in scenario.workstations}
+        assert len(costs) >= 3 and len(budgets) >= 3
+        kinds = {ws.workstation_id.split("-")[1] for ws in scenario.workstations}
+        assert kinds == {"laptop", "desktop", "lab"}
+
+    def test_new_families_run_through_simulator(self):
+        from repro.schedules import EqualizingAdaptiveScheduler
+        from repro.simulator import CycleStealingSimulation
+        from repro.workloads import diurnal_owners, mixed_fleet
+
+        for factory in (diurnal_owners, mixed_fleet):
             scenario = factory()
             report = CycleStealingSimulation(scenario.workstations,
                                              EqualizingAdaptiveScheduler(),
