@@ -33,7 +33,7 @@ SCENARIO_CASES = [
     ("laptop-evening", laptop_evening, 1000),
     ("overnight-desktops", overnight_desktops, 200),
     ("shared-lab", shared_lab, 200),
-    ("flaky-owners", flaky_owners, 300),
+    ("flaky-owners", flaky_owners, 1000),
 ]
 
 #: (label, lifespan, interrupt budget, replications) — game-level points.
@@ -44,21 +44,28 @@ POINT_CASES = [
 
 
 def _time_scenario_case(family, replications):
+    """Best-of-two timing per backend (the first pass pays allocator and
+    page-fault warm-up that steady-state sweeps never see); equality is
+    checked on the first pass's reports."""
     make = lambda: [family(seed=point_seed(0, family.__name__, r))  # noqa: E731
                     for r in range(replications)]
-    scenarios = make()
-    scheduler = EqualizingAdaptiveScheduler()
-    start = time.perf_counter()
-    event_reports = [CycleStealingSimulation(s.workstations, scheduler,
-                                             task_bag=s.task_bag).run()
-                     for s in scenarios]
-    event_seconds = time.perf_counter() - start
+    event_seconds = float("inf")
+    for _attempt in range(2):
+        scenarios = make()
+        scheduler = EqualizingAdaptiveScheduler()
+        start = time.perf_counter()
+        event_reports = [CycleStealingSimulation(s.workstations, scheduler,
+                                                 task_bag=s.task_bag).run()
+                         for s in scenarios]
+        event_seconds = min(event_seconds, time.perf_counter() - start)
 
-    scenarios = make()          # fresh task bags for the batch run
-    scheduler = EqualizingAdaptiveScheduler()
-    start = time.perf_counter()
-    batch_reports = simulate_scenarios_batch(scenarios, scheduler)
-    batch_seconds = time.perf_counter() - start
+    batch_seconds = float("inf")
+    for _attempt in range(2):
+        scenarios = make()      # fresh task bags for the batch run
+        scheduler = EqualizingAdaptiveScheduler()
+        start = time.perf_counter()
+        batch_reports = simulate_scenarios_batch(scenarios, scheduler)
+        batch_seconds = min(batch_seconds, time.perf_counter() - start)
 
     identical = all(
         a.total_work == b.total_work
@@ -117,8 +124,11 @@ def test_bench_batch_sim_speedup(benchmark):
               title="Batch vs event-driven replication backend")
     assert all(row["results_equal"] for row in rows)
     # Every case must benefit; the headline 1000-replication cases by >= ~10x
-    # (asserted with slack for noisy CI machines — the committed table holds
-    # the measured numbers).
+    # and the flaky-owners family (the old fallback hotspot, now handled
+    # natively in-array) by >= ~8x (asserted with slack for noisy CI
+    # machines — the committed table holds the measured numbers).
     assert all(row["speedup"] >= 1.5 for row in rows)
     headline = [row for row in rows if row["replications"] >= 1000]
     assert headline and max(row["speedup"] for row in headline) >= 5.0
+    (flaky,) = [row for row in rows if row["case"] == "flaky-owners"]
+    assert flaky["speedup"] >= 4.0

@@ -1,0 +1,115 @@
+"""Experiment: shared-memory DP tables — worker memory independent of jobs.
+
+Before the shared-memory level, every worker process of a parallel sweep
+materialised its own private copy of each solved ``W^(p)[L]`` table (by
+re-solving, or by ``np.load`` from the disk cache), so resident memory for
+the nightly 60k-lifespan tables grew linearly with ``--jobs``.  With
+:class:`repro.experiments.cache.SharedTablePublisher` the driver publishes
+one copy per machine and workers attach by name, zero-copy.
+
+This benchmark spawns real worker processes at several ``--jobs`` levels,
+has each worker materialise the 60k table both ways, and records each
+worker's **private-dirty** memory delta (``/proc/self/smaps_rollup`` —
+pages this process alone dirtied; shared mappings do not count).  The
+committed table under ``benchmarks/results/shared_dp_memory.*`` is the
+evidence that per-worker and fleet-total private memory stay flat under
+the shared path while the copy path scales with the job count.
+"""
+
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from bench_util import save_rows
+from repro.experiments import DPTableCache
+from repro.experiments.cache import SharedTablePublisher, attach_shared_table
+
+#: The nightly-scale table: L = 60k, c = 1, p = 4 (~4.8 MB of int64).
+TABLE_KEY = (60_000, 1, 4)
+
+JOB_COUNTS = (1, 2, 4)
+
+
+def _private_dirty_kb():
+    """This process's private-dirty pages in kB (None off-Linux)."""
+    try:
+        with open("/proc/self/smaps_rollup") as handle:
+            for line in handle:
+                if line.startswith("Private_Dirty:"):
+                    return int(line.split()[1])
+    except OSError:
+        return None
+    return None
+
+
+def _measure_copy(cache_dir):
+    """Worker: load a private table copy from the disk cache level."""
+    before = _private_dirty_kb()
+    table = DPTableCache(cache_dir=cache_dir).solve(*TABLE_KEY)
+    checksum = int(table.values[-1, -1]) + int(table.first_periods[-1, -1])
+    after = _private_dirty_kb()
+    return after - before, checksum
+
+
+def _measure_shared(handle):
+    """Worker: attach the machine-wide shared copy (zero-copy)."""
+    before = _private_dirty_kb()
+    table = attach_shared_table(handle)
+    checksum = int(table.values[-1, -1]) + int(table.first_periods[-1, -1])
+    after = _private_dirty_kb()
+    return after - before, checksum
+
+
+def _fan_out(jobs, func, arg):
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        return list(pool.map(func, [arg] * jobs))
+
+
+def _run_all():
+    rows = []
+    table_mb = 2 * (TABLE_KEY[0] + 1) * (TABLE_KEY[2] + 1) * 8 / 1e6
+    with tempfile.TemporaryDirectory() as cache_dir:
+        driver_cache = DPTableCache(cache_dir=cache_dir)
+        table = driver_cache.solve(*TABLE_KEY)  # warm the disk level once
+        expected = int(table.values[-1, -1]) + int(table.first_periods[-1, -1])
+        with SharedTablePublisher() as publisher:
+            handle = publisher.publish(table)
+            for jobs in JOB_COUNTS:
+                for mode, func, arg in (("per-worker copy", _measure_copy,
+                                         cache_dir),
+                                        ("shared-memory attach",
+                                         _measure_shared, handle)):
+                    results = _fan_out(jobs, func, arg)
+                    assert all(c == expected for _d, c in results)
+                    deltas_mb = [d / 1e3 for d, _c in results]
+                    rows.append({
+                        "mode": mode, "jobs": jobs,
+                        "table_mb": round(table_mb, 1),
+                        "worker_private_mb": round(max(deltas_mb), 1),
+                        "fleet_private_mb": round(sum(deltas_mb), 1),
+                    })
+    return rows
+
+
+@pytest.mark.skipif(_private_dirty_kb() is None,
+                    reason="needs /proc/self/smaps_rollup (Linux)")
+def test_bench_shared_dp_memory(benchmark):
+    rows = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    save_rows("shared_dp_memory", rows,
+              title="Per-worker private memory for a 60k-lifespan DP table")
+    table_mb = rows[0]["table_mb"]
+    copy = {r["jobs"]: r for r in rows if r["mode"] == "per-worker copy"}
+    shared = {r["jobs"]: r for r in rows if r["mode"] == "shared-memory attach"}
+    # Copy mode: every worker dirties (at least) its own table copy, so the
+    # fleet total scales with jobs.
+    assert all(r["worker_private_mb"] >= 0.5 * table_mb for r in copy.values())
+    assert copy[max(JOB_COUNTS)]["fleet_private_mb"] >= \
+        0.8 * table_mb * max(JOB_COUNTS)
+    # Shared mode: attaching dirties a few bookkeeping pages at most, and
+    # per-worker usage does not grow with the job count.
+    assert all(r["worker_private_mb"] <= 0.2 * table_mb
+               for r in shared.values())
+    assert shared[max(JOB_COUNTS)]["worker_private_mb"] <= \
+        shared[min(JOB_COUNTS)]["worker_private_mb"] + 0.2 * table_mb

@@ -127,6 +127,64 @@ def check_optimality_gap(results_dir: str, max_lifespan: float,
     return checked, failures
 
 
+def check_referee_speedup(results_dir: str, max_lifespan: float,
+                          tolerance: float):
+    """Re-derive the guaranteed-work column of the referee-kernel benchmark.
+
+    The speedup columns are machine-dependent and not checked; the
+    ``guaranteed_work`` values are exact and must not drift.  Both the
+    vectorized kernel and its retained reference are re-run, so this also
+    guards the pair's 1e-9 agreement on the committed grid.
+    """
+    import numpy as np
+
+    from repro import EpisodeSchedule
+    from repro.core.game import (
+        guaranteed_adaptive_work,
+        guaranteed_adaptive_work_reference,
+    )
+    from repro.core.work import (
+        worst_case_nonadaptive_pattern,
+        worst_case_nonadaptive_pattern_reference,
+    )
+
+    path = os.path.join(results_dir, "referee_speedup.csv")
+    failures = []
+    checked = 0
+    adaptive_factories = {"equalizing": EqualizingAdaptiveScheduler,
+                          "rosenberg": RosenbergAdaptiveScheduler}
+    for row in read_rows(path):
+        U = float(row["lifespan"])
+        if U > max_lifespan:
+            continue
+        p = int(row["max_interrupts"])
+        committed = float(row["guaranteed_work"])
+        params = CycleStealingParams(lifespan=U, setup_cost=1.0,
+                                     max_interrupts=p)
+        if row["kernel"] == "adaptive-minimax":
+            prefix = row["case"].split()[0]
+            factory = adaptive_factories.get(prefix)
+            if factory is None:
+                failures.append(f"{path}: unknown adaptive case {row['case']!r}")
+                continue
+            fast = guaranteed_adaptive_work(factory(), params)
+            reference = guaranteed_adaptive_work_reference(factory(), params)
+        else:
+            schedule = EpisodeSchedule(np.full(int(round(U / 3.0)), 3.0))
+            _, fast = worst_case_nonadaptive_pattern(schedule, params)
+            _, reference = worst_case_nonadaptive_pattern_reference(schedule,
+                                                                    params)
+        for label, recomputed in [("guaranteed_work (vectorized)", fast),
+                                  ("guaranteed_work (reference)", reference)]:
+            drift = relative_drift(committed, recomputed)
+            if drift > tolerance:
+                failures.append(
+                    f"{path}: {row['case']}: {label} drifted {drift:.3e} "
+                    f"(committed {committed!r}, recomputed {recomputed!r})")
+        checked += 1
+    return checked, failures
+
+
 def check_nonadaptive_section31(results_dir: str, max_lifespan: float,
                                 tolerance: float):
     """Re-derive the Section 3.1 guideline's measured worst-case work."""
@@ -174,7 +232,10 @@ def main(argv=None) -> int:
                                              args.tolerance, cache),
                 lambda: check_nonadaptive_section31(args.results_dir,
                                                     args.max_lifespan,
-                                                    args.tolerance)):
+                                                    args.tolerance),
+                lambda: check_referee_speedup(args.results_dir,
+                                              args.max_lifespan,
+                                              args.tolerance)):
             checked, failures = checker()
             total_checked += checked
             all_failures.extend(failures)

@@ -32,6 +32,8 @@ if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
 from repro.experiments import SweepGrid, run_sweep  # noqa: E402
+from repro.experiments.montecarlo import replicate_scenario  # noqa: E402
+from repro.registry import SCENARIO_FAMILIES  # noqa: E402
 
 EXIT_OK = 0
 EXIT_DIVERGED = 1
@@ -77,6 +79,15 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--tolerance", type=float, default=1e-9,
                         help="maximum allowed relative divergence per column")
+    parser.add_argument("--families", nargs="*", default=[],
+                        choices=SCENARIO_FAMILIES.names(),
+                        help="also replicate these scenario families through "
+                             "both simulator backends (e.g. 'flaky', whose "
+                             "idle-interrupt corner the batch backend now "
+                             "handles natively)")
+    parser.add_argument("--family-replications", type=int, default=None,
+                        help="replications per scenario family "
+                             "(default: --replications)")
     args = parser.parse_args(argv)
 
     try:
@@ -106,6 +117,19 @@ def main(argv=None) -> int:
     if len(rows["event"]) != len(rows["batch"]):
         github_error("backends produced different row counts")
         return EXIT_DIVERGED
+
+    # Scenario families through the full NOW simulator (both backends).
+    family_replications = args.family_replications or args.replications
+    for backend in ("event", "batch"):
+        for name in args.families:
+            start = time.perf_counter()
+            row = replicate_scenario(SCENARIO_FAMILIES[name],
+                                     family_replications,
+                                     base_seed=args.seed, backend=backend)
+            seconds = time.perf_counter() - start
+            rows[backend].append(row)
+            print(f"{backend:>5} backend: family {name!r} x "
+                  f"{family_replications} replications in {seconds:.1f}s")
 
     failures = list(compare_rows(rows["event"], rows["batch"], args.tolerance))
     if failures:

@@ -138,6 +138,9 @@ def build_parser() -> argparse.ArgumentParser:
     sw.add_argument("--backend", choices=["event", "batch"], default="event",
                     help="Monte-Carlo replication backend (batch = vectorized; "
                          "~10x faster on large --replications, same aggregates)")
+    sw.add_argument("--profile", action="store_true",
+                    help="print a per-stage wall-time breakdown (referee / "
+                         "DP solve / Monte-Carlo) to stderr")
 
     from .runstore import DEFAULT_RUNS_DIR
 
@@ -164,6 +167,9 @@ def build_parser() -> argparse.ArgumentParser:
                          "(resume later with `resume`)")
     rn.add_argument("--resume", action="store_true",
                     help="continue the run if it already exists")
+    rn.add_argument("--profile", action="store_true",
+                    help="print a per-stage wall-time breakdown (referee / "
+                         "DP solve / Monte-Carlo / shard I/O) to stderr")
 
     rs = sub.add_parser(
         "resume", help="finish an interrupted run from its last completed point")
@@ -279,7 +285,8 @@ def _cmd_sweep(args) -> List[dict]:
                      adversaries=adversaries)
     return run_sweep(grid, jobs=args.jobs, replications=args.replications,
                      seed=args.seed, cache_dir=args.cache_dir,
-                     include_optimal=args.optimal, backend=args.backend)
+                     include_optimal=args.optimal, backend=args.backend,
+                     profile=args.profile)
 
 
 def _spec_with_overrides(args):
@@ -304,7 +311,7 @@ def _cmd_run(args) -> List[dict]:
     run = run_spec(_spec_with_overrides(args), runs_dir=args.runs_dir,
                    run_id=args.run_id, jobs=args.jobs,
                    cache_dir=args.cache_dir, max_points=args.max_points,
-                   resume=args.resume)
+                   resume=args.resume, profile=args.profile)
     rows = run.rows()
     print(f"run {run.run_id}: {run.status} "
           f"({len(rows)}/{run.num_points} points) "

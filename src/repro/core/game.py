@@ -22,7 +22,9 @@ This module provides:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Protocol, Tuple, runtime_checkable
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple, runtime_checkable
+
+import numpy as np
 
 from .arithmetic import positive_subtraction
 from .exceptions import InvalidScheduleError, SchedulingError
@@ -38,6 +40,7 @@ __all__ = [
     "play_adaptive",
     "play_nonadaptive",
     "guaranteed_adaptive_work",
+    "guaranteed_adaptive_work_reference",
 ]
 
 
@@ -269,12 +272,12 @@ def play_nonadaptive(scheduler: NonAdaptiveSchedulerProtocol,
 
 
 # ----------------------------------------------------------------------
-# Exact guaranteed work of an adaptive scheduler (memoised minimax)
+# Exact guaranteed work of an adaptive scheduler (minimax referees)
 # ----------------------------------------------------------------------
-def guaranteed_adaptive_work(scheduler: AdaptiveSchedulerProtocol,
-                             params: CycleStealingParams,
-                             *, residual_grain: float = 1e-6) -> float:
-    """Exact worst-case work of an adaptive scheduler.
+def guaranteed_adaptive_work_reference(scheduler: AdaptiveSchedulerProtocol,
+                                       params: CycleStealingParams,
+                                       *, residual_grain: float = 1e-6) -> float:
+    """Exact worst-case work of an adaptive scheduler (recursive reference).
 
     Plays the minimax game: for the schedule the scheduler emits at each
     ``(residual lifespan, interrupts remaining)`` state, the adversary tries
@@ -285,9 +288,9 @@ def guaranteed_adaptive_work(scheduler: AdaptiveSchedulerProtocol,
     from closed-form formulas revisit the same residuals constantly, so the
     memoisation is highly effective.
 
-    Complexity is ``O(#distinct states × m)`` scheduler calls where ``m`` is
-    the per-episode period count; for the guideline schedulers and lifespans
-    up to ``10^5 c`` this completes in well under a second.
+    This is the readable recursive formulation; the production referee is
+    the level-ordered iterative :func:`guaranteed_adaptive_work`, which the
+    property tests pin against this one to ``1e-9``.
     """
     c = params.setup_cost
     memo: Dict[Tuple[int, int], float] = {}
@@ -323,3 +326,149 @@ def guaranteed_adaptive_work(scheduler: AdaptiveSchedulerProtocol,
         return best_for_adversary
 
     return value(params.lifespan, params.max_interrupts)
+
+
+def _checked_schedules_batch(scheduler: AdaptiveSchedulerProtocol,
+                             residuals: Sequence[float], p: int,
+                             c: float) -> List[EpisodeSchedule]:
+    """One referee-validated schedule per residual, batched when possible.
+
+    Schedulers exposing ``episode_schedule_batch`` (the guideline
+    schedulers share one backward prefix across a whole batch) amortise
+    their construction over every state of a level; each schedule still
+    passes exactly the checks of :func:`_checked_schedule`.
+    """
+    build = getattr(scheduler, "episode_schedule_batch", None)
+    if build is not None:
+        schedules = list(build(list(residuals), p, c))
+    else:
+        schedules = [scheduler.episode_schedule(residual, p, c)
+                     for residual in residuals]
+    for residual, schedule in zip(residuals, schedules):
+        if not isinstance(schedule, EpisodeSchedule):
+            raise SchedulingError(
+                f"scheduler returned {type(schedule).__name__}, "
+                "expected EpisodeSchedule")
+        try:
+            schedule.validate_for_lifespan(residual, require_exact=False)
+        except InvalidScheduleError as exc:
+            raise SchedulingError(
+                f"scheduler produced an inadmissible schedule for residual "
+                f"{residual!r}: {exc}") from exc
+    return schedules
+
+
+def guaranteed_adaptive_work(scheduler: AdaptiveSchedulerProtocol,
+                             params: CycleStealingParams,
+                             *, residual_grain: float = 1e-6) -> float:
+    """Exact worst-case work of an adaptive scheduler (vectorized kernel).
+
+    Semantically identical to :func:`guaranteed_adaptive_work_reference`
+    (the same minimax game over the same memoised state lattice, pinned to
+    ``1e-9`` by the property tests), but evaluated iteratively and in
+    array passes instead of by per-state Python recursion:
+
+    * the state lattice is discovered **level by level** — all states with
+      ``q`` interrupts remaining sit on level ``q``, and every adversary
+      option from level ``q`` lands on level ``q − 1``, so one downward
+      discovery sweep followed by one upward evaluation sweep visits each
+      state exactly once;
+    * per level, all episode-schedules are built through one
+      ``episode_schedule_batch`` call when the scheduler provides it (the
+      guideline schedulers share one backward prefix across the batch);
+    * per state, the adversary's minimisation over "interrupt at the last
+      instant of period j" is one array pass — a ``cumsum`` of the period
+      works (the same sequential accumulation order as the reference's
+      ``+=`` loop, hence bit-identical partial sums) plus a gather of the
+      continuation values from the already-evaluated level below.
+
+    States are deduplicated exactly like the reference memo: levels
+    ``q >= 1`` on the residual rounded to ``residual_grain`` (keeping the
+    first-reached representative, which the level order preserves), level
+    ``0`` on the exact residual (the reference never memoises ``p = 0``).
+    On gap sweeps over the guideline schedulers this kernel is an order of
+    magnitude faster than the reference (see
+    ``benchmarks/results/referee_speedup.*``).
+    """
+    c = params.setup_cost
+    p_max = params.max_interrupts
+    lifespan = params.lifespan
+    if lifespan <= 0.0:
+        return 0.0
+
+    # ------------------------------------------------------------------
+    # Phase 1: discover the state lattice level by level, downwards.
+    # levels[q] holds the representative residuals of level q in
+    # first-reach order; children[q][i] the residuals reachable from state
+    # i of level q (one per period last-instant, untruncated).
+    # ------------------------------------------------------------------
+    levels: List[List[float]] = [[] for _ in range(p_max + 1)]
+    children: List[List[np.ndarray]] = [[] for _ in range(p_max + 1)]
+    schedules: List[List[EpisodeSchedule]] = [[] for _ in range(p_max + 1)]
+
+    levels[p_max] = [lifespan]
+    for q in range(p_max, 0, -1):
+        frontier = levels[q]
+        schedules[q] = _checked_schedules_batch(scheduler, frontier, q, c)
+        seen: set = set()
+        next_level: List[float] = []
+        child_arrays: List[np.ndarray] = []
+        for residual, schedule in zip(frontier, schedules[q]):
+            child_res = residual - schedule.finish_times
+            child_arrays.append(child_res)
+            # Dedup matching the reference memo: rounded key on q-1 >= 1,
+            # the exact residual on level 0 (never memoised there).
+            if q - 1 >= 1:
+                keys = np.rint(child_res / residual_grain).astype(np.int64)
+                for res, key in zip(child_res.tolist(), keys.tolist()):
+                    if res > 0.0 and key not in seen:
+                        seen.add(key)
+                        next_level.append(res)
+            else:
+                for res in child_res.tolist():
+                    if res > 0.0 and res not in seen:
+                        seen.add(res)
+                        next_level.append(res)
+        children[q] = child_arrays
+        levels[q - 1] = next_level
+
+    # ------------------------------------------------------------------
+    # Phase 2: evaluate upwards from level 0.
+    # ------------------------------------------------------------------
+    level0 = levels[0]
+    schedules[0] = _checked_schedules_batch(scheduler, level0, 0, c)
+    values = np.asarray([schedule.work_if_uninterrupted(c)
+                         for schedule in schedules[0]])
+    # Sorted lookup keys of the level below: exact residuals for level 0,
+    # rounded integer keys for levels >= 1.
+    below_keys = np.asarray(level0)
+    order = np.argsort(below_keys, kind="stable")
+    below_keys, below_values = below_keys[order], values[order]
+
+    for q in range(1, p_max + 1):
+        level_values = np.empty(len(levels[q]))
+        for i, schedule in enumerate(schedules[q]):
+            child_res = children[q][i]
+            alive = child_res > 0.0
+            continuation = np.zeros(child_res.size)
+            if alive.any():
+                lookup = (child_res[alive] if q - 1 == 0 else
+                          np.rint(child_res[alive] / residual_grain).astype(np.int64))
+                continuation[alive] = below_values[
+                    np.searchsorted(below_keys, lookup)]
+            # Adversary options: prefix work banked before period j plus
+            # the continuation value, against "no interrupt" as baseline.
+            period_works = np.maximum(schedule.periods - c, 0.0)
+            prefix = np.empty(period_works.size)
+            prefix[0] = 0.0
+            np.cumsum(period_works[:-1], out=prefix[1:])
+            level_values[i] = min(schedule.work_if_uninterrupted(c),
+                                  float(np.min(prefix + continuation)))
+        if q == p_max:
+            return float(level_values[0])
+        keys = np.rint(np.asarray(levels[q]) / residual_grain).astype(np.int64)
+        order = np.argsort(keys, kind="stable")
+        below_keys, below_values = keys[order], level_values[order]
+
+    # p_max == 0: the level-0 value of the full lifespan is the answer.
+    return float(values[level0.index(lifespan)])

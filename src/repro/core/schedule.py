@@ -90,6 +90,22 @@ class EpisodeSchedule:
         self._finish_times = None
         return self
 
+    @classmethod
+    def _from_readonly_view(cls, view: np.ndarray) -> "EpisodeSchedule":
+        """Wrap a 1-D float view of an already read-only buffer (no copy).
+
+        Internal constructor for the batch assembly paths, which carve
+        tens of thousands of (mostly single-period) schedules out of one
+        shared array per call; the caller guarantees validity and that the
+        base buffer is read-only, so neither a copy nor a ``setflags`` is
+        needed per schedule.
+        """
+        self = cls.__new__(cls)
+        self._periods = view
+        self._total_length = None
+        self._finish_times = None
+        return self
+
     # ------------------------------------------------------------------
     # Basic container behaviour
     # ------------------------------------------------------------------

@@ -21,11 +21,17 @@ This module turns the paper's definitions into executable functions:
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+import heapq
+from typing import List, Optional, Tuple
 
 import numpy as np
 
-from .arithmetic import period_work, period_work_array, positive_subtraction
+from .arithmetic import (
+    period_work,
+    period_work_array,
+    positive_subtraction,
+    positive_subtraction_array,
+)
 from .exceptions import InvalidInterruptError, InvalidScheduleError
 from .interrupts import PeriodEndInterrupts, TimedInterrupts
 from .params import CycleStealingParams
@@ -38,6 +44,7 @@ __all__ = [
     "nonadaptive_work_under_times",
     "worst_case_nonadaptive_work",
     "worst_case_nonadaptive_pattern",
+    "worst_case_nonadaptive_pattern_reference",
 ]
 
 
@@ -187,6 +194,49 @@ def _pattern_work(schedule: EpisodeSchedule, params: CycleStealingParams,
     return nonadaptive_opportunity_work(schedule, params, PeriodEndInterrupts(indices))
 
 
+def _fewer_than_budget_case(period_losses: np.ndarray, p: int, m: int,
+                            uninterrupted: float
+                            ) -> Tuple[PeriodEndInterrupts, float]:
+    """Best pattern using fewer than ``p`` interrupts (no tail rewrite).
+
+    Killing period ``k`` simply removes ``t_k ⊖ c``, so the best choice is
+    the ``q <= p-1`` largest losses (only those actually worth something).
+    """
+    order = np.argsort(period_losses)[::-1]
+    take = [int(i) for i in order[: max(0, min(p - 1, m))]
+            if period_losses[i] > 0.0]
+    if not take:
+        return PeriodEndInterrupts(()), uninterrupted
+    loss = float(period_losses[take].sum())
+    return (PeriodEndInterrupts(sorted(i + 1 for i in take)),
+            uninterrupted - loss)
+
+
+def _topk_prefix_sums(losses: np.ndarray, k: int) -> np.ndarray:
+    """Running top-``k`` sums: entry ``n-1`` is Σ of the ``k`` largest losses
+    among the first ``n``, for every prefix length ``n = 1..m``.
+
+    Uses the order-statistics recurrence ``M_q = cummax(min(x, shift(M_{q-1})))``
+    — ``M_q[n]`` is the ``q``-th largest value of the prefix ending at ``n``
+    (``-inf`` while the prefix holds fewer than ``q`` elements) — so the
+    whole table costs ``k`` array passes instead of a per-period Python
+    heap.  Entries for prefixes shorter than ``k`` are meaningless
+    (``-inf``-contaminated); callers only read ``n >= k``.
+    """
+    total = np.zeros(losses.size)
+    running = None  # M_{q-1}; None stands for the q = 1 sentinel (+inf)
+    for _q in range(k):
+        if running is None:
+            running = np.maximum.accumulate(losses)
+        else:
+            shifted = np.empty(losses.size)
+            shifted[0] = -np.inf
+            shifted[1:] = running[:-1]
+            running = np.maximum.accumulate(np.minimum(losses, shifted))
+        total += running
+    return total
+
+
 def worst_case_nonadaptive_pattern(schedule: EpisodeSchedule,
                                    params: CycleStealingParams
                                    ) -> Tuple[PeriodEndInterrupts, float]:
@@ -197,24 +247,76 @@ def worst_case_nonadaptive_pattern(schedule: EpisodeSchedule,
     The search restricts the adversary to period last-instants, which
     Observation (a) of the paper shows is without loss of generality.
 
-    The minimisation is done with a small dynamic program over
-    ``(period index, interrupts used)`` states rather than enumerating all
-    ``C(m, p)`` subsets, so it is exact and fast even for schedules with
-    thousands of periods.
+    The adversary's minimisation splits into two cases.  Using *fewer* than
+    ``p`` interrupts never rewrites the tail, so the best choice is simply
+    the largest ``p-1`` per-period losses.  Using *all* ``p`` interrupts
+    turns everything after the last one into a single long period, so we
+    enumerate the position ``j`` of that budget-exhausting interrupt:
 
-    Notes
-    -----
-    The DP works forward over periods.  State value ``V[j][q]`` = maximum
-    work *lost* (relative to the uninterrupted schedule) achievable by the
-    adversary using exactly ``q`` interrupts among periods ``1..j`` **with
-    the convention that the q-th interrupt, if it is the budget-exhausting
-    one, replaces the tail by a single long period**.  Because the
-    budget-exhausting interrupt changes the accounting of everything after
-    it, we treat it separately: we enumerate the position of the *last*
-    interrupt (or "no interrupts at all" / "fewer than p interrupts") and
-    use a simple greedy for the earlier ones — killing a period ``k`` before
-    the last interrupt always costs us exactly ``t_k ⊖ c``, so the adversary
-    greedily picks the largest periods.
+        work(j) = Σ_{k<j} (t_k ⊖ c) − top-(p−1)-losses(1..j−1) + ((U−T_j) ⊖ c)
+
+    All three terms are computed for every ``j`` at once — prefix sums by
+    ``cumsum`` and the running top-(p−1) sums by the order-statistics
+    recurrence of :func:`_topk_prefix_sums` — replacing the per-period
+    Python heap loop of :func:`worst_case_nonadaptive_pattern_reference`
+    (retained as the reference; the property tests pin the two to
+    ``1e-9``) with ``p + 1`` array passes over the schedule.
+    """
+    schedule.validate_for_lifespan(params.lifespan, require_exact=True)
+    p = params.max_interrupts
+    c = params.setup_cost
+    m = schedule.num_periods
+
+    if p == 0 or m == 0:
+        return PeriodEndInterrupts(()), schedule.work_if_uninterrupted(c)
+
+    period_losses = period_work_array(schedule.periods, c)  # t_k ⊖ c
+    uninterrupted = float(period_losses.sum())
+
+    best_pattern, best_work = _fewer_than_budget_case(period_losses, p, m,
+                                                      uninterrupted)
+
+    # All-p-interrupts case: candidates for every position j = p..m of the
+    # budget-exhausting interrupt in one array pass.
+    if m >= p:
+        tail_works = positive_subtraction_array(
+            params.lifespan - schedule.finish_times[p - 1:], c)
+        prefix_sums = np.empty(m - p + 1)  # Σ_{k<j} (t_k ⊖ c), j = p..m
+        if p == 1:
+            prefix_sums[0] = 0.0
+            np.cumsum(period_losses[:-1], out=prefix_sums[1:])
+        else:
+            prefix_sums[:] = np.cumsum(period_losses)[p - 2:-1]
+            prefix_sums -= _topk_prefix_sums(period_losses, p - 1)[p - 2:-1]
+        candidates = prefix_sums + tail_works
+        best_j = int(np.argmin(candidates))
+        # Same acceptance threshold as the reference loop: prefer the
+        # fewer-interrupts pattern on sub-1e-12 ties.
+        if candidates[best_j] < best_work - 1e-12:
+            best_work = float(candidates[best_j])
+            j = best_j + p  # 1-based period index of the last interrupt
+            # The p-1 earlier kills: largest losses among periods 1..j-1,
+            # earliest index on ties (matching the reference heap, which
+            # only evicts on a strictly larger loss).
+            before = period_losses[: j - 1]
+            order = np.lexsort((np.arange(before.size), -before))
+            killed = (order[: p - 1] + 1).tolist()
+            best_pattern = PeriodEndInterrupts(sorted(killed + [j]))
+
+    return best_pattern, float(best_work)
+
+
+def worst_case_nonadaptive_pattern_reference(schedule: EpisodeSchedule,
+                                             params: CycleStealingParams
+                                             ) -> Tuple[PeriodEndInterrupts, float]:
+    """Reference implementation of :func:`worst_case_nonadaptive_pattern`.
+
+    Same two-case minimisation, but the all-``p``-interrupts case walks the
+    periods with an explicit min-heap of ``(loss, period index)`` pairs —
+    the ``p-1`` largest losses seen so far, indices carried through the
+    heap so the killed pattern never has to be reconstructed by matching
+    float values.  ``O(m log p)`` scalar Python; kept as the readable
+    specification the vectorized kernel is property-tested against.
     """
     schedule.validate_for_lifespan(params.lifespan, require_exact=True)
     p = params.max_interrupts
@@ -228,82 +330,42 @@ def worst_case_nonadaptive_pattern(schedule: EpisodeSchedule,
     uninterrupted = float(period_losses.sum())
     finishes = schedule.finish_times
 
-    best_work = uninterrupted
-    best_pattern = PeriodEndInterrupts(())
+    best_pattern, best_work = _fewer_than_budget_case(period_losses, p, m,
+                                                      uninterrupted)
 
-    # Case 1: the adversary uses fewer than p interrupts (no tail rewrite).
-    # Killing period k simply removes t_k ⊖ c, so the best choice is the
-    # q <= p-1 largest losses.
-    if p >= 1:
-        order = np.argsort(period_losses)[::-1]
-        take = order[: max(0, min(p - 1, m))]
-        # Only kill periods that actually cost us something.
-        take = [int(i) for i in take if period_losses[i] > 0.0]
-        if take:
-            loss = float(period_losses[list(take)].sum())
-            work = uninterrupted - loss
-            if work < best_work:
-                best_work = work
-                best_pattern = PeriodEndInterrupts(sorted(i + 1 for i in take))
-
-    # Case 2: the adversary uses all p interrupts; enumerate the index j of
-    # the last (budget-exhausting) interrupt.  Work becomes
+    # The adversary uses all p interrupts; enumerate the index j of the
+    # last (budget-exhausting) interrupt.  Work becomes
     #   Σ_{k<j, k not killed} (t_k ⊖ c) + ((U − T_j) ⊖ c),
     # and the p-1 earlier interrupts greedily remove the largest losses
     # among periods 1..j-1.
-    if m >= 1:
-        # Prefix "top (p-1) losses" computed incrementally with a small heap
-        # would be O(m log p); for clarity use cumulative sorting in numpy on
-        # the fly only when m is large.
-        import heapq
-
-        heap: list = []   # min-heap of the largest (p-1) losses so far
-        heap_sum = 0.0
-        prefix_sum = 0.0  # Σ_{k<j} (t_k ⊖ c)
-        keep = max(0, p - 1)
-        for j in range(1, m + 1):
-            # The last interrupt sits at period j; the p-1 earlier ones need
-            # p-1 distinct periods before j, so this branch requires j >= p.
-            if j >= p:
-                tail_work = positive_subtraction(params.lifespan - float(finishes[j - 1]), c)
-                work = prefix_sum - heap_sum + tail_work
-                if work < best_work - 1e-12:
-                    best_work = work
-                    # Reconstruct which earlier periods the greedy killed.
-                    killed_losses = sorted(heap, reverse=True)
-                    killed = _indices_of_losses(period_losses[: j - 1], killed_losses)
-                    best_pattern = PeriodEndInterrupts(sorted(killed + [j]))
-            # Update the prefix structures with period j's loss.  Zero-loss
-            # periods are kept too: the adversary must place exactly p-1
-            # earlier interrupts for the budget-exhausting tail rule to fire.
-            loss_j = float(period_losses[j - 1])
-            prefix_sum += loss_j
-            if keep > 0:
-                if len(heap) < keep:
-                    heapq.heappush(heap, loss_j)
-                    heap_sum += loss_j
-                elif heap and loss_j > heap[0]:
-                    heap_sum += loss_j - heap[0]
-                    heapq.heapreplace(heap, loss_j)
+    heap: List[Tuple[float, int]] = []  # the largest p-1 (loss, index) so far
+    heap_sum = 0.0
+    prefix_sum = 0.0  # Σ_{k<j} (t_k ⊖ c)
+    keep = max(0, p - 1)
+    for j in range(1, m + 1):
+        # The last interrupt sits at period j; the p-1 earlier ones need
+        # p-1 distinct periods before j, so this branch requires j >= p.
+        if j >= p:
+            tail_work = positive_subtraction(params.lifespan - float(finishes[j - 1]), c)
+            work = prefix_sum - heap_sum + tail_work
+            if work < best_work - 1e-12:
+                best_work = work
+                killed = [index for _loss, index in heap]
+                best_pattern = PeriodEndInterrupts(sorted(killed + [j]))
+        # Update the prefix structures with period j's loss.  Zero-loss
+        # periods are kept too: the adversary must place exactly p-1
+        # earlier interrupts for the budget-exhausting tail rule to fire.
+        loss_j = float(period_losses[j - 1])
+        prefix_sum += loss_j
+        if keep > 0:
+            if len(heap) < keep:
+                heapq.heappush(heap, (loss_j, j))
+                heap_sum += loss_j
+            elif heap and loss_j > heap[0][0]:
+                heap_sum += loss_j - heap[0][0]
+                heapq.heapreplace(heap, (loss_j, j))
 
     return best_pattern, float(best_work)
-
-
-def _indices_of_losses(losses: np.ndarray, targets: list) -> list:
-    """Map a multiset of loss values back to distinct 1-based period indices."""
-    remaining = list(targets)
-    indices: list = []
-    order = np.argsort(losses)[::-1]
-    for i in order:
-        if not remaining:
-            break
-        val = float(losses[i])
-        for r in list(remaining):
-            if abs(val - r) <= 1e-9:
-                indices.append(int(i) + 1)
-                remaining.remove(r)
-                break
-    return indices
 
 
 def worst_case_nonadaptive_work(schedule: EpisodeSchedule,

@@ -18,6 +18,19 @@ here makes a table a solve-once artefact:
   observe a torn file.  Corrupt or unreadable files are treated as misses
   and transparently rewritten.
 
+* **Level 0 — shared-memory publication.**  Both lower levels still hand
+  every worker *process* its own private copy of the solved arrays; for
+  nightly-sized tables (``L = 60k``) that multiplies megabytes by
+  ``--jobs``.  :class:`SharedTablePublisher` (driver side) copies a solved
+  :class:`~repro.dp.value.ValueTable`'s ``values``/``first_periods`` into
+  one ``multiprocessing.shared_memory`` block per key and hands workers a
+  picklable :class:`SharedTableHandle`; :func:`attach_shared_table`
+  (worker side) maps that block **by name** and wraps zero-copy read-only
+  arrays over it, so a table is materialised once per *machine*, not once
+  per worker.  The orchestrator preloads attached tables into each
+  worker's :class:`DPTableCache` memory level, which keeps every lookup
+  path (including covering lookups) unchanged.
+
 The orchestrator in :mod:`repro.experiments.orchestrator` gives every worker
 process its own :class:`DPTableCache` pointed at the same directory, so a
 table is computed once per parameter point across *all* sweeps and runs.
@@ -30,7 +43,7 @@ import tempfile
 import zipfile
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -39,7 +52,8 @@ from ..dp.solver import solve
 from ..dp.value import ValueTable
 
 __all__ = ["CacheStats", "DPTableCache", "cached_solve", "shared_cache",
-           "configure_shared_cache"]
+           "configure_shared_cache", "SharedTableHandle",
+           "SharedTablePublisher", "attach_shared_table"]
 
 #: Cache key: ``(max_lifespan, setup_cost, max_interrupts, method)``.
 CacheKey = Tuple[int, int, int, str]
@@ -120,6 +134,19 @@ class DPTableCache:
         self._memory_store(key, table)
         self._disk_store(key, table)
         return table
+
+    def preload(self, table: ValueTable, *, method: str = "fast") -> None:
+        """Seed the memory level with an externally obtained table.
+
+        Used by the shared-memory path: workers attach a published table
+        (zero-copy) and preload it here, so every subsequent
+        :meth:`solve` — including covering lookups for smaller ranges —
+        is served without touching disk or re-solving.  Does not count as
+        a lookup in :attr:`stats`.
+        """
+        key = self._key(table.max_lifespan, table.setup_cost,
+                        table.max_interrupts, method)
+        self._memory_store(key, table)
 
     def clear(self, *, memory: bool = True, disk: bool = False) -> None:
         """Drop cached tables (the disk level only when asked explicitly)."""
@@ -249,3 +276,145 @@ def cached_solve(max_lifespan: int, setup_cost: int, max_interrupts: int,
     """Drop-in replacement for :func:`repro.dp.solver.solve` with caching."""
     cache = cache if cache is not None else shared_cache()
     return cache.solve(max_lifespan, setup_cost, max_interrupts, method=method)
+
+
+# ----------------------------------------------------------------------
+# Level 0: shared-memory publication (one table per machine, not per worker)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SharedTableHandle:
+    """Picklable pointer to a DP table published in shared memory.
+
+    Workers receive handles through the (pickled) experiment config and
+    attach by ``block_name`` — no table bytes ever travel through the
+    pickle stream or the process pool's pipes.
+    """
+
+    #: ``multiprocessing.shared_memory`` block name to attach to.
+    block_name: str
+    #: The cache key ``(max_lifespan, setup_cost, max_interrupts, method)``.
+    key: CacheKey
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """Shape of each of the two stacked ``int64`` arrays."""
+        L, _c, p, _method = self.key
+        return (p + 1, L + 1)
+
+    @property
+    def num_bytes(self) -> int:
+        """Total size of the block (``values`` + ``first_periods``)."""
+        rows, cols = self.shape
+        return 2 * rows * cols * 8
+
+
+class SharedTablePublisher:
+    """Driver-side owner of DP tables published to shared memory.
+
+    ``publish()`` copies a solved table's ``values`` and ``first_periods``
+    into one shared-memory block (stacked, ``int64``); the publisher keeps
+    the block objects alive and ``close()`` unlinks them when the sweep is
+    done.  Workers that attached keep valid mappings until they exit —
+    POSIX keeps an unlinked segment alive while mapped — so the driver can
+    clean up unconditionally in a ``finally``.
+
+    Usable as a context manager; exceptions during ``publish`` (e.g. an
+    exhausted ``/dev/shm``) surface to the caller, which should fall back
+    to per-worker solving rather than fail the sweep.
+    """
+
+    def __init__(self) -> None:
+        self._blocks: List[object] = []
+        self._handles: Dict[CacheKey, SharedTableHandle] = {}
+
+    def publish(self, table: ValueTable, *, method: str = "fast") -> SharedTableHandle:
+        """Publish one solved table; idempotent per cache key."""
+        from multiprocessing import shared_memory
+
+        key = DPTableCache._key(table.max_lifespan, table.setup_cost,
+                                table.max_interrupts, method)
+        handle = self._handles.get(key)
+        if handle is not None:
+            return handle
+        values = np.ascontiguousarray(table.values, dtype=np.int64)
+        first = np.ascontiguousarray(table.first_periods, dtype=np.int64)
+        block = shared_memory.SharedMemory(create=True,
+                                           size=values.nbytes + first.nbytes)
+        self._blocks.append(block)
+        stacked = np.ndarray((2,) + values.shape, dtype=np.int64,
+                             buffer=block.buf)
+        stacked[0] = values
+        stacked[1] = first
+        handle = SharedTableHandle(block_name=block.name, key=key)
+        self._handles[key] = handle
+        return handle
+
+    @property
+    def handles(self) -> Tuple[SharedTableHandle, ...]:
+        """Every published handle, in publication order."""
+        return tuple(self._handles.values())
+
+    def close(self, *, unlink: bool = True) -> None:
+        """Release (and by default unlink) every published block."""
+        for block in self._blocks:
+            try:
+                block.close()
+                if unlink:
+                    block.unlink()
+            except OSError:  # pragma: no cover - already gone
+                pass
+        self._blocks = []
+        self._handles = {}
+
+    def __enter__(self) -> "SharedTablePublisher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _attach_block(name: str):
+    """Attach a shared-memory block without resource-tracker side effects.
+
+    Python 3.13+ exposes ``track=False`` so an attach never involves the
+    resource tracker.  Before 3.13, attaching (re-)registers the segment —
+    but multiprocessing workers share the driver's tracker process, where
+    the duplicate registration is an idempotent no-op and the driver's
+    ``unlink()`` removes the single entry, so a plain attach is already
+    clean.  (Never *unregister* here: with a shared tracker that would
+    drop the driver's own registration.)
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        return shared_memory.SharedMemory(name=name, create=False, track=False)
+    except TypeError:  # Python < 3.13: no track= parameter
+        return shared_memory.SharedMemory(name=name, create=False)
+
+
+#: Worker-side attachment memo: block name -> (block, ValueTable).  Keeps
+#: the SharedMemory objects (and therefore the mappings) alive for the
+#: lifetime of the worker process; attaching the same handle twice is free.
+_attached_tables: Dict[str, ValueTable] = {}
+_attached_blocks: Dict[str, object] = {}
+
+
+def attach_shared_table(handle: SharedTableHandle) -> ValueTable:
+    """Map a published table by name and wrap it zero-copy (read-only).
+
+    The returned :class:`~repro.dp.value.ValueTable` views the shared
+    block directly — no bytes are copied, so a 60k-lifespan table costs a
+    worker a few page-table entries instead of megabytes of private RSS.
+    Attachments are memoised per block name for the process lifetime.
+    """
+    table = _attached_tables.get(handle.block_name)
+    if table is not None:
+        return table
+    block = _attach_block(handle.block_name)
+    stacked = np.ndarray((2,) + handle.shape, dtype=np.int64, buffer=block.buf)
+    stacked.setflags(write=False)
+    table = ValueTable(setup_cost=handle.key[1], values=stacked[0],
+                       first_periods=stacked[1])
+    _attached_blocks[handle.block_name] = block
+    _attached_tables[handle.block_name] = table
+    return table

@@ -28,16 +28,26 @@ Three properties the tests pin down:
 from __future__ import annotations
 
 import os
+import sys
+import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..analysis.gap import measure_guaranteed_work
-from .cache import DPTableCache
+from .cache import (
+    DPTableCache,
+    SharedTableHandle,
+    SharedTablePublisher,
+    attach_shared_table,
+    shared_cache,
+)
 from .grid import SweepGrid, SweepPoint, make_scheduler
 from .montecarlo import replicate_point
+from .profiling import aggregate_profiles, pop_profile, render_profile, stage_column
 
-__all__ = ["ExperimentConfig", "run_sweep", "parallel_map"]
+__all__ = ["ExperimentConfig", "run_sweep", "parallel_map",
+           "publish_shared_tables"]
 
 
 @dataclass(frozen=True)
@@ -51,6 +61,12 @@ class ExperimentConfig:
     include_optimal: bool = False
     include_guaranteed: bool = True
     backend: str = "event"
+    #: DP tables the driver published to shared memory (attach-by-name in
+    #: workers; empty = every worker resolves tables itself).
+    shared_tables: Tuple[SharedTableHandle, ...] = ()
+    #: Return per-stage wall-time columns with every row (see
+    #: :mod:`repro.experiments.profiling`).
+    profile: bool = False
 
 
 # ----------------------------------------------------------------------
@@ -69,32 +85,71 @@ def _worker_cache(cache_dir: Optional[str]) -> DPTableCache:
     return cache
 
 
+#: (cache_dir, block name) pairs already attached and preloaded here.
+_adopted_tables: Set[Tuple[Optional[str], str]] = set()
+
+
+def _adopt_shared_tables(config: ExperimentConfig) -> None:
+    """Attach the driver's published DP tables into this process's caches.
+
+    Preloads each attached (zero-copy) table into both the per-worker
+    :class:`DPTableCache` and the process-wide shared cache, so every
+    solve path — the optimal column and the ``dp-optimal`` scheduler
+    factory — reads the one machine-wide copy.  A handle whose block has
+    vanished (driver already exited) is skipped; the worker then solves
+    normally, which is only slower, never wrong.
+    """
+    for handle in config.shared_tables:
+        marker = (config.cache_dir, handle.block_name)
+        if marker in _adopted_tables:
+            continue
+        try:
+            table = attach_shared_table(handle)
+        except (OSError, ValueError):
+            continue
+        _worker_cache(config.cache_dir).preload(table, method=handle.key[3])
+        shared_cache().preload(table, method=handle.key[3])
+        _adopted_tables.add(marker)
+
+
 def _evaluate_point(payload: Tuple[SweepPoint, ExperimentConfig]) -> Dict[str, Any]:
     """Compute one result row.  Module-level so it pickles to worker processes."""
     point, config = payload
     params = point.params()
     row: Dict[str, Any] = point.key_columns()
+    if config.shared_tables:
+        _adopt_shared_tables(config)
+    profile = config.profile
 
     if config.include_guaranteed:
         scheduler = make_scheduler(point.scheduler, params)
+        started = time.perf_counter() if profile else 0.0
         guaranteed = measure_guaranteed_work(scheduler, params)
+        if profile:
+            row[stage_column("referee")] = time.perf_counter() - started
         row["guaranteed_work"] = guaranteed
         row["efficiency"] = guaranteed / params.lifespan
 
     if config.include_optimal:
         L, c = params.lifespan, params.setup_cost
         if float(L).is_integer() and float(c).is_integer():
+            started = time.perf_counter() if profile else 0.0
             table = _worker_cache(config.cache_dir).solve(
                 int(L), int(c), params.max_interrupts, method=config.dp_method)
+            if profile:
+                row[stage_column("dp_solve")] = time.perf_counter() - started
             optimal = table.value(params.max_interrupts, int(L))
             row["optimal_work"] = float(optimal)
             if config.include_guaranteed:
                 row["gap"] = float(optimal) - row["guaranteed_work"]
 
     if config.replications > 0 and point.adversary is not None:
+        started = time.perf_counter() if profile else 0.0
         row.update(replicate_point(point, config.replications,
                                    base_seed=config.seed,
                                    backend=config.backend))
+        if profile:
+            row[stage_column("monte_carlo")] = time.perf_counter() - started
     return row
 
 
@@ -105,6 +160,53 @@ def _resolve_jobs(jobs: Optional[int]) -> int:
     if jobs is None or jobs <= 0:  # 0 / None: one worker per CPU
         return max(1, os.cpu_count() or 1)
     return int(jobs)
+
+
+def _shared_table_keys(points: Sequence[SweepPoint],
+                       config: ExperimentConfig) -> List[Tuple[int, int, int]]:
+    """Distinct integer DP keys the worker fleet will need, sorted."""
+    keys: Set[Tuple[int, int, int]] = set()
+    for point in points:
+        if not (config.include_optimal or point.scheduler == "dp-optimal"):
+            continue
+        L, c = float(point.lifespan), float(point.setup_cost)
+        if L.is_integer() and c.is_integer():
+            keys.add((int(L), int(c), int(point.max_interrupts)))
+    return sorted(keys)
+
+
+def publish_shared_tables(points: Sequence[SweepPoint],
+                          config: ExperimentConfig,
+                          *, cache: Optional[DPTableCache] = None
+                          ) -> Tuple[Optional[SharedTablePublisher],
+                                     ExperimentConfig]:
+    """Solve the sweep's DP tables once and publish them to shared memory.
+
+    Called by the driver before fanning points out to worker processes:
+    every distinct integer ``(L, c, p)`` key the grid needs — for the
+    optimal column or a ``dp-optimal`` scheduler point — is solved in the
+    driver (through ``cache``, so disk levels still help) and copied into
+    one shared-memory block.  Returns the publisher (close it in a
+    ``finally``; ``None`` when there is nothing to share) and the config
+    carrying the attach-by-name handles for the workers.
+
+    If shared memory is unavailable (e.g. an exhausted ``/dev/shm``) the
+    sweep falls back to per-worker solving — slower and per-worker RSS
+    grows again, but results are identical.
+    """
+    keys = _shared_table_keys(points, config)
+    if not keys:
+        return None, config
+    cache = cache if cache is not None else DPTableCache(cache_dir=config.cache_dir)
+    publisher = SharedTablePublisher()
+    try:
+        for L, c, p in keys:
+            publisher.publish(cache.solve(L, c, p, method=config.dp_method),
+                              method=config.dp_method)
+    except OSError:
+        publisher.close()
+        return None, config
+    return publisher, replace(config, shared_tables=publisher.handles)
 
 
 def parallel_map(func: Callable[[Any], Any], payloads: Sequence[Any],
@@ -129,7 +231,8 @@ def run_sweep(grid: SweepGrid, *, jobs: int = 1, replications: int = 0,
               seed: int = 0, cache_dir: Optional[str] = None,
               include_optimal: bool = False, dp_method: str = "fast",
               include_guaranteed: bool = True,
-              backend: str = "event") -> List[Dict[str, Any]]:
+              backend: str = "event",
+              profile: bool = False) -> List[Dict[str, Any]]:
     """Run a full sweep and return one row per grid point, in grid order.
 
     Parameters
@@ -158,6 +261,19 @@ def run_sweep(grid: SweepGrid, *, jobs: int = 1, replications: int = 0,
         ``"batch"`` (vectorized, see
         :mod:`repro.experiments.montecarlo`).  Aggregates agree to float
         summation order for the same seeds.
+    profile:
+        Collect a per-stage wall-time breakdown (referee / DP solve /
+        Monte-Carlo) and print it to stderr when the sweep finishes.  The
+        profile columns never appear in the returned rows.
+
+    Notes
+    -----
+    With ``jobs > 1``, every DP table the sweep needs (the optimal column,
+    ``dp-optimal`` scheduler points) is solved once in the driver and
+    *published to shared memory*; workers attach by name instead of
+    solving or loading their own copies, so worker RSS is independent of
+    ``jobs`` (see :func:`publish_shared_tables` and
+    ``benchmarks/results/shared_dp_memory.*``).
     """
     from .montecarlo import _check_backend
 
@@ -166,6 +282,23 @@ def run_sweep(grid: SweepGrid, *, jobs: int = 1, replications: int = 0,
                               cache_dir=cache_dir, dp_method=dp_method,
                               include_optimal=bool(include_optimal),
                               include_guaranteed=bool(include_guaranteed),
-                              backend=str(backend))
-    payloads = [(point, config) for point in grid.points()]
-    return parallel_map(_evaluate_point, payloads, jobs=jobs)
+                              backend=str(backend),
+                              profile=bool(profile))
+    points = grid.points()
+    publisher: Optional[SharedTablePublisher] = None
+    if _resolve_jobs(jobs) > 1 and len(points) > 1:
+        publisher, config = publish_shared_tables(points, config)
+    started = time.perf_counter()
+    try:
+        rows = parallel_map(_evaluate_point,
+                            [(point, config) for point in points], jobs=jobs)
+    finally:
+        if publisher is not None:
+            publisher.close()
+    if profile:
+        totals = aggregate_profiles([pop_profile(row) for row in rows])
+        print(render_profile(totals,
+                             wall_seconds=time.perf_counter() - started,
+                             points=len(rows), jobs=_resolve_jobs(jobs)),
+              file=sys.stderr)
+    return rows

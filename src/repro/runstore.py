@@ -33,7 +33,9 @@ from __future__ import annotations
 import json
 import os
 import re
+import sys
 import tempfile
+import time
 import zipfile
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Any, Dict, List, Optional, Set, Union
@@ -41,6 +43,7 @@ from typing import Any, Dict, List, Optional, Set, Union
 import numpy as np
 
 from .core.exceptions import CycleStealingError
+from .experiments.profiling import aggregate_profiles, pop_profile, render_profile
 from .specs import (
     ExperimentSpec,
     default_run_id,
@@ -322,7 +325,8 @@ def run_spec(spec: ExperimentSpec, *,
              run_id: Optional[str] = None, jobs: int = 1,
              cache_dir: Optional[str] = None,
              max_points: Optional[int] = None,
-             resume: bool = False) -> Run:
+             resume: bool = False,
+             profile: bool = False) -> Run:
     """Execute a spec, streaming every completed point into the run store.
 
     Parameters
@@ -346,9 +350,18 @@ def run_spec(spec: ExperimentSpec, *,
     resume:
         Continue an existing run instead of failing on collision.  The
         stored manifest's spec must match ``spec`` exactly.
+    profile:
+        Print a per-stage wall-time breakdown (referee / DP solve /
+        Monte-Carlo / shard I/O) to stderr when the run finishes.  Timing
+        columns never reach the stored shards, so profiled and unprofiled
+        runs are byte-identical.
 
     Returns the :class:`Run`; its status is ``"complete"`` once every
     point has a shard.
+
+    With ``jobs > 1``, sweep-kind specs publish their DP tables to shared
+    memory exactly like :func:`repro.experiments.orchestrator.run_sweep`
+    — solved once per machine, attached by name in every worker.
     """
     store = RunStore(runs_dir)
     run_id = run_id or default_run_id(spec)
@@ -366,13 +379,13 @@ def run_spec(spec: ExperimentSpec, *,
     else:
         run = store.create(spec, run_id=run_id)
 
-    payloads = expand_payloads(spec, cache_dir=cache_dir)
+    payloads = expand_payloads(spec, cache_dir=cache_dir, profile=profile)
     done = run.completed_points()
     pending = [i for i in range(len(payloads)) if i not in done]
     if max_points is not None:
         pending = pending[:max(0, int(max_points))]
 
-    _execute_points(run, payloads, pending, jobs=jobs)
+    _execute_points(run, payloads, pending, jobs=jobs, profile=profile)
 
     # _execute_points returning means every pending shard was written and
     # atomically published, so no re-scan of the store is needed here.
@@ -384,7 +397,8 @@ def run_spec(spec: ExperimentSpec, *,
 def resume_run(run_id: str, *,
                runs_dir: Union[str, os.PathLike] = DEFAULT_RUNS_DIR,
                jobs: int = 1, cache_dir: Optional[str] = None,
-               max_points: Optional[int] = None) -> Run:
+               max_points: Optional[int] = None,
+               profile: bool = False) -> Run:
     """Finish an interrupted run from its last completed point.
 
     Only the manifest is needed — not the original spec file — so a run
@@ -392,27 +406,79 @@ def resume_run(run_id: str, *,
     """
     run = RunStore(runs_dir).open(run_id)
     return run_spec(run.spec(), runs_dir=runs_dir, run_id=run_id, jobs=jobs,
-                    cache_dir=cache_dir, max_points=max_points, resume=True)
+                    cache_dir=cache_dir, max_points=max_points, resume=True,
+                    profile=profile)
+
+
+def _prepare_shared_tables(payloads: List[Any], pending: List[int], jobs: int):
+    """Publish sweep DP tables to shared memory for a parallel run.
+
+    Only the *pending* points' tables are published — a resume with a
+    handful of missing shards must not re-solve the whole grid's tables.
+    No-op (``None`` publisher, unchanged payloads) for serial runs,
+    single-point remainders, scenario-kind payloads, or grids that need
+    no tables.
+    """
+    if jobs <= 1 or len(pending) <= 1 or not isinstance(payloads[0], tuple):
+        return None, payloads
+    from .experiments.orchestrator import ExperimentConfig, publish_shared_tables
+
+    config = payloads[0][1]
+    if not isinstance(config, ExperimentConfig):
+        return None, payloads
+    publisher, config = publish_shared_tables(
+        [payloads[i][0] for i in pending], config)
+    if publisher is None:
+        return None, payloads
+    return publisher, [(point, config) for point, _config in payloads]
 
 
 def _execute_points(run: Run, payloads: List[Any], pending: List[int],
-                    *, jobs: int = 1) -> None:
+                    *, jobs: int = 1, profile: bool = False) -> None:
     """Evaluate ``pending`` payload indices, persisting each as it finishes."""
     if not pending:
         return
     if jobs is None or jobs <= 0:
         jobs = max(1, os.cpu_count() or 1)
-    if jobs <= 1 or len(pending) <= 1:
-        for index in pending:
-            run.write_point(index, evaluate_payload(payloads[index]))
-        return
-    # Parallel mode: submit everything, persist futures as they complete.
-    # Rows are keyed by point index, so completion order never matters.
-    with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
-        futures = {pool.submit(evaluate_payload, payloads[i]): i
-                   for i in pending}
-        remaining = set(futures)
-        while remaining:
-            finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-            for future in finished:
-                run.write_point(futures[future], future.result())
+    started = time.perf_counter()
+    profiles: List[Dict[str, float]] = []
+    shard_io = 0.0
+
+    def persist(index: int, row: Dict[str, Any]) -> None:
+        nonlocal shard_io
+        if profile:
+            profiles.append(pop_profile(row))
+            write_started = time.perf_counter()
+            run.write_point(index, row)
+            shard_io += time.perf_counter() - write_started
+        else:
+            run.write_point(index, row)
+
+    publisher, payloads = _prepare_shared_tables(payloads, pending, jobs)
+    try:
+        if jobs <= 1 or len(pending) <= 1:
+            for index in pending:
+                persist(index, evaluate_payload(payloads[index]))
+        else:
+            # Parallel mode: submit everything, persist futures as they
+            # complete.  Rows are keyed by point index, so completion order
+            # never matters.
+            with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+                futures = {pool.submit(evaluate_payload, payloads[i]): i
+                           for i in pending}
+                remaining = set(futures)
+                while remaining:
+                    finished, remaining = wait(remaining,
+                                               return_when=FIRST_COMPLETED)
+                    for future in finished:
+                        persist(futures[future], future.result())
+    finally:
+        if publisher is not None:
+            publisher.close()
+    if profile:
+        totals = aggregate_profiles(profiles)
+        totals["shard_io"] = totals.get("shard_io", 0.0) + shard_io
+        print(render_profile(totals,
+                             wall_seconds=time.perf_counter() - started,
+                             points=len(pending), jobs=jobs),
+              file=sys.stderr)

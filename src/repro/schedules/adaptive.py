@@ -94,12 +94,13 @@ def _assemble_from_prefix(scheduler, residuals, p: int, c: float,
     values = [float(x) for x in residuals]
     out: List[Optional[EpisodeSchedule]] = [None] * len(values)
     vec_idx: List[int] = []
+    single_idx: List[int] = []
     for i, L in enumerate(values):
-        if 0.0 < L <= 2.0 * c:
-            # The scalar short-residual branch: one long period.
-            out[i] = EpisodeSchedule.from_validated_array((L,))
-        elif state is None or state.capped or p == 0 or c == 0.0 \
-                or L < state.tail_end:
+        if L > 0.0 and (L <= 2.0 * c or p == 0 or c == 0.0):
+            # The scalar short-residual / exhausted-adversary / zero-cost
+            # branches all emit one long period; batched below.
+            single_idx.append(i)
+        elif state is None or state.capped or L < state.tail_end:
             out[i] = scheduler.episode_schedule(L, p, c)
         elif L == state.tail_end:
             # The tail alone covers the residual; the body loop never runs.
@@ -107,6 +108,13 @@ def _assemble_from_prefix(scheduler, residuals, p: int, c: float,
                 np.full(state.tail_count, state.short))
         else:
             vec_idx.append(i)
+    if single_idx:
+        # One shared read-only buffer; every single-period schedule is a
+        # zero-copy view into it.
+        singles = np.asarray([values[i] for i in single_idx])
+        singles.setflags(write=False)
+        for j, i in enumerate(single_idx):
+            out[i] = EpisodeSchedule._from_readonly_view(singles[j:j + 1])
     if not vec_idx:
         return out  # type: ignore[return-value]
 

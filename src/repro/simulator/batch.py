@@ -22,11 +22,15 @@ Equivalence with the event engine is exact, not approximate: ``np.cumsum``
 accumulates sequentially, i.e. in the same order as the engine's ``+=``
 loops, so on identical traces the batch backend reproduces the engine's
 float metrics bit for bit (the test-suite pins this on several scenario
-families).  The one construct the array passes do not model — an owner
-interrupt arriving while a workstation sits idle between episodes, which
-re-plans relative to the *accounted* time — is detected per replication
-and routed through the event engine, which stays the reference
-implementation.
+families).  That includes the idle-interrupt corner — an owner interrupt
+arriving while a workstation sits idle between episodes.  The engine
+closes the idle gap against its *accounted* time (the running
+productive + overhead + wasted + idle sum), so the kernel records each
+idle reclaim's position in the row's accounting stream and settles the
+gap in :meth:`_BatchKernel._finalize_rows` from the same partial sums,
+in the same order.  No replication is ever re-routed to the event engine
+any more (``fallback_reps`` stays empty; it is kept as an attribute so
+harness code and the regression tests can assert exactly that).
 
 The task-bag pass replays :meth:`TaskBag.take`'s greedy packing against the
 bag's size prefix-sums in global completion order (completion time, then
@@ -74,9 +78,10 @@ def simulate_scenarios_batch(scenarios: Sequence, scheduler: Optional[SchedulerF
     -----
     Unlike the event engine, the batch backend does **not** mutate the
     scenarios' task bags — completed-task counts are reported in the
-    returned metrics only.  Replications that exercise the idle-interrupt
-    corner case are transparently re-run through the event engine (their
-    bags are then consumed, matching what the event backend would do).
+    returned metrics only.  Owner interrupts that arrive while a
+    workstation sits idle are handled natively in the array passes
+    (``kernel.fallback_reps`` stays empty on every scenario family; the
+    test-suite asserts it).
 
     All reported quantities use the paper's units: work, productive,
     overhead, wasted and idle time are measured in the contract's time
@@ -86,7 +91,6 @@ def simulate_scenarios_batch(scenarios: Sequence, scheduler: Optional[SchedulerF
     traces (e.g. the ``flaky`` family) are simulated as given.
     """
     scenarios = list(scenarios)
-    reports: List[Optional[SimulationReport]] = [None] * len(scenarios)
     if not scenarios:
         return []
 
@@ -95,18 +99,7 @@ def simulate_scenarios_batch(scenarios: Sequence, scheduler: Optional[SchedulerF
     for rep, scenario in enumerate(scenarios):
         kernel.add_replication(rep, scenario.workstations, scenario.task_bag)
     kernel.run()
-
-    for rep, scenario in enumerate(scenarios):
-        if rep in kernel.fallback_reps:
-            # Reference path for the rare corner cases the array passes do
-            # not model (owner interrupt while the machine sits idle).
-            sim = CycleStealingSimulation(scenario.workstations, scheduler,
-                                          task_bag=scenario.task_bag,
-                                          scheduler_factory=scheduler_factory)
-            reports[rep] = sim.run()
-        else:
-            reports[rep] = kernel.report(rep)
-    return reports
+    return [kernel.report(rep) for rep in range(len(scenarios))]
 
 
 def simulate_batch(workstation_sets: Sequence[Sequence], scheduler=None, *,
@@ -164,6 +157,10 @@ class _BatchKernel:
         self.rep_rows: Dict[int, List[int]] = {}
         self.rep_bag: Dict[int, Optional[object]] = {}
         self.rep_makespan: Dict[int, float] = {}
+        #: Replications re-routed to the event engine.  Always empty since
+        #: the idle-interrupt corner became native; kept (and asserted
+        #: empty by the test-suite) as the sentinel that no array pass
+        #: ever silently gives up on a replication again.
         self.fallback_reps: Set[int] = set()
         # Mutable accounting, filled by run().  A "piece" is one episode's
         # run of completed periods: (segment index, lengths, end times).
@@ -174,6 +171,11 @@ class _BatchKernel:
         self._killed: List[int] = []
         self._interrupts: List[int] = []
         self._idle_tail: List[bool] = []
+        # Idle reclaims: (time, completed periods so far, kill parts so far)
+        # per row, in chronological order — enough to recompute the engine's
+        # accounted time at each reclaim during _finalize_rows.
+        self._idle_events: List[List[Tuple[float, int, int]]] = []
+        self._piece_counts: List[int] = []   # completed periods recorded so far
         self._metrics: List[Optional[WorkstationMetrics]] = []
         self._schedule_memo: Dict[Tuple[int, float, int, float], object] = {}
 
@@ -197,9 +199,8 @@ class _BatchKernel:
             self.row_speed.append(float(ws.speed))
             self.row_budget.append(int(ws.interrupt_budget))
             # The engine only schedules interrupts strictly inside the lifespan.
-            trace = np.asarray([t for t in ws.owner_interrupts if t < ws.lifespan],
-                               dtype=float)
-            self.row_trace.append(trace)
+            trace = np.asarray(ws.owner_interrupts, dtype=float)
+            self.row_trace.append(trace[trace < ws.lifespan])
             self.row_scheduler.append(self._resolve(ws))
         self.rep_rows[rep] = rows
         self.rep_bag[rep] = task_bag
@@ -215,6 +216,8 @@ class _BatchKernel:
         self._killed = [0] * n
         self._interrupts = [0] * n
         self._idle_tail = [False] * n
+        self._idle_events = [[] for _ in range(n)]
+        self._piece_counts = [0] * n
         self._metrics = [None] * n
 
         # The (rows × max-interrupts) trace matrix: segment boundaries for
@@ -234,15 +237,20 @@ class _BatchKernel:
         groups: Dict[Tuple[int, float, float, int, float], List[int]] = {}
         starts = (self._trace_matrix[:, segment - 1].tolist() if segment
                   else None)
+        counts = self._trace_counts
+        schedulers = self.row_scheduler
+        lifespans = self.row_lifespan
+        budgets = self.row_budget
+        setups = self.row_setup
+        setdefault = groups.setdefault
         for row in range(len(self.row_rep)):
-            if self.row_rep[row] in self.fallback_reps:
-                continue
-            if segment > self._trace_counts[row]:
+            if segment > counts[row]:
                 continue
             start = starts[row] if segment else 0.0
-            key = (id(self.row_scheduler[row]), start, self.row_lifespan[row],
-                   max(0, self.row_budget[row] - segment), self.row_setup[row])
-            groups.setdefault(key, []).append(row)
+            p_rem = budgets[row] - segment
+            key = (id(schedulers[row]), start, lifespans[row],
+                   p_rem if p_rem > 0 else 0, setups[row])
+            setdefault(key, []).append(row)
 
         self._fill_schedule_memo(groups)
         for (sid, start, lifespan, p_rem, setup), rows in groups.items():
@@ -250,19 +258,23 @@ class _BatchKernel:
             schedule = self._schedule_memo[(sid, residual, p_rem, setup)]
             periods = schedule.periods
             m = periods.size
-            # Absolute finish times, accumulated exactly like the engine's
-            # successive ``event.time + schedule[j]`` pushes.
-            if m == 1:
-                # Dominant shape for short residuals (single long period).
-                finishes = np.array((start + periods[0],))
-            else:
-                shifted = np.empty(m + 1)
-                shifted[0] = start
-                shifted[1:] = periods
-                finishes = np.cumsum(shifted)[1:]
 
             final_rows = [r for r in rows if segment == self._trace_counts[r]]
             int_rows = [r for r in rows if segment < self._trace_counts[r]]
+
+            if m == 1:
+                # Dominant shape for short residuals (single long period):
+                # scalar fast path, no per-group array constructions.
+                self._run_single_period_group(segment, final_rows, int_rows,
+                                              periods, start, lifespan)
+                continue
+
+            # Absolute finish times, accumulated exactly like the engine's
+            # successive ``event.time + schedule[j]`` pushes.
+            shifted = np.empty(m + 1)
+            shifted[0] = start
+            shifted[1:] = periods
+            finishes = np.cumsum(shifted)[1:]
 
             if final_rows:
                 self._close_final(segment, final_rows, periods, finishes, start,
@@ -278,13 +290,78 @@ class _BatchKernel:
                         self._wasted_parts[r].append(max(0.0, end - in_flight_start))
                         self._killed[r] += 1
                         self._interrupts[r] += 1
+                        if k:
+                            self._pieces[r].append((segment, periods[:k],
+                                                    finishes[:k]))
+                            self._piece_counts[r] += k
                     else:
-                        # Interrupt while idle: the engine re-plans relative
-                        # to the accounted time — reference path handles it.
-                        self.fallback_reps.add(self.row_rep[r])
-                        continue
-                    if k:
-                        self._pieces[r].append((segment, periods[:k], finishes[:k]))
+                        # Interrupt while idle: the whole episode completed
+                        # and the machine sat idle until the reclaim.  No
+                        # period is killed; the idle gap is settled against
+                        # the engine's accounted time in _finalize_rows.
+                        self._pieces[r].append((segment, periods, finishes))
+                        self._piece_counts[r] += m
+                        self._idle_events[r].append(
+                            (end, self._piece_counts[r],
+                             len(self._wasted_parts[r])))
+                        self._interrupts[r] += 1
+
+    def _run_single_period_group(self, segment: int, final_rows: List[int],
+                                 int_rows: List[int], periods: np.ndarray,
+                                 start: float, lifespan: float) -> None:
+        """One-period episode, all in scalars (mirrors the general path).
+
+        ``start + float(periods[0])`` is the same double addition the
+        general path's cumsum performs, so every comparison below sees the
+        identical finish time.
+        """
+        finish = start + float(periods[0])
+        if final_rows:
+            boundary_kill: Optional[float] = None
+            boundary_complete = False
+            idle_tail = False
+            piece: Optional[Tuple[int, np.ndarray, np.ndarray]] = None
+            if finish >= lifespan:
+                if finish <= lifespan + LIFESPAN_SLACK:
+                    # Completes within the boundary slack, processed by the
+                    # LIFESPAN_END handler at time U.
+                    boundary_complete = True
+                    piece = (segment, periods, np.array((lifespan,)))
+                else:
+                    boundary_kill = max(0.0, lifespan - start)
+            else:
+                idle_tail = True
+                piece = (segment, periods, np.array((finish,)))
+            for r in final_rows:
+                if piece is not None:
+                    self._pieces[r].append(piece)
+                    self._piece_counts[r] += 1
+                if boundary_kill is not None:
+                    self._wasted_parts[r].append(boundary_kill)
+                    self._killed[r] += 1    # lifespan kill: no owner interrupt
+                self._boundary[r] = boundary_complete
+                self._idle_tail[r] = idle_tail
+        if int_rows:
+            idle_piece: Optional[Tuple[int, np.ndarray, np.ndarray]] = None
+            for r in int_rows:
+                end = float(self._trace_matrix[r, segment])
+                if end <= finish:
+                    # An interrupt landing exactly on the period end still
+                    # kills it (it was queued earlier) — same tie rule as
+                    # the general path's side="left" searchsorted.
+                    self._wasted_parts[r].append(max(0.0, end - start))
+                    self._killed[r] += 1
+                    self._interrupts[r] += 1
+                else:
+                    # Interrupt while idle (see the general path).
+                    if idle_piece is None:
+                        idle_piece = (segment, periods, np.array((finish,)))
+                    self._pieces[r].append(idle_piece)
+                    self._piece_counts[r] += 1
+                    self._idle_events[r].append(
+                        (end, self._piece_counts[r],
+                         len(self._wasted_parts[r])))
+                    self._interrupts[r] += 1
 
     def _fill_schedule_memo(self, groups: Dict[Tuple, List[int]]) -> None:
         """Build every schedule a segment needs, batched per scheduler state.
@@ -343,6 +420,7 @@ class _BatchKernel:
         for r in rows:
             if lengths_piece.size:
                 self._pieces[r].append((segment, lengths_piece, times_piece))
+                self._piece_counts[r] += lengths_piece.size
             if boundary_kill is not None:
                 self._wasted_parts[r].append(boundary_kill)
                 self._killed[r] += 1          # lifespan kill: no owner interrupt
@@ -356,7 +434,7 @@ class _BatchKernel:
         # sequentially — the same order as the engine's per-period ``+=`` —
         # so the totals are bit-exact.
         n = len(self.row_rep)
-        live = [row for row in range(n) if self.row_rep[row] not in self.fallback_reps]
+        live = range(n)
         all_pieces: List[np.ndarray] = []
         row_setups: List[float] = []
         row_speeds: List[float] = []
@@ -376,17 +454,36 @@ class _BatchKernel:
             productive = np.maximum(flat_len - flat_setup, 0.0)
             overhead = np.minimum(flat_len, flat_setup)
             work = productive * np.repeat(np.asarray(row_speeds), counts_arr)
+            # Plain-Python accumulation below: the same sequential IEEE
+            # additions as np.cumsum (and the engine's ``+=``), minus the
+            # per-row array-call overhead for thousands of tiny rows.
+            prod_list = productive.tolist()
+            over_list = overhead.tolist()
+            work_list = work.tolist()
         else:
             productive = overhead = work = np.empty(0, dtype=float)
+            prod_list = over_list = work_list = []
 
         offset = 0
         for row, count in zip(live, row_counts):
+            prod_cum = over_cum = None
             if count:
                 sl = slice(offset, offset + count)
-                productive_time = float(np.cumsum(productive[sl])[-1])
-                overhead_time = float(np.cumsum(overhead[sl])[-1])
+                productive_time = 0.0
+                for v in prod_list[offset:offset + count]:
+                    productive_time += v
+                overhead_time = 0.0
+                for v in over_list[offset:offset + count]:
+                    overhead_time += v
+                completed_work = 0.0
+                for v in work_list[offset:offset + count]:
+                    completed_work += v
                 row_work = work[sl]
-                completed_work = float(np.cumsum(row_work)[-1])
+                if self._idle_events[row]:
+                    # Idle gaps close against partial accounted sums, so
+                    # this (rare) row needs the full prefix cumsums.
+                    prod_cum = np.cumsum(productive[sl])
+                    over_cum = np.cumsum(overhead[sl])
                 # Per-piece work values, reused by the task-bag pass.
                 works, piece_offset = [], 0
                 for _seg, lengths, _times in self._pieces[row]:
@@ -397,13 +494,28 @@ class _BatchKernel:
             else:
                 productive_time = overhead_time = completed_work = 0.0
                 self._piece_works[row] = []
+            # Kill parts and idle reclaims accumulate chronologically, the
+            # way the engine's += does: each idle gap closes against the
+            # accounted time *at that reclaim* (partial productive/overhead
+            # cumsums, kill parts recorded before it, idle gaps so far).
+            parts = self._wasted_parts[row]
             wasted_time = 0.0
-            for part in self._wasted_parts[row]:
-                wasted_time += part
             idle_time = 0.0
+            next_part = 0
+            for end, n_periods, n_parts in self._idle_events[row]:
+                while next_part < n_parts:
+                    wasted_time += parts[next_part]
+                    next_part += 1
+                p_sum = float(prod_cum[n_periods - 1]) if n_periods else 0.0
+                o_sum = float(over_cum[n_periods - 1]) if n_periods else 0.0
+                accounted = p_sum + o_sum + wasted_time + idle_time
+                idle_time += max(0.0, end - accounted)
+            while next_part < len(parts):
+                wasted_time += parts[next_part]
+                next_part += 1
             if self._idle_tail[row]:
                 accounted = productive_time + overhead_time + wasted_time + idle_time
-                idle_time = max(0.0, self.row_lifespan[row] - accounted)
+                idle_time += max(0.0, self.row_lifespan[row] - accounted)
             self._metrics[row] = WorkstationMetrics(
                 workstation_id=self.row_id[row],
                 productive_time=productive_time,
@@ -422,7 +534,7 @@ class _BatchKernel:
         """Replay the shared task bag in global completion order per replication."""
         for rep, rows in self.rep_rows.items():
             bag = self.rep_bag[rep]
-            if bag is None or rep in self.fallback_reps:
+            if bag is None:
                 continue
             sizes = bag.sizes
             total = sizes.size
@@ -483,22 +595,24 @@ class _BatchKernel:
         without replaying it.  Returns ``None`` when exact ties exist (the
         heap replay of :meth:`_completion_order` then decides them).
         """
-        times_list, works_list, rows_list = [], [], []
+        times_list, works_list, row_of, count_of = [], [], [], []
         for r in rows:
             for (_seg, _lengths, t), w in zip(self._pieces[r],
                                               self._piece_works[r]):
                 times_list.append(t)
                 works_list.append(w)
-                rows_list.append(np.full(t.size, r, dtype=np.int64))
+                row_of.append(r)
+                count_of.append(t.size)
         if not times_list:
             return []
         times = np.concatenate(times_list)
         order = np.argsort(times, kind="stable")
         sorted_times = times[order]
         if sorted_times.size > 1 and not np.all(sorted_times[:-1] < sorted_times[1:]):
-            return None
+            return None  # bail before building works/rows: ties are common
         works = np.concatenate(works_list)[order]
-        row_ids = np.concatenate(rows_list)[order]
+        row_ids = np.repeat(np.asarray(row_of, dtype=np.int64),
+                            count_of)[order]
         return zip(row_ids.tolist(), works.tolist())
 
     def _completion_order(self, rows: List[int]):
@@ -515,50 +629,53 @@ class _BatchKernel:
         import itertools
 
         counter = itertools.count()
-        heap: List[Tuple[float, int, int, int, int]] = []  # time, seq, kind, row, index
+        # Entries: (time, seq, kind, row, segment, i) — ordered by
+        # (time, seq); seq is unique so later fields never compare.
+        heap: List[Tuple[float, int, int, int, int, int]] = []
         PE, INT, LIFE = 0, 1, 2
-        # piece lookup per row: segment -> (times, works); last piece may end
-        # with the boundary completion, which the LIFESPAN_END pop processes.
-        piece_of: Dict[int, Dict[int, Tuple[np.ndarray, np.ndarray]]] = {}
-        chain_len: Dict[Tuple[int, int], int] = {}  # completions reached via PE pops
+        # Piece lookup per row: segment -> (times, works, chain length);
+        # times/works as plain lists (hot indexing).  The last piece may
+        # end with the boundary completion, which the LIFESPAN_END pop
+        # processes — it is excluded from the chain length.
+        piece_of: Dict[int, Dict[int, Tuple[list, list, int]]] = {}
 
         def push_first(row: int, segment: int) -> None:
-            per_seg = piece_of[row].get(segment)
-            if per_seg is not None and chain_len[(row, segment)] > 0:
-                heapq.heappush(heap, (float(per_seg[0][0]), next(counter), PE,
-                                      row, segment << 32))
+            entry = piece_of[row].get(segment)
+            if entry is not None and entry[2] > 0:
+                heapq.heappush(heap, (entry[0][0], next(counter), PE,
+                                      row, segment, 0))
 
         for row in rows:               # init pushes, in workstation order
             per_seg = {}
+            trace = self.row_trace[row]
             for (segment, _lengths, times), works in zip(self._pieces[row],
                                                          self._piece_works[row]):
-                per_seg[segment] = (times, works)
                 boundary_here = (self._boundary[row]
-                                 and segment == self.row_trace[row].size)
-                chain_len[(row, segment)] = times.size - (1 if boundary_here else 0)
+                                 and segment == trace.size)
+                per_seg[segment] = (times.tolist(), works.tolist(),
+                                    times.size - (1 if boundary_here else 0))
             piece_of[row] = per_seg
-            for seg, t in enumerate(self.row_trace[row].tolist()):
-                heapq.heappush(heap, (t, next(counter), INT, row, seg))
-            heapq.heappush(heap, (self.row_lifespan[row], next(counter), LIFE, row, 0))
+            for seg, t in enumerate(trace.tolist()):
+                heapq.heappush(heap, (t, next(counter), INT, row, seg, 0))
+            heapq.heappush(heap, (self.row_lifespan[row], next(counter),
+                                  LIFE, row, 0, 0))
             push_first(row, 0)
 
         while heap:
-            _time, _seq, kind, row, index = heapq.heappop(heap)
+            _time, _seq, kind, row, segment, i = heapq.heappop(heap)
             if kind == PE:
-                segment, i = index >> 32, index & 0xFFFFFFFF
-                times, works = piece_of[row][segment]
+                times, works, chain = piece_of[row][segment]
                 yield row, works[i]
-                if i + 1 < chain_len[(row, segment)]:
-                    heapq.heappush(heap, (float(times[i + 1]), next(counter), PE,
-                                          row, (segment << 32) | (i + 1)))
+                if i + 1 < chain:
+                    heapq.heappush(heap, (times[i + 1], next(counter), PE,
+                                          row, segment, i + 1))
             elif kind == INT:
-                push_first(row, index + 1)
+                push_first(row, segment + 1)
             else:  # LIFE: the boundary completion is processed here, at time U
                 if self._boundary[row]:
-                    final_seg = int(self.row_trace[row].size)
-                    per_seg = piece_of[row].get(final_seg)
-                    if per_seg is not None:
-                        yield row, per_seg[1][-1]
+                    entry = piece_of[row].get(int(self.row_trace[row].size))
+                    if entry is not None:
+                        yield row, entry[1][-1]
 
     # ------------------------------------------------------------------
     def report(self, rep: int) -> SimulationReport:

@@ -161,6 +161,8 @@ class ScenarioPoint:
     seed: int
     backend: str = "event"
     family_params: Tuple[Tuple[str, Any], ...] = ()
+    #: Return per-stage timing columns with the row (``--profile``).
+    profile: bool = False
 
     def key_columns(self) -> Dict[str, object]:
         """The identifying columns shared by this point's result row."""
@@ -577,12 +579,15 @@ def _split_toml_array(inner: str, path: str, lineno: int) -> List[str]:
 # Point expansion and evaluation (worker side)
 # ----------------------------------------------------------------------
 def expand_payloads(spec: ExperimentSpec,
-                    cache_dir: Optional[str] = None) -> List[Any]:
+                    cache_dir: Optional[str] = None,
+                    profile: bool = False) -> List[Any]:
     """Expand a spec into an ordered list of picklable point payloads.
 
     The order is part of the spec's identity: point ``i`` of a resumed run
     is the same experiment as point ``i`` of the original run, which is
-    what lets the run store skip completed shards.
+    what lets the run store skip completed shards.  ``profile`` only adds
+    timing columns to the computed rows (stripped again by the driver); it
+    never changes the results themselves.
     """
     if spec.kind == "sweep":
         from .experiments.orchestrator import ExperimentConfig
@@ -590,12 +595,14 @@ def expand_payloads(spec: ExperimentSpec,
         config = ExperimentConfig(replications=spec.replications,
                                   seed=spec.seed, cache_dir=cache_dir,
                                   include_optimal=spec.optimal,
-                                  backend=spec.backend)
+                                  backend=spec.backend,
+                                  profile=bool(profile))
         return [(point, config) for point in spec.to_grid().points()]
     return [ScenarioPoint(index=i, family=spec.family, scheduler=scheduler,
                           replications=spec.replications, seed=spec.seed,
                           backend=spec.backend,
-                          family_params=tuple(sorted(spec.family_params.items())))
+                          family_params=tuple(sorted(spec.family_params.items())),
+                          profile=bool(profile))
             for i, scheduler in enumerate(spec.schedulers)]
 
 
@@ -608,8 +615,11 @@ def evaluate_payload(payload) -> Dict[str, Any]:
 
 
 def _evaluate_scenario_point(point: ScenarioPoint) -> Dict[str, Any]:
+    import time
+
     from .experiments.grid import make_scheduler
     from .experiments.montecarlo import replicate_scenario
+    from .experiments.profiling import stage_column
 
     family = SCENARIO_FAMILIES[point.family]
     family_params = dict(point.family_params)
@@ -618,7 +628,10 @@ def _evaluate_scenario_point(point: ScenarioPoint) -> Dict[str, Any]:
     probe = family(**family_params)
     scheduler = make_scheduler(point.scheduler, probe.params)
     row: Dict[str, Any] = point.key_columns()
+    started = time.perf_counter() if point.profile else 0.0
     row.update(replicate_scenario(family, point.replications,
                                   base_seed=point.seed, scheduler=scheduler,
                                   backend=point.backend, **family_params))
+    if point.profile:
+        row[stage_column("monte_carlo")] = time.perf_counter() - started
     return row

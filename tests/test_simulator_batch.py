@@ -308,3 +308,120 @@ def test_registered_family_equivalence(family_name):
     event_report, batch_report = run_both(family(), family(),
                                           EqualizingAdaptiveScheduler)
     assert_reports_identical(event_report, batch_report)
+
+
+class _UnderCommittingScheduler:
+    """Covers only a fraction of the residual — forces idle stretches.
+
+    Interrupts arriving after the episode's last period completes land
+    while the machine is idle: exactly the corner the batch kernel now
+    handles natively (it used to re-route the replication to the event
+    engine).
+    """
+
+    name = "under-committing"
+
+    def __init__(self, fraction=0.5, periods=3):
+        self.fraction = fraction
+        self.periods = periods
+
+    def episode_schedule(self, residual, interrupts_remaining, setup_cost):
+        return EpisodeSchedule.equal_periods(residual * self.fraction,
+                                             self.periods)
+
+
+class TestIdleInterruptNative:
+    def test_idle_interrupt_bit_for_bit(self):
+        """Interrupts landing in the idle gap must match the engine exactly."""
+        # Episode 1 covers [0, 50]; the interrupt at 60 arrives while idle
+        # (no kill, idle gap closed); the re-planned episode 2 spans
+        # [60, 80], so the interrupt at 75 kills its period in flight.
+        ws = _ws(lifespan=100.0, setup=2.0, budget=2, interrupts=(60.0, 75.0))
+        event = CycleStealingSimulation([ws], _UnderCommittingScheduler()).run()
+        (batch,) = simulate_batch([[ws]], _UnderCommittingScheduler())
+        assert_reports_identical(event, batch)
+        metrics = batch.per_workstation["ws-0"]
+        assert metrics.owner_interrupts == 2
+        assert metrics.killed_periods == 1      # only the in-flight kill
+        assert metrics.idle_time > 0.0
+
+    def test_mixed_busy_and_idle_interrupts(self):
+        # First interrupt kills a period in flight; the second arrives idle.
+        ws = _ws(lifespan=200.0, setup=1.0, budget=3,
+                 interrupts=(20.0, 150.0, 199.5))
+        event = CycleStealingSimulation([ws], _UnderCommittingScheduler(0.6)).run()
+        (batch,) = simulate_batch([[ws]], _UnderCommittingScheduler(0.6))
+        assert_reports_identical(event, batch)
+
+    def test_idle_interrupts_with_shared_task_bag(self):
+        bag_a = constant_tasks(500, size=0.5)
+        bag_b = constant_tasks(500, size=0.5)
+        workstations = [
+            _ws("a", lifespan=120.0, setup=1.0, budget=2, interrupts=(70.0,)),
+            _ws("b", lifespan=120.0, setup=1.0, budget=2,
+                interrupts=(30.0, 80.0)),
+        ]
+        event = CycleStealingSimulation(workstations,
+                                        _UnderCommittingScheduler(),
+                                        task_bag=bag_a).run()
+        (batch,) = simulate_batch([workstations], _UnderCommittingScheduler(),
+                                  task_bags=[bag_b])
+        assert_reports_identical(event, batch)
+
+    @pytest.mark.parametrize("family_name", sorted(SCENARIO_FAMILIES.names()))
+    def test_no_family_falls_back_to_the_event_engine(self, family_name):
+        """fallback_reps stays empty on every registered scenario family."""
+        from repro.simulator.batch import _BatchKernel
+
+        family = SCENARIO_FAMILIES[family_name]
+        scenarios = [family(seed=seed) for seed in range(5)]
+        resolve = CycleStealingSimulation._resolve_scheduler(
+            EqualizingAdaptiveScheduler(), None)
+        kernel = _BatchKernel(resolve)
+        for rep, scenario in enumerate(scenarios):
+            kernel.add_replication(rep, scenario.workstations,
+                                   scenario.task_bag)
+        kernel.run()
+        assert kernel.fallback_reps == set()
+
+    def test_flaky_owners_never_falls_back(self):
+        """The flaky-owners family (the old fallback hotspot), many seeds."""
+        from repro.experiments.grid import point_seed
+        from repro.simulator.batch import _BatchKernel
+
+        scenarios = [flaky_owners(seed=point_seed(0, "flaky_owners", r))
+                     for r in range(50)]
+        resolve = CycleStealingSimulation._resolve_scheduler(
+            EqualizingAdaptiveScheduler(), None)
+        kernel = _BatchKernel(resolve)
+        for rep, scenario in enumerate(scenarios):
+            kernel.add_replication(rep, scenario.workstations,
+                                   scenario.task_bag)
+        kernel.run()
+        assert kernel.fallback_reps == set()
+        # ... and with the native idle path the reports still match the
+        # engine bit for bit.
+        fresh = [flaky_owners(seed=point_seed(0, "flaky_owners", r))
+                 for r in range(50)]
+        event = [CycleStealingSimulation(s.workstations,
+                                         EqualizingAdaptiveScheduler(),
+                                         task_bag=s.task_bag).run()
+                 for s in fresh]
+        for rep, event_report in enumerate(event):
+            assert_reports_identical(event_report, kernel.report(rep))
+
+    def test_under_committing_scheduler_fuzz(self):
+        """Randomized traces over an idle-heavy scheduler, bit for bit."""
+        rng = np.random.default_rng(123)
+        for trial in range(25):
+            lifespan = float(rng.uniform(50.0, 300.0))
+            times = np.sort(rng.uniform(0.0, lifespan,
+                                        rng.integers(0, 6))).tolist()
+            ws = _ws(lifespan=lifespan, setup=float(rng.uniform(0.5, 3.0)),
+                     budget=int(rng.integers(0, 5)), interrupts=tuple(times))
+            scheduler = _UnderCommittingScheduler(
+                fraction=float(rng.uniform(0.3, 1.0)),
+                periods=int(rng.integers(1, 5)))
+            event = CycleStealingSimulation([ws], scheduler).run()
+            (batch,) = simulate_batch([[ws]], scheduler)
+            assert_reports_identical(event, batch)
