@@ -1,0 +1,80 @@
+"""Shared synthetic-run builder for the run-store I/O benchmark and guard.
+
+Both ``benchmarks/test_bench_runstore_io.py`` (which generates the
+committed ``benchmarks/results/runstore_io.*`` evidence) and
+``scripts/check_bench_regression.py --only runstore-io`` (which re-verifies
+it in CI) need the *same* deterministic run: a completed sweep-shaped run
+whose rows are synthetic closed-form values, written straight into the
+store without evaluating any scheduler.  Keeping the builder here — a
+plain module, importable without pytest — ensures the guard re-derives
+exactly the rows the benchmark committed, through both the per-shard and
+the columnar-sidecar read paths.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, List, Mapping
+
+from repro.runstore import Run, RunStore
+from repro.specs import parse_spec
+
+#: Sizes the evidence table commits (the acceptance floor is measured on
+#: the >= 64-point rows; 256 shows the gap widening with scale).
+POINT_COUNTS = (64, 256)
+
+#: Committed-speedup floor the regression guard enforces: the sidecar must
+#: stay at least this many times faster than per-shard reads.
+SPEEDUP_FLOOR = 5.0
+
+
+def _spec_dict(num_points: int) -> Dict:
+    """A sweep spec expanding to exactly ``num_points`` (= lifespans x 2 x 2)."""
+    assert num_points % 4 == 0, "synthetic grids are lifespans x 2 x 2"
+    lifespans = [100.0 + 10.0 * k for k in range(num_points // 4)]
+    return {
+        "experiment": {"name": f"runstore-io-{num_points}", "kind": "sweep",
+                       "seed": 0},
+        "sweep": {"lifespans": lifespans, "interrupts": [1, 2],
+                  "schedulers": ["equalizing-adaptive", "single-period"],
+                  "optimal": False},
+    }
+
+
+def synthetic_rows(num_points: int) -> List[Dict[str, object]]:
+    """Deterministic closed-form result rows for the synthetic grid.
+
+    Shaped like real sweep rows (same key columns and value types) but
+    computed arithmetically, so building a 256-point run costs
+    milliseconds and the regression guard can re-derive every value
+    exactly on any machine.
+    """
+    spec = parse_spec(_spec_dict(num_points))
+    rows: List[Dict[str, object]] = []
+    for point in spec.to_grid().points():
+        row: Dict[str, object] = point.key_columns()
+        work = round(0.9 * point.lifespan - 1.7 * point.max_interrupts
+                     - 0.001 * point.index, 6)
+        row["guaranteed_work"] = work
+        row["efficiency"] = round(work / point.lifespan, 9)
+        row["episodes"] = 3 + point.index % 7
+        rows.append(row)
+    return rows
+
+
+def build_synthetic_run(runs_dir, num_points: int) -> Run:
+    """Create a completed run (shards + consolidated sidecar) under ``runs_dir``."""
+    store = RunStore(runs_dir)
+    run = store.create(parse_spec(_spec_dict(num_points)),
+                       run_id=f"runstore-io-{num_points}")
+    for index, row in enumerate(synthetic_rows(num_points)):
+        run.write_point(index, row)
+    run.mark_complete()  # consolidates columns.npz
+    return run
+
+
+def rows_digest(rows: List[Mapping[str, object]]) -> str:
+    """Canonical sha256 of a row list (order-sensitive, repr-exact floats)."""
+    blob = json.dumps(rows, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()

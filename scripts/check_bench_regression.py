@@ -12,10 +12,15 @@ what a CI gate should catch before the CSVs are regenerated blindly.
 Usage::
 
     PYTHONPATH=src python scripts/check_bench_regression.py \
-        [--max-lifespan 5000] [--tolerance 1e-9] [--results-dir benchmarks/results]
+        [--max-lifespan 5000] [--tolerance 1e-9] [--results-dir benchmarks/results] \
+        [--only {all,optimality-gap,nonadaptive,referee,runstore-io}]
 
 The default ``--max-lifespan`` keeps the check under a few seconds; raise
-it to re-verify the full committed grid.
+it to re-verify the full committed grid.  ``--only runstore-io`` runs just
+the run-store I/O check: it rebuilds the benchmark's synthetic runs,
+re-derives the committed row digests through BOTH the per-shard and the
+columnar-sidecar read paths, and enforces the committed sidecar-vs-shard
+speedup floor.
 
 Exit codes (so CI can distinguish the failure modes):
 
@@ -211,6 +216,54 @@ def check_nonadaptive_section31(results_dir: str, max_lifespan: float,
     return checked, failures
 
 
+def check_runstore_io(results_dir: str, max_lifespan: float,
+                      tolerance: float):
+    """Re-verify the committed run-store I/O evidence (``runstore_io.csv``).
+
+    Rebuilds the benchmark's deterministic synthetic runs in a temp
+    directory and re-derives each committed ``rows_sha256`` through BOTH
+    read paths — per-shard ``.npz`` and the columnar sidecar — so drift
+    in either path (or any divergence between them) fails the gate.  The
+    committed ``speedup`` column is machine-dependent in magnitude but
+    must stay at or above the documented floor: the sidecar regressing to
+    shard-read speed is exactly the silent perf rot this guard exists to
+    catch.
+    """
+    import tempfile
+
+    sys.path.insert(0, os.path.join(_ROOT, "benchmarks"))
+    from runstore_io_util import (
+        SPEEDUP_FLOOR,
+        build_synthetic_run,
+        rows_digest,
+    )
+
+    path = os.path.join(results_dir, "runstore_io.csv")
+    failures = []
+    checked = 0
+    for row in read_rows(path):
+        num_points = int(row["points"])
+        committed_digest = row["rows_sha256"]
+        with tempfile.TemporaryDirectory() as runs_dir:
+            run = build_synthetic_run(runs_dir, num_points)
+            for source in ("shards", "sidecar"):
+                recomputed = rows_digest(run.rows(source=source))[:16]
+                if recomputed != committed_digest:
+                    failures.append(
+                        f"{path}: {num_points} points: rows_sha256 via "
+                        f"{source} is {recomputed}, committed "
+                        f"{committed_digest} (the stored rows or a read "
+                        "path changed behaviour)")
+        speedup = float(row["speedup"])
+        if speedup < SPEEDUP_FLOOR:
+            failures.append(
+                f"{path}: {num_points} points: committed sidecar speedup "
+                f"{speedup:g}x is below the {SPEEDUP_FLOOR:g}x floor — "
+                "regenerate the evidence only after fixing the regression")
+        checked += 1
+    return checked, failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--results-dir",
@@ -221,22 +274,29 @@ def main(argv=None) -> int:
                         help="maximum allowed relative drift")
     parser.add_argument("--cache-dir", default=None,
                         help="optional on-disk DP-table cache directory")
+    parser.add_argument("--only", default="all",
+                        choices=["all", "optimality-gap", "nonadaptive",
+                                 "referee", "runstore-io"],
+                        help="run a single check instead of the full set")
     args = parser.parse_args(argv)
 
     cache = DPTableCache(cache_dir=args.cache_dir)
+    checkers = {
+        "optimality-gap": lambda: check_optimality_gap(
+            args.results_dir, args.max_lifespan, args.tolerance, cache),
+        "nonadaptive": lambda: check_nonadaptive_section31(
+            args.results_dir, args.max_lifespan, args.tolerance),
+        "referee": lambda: check_referee_speedup(
+            args.results_dir, args.max_lifespan, args.tolerance),
+        "runstore-io": lambda: check_runstore_io(
+            args.results_dir, args.max_lifespan, args.tolerance),
+    }
+    selected = list(checkers) if args.only == "all" else [args.only]
     total_checked = 0
     all_failures = []
     try:
-        for checker in (
-                lambda: check_optimality_gap(args.results_dir, args.max_lifespan,
-                                             args.tolerance, cache),
-                lambda: check_nonadaptive_section31(args.results_dir,
-                                                    args.max_lifespan,
-                                                    args.tolerance),
-                lambda: check_referee_speedup(args.results_dir,
-                                              args.max_lifespan,
-                                              args.tolerance)):
-            checked, failures = checker()
+        for name in selected:
+            checked, failures = checkers[name]()
             total_checked += checked
             all_failures.extend(failures)
     except MissingBaselineError as exc:

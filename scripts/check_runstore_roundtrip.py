@@ -1,0 +1,161 @@
+#!/usr/bin/env python
+"""Nightly run-store round-trip: run -> SIGKILL -> resume -> report.
+
+Exercises the full durability story of the run store end to end on a real
+committed spec:
+
+1. launch ``repro run`` as a subprocess and SIGKILL it as soon as at
+   least one point shard has been persisted (if the run wins the race and
+   finishes, the resume below degrades to a no-op — the checks still hold);
+2. resume the killed run to completion;
+3. render the report (and render it again, asserting the second render is
+   a digest-cache hit whose bytes match a forced re-render);
+4. diff ``Run.rows()`` read through the columnar sidecar against a forced
+   per-shard fallback — they must be identical, row for row;
+5. run the same spec uninterrupted in a second store and assert the two
+   reports are **byte-identical**.
+
+Exit code 0 when every check passes, 1 otherwise (failures are also
+emitted as GitHub Actions ``::error::`` annotations).  The rendered
+report is left at ``--report-out`` for upload as a workflow artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import time
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.reporting import refresh_run_report, render_run_report  # noqa: E402
+from repro.runstore import RunStore, resume_run, run_spec  # noqa: E402
+from repro.specs import load_spec  # noqa: E402
+
+RUN_ID = "roundtrip-victim"
+
+
+def github_error(message: str) -> None:
+    """Emit a GitHub Actions error annotation (harmless plain text locally)."""
+    print(f"::error title=runstore roundtrip::{str(message).splitlines()[0]}")
+
+
+def fail(message: str) -> int:
+    github_error(message)
+    print(f"FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def run_and_kill(spec_path: str, runs_dir: str, replications: int,
+                 poll_deadline: float = 300.0) -> bool:
+    """Start ``repro run`` and SIGKILL it once a shard exists; True if killed."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "run", spec_path,
+         "--runs-dir", runs_dir, "--run-id", RUN_ID,
+         "--replications", str(replications)],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+    points_dir = os.path.join(runs_dir, RUN_ID, "points")
+    try:
+        deadline = time.monotonic() + poll_deadline
+        while time.monotonic() < deadline and proc.poll() is None:
+            try:
+                if any(name.endswith(".npz") for name in os.listdir(points_dir)):
+                    break
+            except OSError:
+                pass
+            time.sleep(0.02)
+        killed = proc.poll() is None
+        if killed:
+            proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=120)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+    return killed
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--spec", default=os.path.join(_ROOT, "specs",
+                                                       "laptop.toml"))
+    parser.add_argument("--runs-dir", default="roundtrip-runs")
+    parser.add_argument("--replications", type=int, default=50,
+                        help="spec replication override (keeps the job quick)")
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument("--report-out", default="roundtrip_report.md",
+                        help="where to copy the rendered report (artifact)")
+    args = parser.parse_args(argv)
+
+    killed_dir = os.path.join(args.runs_dir, "killed")
+    reference_dir = os.path.join(args.runs_dir, "reference")
+    for directory in (killed_dir, reference_dir):
+        shutil.rmtree(directory, ignore_errors=True)
+        os.makedirs(directory, exist_ok=True)
+
+    spec = load_spec(args.spec)
+    if args.replications:
+        from repro.specs import parse_spec, spec_to_dict
+        data = spec_to_dict(spec)
+        data["experiment"]["replications"] = args.replications
+        spec = parse_spec(data, source=f"{args.spec} (roundtrip override)")
+
+    killed = run_and_kill(args.spec, killed_dir, args.replications)
+    print(f"run phase: {'SIGKILLed mid-run' if killed else 'finished before the kill'}")
+
+    run = resume_run(RUN_ID, runs_dir=killed_dir, jobs=args.jobs)
+    if run.status != "complete":
+        return fail(f"resumed run is {run.status!r}, expected complete")
+
+    # Sidecar vs forced per-shard fallback: identical rows, or the
+    # columnar layer is lying about the stored results.
+    via_sidecar = run.rows(source="sidecar")
+    via_shards = run.rows(source="shards")
+    if via_sidecar != via_shards:
+        diffs = sum(a != b for a, b in zip(via_sidecar, via_shards))
+        return fail(
+            f"sidecar rows diverge from per-shard rows ({diffs} differing "
+            f"row(s) of {len(via_shards)})")
+    print(f"rows: sidecar == per-shard fallback ({len(via_shards)} rows)")
+
+    # Report: first render (miss), second render (must hit), forced
+    # re-render (must match the cached bytes).
+    path, hit1 = refresh_run_report(run)
+    with open(path, encoding="utf-8") as handle:
+        first = handle.read()
+    _path, hit2 = refresh_run_report(run)
+    if not hit2:
+        return fail("second report render missed the digest cache")
+    _path, _hit = refresh_run_report(run, force=True)
+    with open(path, encoding="utf-8") as handle:
+        forced = handle.read()
+    if forced != first:
+        return fail("forced re-render differs from the cached report")
+    print(f"report cache: first={'hit' if hit1 else 'miss'}, second=hit, "
+          "forced re-render byte-identical")
+
+    # Byte-identity against an uninterrupted run of the same spec.
+    reference = run_spec(spec, runs_dir=reference_dir, run_id=RUN_ID,
+                         jobs=args.jobs)
+    if render_run_report(run) != render_run_report(reference):
+        return fail("resumed report is not byte-identical to the "
+                    "uninterrupted reference run's")
+    print("resumed report byte-identical to uninterrupted reference")
+
+    shutil.copyfile(RunStore(killed_dir).open(RUN_ID).report_path,
+                    args.report_out)
+    print(f"ok: round-trip verified; report copied to {args.report_out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -246,3 +246,29 @@ class SweepGrid:
         return [SweepPoint(index=i, lifespan=U, setup_cost=c,
                            max_interrupts=p, scheduler=sched, adversary=adv)
                 for i, (sched, c, p, U, adv) in enumerate(combos)]
+
+    def point_at(self, index: int) -> SweepPoint:
+        """Point ``index`` of :meth:`points`, without expanding the grid.
+
+        The grid order is the ``itertools.product`` order of
+        ``(schedulers, setup_costs, interrupt_budgets, lifespans,
+        adversaries)`` with adversaries varying fastest, so one
+        mixed-radix decomposition of ``index`` recovers the coordinates.
+        The run store resumes large grids through this (only *pending*
+        points are materialised); ``test_grid_point_at_matches_points``
+        pins the equivalence with the expanded list.
+        """
+        if not 0 <= index < self.size:
+            raise InvalidParameterError(
+                f"point index {index} out of range for a {self.size}-point grid")
+        adversaries: Sequence[Optional[str]] = self.adversaries or (None,)
+        axes = (self.schedulers, self.setup_costs, self.interrupt_budgets,
+                self.lifespans, adversaries)
+        coords = []
+        remaining = index
+        for axis in reversed(axes):
+            coords.append(axis[remaining % len(axis)])
+            remaining //= len(axis)
+        adv, U, p, c, sched = coords
+        return SweepPoint(index=index, lifespan=U, setup_cost=c,
+                          max_interrupts=p, scheduler=sched, adversary=adv)

@@ -30,11 +30,14 @@ __all__ = ["PROFILE_PREFIX", "STAGES", "stage_column", "pop_profile",
 #: Reserved column prefix for per-point stage timings.
 PROFILE_PREFIX = "_profile_"
 
-#: Known stages, in reporting order.  ``referee`` is the exact worst-case
-#: minimax/pattern measurement, ``dp_solve`` the (cached) ``W^(p)[L]``
-#: table resolution, ``monte_carlo`` the replication layer, ``shard_io``
-#: the run-store writes.
-STAGES = ("referee", "dp_solve", "monte_carlo", "shard_io")
+#: Known stages, in reporting order.  ``spec_parse`` is spec expansion and
+#: pending-point discovery in the run store, ``referee`` the exact
+#: worst-case minimax/pattern measurement, ``dp_solve`` the (cached)
+#: ``W^(p)[L]`` table resolution, ``monte_carlo`` the replication layer,
+#: ``shard_io`` run-store reads/writes (shards and the columnar sidecar),
+#: ``report_render`` the markdown report generation of ``repro report``.
+STAGES = ("spec_parse", "referee", "dp_solve", "monte_carlo", "shard_io",
+          "report_render")
 
 
 def stage_column(stage: str) -> str:

@@ -1,6 +1,11 @@
 """Result rendering: ASCII/CSV/markdown tables, run reports, series summaries."""
 
-from .report import render_run_report, write_run_report
+from .report import (
+    refresh_run_report,
+    render_run_report,
+    report_digest_path,
+    write_run_report,
+)
 from .series import crossover_point, pivot_series, ratio_summary
 from .table import (
     format_value,
@@ -21,4 +26,6 @@ __all__ = [
     "crossover_point",
     "render_run_report",
     "write_run_report",
+    "refresh_run_report",
+    "report_digest_path",
 ]

@@ -29,6 +29,19 @@ def format_value(value, *, float_format: str = "{:.4g}") -> str:
     return str(value)
 
 
+def _as_rows(rows) -> List[Mapping[str, object]]:
+    """Accept either a row sequence or a columnar view with ``to_rows()``.
+
+    Lets every renderer take :class:`repro.runstore.RunColumns` (the
+    single-pass sidecar read) directly, without callers materialising the
+    row dictionaries themselves.
+    """
+    to_rows = getattr(rows, "to_rows", None)
+    if callable(to_rows):
+        return to_rows()
+    return list(rows)
+
+
 def _column_order(rows: Sequence[Mapping[str, object]],
                   columns: Optional[Sequence[str]]) -> List[str]:
     if columns is not None:
@@ -45,8 +58,8 @@ def render_table(rows: Sequence[Mapping[str, object]],
                  columns: Optional[Sequence[str]] = None,
                  *, title: Optional[str] = None,
                  float_format: str = "{:.4g}") -> str:
-    """Render rows of dictionaries as an aligned ASCII table."""
-    rows = list(rows)
+    """Render rows of dictionaries (or a columnar view) as an aligned ASCII table."""
+    rows = _as_rows(rows)
     if not rows:
         return (title + "\n" if title else "") + "(no rows)"
     cols = _column_order(rows, columns)
@@ -75,7 +88,7 @@ def render_markdown_table(rows: Sequence[Mapping[str, object]],
     generator in :mod:`repro.reporting.report`.  Deterministic: identical
     rows render to identical bytes.
     """
-    rows = list(rows)
+    rows = _as_rows(rows)
     if not rows:
         return "*(no rows)*"
     cols = _column_order(rows, columns)
@@ -92,8 +105,8 @@ def render_markdown_table(rows: Sequence[Mapping[str, object]],
 
 def rows_to_csv(rows: Sequence[Mapping[str, object]],
                 columns: Optional[Sequence[str]] = None) -> str:
-    """Serialise rows of dictionaries as CSV text."""
-    rows = list(rows)
+    """Serialise rows of dictionaries (or a columnar view) as CSV text."""
+    rows = _as_rows(rows)
     cols = _column_order(rows, columns)
     buffer = io.StringIO()
     writer = csv.DictWriter(buffer, fieldnames=cols, extrasaction="ignore")

@@ -77,6 +77,11 @@ __all__ = [
     "canonical_spec_json",
     "default_run_id",
     "expand_payloads",
+    "count_payloads",
+    "payload_config",
+    "expand_payload_at",
+    "payload_digest",
+    "payload_digests",
     "evaluate_payload",
     "KINDS",
 ]
@@ -128,8 +133,8 @@ class ExperimentSpec:
     family_params: Mapping[str, Any] = field(default_factory=dict)
 
     def num_points(self) -> int:
-        """How many run-store points this spec expands to."""
-        return len(expand_payloads(self))
+        """How many run-store points this spec expands to (O(1), no expansion)."""
+        return count_payloads(self)
 
     def to_grid(self):
         """The :class:`~repro.experiments.grid.SweepGrid` of a sweep spec."""
@@ -590,20 +595,118 @@ def expand_payloads(spec: ExperimentSpec,
     never changes the results themselves.
     """
     if spec.kind == "sweep":
-        from .experiments.orchestrator import ExperimentConfig
-
-        config = ExperimentConfig(replications=spec.replications,
-                                  seed=spec.seed, cache_dir=cache_dir,
-                                  include_optimal=spec.optimal,
-                                  backend=spec.backend,
-                                  profile=bool(profile))
+        config = payload_config(spec, cache_dir=cache_dir, profile=profile)
         return [(point, config) for point in spec.to_grid().points()]
-    return [ScenarioPoint(index=i, family=spec.family, scheduler=scheduler,
-                          replications=spec.replications, seed=spec.seed,
-                          backend=spec.backend,
-                          family_params=tuple(sorted(spec.family_params.items())),
-                          profile=bool(profile))
-            for i, scheduler in enumerate(spec.schedulers)]
+    return [_scenario_point_at(spec, i, profile=profile)
+            for i in range(len(spec.schedulers))]
+
+
+def count_payloads(spec: ExperimentSpec) -> int:
+    """How many points :func:`expand_payloads` yields, without expanding.
+
+    For sweep specs this is the grid's Cartesian size; for scenario specs
+    the scheduler count.  The run store records this (plus the per-point
+    digests of :func:`payload_digests`) in the manifest, so a resume can
+    find pending indices without re-expanding the whole grid.
+    """
+    if spec.kind == "sweep":
+        return spec.to_grid().size
+    return len(spec.schedulers)
+
+
+def payload_config(spec: ExperimentSpec,
+                   cache_dir: Optional[str] = None,
+                   profile: bool = False):
+    """The spec-wide half of a sweep payload (``None`` for scenario specs).
+
+    Sweep payloads are ``(SweepPoint, ExperimentConfig)`` pairs whose
+    config is identical across the grid; building it once and passing it
+    to :func:`expand_payload_at` keeps lazy expansion O(pending), not
+    O(grid).
+    """
+    if spec.kind != "sweep":
+        return None
+    from .experiments.orchestrator import ExperimentConfig
+
+    return ExperimentConfig(replications=spec.replications,
+                            seed=spec.seed, cache_dir=cache_dir,
+                            include_optimal=spec.optimal,
+                            backend=spec.backend,
+                            profile=bool(profile))
+
+
+def _scenario_point_at(spec: ExperimentSpec, index: int,
+                       *, profile: bool = False) -> "ScenarioPoint":
+    return ScenarioPoint(index=index, family=spec.family,
+                         scheduler=spec.schedulers[index],
+                         replications=spec.replications, seed=spec.seed,
+                         backend=spec.backend,
+                         family_params=tuple(sorted(spec.family_params.items())),
+                         profile=bool(profile))
+
+
+def expand_payload_at(spec: ExperimentSpec, index: int, *,
+                      cache_dir: Optional[str] = None,
+                      profile: bool = False, config=None):
+    """Materialise payload ``index`` of :func:`expand_payloads` lazily.
+
+    ``expand_payload_at(spec, i) == expand_payloads(spec)[i]`` for every
+    valid index (pinned by the spec tests) — the run store resumes large
+    grids through this, expanding only the points whose shards are
+    missing.  Pass ``config`` (from :func:`payload_config`) to amortise
+    the sweep-config construction across many calls.
+    """
+    if spec.kind == "sweep":
+        if config is None:
+            config = payload_config(spec, cache_dir=cache_dir, profile=profile)
+        return (spec.to_grid().point_at(index), config)
+    if not 0 <= index < len(spec.schedulers):
+        raise SpecError(f"payload index {index} out of range for scenario "
+                        f"spec {spec.name!r} ({len(spec.schedulers)} points)")
+    return _scenario_point_at(spec, index, profile=profile)
+
+
+def payload_digest(payload) -> str:
+    """Content digest of one point payload's *identity* (sha256 hex).
+
+    Covers exactly the coordinates that determine the point's result row
+    — grid coordinates and registry names for sweep points; family,
+    scheduler, replications, seed, backend and family params for scenario
+    points.  Execution knobs that never change results (``cache_dir``,
+    ``profile``) are excluded, so a profiled resume still matches the
+    digests recorded by an unprofiled run.
+    """
+    if isinstance(payload, ScenarioPoint):
+        identity = {
+            "kind": "scenario", "index": payload.index,
+            "family": payload.family, "scheduler": payload.scheduler,
+            "replications": payload.replications, "seed": payload.seed,
+            "backend": payload.backend,
+            "params": [[k, v] for k, v in payload.family_params],
+        }
+    else:
+        point, config = payload
+        identity = {
+            "kind": "sweep", "index": point.index,
+            "lifespan": float(point.lifespan),
+            "setup_cost": float(point.setup_cost),
+            "max_interrupts": int(point.max_interrupts),
+            "scheduler": point.scheduler, "adversary": point.adversary,
+            "replications": config.replications, "seed": config.seed,
+            "backend": config.backend, "optimal": config.include_optimal,
+        }
+    blob = json.dumps(identity, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def payload_digests(spec: ExperimentSpec) -> List[str]:
+    """Per-point identity digests for the whole spec, in point order.
+
+    Computed once when a run is created and stored in its manifest; a
+    resume then verifies only the *pending* points' lazily expanded
+    payloads against them instead of re-expanding the full grid.
+    """
+    return [payload_digest(payload) for payload in expand_payloads(spec)]
 
 
 def evaluate_payload(payload) -> Dict[str, Any]:

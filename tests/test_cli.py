@@ -280,3 +280,45 @@ schedulers = ["equalizing-adaptive", "fixed-period"]
         assert main(["--csv", str(csv_path), "run", spec, "--runs-dir", runs,
                      "--run-id", "r4", "--replications", "2"]) == 0
         assert "work_mean" in csv_path.read_text()
+
+
+class TestReportCacheCLI:
+    """`repro report` digest caching and profiling through main()."""
+
+    SPEC = TestRunCommands.SPEC
+
+    def _complete_run(self, tmp_path):
+        path = tmp_path / "spec.toml"
+        path.write_text(self.SPEC)
+        runs = str(tmp_path / "runs")
+        assert main(["run", str(path), "--runs-dir", runs,
+                     "--run-id", "rc"]) == 0
+        return runs
+
+    def test_second_report_hits_force_matches(self, tmp_path, capsys):
+        runs = self._complete_run(tmp_path)
+        capsys.readouterr()
+        assert main(["report", "rc", "--runs-dir", runs]) == 0
+        assert "report-cache: miss" in capsys.readouterr().err
+        assert main(["report", "rc", "--runs-dir", runs]) == 0
+        captured = capsys.readouterr()
+        assert "report-cache: hit" in captured.err
+        assert "# Run report: cli-spec" in captured.out
+        cached = open(os.path.join(runs, "rc", "report.md")).read()
+        assert main(["report", "rc", "--runs-dir", runs, "--force"]) == 0
+        assert "report-cache: miss" in capsys.readouterr().err
+        assert open(os.path.join(runs, "rc", "report.md")).read() == cached
+
+    def test_print_only_mode_never_touches_the_cache(self, tmp_path, capsys):
+        runs = self._complete_run(tmp_path)
+        capsys.readouterr()
+        assert main(["report", "rc", "--runs-dir", runs, "--output", "-"]) == 0
+        captured = capsys.readouterr()
+        assert "report-cache" not in captured.err
+        assert not os.path.exists(os.path.join(runs, "rc", "report.md"))
+
+    def test_report_profile_prints_render_stage(self, tmp_path, capsys):
+        runs = self._complete_run(tmp_path)
+        capsys.readouterr()
+        assert main(["report", "rc", "--runs-dir", runs, "--profile"]) == 0
+        assert "report_render" in capsys.readouterr().err

@@ -111,3 +111,83 @@ class TestSeries:
         assert crossover_point(series, "a", "b") is None
         with pytest.raises(KeyError):
             crossover_point(series, "a", "zzz")
+
+
+class TestColumnarRendering:
+    def test_renderers_accept_a_columnar_view(self):
+        from repro.runstore import RunColumns
+
+        columns = RunColumns(
+            point_index=np.arange(2),
+            data={"scheduler": np.asarray(["a", "b"]),
+                  "work": np.asarray([1.5, 2.5])})
+        as_rows = [{"scheduler": "a", "work": 1.5},
+                   {"scheduler": "b", "work": 2.5}]
+        assert render_table(columns) == render_table(as_rows)
+        assert rows_to_csv(columns) == rows_to_csv(as_rows)
+        from repro.reporting import render_markdown_table
+        assert render_markdown_table(columns) == render_markdown_table(as_rows)
+
+
+class TestReportDigestCache:
+    SPEC = {
+        "experiment": {"name": "cache-spec", "kind": "scenario", "seed": 0,
+                       "replications": 2, "backend": "batch"},
+        "scenario": {"family": "laptop",
+                     "schedulers": ["equalizing-adaptive"]},
+    }
+
+    def _run(self, tmp_path):
+        from repro.runstore import run_spec
+        from repro.specs import parse_spec
+
+        return run_spec(parse_spec(self.SPEC), runs_dir=tmp_path)
+
+    def test_second_render_is_a_pure_cache_hit(self, tmp_path, monkeypatch):
+        import repro.reporting.report as report_module
+        from repro.reporting import refresh_run_report
+
+        run = self._run(tmp_path)
+        path, hit = refresh_run_report(run)
+        assert not hit
+
+        def boom(run):  # pragma: no cover - failure path
+            raise AssertionError("cache hit must not re-render")
+
+        monkeypatch.setattr(report_module, "render_run_report", boom)
+        path2, hit2 = refresh_run_report(run)
+        assert hit2 and path2 == path
+
+    def test_force_rerenders_identical_bytes(self, tmp_path):
+        from repro.reporting import refresh_run_report
+
+        run = self._run(tmp_path)
+        path, _hit = refresh_run_report(run)
+        cached = open(path).read()
+        _path, hit = refresh_run_report(run, force=True)
+        assert not hit
+        assert open(path).read() == cached
+
+    def test_run_change_invalidates_the_cache(self, tmp_path):
+        import os
+
+        from repro.reporting import refresh_run_report, report_digest_path
+
+        run = self._run(tmp_path)
+        path, _hit = refresh_run_report(run)
+        assert os.path.exists(report_digest_path(path))
+        # Invalidate by removing the sidecar: no digest -> fresh render,
+        # and the stale stamp must be cleared so it can never hit later.
+        os.remove(run.columns_path)
+        os.remove(os.path.join(run.points_dir, "point-0000.npz"))
+        _path, hit = refresh_run_report(run)
+        assert not hit
+        assert not os.path.exists(report_digest_path(path))
+
+    def test_write_run_report_still_returns_path(self, tmp_path):
+        from repro.reporting import write_run_report
+
+        run = self._run(tmp_path)
+        path = write_run_report(run)
+        assert path == run.report_path
+        assert "# Run report: cache-spec" in open(path).read()

@@ -6,6 +6,7 @@ stopping at a point boundary (``max_points``) and once by SIGKILLing a
 real ``repro run`` subprocess mid-sweep.
 """
 
+import json
 import os
 import signal
 import subprocess
@@ -15,6 +16,7 @@ import time
 import numpy as np
 import pytest
 
+import repro.runstore as runstore_module
 from repro.reporting import render_run_report, write_run_report
 from repro.runstore import (
     Run,
@@ -223,6 +225,283 @@ class TestRunSpecExecution:
         assert f"repro resume {run.run_id}" in report
 
 
+def _synthetic_complete_run(root, num_points=64):
+    """A completed run with ``num_points`` synthetic (but realistic) rows."""
+    assert num_points % 4 == 0
+    spec = parse_spec({
+        "experiment": {"name": "synthetic", "kind": "sweep", "seed": 0},
+        "sweep": {"lifespans": [100.0 + 10.0 * k for k in range(num_points // 4)],
+                  "interrupts": [1, 2],
+                  "schedulers": ["equalizing-adaptive", "single-period"]},
+    })
+    run = RunStore(root).create(spec, run_id="synthetic")
+    for point in spec.to_grid().points():
+        row = point.key_columns()
+        row["guaranteed_work"] = 0.9 * point.lifespan - point.index * 1e-3
+        run.write_point(point.index, row)
+    run.mark_complete()
+    return run
+
+
+class TestColumnarSidecar:
+    def test_sidecar_written_on_completion_and_sources_agree(self, tmp_path):
+        run = run_spec(parse_spec(SWEEP_SPEC), runs_dir=tmp_path)
+        assert os.path.exists(run.columns_path)
+        via_auto = run.rows()
+        via_shards = run.rows(source="shards")
+        via_sidecar = run.rows(source="sidecar")
+        assert via_auto == via_shards == via_sidecar
+        assert len(via_auto) == 6
+
+    def test_columns_view_round_trips_rows(self, tmp_path):
+        run = run_spec(parse_spec(SWEEP_SPEC), runs_dir=tmp_path)
+        columns = run.columns()
+        assert len(columns) == 6
+        assert columns.point_index.tolist() == list(range(6))
+        assert columns.to_rows() == run.rows(source="shards")
+        # Scalar python types survive the columnar round-trip exactly.
+        row = columns.to_rows()[0]
+        assert isinstance(row["scheduler"], str)
+        assert isinstance(row["max_interrupts"], int)
+        assert isinstance(row["guaranteed_work"], float)
+
+    def test_warm_report_performs_zero_per_shard_reads(self, tmp_path,
+                                                       monkeypatch):
+        # The acceptance property: rendering a completed >= 64-point run
+        # with a valid sidecar never opens a point shard.
+        run = _synthetic_complete_run(tmp_path, num_points=64)
+        reads = []
+        real = runstore_module.read_row_shard
+        monkeypatch.setattr(runstore_module, "read_row_shard",
+                            lambda path: (reads.append(path), real(path))[1])
+        reopened = RunStore(tmp_path).open("synthetic")
+        report = render_run_report(reopened)
+        assert "# Run report: synthetic" in report
+        assert reads == []
+
+    def test_corrupt_sidecar_falls_back_and_rebuilds(self, tmp_path):
+        run = run_spec(parse_spec(SWEEP_SPEC), runs_dir=tmp_path)
+        reference = run.rows(source="shards")
+        with open(run.columns_path, "wb") as handle:
+            handle.write(b"this is not a zip archive")
+        assert run.rows() == reference  # fallback, then rebuild
+        assert run.rows(source="sidecar") == reference  # rebuilt and valid
+
+    def test_truncated_sidecar_falls_back_and_rebuilds(self, tmp_path):
+        run = run_spec(parse_spec(SWEEP_SPEC), runs_dir=tmp_path)
+        reference = run.rows(source="shards")
+        data = open(run.columns_path, "rb").read()
+        with open(run.columns_path, "wb") as handle:
+            handle.write(data[: len(data) // 2])
+        assert run.rows() == reference
+        assert run.rows(source="sidecar") == reference
+
+    def test_missing_sidecar_raises_only_for_source_sidecar(self, tmp_path):
+        run = run_spec(parse_spec(SWEEP_SPEC), runs_dir=tmp_path)
+        os.remove(run.columns_path)
+        with pytest.raises(RunStoreError):
+            run.rows(source="sidecar")
+        assert len(run.rows()) == 6  # auto falls back (and rebuilds)
+        with pytest.raises(ValueError):
+            run.rows(source="nonsense")
+
+    def test_stale_sidecar_after_recomputed_corrupt_shard(self, tmp_path):
+        # A corrupt point shard is recomputed on resume; the sidecar
+        # consolidated before the corruption must be refreshed, not
+        # trusted, and both read paths must agree afterwards.
+        run = run_spec(parse_spec(SWEEP_SPEC), runs_dir=tmp_path)
+        reference = run.rows(source="shards")
+        with open(run.shard_path(2), "wb") as handle:
+            handle.write(b"disk corruption")
+        # While shard 2 is corrupt the fallback serves one row fewer, and
+        # the (pre-corruption) sidecar still covers the full shard set.
+        assert len(run.rows(source="shards")) == 5
+        resumed = resume_run(run.run_id, runs_dir=tmp_path)
+        assert resumed.rows(source="sidecar") == reference
+        assert resumed.rows(source="shards") == reference
+
+    def test_sidecar_of_removed_shard_set_is_stale(self, tmp_path):
+        run = run_spec(parse_spec(SWEEP_SPEC), runs_dir=tmp_path)
+        os.remove(run.shard_path(3))
+        # Shard set changed after consolidation: the sidecar is stale, so
+        # a forced sidecar read refuses ...
+        with pytest.raises(RunStoreError):
+            run.rows(source="sidecar")
+        # ... and auto reads fall back to the 5 surviving shards, then
+        # rebuild a fresh (now valid) 5-point sidecar.
+        assert len(run.rows()) == 5
+        assert run.rows(source="sidecar") == run.rows(source="shards")
+
+    def test_sidecar_from_another_run_is_rejected(self, tmp_path):
+        a = run_spec(parse_spec(SWEEP_SPEC), runs_dir=tmp_path / "a")
+        b = run_spec(parse_spec(SCENARIO_SPEC), runs_dir=tmp_path / "b")
+        import shutil
+        shutil.copyfile(a.columns_path, b.columns_path)
+        # Manifest digest mismatch: the foreign sidecar must not serve.
+        assert b.rows() == b.rows(source="shards")
+        assert {row["family"] for row in b.rows()} == {"laptop"}
+
+    def test_non_columnar_rows_skip_sidecar_gracefully(self, tmp_path):
+        spec = parse_spec(SCENARIO_SPEC)
+        run = RunStore(tmp_path).create(spec, run_id="mixed")
+        run.write_point(0, {"scheduler": "a", "value": 1})     # int ...
+        run.write_point(1, {"scheduler": "b", "value": 1.5})   # ... then float
+        run.mark_complete()
+        assert not os.path.exists(run.columns_path)
+        rows = run.rows()
+        assert [row["value"] for row in rows] == [1, 1.5]
+        with pytest.raises(RunStoreError):
+            run.columns()
+
+    def test_array_valued_rows_skip_sidecar_gracefully(self, tmp_path):
+        spec = parse_spec(SCENARIO_SPEC)
+        run = RunStore(tmp_path).create(spec, run_id="arrays")
+        run.write_point(0, {"scheduler": "a", "trace": np.arange(3.0)})
+        run.write_point(1, {"scheduler": "b", "trace": np.arange(4.0)})
+        run.mark_complete()
+        assert not os.path.exists(run.columns_path)
+        assert len(run.rows()) == 2
+
+    def test_missing_column_round_trips_via_mask(self, tmp_path):
+        spec = parse_spec(SCENARIO_SPEC)
+        run = RunStore(tmp_path).create(spec, run_id="ragged")
+        run.write_point(0, {"scheduler": "a", "work_mean": 1.25, "extra": 7})
+        run.write_point(1, {"scheduler": "b", "work_mean": 2.5})
+        run.mark_complete()
+        assert os.path.exists(run.columns_path)
+        rows = run.rows(source="sidecar")
+        assert rows == run.rows(source="shards")
+        assert "extra" in rows[0] and "extra" not in rows[1]
+
+    def test_overwriting_a_point_drops_the_sidecar(self, tmp_path):
+        # An in-place overwrite keeps the shard filename, so the shard-set
+        # staleness check alone could not see it; write_point must drop
+        # the sidecar so both read paths stay identical.
+        run = run_spec(parse_spec(SWEEP_SPEC), runs_dir=tmp_path)
+        assert os.path.exists(run.columns_path)
+        corrected = dict(run.read_point(2), guaranteed_work=123.456)
+        run.write_point(2, corrected)
+        assert not os.path.exists(run.columns_path)
+        rows = run.rows()  # fallback + rebuild over the corrected shard
+        assert rows[2]["guaranteed_work"] == 123.456
+        assert run.rows(source="sidecar") == run.rows(source="shards")
+
+    def test_consolidate_with_no_shards_is_a_noop(self, tmp_path):
+        run = RunStore(tmp_path).create(parse_spec(SCENARIO_SPEC),
+                                        run_id="empty")
+        assert run.consolidate_columns() is None
+        assert not os.path.exists(run.columns_path)
+        assert run.rows() == []
+
+    def test_columns_sources_mirror_rows_sources(self, tmp_path):
+        run = run_spec(parse_spec(SWEEP_SPEC), runs_dir=tmp_path)
+        via_shards = run.columns(source="shards")
+        via_sidecar = run.columns(source="sidecar")
+        assert via_shards.to_rows() == via_sidecar.to_rows()
+        with pytest.raises(ValueError):
+            run.columns(source="nonsense")
+        os.remove(run.columns_path)
+        with pytest.raises(RunStoreError):
+            run.columns(source="sidecar")
+        assert run.columns().to_rows() == via_shards.to_rows()  # auto rebuild
+
+    def test_future_sidecar_schema_is_ignored(self, tmp_path):
+        run = run_spec(parse_spec(SWEEP_SPEC), runs_dir=tmp_path)
+        reference = run.rows(source="shards")
+        with np.load(run.columns_path) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        arrays["_schema"] = np.asarray(99)
+        np.savez(run.columns_path, **arrays)
+        with pytest.raises(RunStoreError):
+            run.rows(source="sidecar")
+        assert run.rows() == reference  # fallback + rebuild at version 1
+
+    def test_sidecar_bytes_deterministic(self, tmp_path):
+        run = run_spec(parse_spec(SWEEP_SPEC), runs_dir=tmp_path)
+        first = open(run.columns_path, "rb").read()
+        assert run.consolidate_columns(force=True) == run.columns_path
+        assert open(run.columns_path, "rb").read() == first
+
+    def test_resumed_and_uninterrupted_sidecars_byte_identical(self, tmp_path):
+        spec = parse_spec(SWEEP_SPEC)
+        full = run_spec(spec, runs_dir=tmp_path / "full")
+        broken = run_spec(spec, runs_dir=tmp_path / "broken", max_points=3)
+        resumed = resume_run(broken.run_id, runs_dir=tmp_path / "broken")
+        assert open(resumed.columns_path, "rb").read() \
+            == open(full.columns_path, "rb").read()
+
+    def test_partial_run_gets_a_partial_sidecar(self, tmp_path):
+        run = run_spec(parse_spec(SWEEP_SPEC), runs_dir=tmp_path,
+                       max_points=2)
+        assert run.status == "running"
+        assert os.path.exists(run.columns_path)
+        assert run.rows(source="sidecar") == run.rows(source="shards")
+        assert len(run.rows()) == 2
+
+    def test_content_digest_tracks_run_changes(self, tmp_path):
+        run = run_spec(parse_spec(SWEEP_SPEC), runs_dir=tmp_path,
+                       max_points=2)
+        partial = run.content_digest()
+        assert partial
+        resumed = resume_run(run.run_id, runs_dir=tmp_path)
+        complete = resumed.content_digest()
+        assert complete and complete != partial
+        os.remove(resumed.columns_path)
+        assert resumed.content_digest() is None
+
+
+class TestLazyResume:
+    def test_manifest_records_payload_digests(self, tmp_path):
+        run = run_spec(parse_spec(SWEEP_SPEC), runs_dir=tmp_path)
+        digests = run.manifest["payload_digests"]
+        assert len(digests) == run.num_points == 6
+        assert all(isinstance(d, str) and len(d) == 64 for d in digests)
+
+    def test_resume_never_expands_the_full_grid(self, tmp_path, monkeypatch):
+        spec = parse_spec(SWEEP_SPEC)
+        run = run_spec(spec, runs_dir=tmp_path, max_points=2)
+
+        def boom(*args, **kwargs):  # pragma: no cover - failure path
+            raise AssertionError("resume re-expanded the full grid")
+
+        monkeypatch.setattr(runstore_module, "expand_payloads", boom)
+        expanded = []
+        real = runstore_module.expand_payload_at
+        monkeypatch.setattr(
+            runstore_module, "expand_payload_at",
+            lambda spec, i, **kw: (expanded.append(i), real(spec, i, **kw))[1])
+        resumed = resume_run(run.run_id, runs_dir=tmp_path)
+        assert resumed.status == "complete"
+        assert expanded == [2, 3, 4, 5]  # pending points only
+
+    def test_payload_digest_mismatch_refuses_to_mix(self, tmp_path):
+        run = run_spec(parse_spec(SWEEP_SPEC), runs_dir=tmp_path,
+                       max_points=2)
+        manifest = json.load(open(run.manifest_path))
+        manifest["payload_digests"][3] = "0" * 64
+        with open(run.manifest_path, "w") as handle:
+            json.dump(manifest, handle)
+        with pytest.raises(RunStoreError) as excinfo:
+            resume_run(run.run_id, runs_dir=tmp_path)
+        assert "digest mismatch" in str(excinfo.value)
+        assert "point 3" in str(excinfo.value)
+
+    def test_pre_digest_manifest_still_resumes(self, tmp_path):
+        # Manifests written before version 2 carry no payload digests;
+        # resume must fall back to the full expansion and still finish.
+        spec = parse_spec(SWEEP_SPEC)
+        reference = run_spec(spec, runs_dir=tmp_path / "ref").rows()
+        run = run_spec(spec, runs_dir=tmp_path, max_points=2)
+        manifest = json.load(open(run.manifest_path))
+        del manifest["payload_digests"]
+        manifest["version"] = 1
+        with open(run.manifest_path, "w") as handle:
+            json.dump(manifest, handle)
+        resumed = resume_run(run.run_id, runs_dir=tmp_path)
+        assert resumed.status == "complete"
+        assert resumed.rows() == reference
+
+
 class TestKillResume:
     """A real mid-run kill: SIGKILL the CLI subprocess, then resume."""
 
@@ -291,3 +570,61 @@ schedulers = ["equalizing-adaptive", "rosenberg-adaptive", "fixed-period", "sing
         assert resumed.completed_points() == set(range(6))
         assert render_run_report(resumed) \
             == self._reference_report(spec_path, tmp_path)
+
+    def test_sigkill_during_sidecar_consolidation_then_resume(self, tmp_path):
+        # Land the kill inside the consolidation window: the test-only
+        # REPRO_TEST_CONSOLIDATE_DELAY hook makes the run stage the
+        # sidecar, touch a `.consolidating` marker, and sleep before the
+        # atomic publish — every point shard is already on disk when the
+        # SIGKILL arrives.  Resume must re-consolidate and the report must
+        # stay byte-identical to an uninterrupted run's.
+        spec_path = tmp_path / "kill.toml"
+        spec_path.write_text(self.SPEC_TOML.replace("replications = 30",
+                                                    "replications = 5"))
+        runs_dir = tmp_path / "runs"
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep \
+            + env.get("PYTHONPATH", "")
+        env["REPRO_TEST_CONSOLIDATE_DELAY"] = "120"
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "run", str(spec_path),
+             "--runs-dir", str(runs_dir), "--run-id", "victim"],
+            env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+        marker = runs_dir / "victim" / ".consolidating"
+        try:
+            deadline = time.monotonic() + 120.0
+            while time.monotonic() < deadline and proc.poll() is None:
+                if marker.exists():
+                    break
+                time.sleep(0.02)
+            assert marker.exists(), "consolidation never started"
+            assert proc.poll() is None, "run exited before the kill window"
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=60)
+        finally:
+            if proc.poll() is None:  # pragma: no cover - cleanup on failure
+                proc.kill()
+                proc.wait()
+
+        run = Run(str(runs_dir / "victim"))
+        # Killed between the last shard and the status flip: all points
+        # are durable, the sidecar publish never happened, and only whole
+        # files are visible (the staged temp file is not a sidecar).
+        assert run.status == "running"
+        assert run.completed_points() == set(range(6))
+        assert not os.path.exists(run.columns_path)
+        resumed = resume_run("victim", runs_dir=runs_dir)
+        assert resumed.status == "complete"
+        assert resumed.rows(source="sidecar") == resumed.rows(source="shards")
+        assert render_run_report(resumed) \
+            == self._reference_report(spec_path, tmp_path)
+
+
+class TestEmptyColumns:
+    def test_columns_of_an_empty_run_is_an_empty_view(self, tmp_path):
+        run = RunStore(tmp_path).create(parse_spec(SCENARIO_SPEC),
+                                        run_id="fresh")
+        columns = run.columns()
+        assert len(columns) == 0
+        assert columns.to_rows() == [] == run.rows()

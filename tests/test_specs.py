@@ -396,3 +396,79 @@ class TestSpecDataclass:
         spec = parse_spec(SWEEP_SPEC)
         assert pickle.loads(pickle.dumps(spec)) == spec
         assert isinstance(spec, ExperimentSpec)
+
+
+class TestLazyExpansion:
+    """expand_payload_at / payload digests — the run store's lazy resume."""
+
+    def test_expand_payload_at_matches_full_expansion(self):
+        from repro.specs import expand_payload_at
+
+        for raw in (SWEEP_SPEC, SCENARIO_SPEC):
+            spec = parse_spec(raw)
+            full = expand_payloads(spec)
+            for i in range(len(full)):
+                assert expand_payload_at(spec, i) == full[i]
+
+    def test_count_payloads_matches_expansion(self):
+        from repro.specs import count_payloads
+
+        for raw in (SWEEP_SPEC, SCENARIO_SPEC):
+            spec = parse_spec(raw)
+            assert count_payloads(spec) == len(expand_payloads(spec))
+
+    def test_grid_point_at_matches_points(self):
+        spec = parse_spec({
+            "experiment": {"name": "big", "kind": "sweep", "seed": 0,
+                           "replications": 1},
+            "sweep": {"lifespans": [100.0, 200.0, 300.0],
+                      "setup_costs": [1.0, 2.0], "interrupts": [1, 2],
+                      "schedulers": ["equalizing-adaptive", "single-period"],
+                      "adversaries": ["poisson-owner", "uniform-owner"]},
+        })
+        grid = spec.to_grid()
+        points = grid.points()
+        assert grid.size == len(points) == 48
+        for i, point in enumerate(points):
+            assert grid.point_at(i) == point
+
+    def test_point_at_rejects_out_of_range(self):
+        from repro.core.exceptions import InvalidParameterError
+
+        grid = parse_spec(SWEEP_SPEC).to_grid()
+        with pytest.raises(InvalidParameterError):
+            grid.point_at(grid.size)
+        with pytest.raises(InvalidParameterError):
+            grid.point_at(-1)
+
+    def test_expand_payload_at_rejects_bad_scenario_index(self):
+        from repro.specs import expand_payload_at
+
+        with pytest.raises(SpecError):
+            expand_payload_at(parse_spec(SCENARIO_SPEC), 2)
+
+    def test_payload_digests_are_stable_and_identity_only(self):
+        from repro.specs import expand_payload_at, payload_digest, payload_digests
+
+        spec = parse_spec(SWEEP_SPEC)
+        digests = payload_digests(spec)
+        assert len(digests) == len(expand_payloads(spec))
+        assert len(set(digests)) == len(digests)  # one identity per point
+        # Execution knobs (profile, cache_dir) never change the identity.
+        assert payload_digest(expand_payload_at(spec, 1, profile=True,
+                                                cache_dir="/tmp/x")) \
+            == digests[1]
+        # ... but result-shaping knobs do.
+        other = parse_spec({**SWEEP_SPEC,
+                            "experiment": {**SWEEP_SPEC["experiment"],
+                                           "seed": 99}})
+        assert payload_digests(other) != digests
+
+    def test_scenario_digests_cover_family_params(self):
+        from repro.specs import payload_digests
+
+        base = parse_spec(SCENARIO_SPEC)
+        tweaked = parse_spec({**SCENARIO_SPEC,
+                              "scenario": {**SCENARIO_SPEC["scenario"],
+                                           "params": {"lifespan": 300.0}}})
+        assert payload_digests(base) != payload_digests(tweaked)
