@@ -88,8 +88,10 @@ def _time_point_case(lifespan, budget, replications):
     batch_row = replicate_point(point, replications, base_seed=0,
                                 backend="batch")
     batch_seconds = time.perf_counter() - start
-    close = all(abs(event_row[k] - batch_row[k]) <= 1e-9 * max(1.0, abs(event_row[k]))
-                for k in event_row)
+    close = all(
+        event_row[k] == batch_row[k] if isinstance(event_row[k], str)
+        else abs(event_row[k] - batch_row[k]) <= 1e-9 * max(1.0, abs(event_row[k]))
+        for k in event_row)
     return event_seconds, batch_seconds, close
 
 

@@ -13,14 +13,16 @@ Usage::
 
     PYTHONPATH=src python scripts/check_bench_regression.py \
         [--max-lifespan 5000] [--tolerance 1e-9] [--results-dir benchmarks/results] \
-        [--only {all,optimality-gap,nonadaptive,referee,runstore-io}]
+        [--only {all,optimality-gap,nonadaptive,referee,runstore-io,mc-streaming}]
 
 The default ``--max-lifespan`` keeps the check under a few seconds; raise
 it to re-verify the full committed grid.  ``--only runstore-io`` runs just
 the run-store I/O check: it rebuilds the benchmark's synthetic runs,
 re-derives the committed row digests through BOTH the per-shard and the
 columnar-sidecar read paths, and enforces the committed sidecar-vs-shard
-speedup floor.
+speedup floor.  ``--only mc-streaming`` re-derives the deterministic work
+statistics of the committed streaming-aggregation evidence
+(``mc_streaming.csv``) and enforces its peak-RSS flatness floor.
 
 Exit codes (so CI can distinguish the failure modes):
 
@@ -264,6 +266,79 @@ def check_runstore_io(results_dir: str, max_lifespan: float,
     return checked, failures
 
 
+def check_mc_streaming(results_dir: str, max_lifespan: float,
+                       tolerance: float):
+    """Re-verify the committed streaming-aggregation evidence.
+
+    ``mc_streaming.csv`` holds one row per (aggregation, replication
+    count): deterministic work statistics plus the machine-dependent
+    seconds and peak-RSS columns.  The deterministic columns of every row
+    at or below :data:`MC_STREAMING_REDERIVE_CAP` replications are
+    re-derived in-process (exact and streaming alike — the streaming
+    accumulators are chunking-invariant, so the committed values must
+    reproduce exactly up to tolerance); the expensive 10^5/10^6 rows are
+    not re-run, but their committed peak-RSS evidence must keep satisfying
+    the documented flatness floor: the largest streaming count within
+    ``RSS_RATIO_FLOOR`` of the smallest.  Live (re-measured) flatness is
+    ``scripts/check_mc_memory.py``'s job; this guard pins the committed
+    table itself.
+    """
+    sys.path.insert(0, os.path.join(_ROOT, "benchmarks"))
+    from mc_streaming_util import RSS_RATIO_FLOOR, replicate_stats
+
+    path = os.path.join(results_dir, "mc_streaming.csv")
+    failures = []
+    checked = 0
+    streaming_rows = []
+    for row in read_rows(path):
+        count = int(row["replications"])
+        aggregation = row["aggregation"]
+        if aggregation == "streaming":
+            streaming_rows.append(row)
+        if count > MC_STREAMING_REDERIVE_CAP:
+            continue
+        chunk = int(row["chunk_size"]) or None
+        recomputed = replicate_stats(count, aggregation, chunk)
+        for column in ("work_mean", "work_std", "work_q50"):
+            committed = float(row[column])
+            drift = relative_drift(committed, float(recomputed[column]))
+            if drift > tolerance:
+                failures.append(
+                    f"{path}: {aggregation} x {count}: {column} drifted "
+                    f"{drift:.3e} (committed {committed!r}, recomputed "
+                    f"{recomputed[column]!r})")
+        if row["quantile_method"] != recomputed["quantile_method"]:
+            failures.append(
+                f"{path}: {aggregation} x {count}: quantile_method is "
+                f"{recomputed['quantile_method']!r}, committed "
+                f"{row['quantile_method']!r}")
+        checked += 1
+
+    if len(streaming_rows) < 2:
+        failures.append(f"{path}: needs at least two streaming rows to "
+                        "evidence memory flatness")
+    else:
+        streaming_rows.sort(key=lambda r: int(r["replications"]))
+        smallest, largest = streaming_rows[0], streaming_rows[-1]
+        ratio = float(largest["rss_mib"]) / float(smallest["rss_mib"])
+        if ratio > RSS_RATIO_FLOOR:
+            failures.append(
+                f"{path}: committed streaming peak RSS grew {ratio:.2f}x "
+                f"from {smallest['replications']} to "
+                f"{largest['replications']} replications (floor "
+                f"{RSS_RATIO_FLOOR:g}x) — regenerate the evidence only "
+                "after fixing the regression")
+        checked += 1
+    return checked, failures
+
+
+#: Streaming-evidence rows at or below this replication count are re-run
+#: in-process by ``check_mc_streaming``; larger counts are trusted as
+#: committed (their flatness ratio is still enforced) to keep the guard
+#: fast enough for every-push CI.
+MC_STREAMING_REDERIVE_CAP = 10_000
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--results-dir",
@@ -276,7 +351,7 @@ def main(argv=None) -> int:
                         help="optional on-disk DP-table cache directory")
     parser.add_argument("--only", default="all",
                         choices=["all", "optimality-gap", "nonadaptive",
-                                 "referee", "runstore-io"],
+                                 "referee", "runstore-io", "mc-streaming"],
                         help="run a single check instead of the full set")
     args = parser.parse_args(argv)
 
@@ -289,6 +364,8 @@ def main(argv=None) -> int:
         "referee": lambda: check_referee_speedup(
             args.results_dir, args.max_lifespan, args.tolerance),
         "runstore-io": lambda: check_runstore_io(
+            args.results_dir, args.max_lifespan, args.tolerance),
+        "mc-streaming": lambda: check_mc_streaming(
             args.results_dir, args.max_lifespan, args.tolerance),
     }
     selected = list(checkers) if args.only == "all" else [args.only]

@@ -15,6 +15,12 @@ smoke test::
 
     PYTHONPATH=src python scripts/compare_backends.py --replications 500 --jobs 2
 
+``--aggregation-parity`` switches to the aggregation-pipeline guard
+instead: every scenario family is replicated with one-shot exact
+aggregation and with the streaming accumulators at two different chunk
+sizes, failing if streaming count/mean/std/min/max drift from exact
+beyond the tolerance or if the two chunkings differ by a single bit.
+
 Exit codes: ``0`` agreement, ``1`` divergence, ``2`` could not run.
 """
 
@@ -64,6 +70,55 @@ def compare_rows(event_rows, batch_rows, tolerance: float):
                        f"(event {a!r}, batch {b!r})")
 
 
+def check_aggregation_parity(families, replications: int,
+                             chunk_sizes, seed: int, tolerance: float):
+    """Chunked-vs-one-shot aggregation parity across scenario families.
+
+    For every family, replicates the scenario stream three ways on the
+    batch backend — one-shot exact aggregation, and streaming aggregation
+    at two different chunk sizes — and yields one message per violation
+    of the pipeline's two contracts:
+
+    * streaming is **deterministic regardless of chunk size**: the two
+      streaming rows must be bit-identical (the accumulators are fed in
+      replication order, so chunking cannot change a single bit);
+    * streaming count/mean/std/min/max agree with exact aggregation within
+      ``tolerance`` (Welford vs numpy pairwise summation, ~1e-15 relative
+      observed).  Quantile columns are P² *estimates* under streaming and
+      are deliberately not compared against exact quantiles here.
+    """
+    for name in families:
+        family = SCENARIO_FAMILIES[name]
+        start = time.perf_counter()
+        exact = replicate_scenario(family, replications, base_seed=seed,
+                                   backend="batch", aggregation="exact")
+        streamed = [replicate_scenario(family, replications, base_seed=seed,
+                                       backend="batch",
+                                       aggregation="streaming",
+                                       chunk_size=chunk)
+                    for chunk in chunk_sizes]
+        seconds = time.perf_counter() - start
+        print(f"parity: family {name!r} x {replications} replications "
+              f"(chunks {list(chunk_sizes)}) in {seconds:.1f}s")
+
+        first, second = streamed
+        if first != second:
+            diffs = sorted(k for k in set(first) | set(second)
+                           if first.get(k) != second.get(k))
+            yield (f"family {name!r}: streaming rows differ between chunk "
+                   f"sizes {chunk_sizes[0]} and {chunk_sizes[1]} "
+                   f"(columns {diffs}) — chunking changed the results")
+        for key in sorted(exact):
+            if not any(key.endswith(suffix) for suffix in
+                       ("_n", "_mean", "_std", "_min", "_max")):
+                continue
+            a, b = float(exact[key]), float(first[key])
+            drift = abs(a - b) / max(1.0, abs(a))
+            if drift > tolerance:
+                yield (f"family {name!r}: {key} drifted {drift:.3e} "
+                       f"between exact ({a!r}) and streaming ({b!r})")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--lifespans", type=float, nargs="+",
@@ -88,7 +143,44 @@ def main(argv=None) -> int:
     parser.add_argument("--family-replications", type=int, default=None,
                         help="replications per scenario family "
                              "(default: --replications)")
+    parser.add_argument("--aggregation-parity", action="store_true",
+                        help="instead of the backend sweep, check chunked "
+                             "streaming aggregation against one-shot exact "
+                             "aggregation on every scenario family: "
+                             "streaming mean/std within --tolerance of "
+                             "exact, and bit-identical across two chunk "
+                             "sizes")
+    parser.add_argument("--parity-chunk-sizes", type=int, nargs=2,
+                        default=[64, 97],
+                        help="the two (deliberately non-divisible) chunk "
+                             "sizes whose streaming rows must agree "
+                             "bit-for-bit")
     args = parser.parse_args(argv)
+
+    if args.aggregation_parity:
+        families = args.families or SCENARIO_FAMILIES.names()
+        replications = args.family_replications or args.replications
+        try:
+            failures = list(check_aggregation_parity(
+                families, replications, args.parity_chunk_sizes,
+                args.seed, args.tolerance))
+        except Exception as exc:
+            github_error(f"aggregation parity check could not run: {exc}")
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_ERROR
+        if failures:
+            github_error(f"{len(failures)} aggregation-parity violation(s) "
+                         "— see the job log")
+            print(f"AGGREGATION PARITY VIOLATED ({len(failures)} value(s), "
+                  f"tolerance {args.tolerance:g}):", file=sys.stderr)
+            for failure in failures:
+                print(f"  - {failure}", file=sys.stderr)
+            return EXIT_DIVERGED
+        print(f"ok: {len(families)} families x {replications} replications "
+              "agree between exact and streaming aggregation "
+              f"(tolerance {args.tolerance:g}); streaming bit-identical "
+              f"across chunk sizes {args.parity_chunk_sizes}")
+        return EXIT_OK
 
     try:
         grid = SweepGrid(lifespans=tuple(args.lifespans),

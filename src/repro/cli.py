@@ -138,6 +138,16 @@ def build_parser() -> argparse.ArgumentParser:
     sw.add_argument("--backend", choices=["event", "batch"], default="event",
                     help="Monte-Carlo replication backend (batch = vectorized; "
                          "~10x faster on large --replications, same aggregates)")
+    sw.add_argument("--aggregation", choices=["exact", "streaming", "auto"],
+                    default="auto",
+                    help="Monte-Carlo aggregation: exact one-shot arrays, "
+                         "streaming online accumulators (flat memory, P2 "
+                         "quantile estimates), or auto (exact below the "
+                         "streaming threshold)")
+    sw.add_argument("--chunk-size", type=int, default=None,
+                    help="streaming chunk size in replications (default: "
+                         "auto-sized from --replications; never changes "
+                         "results, only memory/throughput)")
     sw.add_argument("--profile", action="store_true",
                     help="print a per-stage wall-time breakdown (referee / "
                          "DP solve / Monte-Carlo) to stderr")
@@ -160,6 +170,13 @@ def build_parser() -> argparse.ArgumentParser:
                     help="override the spec's base seed")
     rn.add_argument("--backend", choices=["event", "batch"], default=None,
                     help="override the spec's replication backend")
+    rn.add_argument("--aggregation", choices=["exact", "streaming", "auto"],
+                    default=None,
+                    help="override the spec's Monte-Carlo aggregation mode "
+                         "(re-validated on resume like every spec key)")
+    rn.add_argument("--chunk-size", type=int, default=None, dest="chunk_size",
+                    help="override the spec's streaming chunk size (never "
+                         "changes results, so resumes may re-chunk freely)")
     rn.add_argument("--cache-dir", default=CACHE_DIR_HELP_DEFAULT,
                     help=CACHE_DIR_HELP)
     rn.add_argument("--max-points", type=int, default=None,
@@ -292,6 +309,7 @@ def _cmd_sweep(args) -> List[dict]:
     return run_sweep(grid, jobs=args.jobs, replications=args.replications,
                      seed=args.seed, cache_dir=args.cache_dir,
                      include_optimal=args.optimal, backend=args.backend,
+                     aggregation=args.aggregation, chunk_size=args.chunk_size,
                      profile=args.profile)
 
 
@@ -301,7 +319,8 @@ def _spec_with_overrides(args):
 
     spec = load_spec(args.spec)
     overrides = {key: getattr(args, key, None)
-                 for key in ("replications", "seed", "backend")}
+                 for key in ("replications", "seed", "backend",
+                             "aggregation", "chunk_size")}
     if any(value is not None for value in overrides.values()):
         data = spec_to_dict(spec)
         for key, value in overrides.items():

@@ -9,7 +9,8 @@ randomized scenario generators in :mod:`repro.workloads.scenarios`
 
 Determinism: replication ``r`` of point ``i`` is seeded with
 ``point_seed(base_seed, i, r)``, so aggregate rows are bit-identical no
-matter how the orchestrator spreads replications over worker processes.
+matter how the orchestrator spreads replications over worker processes —
+and, in streaming mode, no matter how the replications are chunked.
 
 Backends
 --------
@@ -21,11 +22,31 @@ construction and doing the accounting with array passes).  Adversaries are
 seeded and consulted identically under both backends, so for the same
 seeds the batch results match the event results exactly up to float
 summation order (``~1e-15`` relative; the equivalence tests pin ``1e-9``).
+Non-adaptive sweep points route through a dedicated batch path that
+mirrors :func:`repro.core.game.play_nonadaptive` with a tail-reuse-aware
+array pass (shared truncated/extended schedules, shared tails, vectorized
+completed-period accounting).
+
+Aggregation modes
+-----------------
+``aggregation="exact"`` materialises every replication's statistics and
+aggregates them in one numpy pass (the historical behaviour — quantiles
+are exact).  ``aggregation="streaming"`` plays replications in fixed-size
+chunks (``chunk_size``, auto-sized from the replication count by default)
+and feeds the per-replication values into the online accumulators of
+:mod:`repro.experiments.streaming` — Welford mean/std, exact running
+min/max and P² quantile estimates — so peak memory is flat in the
+replication count.  ``aggregation="auto"`` (the default) selects exact at
+or below :data:`STREAMING_AUTO_THRESHOLD` replications and streaming
+above, preserving exact results for every small run.  Each replicated row
+carries a ``quantile_method`` column (``"exact"`` or ``"p2"``) so reports
+can flag which convention its quantile columns follow.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+import time
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -33,8 +54,11 @@ from ..core.exceptions import InvalidScheduleError, SchedulingError
 from ..core.game import play_adaptive, play_nonadaptive
 from ..core.schedule import EpisodeSchedule
 from .grid import SweepPoint, make_adversary, make_scheduler, point_seed
+from .streaming import StreamingAggregator
 
-__all__ = ["aggregate", "replicate_point", "replicate_scenario", "BACKENDS"]
+__all__ = ["aggregate", "replicate_point", "replicate_scenario", "BACKENDS",
+           "AGGREGATIONS", "STREAMING_AUTO_THRESHOLD", "resolve_aggregation",
+           "resolve_chunk_size"]
 
 #: Quantiles reported for every replicated statistic.
 QUANTILES = (0.1, 0.5, 0.9)
@@ -42,11 +66,56 @@ QUANTILES = (0.1, 0.5, 0.9)
 #: Recognised replication backends.
 BACKENDS = ("event", "batch")
 
+#: Recognised aggregation modes.
+AGGREGATIONS = ("exact", "streaming", "auto")
+
+#: ``aggregation="auto"`` uses exact aggregation at or below this many
+#: replications and the streaming accumulators above it.
+STREAMING_AUTO_THRESHOLD = 10_000
+
+#: Bounds for the auto-sized streaming chunk (replications per chunk).
+_MIN_CHUNK = 256
+_MAX_CHUNK = 8192
+
 
 def _check_backend(backend: str) -> str:
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; known: {list(BACKENDS)}")
     return backend
+
+
+def resolve_aggregation(aggregation: str, replications: int) -> str:
+    """Resolve an aggregation mode to ``"exact"`` or ``"streaming"``.
+
+    ``"auto"`` picks exact at or below :data:`STREAMING_AUTO_THRESHOLD`
+    replications (results byte-identical to the historical one-shot
+    aggregation) and streaming above.  The resolution depends only on the
+    mode and the replication count, never on memory probing or the
+    environment, so resumed runs re-resolve identically.
+    """
+    if aggregation not in AGGREGATIONS:
+        raise ValueError(f"unknown aggregation {aggregation!r}; "
+                         f"known: {list(AGGREGATIONS)}")
+    if aggregation == "auto":
+        return "streaming" if replications > STREAMING_AUTO_THRESHOLD else "exact"
+    return aggregation
+
+
+def resolve_chunk_size(chunk_size: Optional[int], replications: int) -> int:
+    """The streaming chunk size: explicit, or auto-sized from replications.
+
+    The auto size grows with the replication count between
+    :data:`_MIN_CHUNK` and :data:`_MAX_CHUNK` — big enough to amortise the
+    batch backend's shared schedule construction, small enough that peak
+    memory stays flat.  Chunking never affects results (accumulators are
+    fed in replication order), only memory and throughput.
+    """
+    if chunk_size is not None:
+        chunk = int(chunk_size)
+        if chunk < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size!r}")
+        return chunk
+    return max(_MIN_CHUNK, min(_MAX_CHUNK, int(replications) // 8))
 
 
 def aggregate(values: Sequence[float], prefix: str) -> Dict[str, float]:
@@ -61,11 +130,26 @@ def aggregate(values: Sequence[float], prefix: str) -> Dict[str, float]:
     ``{prefix}_q<percent>`` per entry of :data:`QUANTILES`.
 
     The standard deviation is the *sample* standard deviation (``ddof=1``)
-    when two or more replications are available, ``0.0`` otherwise.
+    when two or more replications are available and **exactly ``0.0``
+    otherwise** — a single replication has no spread estimate, and pinning
+    ``0.0`` (rather than numpy's NaN for ``ddof=1`` on one value) keeps
+    report tables and downstream comparisons NaN-free.  The streaming
+    accumulators follow the same convention.
+
+    NaN inputs are rejected with an actionable error: a NaN statistic
+    means a replication produced undefined work, and silently propagating
+    it would poison every mean/std/quantile column downstream.
     """
     arr = np.asarray(list(values), dtype=float)
     if arr.size == 0:
         return {f"{prefix}_n": 0}
+    nan_count = int(np.isnan(arr).sum())
+    if nan_count:
+        raise ValueError(
+            f"cannot aggregate {prefix!r}: {nan_count} of {arr.size} "
+            "replication values are NaN; NaN cannot be aggregated (it would "
+            "poison mean/std/quantiles) — check the scheduler/adversary/"
+            "scenario for invalid parameters producing undefined work values")
     out: Dict[str, float] = {
         f"{prefix}_n": int(arr.size),
         f"{prefix}_mean": float(arr.mean()),
@@ -78,41 +162,68 @@ def aggregate(values: Sequence[float], prefix: str) -> Dict[str, float]:
     return out
 
 
+def _chunk_ranges(replications: int, chunk: int) -> Iterator[Tuple[int, int]]:
+    """Half-open ``[start, stop)`` replication ranges covering the stream."""
+    for start in range(0, replications, chunk):
+        yield start, min(start + chunk, replications)
+
+
+def _record_chunk(profile: Optional[Dict[str, float]], seconds: float) -> None:
+    """Per-chunk stage accounting for ``--profile`` (see profiling module)."""
+    if profile is None:
+        return
+    profile["mc_chunks"] = profile.get("mc_chunks", 0.0) + 1.0
+    profile["mc_chunk_s_max"] = max(profile.get("mc_chunk_s_max", 0.0),
+                                    float(seconds))
+
+
 def replicate_point(point: SweepPoint, replications: int,
-                    base_seed: int = 0, *, backend: str = "event") -> Dict[str, float]:
+                    base_seed: int = 0, *, backend: str = "event",
+                    aggregation: str = "auto",
+                    chunk_size: Optional[int] = None,
+                    profile: Optional[Dict[str, float]] = None) -> Dict[str, float]:
     """Play ``replications`` randomized traces of one sweep point.
 
     The point's scheduler plays against freshly seeded instances of the
     point's adversary; adaptive schedulers use the adaptive referee,
     pure non-adaptive ones the oblivious referee.  Returns the aggregated
     ``work_*`` / ``efficiency_*`` / ``interrupts_*`` / ``episodes_*``
-    columns: work is in the time unit of the point's lifespan ``U`` (the
-    paper's ``L`` on the integer DP grid) and set-up cost ``c``;
-    efficiency is work divided by ``U`` (dimensionless); interrupts per
-    game never exceed the point's budget ``p`` because the referee stops
-    consulting the adversary once the budget is spent.
+    columns plus ``quantile_method`` (``"exact"`` or ``"p2"``): work is in
+    the time unit of the point's lifespan ``U`` (the paper's ``L`` on the
+    integer DP grid) and set-up cost ``c``; efficiency is work divided by
+    ``U`` (dimensionless); interrupts per game never exceed the point's
+    budget ``p`` because the referee stops consulting the adversary once
+    the budget is spent.
 
-    ``backend="batch"`` plays all replications level-synchronously with
-    shared episode-schedule construction (adaptive schedulers only;
-    non-adaptive points transparently use the event referee, which is
-    already cheap for them).
+    ``backend="batch"`` plays replications level-synchronously with shared
+    episode-schedule construction; non-adaptive points use the dedicated
+    tail-reuse-aware batch pass.  ``aggregation`` / ``chunk_size`` select
+    the aggregation pipeline (see the module docstring); replication ``r``
+    is always seeded by its absolute index, so results are independent of
+    the chunking.  ``profile`` (a mutable mapping, optional) receives
+    per-chunk stage accounting under the ``mc_chunks`` /
+    ``mc_chunk_s_max`` keys.
     """
     if point.adversary is None:
         raise ValueError(f"point {point.index} has no adversary to sample")
     if replications < 1:
         raise ValueError(f"replications must be >= 1, got {replications!r}")
     _check_backend(backend)
+    mode = resolve_aggregation(aggregation, int(replications))
     params = point.params()
     scheduler = make_scheduler(point.scheduler, params)
     adaptive = hasattr(scheduler, "episode_schedule")
 
-    if backend == "batch" and adaptive:
-        works, interrupts, episodes = _play_point_batch(point, scheduler,
-                                                        int(replications),
-                                                        base_seed)
-    else:
-        works, interrupts, episodes = [], [], []
-        for r in range(int(replications)):
+    def play_range(start: int, stop: int):
+        if backend == "batch" and adaptive:
+            return _play_point_batch(point, scheduler, start, stop, base_seed)
+        if backend == "batch":
+            return _play_point_nonadaptive_batch(point, scheduler, start,
+                                                 stop, base_seed)
+        works: List[float] = []
+        interrupts: List[float] = []
+        episodes: List[float] = []
+        for r in range(start, stop):
             seed = point_seed(base_seed, point.index, r)
             adversary = make_adversary(point.adversary, params, seed=seed)
             if adaptive:
@@ -122,38 +233,66 @@ def replicate_point(point: SweepPoint, replications: int,
             works.append(result.total_work)
             interrupts.append(float(result.num_interrupts))
             episodes.append(float(result.num_episodes))
+        return works, interrupts, episodes
 
     row: Dict[str, float] = {}
-    row.update(aggregate(works, "work"))
-    row.update(aggregate([w / params.lifespan for w in works], "efficiency"))
-    row.update(aggregate(interrupts, "interrupts"))
-    row.update(aggregate(episodes, "episodes"))
+    if mode == "exact":
+        started = time.perf_counter()
+        works, interrupts, episodes = play_range(0, int(replications))
+        _record_chunk(profile, time.perf_counter() - started)
+        row.update(aggregate(works, "work"))
+        row.update(aggregate([w / params.lifespan for w in works],
+                             "efficiency"))
+        row.update(aggregate(interrupts, "interrupts"))
+        row.update(aggregate(episodes, "episodes"))
+        row["quantile_method"] = "exact"
+        return row
+
+    chunk = resolve_chunk_size(chunk_size, int(replications))
+    aggregators = {name: StreamingAggregator(name, QUANTILES)
+                   for name in ("work", "efficiency", "interrupts",
+                                "episodes")}
+    for start, stop in _chunk_ranges(int(replications), chunk):
+        started = time.perf_counter()
+        works, interrupts, episodes = play_range(start, stop)
+        aggregators["work"].extend(works)
+        aggregators["efficiency"].extend([w / params.lifespan for w in works])
+        aggregators["interrupts"].extend(interrupts)
+        aggregators["episodes"].extend(episodes)
+        _record_chunk(profile, time.perf_counter() - started)
+    for name, aggregator in aggregators.items():
+        row.update(aggregator.summary(name))
+    row["quantile_method"] = "p2"
     return row
 
 
-def _play_point_batch(point: SweepPoint, scheduler, replications: int,
-                      base_seed: int):
-    """Adaptive game over all replications at once, level by level.
+def _play_point_batch(point: SweepPoint, scheduler, rep_start: int,
+                      rep_stop: int, base_seed: int):
+    """Adaptive game over replications ``[rep_start, rep_stop)``, level by level.
 
     Mirrors :func:`repro.core.game.play_adaptive` step for step: every
-    replication's adversary is constructed with the same seed and consulted
-    in the same episode order as under the event backend, so both backends
-    consume identical randomness.  Replications sharing a game state
-    (residual lifespan, interrupts left) share one validated schedule and
-    its prefix-sum work table; only the interrupted episodes' work values
-    differ from the referee's by float summation order (``~1e-15``).
+    replication's adversary is constructed with the same (absolute-index)
+    seed and consulted in the same episode order as under the event
+    backend, so both backends consume identical randomness regardless of
+    chunking.  Replications sharing a game state (residual lifespan,
+    interrupts left) share one validated schedule and its prefix-sum work
+    table; only the interrupted episodes' work values differ from the
+    referee's by float summation order (``~1e-15``).  The schedule memo
+    lives for one call — one chunk — so streaming chunked runs keep peak
+    memory flat even when every replication visits a distinct residual.
     """
     params = point.params()
     c = params.setup_cost
+    count = rep_stop - rep_start
     adversaries = [make_adversary(point.adversary, params,
                                   seed=point_seed(base_seed, point.index, r))
-                   for r in range(replications)]
-    residual = [params.lifespan] * replications
-    p_left = [params.max_interrupts] * replications
-    works = [0.0] * replications
-    interrupts = [0.0] * replications
-    episodes = [0.0] * replications
-    alive = list(range(replications))
+                   for r in range(rep_start, rep_stop)]
+    residual = [params.lifespan] * count
+    p_left = [params.max_interrupts] * count
+    works = [0.0] * count
+    interrupts = [0.0] * count
+    episodes = [0.0] * count
+    alive = list(range(count))
 
     # (residual, interrupts_left) -> (schedule, total_length, finishes,
     #                                 prefix work, uninterrupted work)
@@ -222,9 +361,140 @@ def _play_point_batch(point: SweepPoint, scheduler, replications: int,
     return works, interrupts, episodes
 
 
+def _play_point_nonadaptive_batch(point: SweepPoint, scheduler,
+                                  rep_start: int, rep_stop: int,
+                                  base_seed: int):
+    """Non-adaptive game over replications ``[rep_start, rep_stop)``.
+
+    Mirrors :func:`repro.core.game.play_nonadaptive` with a
+    *tail-reuse-aware* array pass: the committed opportunity schedule is
+    built and validated once; per stretch, replications facing the same
+    tail object with the same residual share one truncated/extended
+    schedule, its finish times and its prefix-sum work table; replications
+    interrupted in the same period of a shared schedule share one tail
+    object (so the grouping keeps paying off in later stretches); and the
+    completed-period lookups of a group run as one vectorized
+    ``searchsorted``.  Adversaries are consulted with exactly the event
+    referee's arguments, in replication order, so both paths consume
+    identical randomness; per-stretch work values differ from the event
+    referee's only by float summation order (cumsum vs pairwise,
+    ``~1e-15``).  All memos live for one call (one chunk), keeping peak
+    memory flat in streaming mode.
+    """
+    params = point.params()
+    c = params.setup_cost
+    lifespan = params.lifespan
+    budget = params.max_interrupts
+    count = rep_stop - rep_start
+
+    base = scheduler.opportunity_schedule(params)
+    if not isinstance(base, EpisodeSchedule):
+        raise SchedulingError(
+            f"scheduler returned {type(base).__name__}, expected EpisodeSchedule")
+    base.validate_for_lifespan(lifespan, require_exact=False)
+
+    adversaries = [make_adversary(point.adversary, params,
+                                  seed=point_seed(base_seed, point.index, r))
+                   for r in range(rep_start, rep_stop)]
+    clock = [0.0] * count
+    left = [budget] * count
+    seen_interrupts = [0] * count
+    tails: List[Optional[EpisodeSchedule]] = [base] * count
+    works = [0.0] * count
+    interrupts = [0.0] * count
+    episodes = [0.0] * count
+    alive = list(range(count))
+
+    # (tail key, remaining) -> (schedule, total_length, finishes,
+    #                           prefix work, uninterrupted work)
+    current_memo: Dict[tuple, tuple] = {}
+    # (id(schedule), first kept period) -> shared tail object (or None)
+    tail_memo: Dict[tuple, Optional[EpisodeSchedule]] = {}
+    while alive:
+        groups: Dict[tuple, List[int]] = {}
+        for r in alive:
+            remaining = lifespan - clock[r]
+            # The Section 2.2 exception: after the p-th interrupt the rest
+            # of the lifespan runs as one long period.
+            if left[r] == 0 and budget > 0 and seen_interrupts[r] > 0:
+                tail_key: tuple = ("single",)
+            elif tails[r] is None:
+                tail_key = ("single",)
+            else:
+                tail_key = ("tail", id(tails[r]))
+            groups.setdefault((tail_key, remaining), []).append(r)
+
+        for (tail_key, remaining), group_reps in groups.items():
+            if (tail_key, remaining) not in current_memo:
+                if tail_key[0] == "single":
+                    current = EpisodeSchedule.single_period(remaining)
+                else:
+                    tail = tails[group_reps[0]]
+                    current = tail.truncated_to(remaining)
+                    if current.total_length < remaining:
+                        current = current.with_appended(
+                            remaining - current.total_length)
+                current_memo[(tail_key, remaining)] = (
+                    current, current.total_length, current.finish_times,
+                    np.maximum(current.periods - c, 0.0).cumsum(),
+                    current.work_if_uninterrupted(c))
+
+        next_alive: List[int] = []
+        for (tail_key, remaining), group_reps in groups.items():
+            current, total_length, finishes, prefix, full_work = \
+                current_memo[(tail_key, remaining)]
+            pending: List[Tuple[int, float]] = []
+            for r in group_reps:
+                episodes[r] += 1.0
+                interrupt: Optional[float] = None
+                if left[r] > 0:
+                    interrupt = adversaries[r].choose_interrupt(
+                        current, remaining, left[r], c)
+                    if interrupt is not None:
+                        interrupt = float(interrupt)
+                        if not (0.0 <= interrupt < total_length):
+                            raise SchedulingError(
+                                f"adversary chose interrupt time {interrupt!r} "
+                                f"outside [0, {total_length!r})")
+                if interrupt is None:
+                    works[r] += full_work
+                else:
+                    pending.append((r, interrupt))
+            if not pending:
+                continue
+            times = np.asarray([t for _, t in pending], dtype=float)
+            completed = np.searchsorted(finishes, times, side="right")
+            # Oblivious continuation: the period containing the interrupt
+            # (clamped away from the exact end, as the event referee does)
+            # and everything before it are dropped; the rest is the tail.
+            clamped = (np.minimum(times, total_length * (1 - 1e-15))
+                       if total_length > 0 else times)
+            kept = np.searchsorted(finishes, clamped, side="right") + 1
+            for (r, interrupt), done, first_kept in zip(pending,
+                                                        completed.tolist(),
+                                                        kept.tolist()):
+                if done:
+                    works[r] += float(prefix[done - 1])
+                interrupts[r] += 1.0
+                seen_interrupts[r] += 1
+                tail_ref = (id(current), int(first_kept) + 1)
+                if tail_ref not in tail_memo:
+                    tail_memo[tail_ref] = current.tail_from(int(first_kept) + 1)
+                tails[r] = tail_memo[tail_ref]
+                clock[r] += interrupt
+                left[r] -= 1
+                if clock[r] < lifespan:
+                    next_alive.append(r)
+        alive = next_alive
+    return works, interrupts, episodes
+
+
 def replicate_scenario(family, replications: int, *, base_seed: int = 0,
                        scheduler=None, scheduler_factory=None,
                        backend: str = "event",
+                       aggregation: str = "auto",
+                       chunk_size: Optional[int] = None,
+                       profile: Optional[Dict[str, float]] = None,
                        **family_kwargs) -> Dict[str, float]:
     """Replicate a randomized scenario family through the NOW simulator.
 
@@ -245,25 +515,37 @@ def replicate_scenario(family, replications: int, *, base_seed: int = 0,
         engine; ``"batch"`` runs them all through
         :func:`repro.simulator.batch.simulate_scenarios_batch` in one array
         pass (bit-identical reports, see the module docstring).
+    aggregation / chunk_size:
+        Aggregation pipeline (see the module docstring): exact one-shot
+        aggregation, or fixed-size chunks of scenario instances feeding
+        the streaming accumulators — instances are generated, simulated
+        and released chunk by chunk, so peak memory is flat in
+        ``replications``.
+    profile:
+        Optional mutable mapping receiving per-chunk stage accounting
+        (``mc_chunks`` / ``mc_chunk_s_max``).
     family_kwargs:
         Extra keyword arguments forwarded to the scenario generator.
 
     Returns the aggregated ``work_*`` / ``tasks_*`` / ``interrupts_*``
-    columns plus a ``scenario`` label.  Work is in the scenario's time
-    unit (that of its contracts' lifespans ``U`` and set-up costs ``c``);
-    task counts and interrupt counts are dimensionless; interrupts here
-    are the *observed* owner reclaims, which may exceed the negotiated
-    budget ``p`` for contract-breaking families.  Replication ``r``
-    samples scenario instance ``family(seed=point_seed(base_seed,
-    family_label, r))`` — the seed depends on the family and replication
-    only, never on the scheduler, so different schedulers face identical
-    instances (paired comparison).
+    columns plus ``scenario`` and ``quantile_method`` labels.  Work is in
+    the scenario's time unit (that of its contracts' lifespans ``U`` and
+    set-up costs ``c``); task counts and interrupt counts are
+    dimensionless; interrupts here are the *observed* owner reclaims,
+    which may exceed the negotiated budget ``p`` for contract-breaking
+    families.  Replication ``r`` samples scenario instance
+    ``family(seed=point_seed(base_seed, family_label, r))`` — the seed
+    depends on the family and (absolute) replication index only, never on
+    the scheduler or the chunking, so different schedulers face identical
+    instances (paired comparison) and chunked results are bit-identical
+    for any chunk size.
     """
     from ..simulator import CycleStealingSimulation
 
     if replications < 1:
         raise ValueError(f"replications must be >= 1, got {replications!r}")
     _check_backend(backend)
+    mode = resolve_aggregation(aggregation, int(replications))
 
     # Stable label for seeding and reporting.  Never fall back to repr():
     # it embeds the object's memory address, which would break the
@@ -277,23 +559,20 @@ def replicate_scenario(family, replications: int, *, base_seed: int = 0,
         from ..schedules import EqualizingAdaptiveScheduler
         return EqualizingAdaptiveScheduler()
 
-    works: List[float] = []
-    tasks: List[float] = []
-    interrupts: List[float] = []
-    if backend == "batch":
-        from ..simulator.batch import simulate_scenarios_batch
+    def simulate_range(start: int, stop: int) -> List:
+        if backend == "batch":
+            from ..simulator.batch import simulate_scenarios_batch
 
-        scenarios = [family(seed=point_seed(base_seed, family_label, r),
-                            **family_kwargs)
-                     for r in range(int(replications))]
-        run_scheduler = scheduler
-        if scheduler is None and scheduler_factory is None:
-            run_scheduler = default_scheduler()
-        reports = simulate_scenarios_batch(scenarios, run_scheduler,
-                                           scheduler_factory=scheduler_factory)
-    else:
+            scenarios = [family(seed=point_seed(base_seed, family_label, r),
+                                **family_kwargs)
+                         for r in range(start, stop)]
+            run_scheduler = scheduler
+            if scheduler is None and scheduler_factory is None:
+                run_scheduler = default_scheduler()
+            return simulate_scenarios_batch(
+                scenarios, run_scheduler, scheduler_factory=scheduler_factory)
         reports = []
-        for r in range(int(replications)):
+        for r in range(start, stop):
             scenario = family(seed=point_seed(base_seed, family_label, r),
                               **family_kwargs)
             if scheduler is None and scheduler_factory is None:
@@ -304,13 +583,35 @@ def replicate_scenario(family, replications: int, *, base_seed: int = 0,
                                           task_bag=scenario.task_bag,
                                           scheduler_factory=scheduler_factory)
             reports.append(sim.run())
-    for report in reports:
-        works.append(report.total_work)
-        tasks.append(float(report.total_tasks_completed))
-        interrupts.append(float(report.total_interrupts))
+        return reports
 
     row: Dict[str, float] = {"scenario": family_label}
-    row.update(aggregate(works, "work"))
-    row.update(aggregate(tasks, "tasks"))
-    row.update(aggregate(interrupts, "interrupts"))
+    if mode == "exact":
+        started = time.perf_counter()
+        reports = simulate_range(0, int(replications))
+        _record_chunk(profile, time.perf_counter() - started)
+        works = [report.total_work for report in reports]
+        tasks = [float(report.total_tasks_completed) for report in reports]
+        interrupts = [float(report.total_interrupts) for report in reports]
+        row.update(aggregate(works, "work"))
+        row.update(aggregate(tasks, "tasks"))
+        row.update(aggregate(interrupts, "interrupts"))
+        row["quantile_method"] = "exact"
+        return row
+
+    chunk = resolve_chunk_size(chunk_size, int(replications))
+    aggregators = {name: StreamingAggregator(name, QUANTILES)
+                   for name in ("work", "tasks", "interrupts")}
+    for start, stop in _chunk_ranges(int(replications), chunk):
+        started = time.perf_counter()
+        reports = simulate_range(start, stop)
+        aggregators["work"].extend([report.total_work for report in reports])
+        aggregators["tasks"].extend([float(report.total_tasks_completed)
+                                     for report in reports])
+        aggregators["interrupts"].extend([float(report.total_interrupts)
+                                          for report in reports])
+        _record_chunk(profile, time.perf_counter() - started)
+    for name, aggregator in aggregators.items():
+        row.update(aggregator.summary(name))
+    row["quantile_method"] = "p2"
     return row

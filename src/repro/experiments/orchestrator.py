@@ -61,6 +61,12 @@ class ExperimentConfig:
     include_optimal: bool = False
     include_guaranteed: bool = True
     backend: str = "event"
+    #: Monte-Carlo aggregation mode: ``"exact"``, ``"streaming"`` or
+    #: ``"auto"`` (see :mod:`repro.experiments.montecarlo`).
+    aggregation: str = "auto"
+    #: Streaming chunk size (replications per chunk); ``None`` auto-sizes
+    #: from the replication count.  Never affects results, only memory.
+    chunk_size: Optional[int] = None
     #: DP tables the driver published to shared memory (attach-by-name in
     #: workers; empty = every worker resolves tables itself).
     shared_tables: Tuple[SharedTableHandle, ...] = ()
@@ -145,11 +151,17 @@ def _evaluate_point(payload: Tuple[SweepPoint, ExperimentConfig]) -> Dict[str, A
 
     if config.replications > 0 and point.adversary is not None:
         started = time.perf_counter() if profile else 0.0
+        chunk_profile: Optional[Dict[str, float]] = {} if profile else None
         row.update(replicate_point(point, config.replications,
                                    base_seed=config.seed,
-                                   backend=config.backend))
+                                   backend=config.backend,
+                                   aggregation=config.aggregation,
+                                   chunk_size=config.chunk_size,
+                                   profile=chunk_profile))
         if profile:
             row[stage_column("monte_carlo")] = time.perf_counter() - started
+            for key, value in (chunk_profile or {}).items():
+                row[stage_column(key)] = value
     return row
 
 
@@ -232,6 +244,8 @@ def run_sweep(grid: SweepGrid, *, jobs: int = 1, replications: int = 0,
               include_optimal: bool = False, dp_method: str = "fast",
               include_guaranteed: bool = True,
               backend: str = "event",
+              aggregation: str = "auto",
+              chunk_size: Optional[int] = None,
               profile: bool = False) -> List[Dict[str, Any]]:
     """Run a full sweep and return one row per grid point, in grid order.
 
@@ -261,6 +275,14 @@ def run_sweep(grid: SweepGrid, *, jobs: int = 1, replications: int = 0,
         ``"batch"`` (vectorized, see
         :mod:`repro.experiments.montecarlo`).  Aggregates agree to float
         summation order for the same seeds.
+    aggregation:
+        Monte-Carlo aggregation mode: ``"exact"`` (one-shot arrays, exact
+        quantiles), ``"streaming"`` (chunked online accumulators, flat
+        memory in ``replications``, P² quantile estimates) or ``"auto"``
+        (exact at or below the streaming threshold, streaming above).
+    chunk_size:
+        Streaming chunk size (replications per chunk); ``None`` auto-sizes
+        from the replication count.  Chunking never changes results.
     profile:
         Collect a per-stage wall-time breakdown (referee / DP solve /
         Monte-Carlo) and print it to stderr when the sweep finishes.  The
@@ -275,14 +297,20 @@ def run_sweep(grid: SweepGrid, *, jobs: int = 1, replications: int = 0,
     ``jobs`` (see :func:`publish_shared_tables` and
     ``benchmarks/results/shared_dp_memory.*``).
     """
-    from .montecarlo import _check_backend
+    from .montecarlo import _check_backend, resolve_aggregation, resolve_chunk_size
 
     _check_backend(backend)
+    resolve_aggregation(aggregation, int(replications))
+    if chunk_size is not None:
+        resolve_chunk_size(chunk_size, int(replications))
     config = ExperimentConfig(replications=int(replications), seed=int(seed),
                               cache_dir=cache_dir, dp_method=dp_method,
                               include_optimal=bool(include_optimal),
                               include_guaranteed=bool(include_guaranteed),
                               backend=str(backend),
+                              aggregation=str(aggregation),
+                              chunk_size=(None if chunk_size is None
+                                          else int(chunk_size)),
                               profile=bool(profile))
     points = grid.points()
     publisher: Optional[SharedTablePublisher] = None

@@ -24,8 +24,9 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Mapping
 
-__all__ = ["PROFILE_PREFIX", "STAGES", "stage_column", "pop_profile",
-           "aggregate_profiles", "render_profile"]
+__all__ = ["PROFILE_PREFIX", "STAGES", "COUNT_SUFFIX", "MAX_SUFFIX",
+           "stage_column", "pop_profile", "aggregate_profiles",
+           "render_profile"]
 
 #: Reserved column prefix for per-point stage timings.
 PROFILE_PREFIX = "_profile_"
@@ -39,10 +40,21 @@ PROFILE_PREFIX = "_profile_"
 STAGES = ("spec_parse", "referee", "dp_solve", "monte_carlo", "shard_io",
           "report_render")
 
+#: Non-seconds per-chunk metrics the Monte-Carlo layer reports alongside
+#: the stage timings: ``*_chunks`` columns are counts (summed across
+#: points, rendered without a share), ``*_max`` columns are per-chunk
+#: maxima (aggregated with ``max``, not ``+``).
+COUNT_SUFFIX = "_chunks"
+MAX_SUFFIX = "_max"
+
 
 def stage_column(stage: str) -> str:
     """The reserved row-column name carrying one stage's seconds."""
     return f"{PROFILE_PREFIX}{stage}"
+
+
+def _is_metric(stage: str) -> bool:
+    return stage.endswith(COUNT_SUFFIX) or stage.endswith(MAX_SUFFIX)
 
 
 def pop_profile(row: Dict[str, object]) -> Dict[str, float]:
@@ -54,11 +66,18 @@ def pop_profile(row: Dict[str, object]) -> Dict[str, float]:
 
 
 def aggregate_profiles(profiles: Iterable[Mapping[str, float]]) -> Dict[str, float]:
-    """Sum per-stage seconds over many per-point profiles."""
+    """Combine per-stage values over many per-point profiles.
+
+    Stage seconds and chunk counts are summed; ``*_max`` metrics (the
+    slowest single chunk) keep the maximum across points.
+    """
     totals: Dict[str, float] = {}
     for profile in profiles:
         for stage, seconds in profile.items():
-            totals[stage] = totals.get(stage, 0.0) + float(seconds)
+            if stage.endswith(MAX_SUFFIX):
+                totals[stage] = max(totals.get(stage, 0.0), float(seconds))
+            else:
+                totals[stage] = totals.get(stage, 0.0) + float(seconds)
     return totals
 
 
@@ -70,12 +89,18 @@ def render_profile(totals: Mapping[str, float], *, wall_seconds: float,
     kind = "CPU seconds summed across workers" if parallel else "wall seconds"
     lines.append(f"profile: {points} point(s) in {wall_seconds:.3f}s "
                  f"wall ({kind} per stage below)")
-    staged = sum(totals.values())
+    staged = sum(v for k, v in totals.items() if not _is_metric(k))
     ordered = [s for s in STAGES if s in totals]
     ordered += sorted(set(totals) - set(STAGES))
     width = max((len(s) for s in ordered), default=7)
     for stage in ordered:
         seconds = totals[stage]
+        if stage.endswith(COUNT_SUFFIX):
+            lines.append(f"  {stage:<{width}}  {seconds:9.0f}")
+            continue
+        if stage.endswith(MAX_SUFFIX):
+            lines.append(f"  {stage:<{width}}  {seconds:9.3f}s  (max)")
+            continue
         share = seconds / staged if staged > 0.0 else 0.0
         lines.append(f"  {stage:<{width}}  {seconds:9.3f}s  {share:6.1%}")
     other = wall_seconds - staged

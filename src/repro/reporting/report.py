@@ -139,6 +139,10 @@ def render_run_report(run) -> str:
     lines.append(f"- **seed**: {spec.seed}")
     lines.append(f"- **replications**: {spec.replications}")
     lines.append(f"- **backend**: {spec.backend}")
+    if getattr(spec, "aggregation", "auto") != "auto":
+        lines.append(f"- **aggregation**: {spec.aggregation}")
+    if getattr(spec, "chunk_size", None) is not None:
+        lines.append(f"- **chunk size**: {spec.chunk_size}")
     lines.append(f"- **points**: {completed}/{total} completed"
                  + ("" if completed == total else " (partial run)"))
     lines.append("")
@@ -184,13 +188,25 @@ def render_run_report(run) -> str:
                   else "randomized owner traces")
         lines.append(f"Statistics over {spec.replications} {source} "
                      f"per point (backend `{spec.backend}`).")
+        methods = {str(r["quantile_method"]) for r in replicated
+                   if r.get("quantile_method") is not None}
+        if methods == {"p2"}:
+            lines.append("Quantile columns (`*_q10/q50/q90`) are **P² "
+                         "estimates** from the streaming accumulators; "
+                         "mean/std/min/max are exact (Welford / running "
+                         "extrema).")
+        elif "p2" in methods:
+            lines.append("Quantile columns (`*_q10/q50/q90`) mix exact "
+                         "values and **P² estimates** — see each row's "
+                         "`quantile_method`; mean/std/min/max are always "
+                         "exact.")
         lines.append("")
         lines.append(_subtable(
             replicated,
             ("family", "scheduler", "adversary", "lifespan", "setup_cost",
              "max_interrupts", "work_mean", "work_std", "work_q10",
              "work_q50", "work_q90", "tasks_mean", "interrupts_mean",
-             "episodes_mean")))
+             "episodes_mean", "quantile_method")))
         lines.append("")
 
     value_key = "work_mean" if replicated else "guaranteed_work"

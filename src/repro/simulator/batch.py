@@ -572,7 +572,7 @@ class _BatchKernel:
             else:
                 ordered = self._merged_completions(rows)
                 if ordered is None:
-                    ordered = self._completion_order(rows)
+                    ordered = self._ordered_completions(rows)
                 for row, work in ordered:
                     budget = float(work)
                     if budget <= 0.0:
@@ -615,6 +615,116 @@ class _BatchKernel:
                             count_of)[order]
         return zip(row_ids.tolist(), works.tolist())
 
+    def _ordered_completions(self, rows: List[int]):
+        """``(row, work)`` for every completed period, in event-heap order.
+
+        Vectorized replacement for the heap replay of
+        :meth:`_completion_order` (kept as the reference): instead of
+        pushing and popping every event through ``heapq``, enumerate all
+        events the replay *would* push — period completions (PE), owner
+        interrupts (INT) and lifespan ends (LIFE) — stable-sort them by
+        time once, and resolve only the equal-time groups.
+
+        Within a tie group the heap pops by push sequence.  Init-pushed
+        events (all INT and LIFE events, plus each row's first-segment
+        first completion) carry their construction sequence.  Every other
+        event is pushed by exactly one *predecessor* pop — the previous
+        completion of its chain, or the interrupt opening its segment —
+        and because every period is strictly positive, that predecessor
+        pops at a strictly earlier time.  So when a tie group is reached,
+        every member's predecessor already has its final pop rank, and
+        ordering the group by ``(init events first by init sequence, then
+        dynamic events by predecessor pop rank)`` reproduces the heap's
+        sequence numbers exactly.
+        """
+        times: List[float] = []
+        init_seq: List[int] = []      # construction order; -1 for dynamic
+        pred: List[int] = []          # event id of the push trigger; -1 init
+        out_row: List[int] = []       # yielding row; -1 for silent events
+        out_work: List[float] = []
+        next_init = 0
+
+        for row in rows:               # init pushes, in workstation order
+            trace = self.row_trace[row]
+            per_seg: Dict[int, Tuple[list, list, int]] = {}
+            for (segment, _lengths, t), works in zip(self._pieces[row],
+                                                     self._piece_works[row]):
+                boundary_here = (self._boundary[row]
+                                 and segment == trace.size)
+                per_seg[segment] = (t.tolist(), works.tolist(),
+                                    t.size - (1 if boundary_here else 0))
+            int_ids: Dict[int, int] = {}
+            for seg, t in enumerate(trace.tolist()):
+                int_ids[seg] = len(times)
+                times.append(t)
+                init_seq.append(next_init)
+                next_init += 1
+                pred.append(-1)
+                out_row.append(-1)
+                out_work.append(0.0)
+            # LIFE: processes the boundary completion (if any) at time U.
+            boundary_work = None
+            if self._boundary[row]:
+                entry = per_seg.get(int(trace.size))
+                if entry is not None:
+                    boundary_work = entry[1][-1]
+            times.append(self.row_lifespan[row])
+            init_seq.append(next_init)
+            next_init += 1
+            pred.append(-1)
+            out_row.append(row if boundary_work is not None else -1)
+            out_work.append(boundary_work if boundary_work is not None else 0.0)
+            # PE chains: the first completion of segment 0 is init-pushed;
+            # the first completion of segment s > 0 is pushed by INT s-1;
+            # completion i > 0 is pushed by completion i-1 of its chain.
+            for seg in sorted(per_seg):
+                t_list, w_list, chain = per_seg[seg]
+                if chain <= 0:
+                    continue
+                previous = -1
+                for i in range(chain):
+                    event = len(times)
+                    times.append(t_list[i])
+                    out_row.append(row)
+                    out_work.append(w_list[i])
+                    if i > 0:
+                        init_seq.append(-1)
+                        pred.append(previous)
+                    elif seg == 0:
+                        init_seq.append(next_init)
+                        next_init += 1
+                        pred.append(-1)
+                    else:
+                        init_seq.append(-1)
+                        pred.append(int_ids[seg - 1])
+                    previous = event
+
+        total = len(times)
+        if total == 0:
+            return []
+        times_arr = np.asarray(times)
+        order = np.argsort(times_arr, kind="stable")
+        sorted_times = times_arr[order]
+        pop_rank = np.empty(total, dtype=np.int64)
+        pop_rank[order] = np.arange(total)
+        if total > 1:
+            starts = np.flatnonzero(
+                np.r_[True, sorted_times[1:] != sorted_times[:-1]])
+            ends = np.r_[starts[1:], total]
+            for start, end in zip(starts.tolist(), ends.tolist()):
+                if end - start == 1:
+                    continue
+                members = order[start:end].tolist()
+                members.sort(key=lambda e: ((0, init_seq[e])
+                                            if init_seq[e] >= 0
+                                            else (1, int(pop_rank[pred[e]]))))
+                order[start:end] = members
+                for offset, event in enumerate(members):
+                    pop_rank[event] = start + offset
+
+        return [(out_row[e], out_work[e]) for e in order.tolist()
+                if out_row[e] >= 0]
+
     def _completion_order(self, rows: List[int]):
         """Yield ``(row, work)`` for every completed period in event-heap order.
 
@@ -624,6 +734,10 @@ class _BatchKernel:
         workstation's previous event — so we replay the heap discipline over
         the already-known completion streams.  Only event ordering is
         replayed here; all the expensive accounting stayed vectorized.
+
+        This is the readable reference; production uses the vectorized
+        :meth:`_ordered_completions`, pinned against this one by the batch
+        simulator tests.
         """
         import heapq
         import itertools

@@ -39,6 +39,8 @@ with the same structure::
     seed = 0                        # base seed (default 0)
     replications = 200              # Monte-Carlo layer (required for scenario)
     backend = "batch"               # "event" | "batch" (default "event")
+    aggregation = "auto"            # "exact" | "streaming" | "auto" (default)
+    chunk_size = 4096               # streaming chunk size (optional)
 
     [scenario]                      # when kind = "scenario"
     family = "laptop"               # a repro.registry.SCENARIO_FAMILIES name
@@ -117,6 +119,13 @@ class ExperimentSpec:
     replications: int = 0
     #: Replication backend, ``"event"`` or ``"batch"``.
     backend: str = "event"
+    #: Monte-Carlo aggregation mode: ``"exact"``, ``"streaming"`` or
+    #: ``"auto"`` (exact below the streaming threshold, streaming above).
+    aggregation: str = "auto"
+    #: Streaming chunk size (replications per chunk); ``None`` auto-sizes
+    #: from the replication count.  Chunking never changes results, so it
+    #: is excluded from point digests (a resume may change it freely).
+    chunk_size: Optional[int] = None
 
     # --- kind = "sweep" ------------------------------------------------
     lifespans: Tuple[float, ...] = ()
@@ -165,6 +174,8 @@ class ScenarioPoint:
     replications: int
     seed: int
     backend: str = "event"
+    aggregation: str = "auto"
+    chunk_size: Optional[int] = None
     family_params: Tuple[Tuple[str, Any], ...] = ()
     #: Return per-stage timing columns with the row (``--profile``).
     profile: bool = False
@@ -177,7 +188,8 @@ class ScenarioPoint:
 # ----------------------------------------------------------------------
 # Parsing and validation
 # ----------------------------------------------------------------------
-_EXPERIMENT_KEYS = {"name", "kind", "seed", "replications", "backend"}
+_EXPERIMENT_KEYS = {"name", "kind", "seed", "replications", "backend",
+                    "aggregation", "chunk_size"}
 _SWEEP_KEYS = {"lifespans", "setup_costs", "interrupts", "schedulers",
                "adversaries", "optimal"}
 _SCENARIO_KEYS = {"family", "schedulers", "params"}
@@ -266,11 +278,20 @@ def parse_spec(data: Mapping, *, source: Optional[str] = None) -> ExperimentSpec
     replications = _as_int(exp.get("replications", 0),
                            "experiment.replications", source)
     backend = exp.get("backend", "event")
-    from .experiments.montecarlo import BACKENDS
+    from .experiments.montecarlo import AGGREGATIONS, BACKENDS
     if backend not in BACKENDS:
         raise SpecError(
             f"experiment.backend must be one of {list(BACKENDS)}, "
             f"got {backend!r}{_where(source)}")
+    aggregation = exp.get("aggregation", "auto")
+    if aggregation not in AGGREGATIONS:
+        raise SpecError(
+            f"experiment.aggregation must be one of {list(AGGREGATIONS)}, "
+            f"got {aggregation!r}{_where(source)}")
+    chunk_size: Optional[int] = None
+    if exp.get("chunk_size") is not None:
+        chunk_size = _as_int(exp.get("chunk_size"), "experiment.chunk_size",
+                             source, minimum=1)
 
     if kind == "sweep":
         if "scenario" in data:
@@ -304,6 +325,7 @@ def parse_spec(data: Mapping, *, source: Optional[str] = None) -> ExperimentSpec
                 f"experiment.replications > 0{_where(source)}")
         return ExperimentSpec(name=name, kind=kind, seed=seed,
                               replications=replications, backend=backend,
+                              aggregation=aggregation, chunk_size=chunk_size,
                               lifespans=lifespans, setup_costs=setup_costs,
                               interrupts=interrupts, schedulers=schedulers,
                               adversaries=adversaries, optimal=optimal)
@@ -337,6 +359,7 @@ def parse_spec(data: Mapping, *, source: Optional[str] = None) -> ExperimentSpec
             f"(got {replications}){_where(source)}")
     return ExperimentSpec(name=name, kind=kind, seed=seed,
                           replications=replications, backend=backend,
+                          aggregation=aggregation, chunk_size=chunk_size,
                           schedulers=schedulers, family=family,
                           family_params=dict(family_params))
 
@@ -396,6 +419,13 @@ def spec_to_dict(spec: ExperimentSpec) -> Dict[str, Any]:
         "name": spec.name, "kind": spec.kind, "seed": spec.seed,
         "replications": spec.replications, "backend": spec.backend,
     }}
+    # Emitted only when non-default (like sweep.adversaries below): the
+    # canonical JSON — and therefore every default run id — of specs
+    # predating these keys stays byte-identical.
+    if spec.aggregation != "auto":
+        out["experiment"]["aggregation"] = spec.aggregation
+    if spec.chunk_size is not None:
+        out["experiment"]["chunk_size"] = spec.chunk_size
     if spec.kind == "sweep":
         sweep: Dict[str, Any] = {
             "lifespans": list(spec.lifespans),
@@ -632,6 +662,8 @@ def payload_config(spec: ExperimentSpec,
                             seed=spec.seed, cache_dir=cache_dir,
                             include_optimal=spec.optimal,
                             backend=spec.backend,
+                            aggregation=spec.aggregation,
+                            chunk_size=spec.chunk_size,
                             profile=bool(profile))
 
 
@@ -641,6 +673,8 @@ def _scenario_point_at(spec: ExperimentSpec, index: int,
                          scheduler=spec.schedulers[index],
                          replications=spec.replications, seed=spec.seed,
                          backend=spec.backend,
+                         aggregation=spec.aggregation,
+                         chunk_size=spec.chunk_size,
                          family_params=tuple(sorted(spec.family_params.items())),
                          profile=bool(profile))
 
@@ -673,8 +707,12 @@ def payload_digest(payload) -> str:
     — grid coordinates and registry names for sweep points; family,
     scheduler, replications, seed, backend and family params for scenario
     points.  Execution knobs that never change results (``cache_dir``,
-    ``profile``) are excluded, so a profiled resume still matches the
-    digests recorded by an unprofiled run.
+    ``profile``, ``chunk_size`` — chunking is memory layout, the
+    accumulators see the same stream) are excluded, so a profiled or
+    re-chunked resume still matches the digests recorded by the original
+    run.  The aggregation mode *does* change quantile columns, so a
+    non-default ``aggregation`` is part of the identity (the default
+    ``"auto"`` is omitted, keeping digests of older runs stable).
     """
     if isinstance(payload, ScenarioPoint):
         identity = {
@@ -684,6 +722,8 @@ def payload_digest(payload) -> str:
             "backend": payload.backend,
             "params": [[k, v] for k, v in payload.family_params],
         }
+        if payload.aggregation != "auto":
+            identity["aggregation"] = payload.aggregation
     else:
         point, config = payload
         identity = {
@@ -695,6 +735,8 @@ def payload_digest(payload) -> str:
             "replications": config.replications, "seed": config.seed,
             "backend": config.backend, "optimal": config.include_optimal,
         }
+        if config.aggregation != "auto":
+            identity["aggregation"] = config.aggregation
     blob = json.dumps(identity, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
@@ -732,9 +774,16 @@ def _evaluate_scenario_point(point: ScenarioPoint) -> Dict[str, Any]:
     scheduler = make_scheduler(point.scheduler, probe.params)
     row: Dict[str, Any] = point.key_columns()
     started = time.perf_counter() if point.profile else 0.0
+    chunk_profile = {} if point.profile else None
     row.update(replicate_scenario(family, point.replications,
                                   base_seed=point.seed, scheduler=scheduler,
-                                  backend=point.backend, **family_params))
+                                  backend=point.backend,
+                                  aggregation=point.aggregation,
+                                  chunk_size=point.chunk_size,
+                                  profile=chunk_profile,
+                                  **family_params))
     if point.profile:
         row[stage_column("monte_carlo")] = time.perf_counter() - started
+        for key, value in (chunk_profile or {}).items():
+            row[stage_column(key)] = value
     return row

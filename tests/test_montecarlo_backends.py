@@ -40,14 +40,17 @@ class TestReplicatePointBackends:
         batch_row = replicate_point(point, 40, base_seed=9, backend="batch")
         rows_close(event_row, batch_row)
 
-    def test_nonadaptive_points_use_reference_referee(self):
+    def test_nonadaptive_points_batch_matches_event(self):
+        # Non-adaptive points route through the vectorized tail-reuse batch
+        # pass; seeds and adversary consultations are identical, so the
+        # aggregates agree to float summation order.
         point = SweepPoint(index=0, lifespan=300.0, setup_cost=1.0,
                            max_interrupts=2,
                            scheduler="rosenberg-nonadaptive",
                            adversary="poisson-owner")
         event_row = replicate_point(point, 25, base_seed=4, backend="event")
         batch_row = replicate_point(point, 25, base_seed=4, backend="batch")
-        assert event_row == batch_row  # same code path, exactly equal
+        rows_close(event_row, batch_row)
 
     def test_batch_is_deterministic(self):
         point = SweepPoint(index=5, lifespan=500.0, setup_cost=2.0,

@@ -1,0 +1,248 @@
+"""Chunked streaming aggregation through the replication pipeline.
+
+Pins the streaming pipeline's end-to-end contracts: chunking never changes
+a result bit (absolute-index seeding + sequential accumulators), ``auto``
+resolves deterministically from the replication count alone, streaming
+mean/std track exact aggregation to 1e-9, the spec/digest layer treats
+``chunk_size`` as an execution knob (never part of a run's identity), and
+``--profile`` surfaces per-chunk stage accounting.
+"""
+
+import pytest
+
+from repro.experiments import SweepGrid, SweepPoint, replicate_point, run_sweep
+from repro.experiments.montecarlo import (
+    AGGREGATIONS,
+    STREAMING_AUTO_THRESHOLD,
+    replicate_scenario,
+    resolve_aggregation,
+    resolve_chunk_size,
+)
+from repro.workloads import flaky_owners, laptop_evening
+
+TOL = 1e-9
+
+POINT = SweepPoint(index=3, lifespan=400.0, setup_cost=1.0, max_interrupts=2,
+                   scheduler="equalizing-adaptive", adversary="poisson-owner")
+NONADAPTIVE_POINT = SweepPoint(index=1, lifespan=300.0, setup_cost=1.0,
+                               max_interrupts=2,
+                               scheduler="rosenberg-nonadaptive",
+                               adversary="uniform-owner")
+
+
+class TestResolution:
+    def test_auto_threshold(self):
+        assert resolve_aggregation("auto", STREAMING_AUTO_THRESHOLD) == "exact"
+        assert resolve_aggregation("auto",
+                                   STREAMING_AUTO_THRESHOLD + 1) == "streaming"
+        assert resolve_aggregation("exact", 10**9) == "exact"
+        assert resolve_aggregation("streaming", 1) == "streaming"
+        assert AGGREGATIONS == ("exact", "streaming", "auto")
+
+    def test_unknown_aggregation_rejected(self):
+        with pytest.raises(ValueError, match="unknown aggregation"):
+            resolve_aggregation("online", 10)
+        with pytest.raises(ValueError, match="unknown aggregation"):
+            replicate_point(POINT, 5, aggregation="bogus")
+
+    def test_chunk_size_resolution(self):
+        assert resolve_chunk_size(17, 1000) == 17
+        # Auto-sizing is bounded and grows with the replication count.
+        assert resolve_chunk_size(None, 100) == 256
+        assert resolve_chunk_size(None, 40_000) == 5_000
+        assert resolve_chunk_size(None, 10**6) == 8192
+        with pytest.raises(ValueError, match="chunk_size"):
+            resolve_chunk_size(0, 1000)
+
+
+class TestPointChunking:
+    @pytest.mark.parametrize("backend", ["event", "batch"])
+    def test_chunking_never_changes_results(self, backend):
+        point = POINT if backend == "event" else NONADAPTIVE_POINT
+        rows = [replicate_point(point, 50, base_seed=7, backend=backend,
+                                aggregation="streaming", chunk_size=chunk)
+                for chunk in (7, 16, 64)]
+        assert rows[0] == rows[1] == rows[2]
+
+    @pytest.mark.parametrize("backend", ["event", "batch"])
+    def test_streaming_tracks_exact(self, backend):
+        exact = replicate_point(POINT, 60, base_seed=2, backend=backend,
+                                aggregation="exact")
+        streaming = replicate_point(POINT, 60, base_seed=2, backend=backend,
+                                    aggregation="streaming", chunk_size=13)
+        assert set(exact) == set(streaming)
+        assert exact["quantile_method"] == "exact"
+        assert streaming["quantile_method"] == "p2"
+        for key in exact:
+            if any(key.endswith(s) for s in ("_n", "_mean", "_std",
+                                             "_min", "_max")):
+                assert abs(exact[key] - streaming[key]) \
+                    <= TOL * max(1.0, abs(exact[key])), key
+
+    def test_auto_keeps_small_runs_exact(self):
+        default = replicate_point(POINT, 30, base_seed=5)
+        exact = replicate_point(POINT, 30, base_seed=5, aggregation="exact")
+        assert default == exact
+        assert default["quantile_method"] == "exact"
+
+    def test_profile_records_chunks(self):
+        profile = {}
+        replicate_point(POINT, 50, base_seed=1, aggregation="streaming",
+                        chunk_size=20, profile=profile)
+        assert profile["mc_chunks"] == 3.0  # ceil(50 / 20)
+        assert profile["mc_chunk_s_max"] >= 0.0
+        exact_profile = {}
+        replicate_point(POINT, 10, base_seed=1, aggregation="exact",
+                        profile=exact_profile)
+        assert exact_profile["mc_chunks"] == 1.0
+
+
+class TestScenarioChunking:
+    def test_chunking_never_changes_results(self):
+        rows = [replicate_scenario(flaky_owners, 20, base_seed=3,
+                                   backend="batch", aggregation="streaming",
+                                   chunk_size=chunk)
+                for chunk in (3, 8, 50)]
+        assert rows[0] == rows[1] == rows[2]
+
+    def test_streaming_tracks_exact(self):
+        exact = replicate_scenario(laptop_evening, 24, base_seed=1,
+                                   backend="batch", aggregation="exact")
+        streaming = replicate_scenario(laptop_evening, 24, base_seed=1,
+                                       backend="batch",
+                                       aggregation="streaming", chunk_size=7)
+        for key in exact:
+            if any(key.endswith(s) for s in ("_n", "_mean", "_std",
+                                             "_min", "_max")):
+                assert abs(exact[key] - streaming[key]) \
+                    <= TOL * max(1.0, abs(exact[key])), key
+
+    def test_event_and_batch_streaming_agree_exactly(self):
+        event = replicate_scenario(flaky_owners, 12, base_seed=6,
+                                   backend="event", aggregation="streaming",
+                                   chunk_size=5)
+        batch = replicate_scenario(flaky_owners, 12, base_seed=6,
+                                   backend="batch", aggregation="streaming",
+                                   chunk_size=5)
+        assert event == batch
+
+
+class TestSweepPlumbing:
+    GRID = SweepGrid(lifespans=(200.0, 400.0), interrupt_budgets=(1,),
+                     schedulers=("equalizing-adaptive",),
+                     adversaries=("poisson-owner",))
+
+    def test_sweep_chunk_size_is_not_a_results_knob(self):
+        small = run_sweep(self.GRID, jobs=1, replications=12, seed=4,
+                          include_guaranteed=False, backend="batch",
+                          aggregation="streaming", chunk_size=5)
+        large = run_sweep(self.GRID, jobs=1, replications=12, seed=4,
+                          include_guaranteed=False, backend="batch",
+                          aggregation="streaming", chunk_size=64)
+        assert small == large
+
+    def test_sweep_validates_aggregation(self):
+        with pytest.raises(ValueError, match="unknown aggregation"):
+            run_sweep(self.GRID, replications=2, aggregation="nope")
+        with pytest.raises(ValueError, match="chunk_size"):
+            run_sweep(self.GRID, replications=2, chunk_size=-3)
+
+
+class TestSpecPlumbing:
+    @staticmethod
+    def spec_data(**experiment_overrides):
+        experiment = {"name": "chunked", "kind": "sweep", "replications": 8,
+                      "seed": 2, "aggregation": "streaming", "chunk_size": 4}
+        experiment.update(experiment_overrides)
+        experiment = {k: v for k, v in experiment.items() if v is not None}
+        return {
+            "experiment": experiment,
+            "sweep": {"lifespans": [150.0, 200.0], "interrupts": [1],
+                      "schedulers": ["equalizing-adaptive"],
+                      "adversaries": ["poisson-owner"]},
+        }
+
+    def parse(self, **experiment_overrides):
+        from repro.specs import parse_spec
+        return parse_spec(self.spec_data(**experiment_overrides),
+                          source="test.toml")
+
+    def test_spec_round_trip(self):
+        from repro.specs import spec_to_dict
+        spec = self.parse()
+        assert spec.aggregation == "streaming"
+        assert spec.chunk_size == 4
+        out = spec_to_dict(spec)
+        assert out["experiment"]["aggregation"] == "streaming"
+        assert out["experiment"]["chunk_size"] == 4
+
+    def test_defaults_omitted_from_canonical_dict(self):
+        # Older specs never mention aggregation/chunk_size; the canonical
+        # dict (and hence canonical JSON and default run ids) must stay
+        # byte-identical for them.
+        from repro.specs import spec_to_dict
+        spec = self.parse(aggregation=None, chunk_size=None)
+        assert spec.aggregation == "auto"
+        assert spec.chunk_size is None
+        out = spec_to_dict(spec)
+        assert "aggregation" not in out["experiment"]
+        assert "chunk_size" not in out["experiment"]
+
+    def test_invalid_values_rejected(self):
+        from repro.specs import SpecError
+        with pytest.raises(SpecError, match="aggregation"):
+            self.parse(aggregation="bogus")
+        with pytest.raises(SpecError, match="chunk_size"):
+            self.parse(chunk_size=0)
+
+    def test_chunk_size_never_in_payload_digest(self):
+        # chunk_size is an execution knob: two specs differing only in it
+        # must produce identical point digests (so a resume with a
+        # different chunk size reuses the same run identity and rows).
+        from repro.specs import expand_payloads, payload_digest
+        base = self.parse()
+        rechunked = self.parse(chunk_size=100)
+        for a, b in zip(expand_payloads(base), expand_payloads(rechunked)):
+            assert payload_digest(a) == payload_digest(b)
+
+    def test_aggregation_is_in_payload_digest_when_pinned(self):
+        from repro.specs import expand_payloads, payload_digest
+        streaming = self.parse()
+        exact = self.parse(aggregation="exact")
+        auto = self.parse(aggregation=None)
+        legacy = self.parse(aggregation=None, chunk_size=None)
+        for s, e, a, l in zip(*(expand_payloads(spec) for spec in
+                                (streaming, exact, auto, legacy))):
+            assert payload_digest(s) != payload_digest(e)
+            # "auto" is the compatibility default: digests match pre-
+            # streaming runs regardless of chunk_size.
+            assert payload_digest(a) == payload_digest(l)
+
+    def test_spec_run_executes_streaming(self, tmp_path):
+        from repro.runstore import run_spec
+        run = run_spec(self.parse(), runs_dir=str(tmp_path))
+        rows = run.rows()
+        assert rows and all(row["quantile_method"] == "p2" for row in rows
+                            if row.get("work_mean") is not None)
+
+    def test_chunked_resume_is_byte_identical(self, tmp_path):
+        # A streaming run checkpointed mid-grid and resumed must serve
+        # byte-identical rows to an uninterrupted run, and a resume with a
+        # re-chunked spec is refused up front (the manifest's spec — chunk
+        # size included — is re-validated on resume, never silently mixed).
+        import pytest as _pytest
+
+        from repro.runstore import RunStoreError, run_spec
+        spec = self.parse()
+        partial = run_spec(spec, runs_dir=str(tmp_path / "a"),
+                           run_id="chunked", max_points=1)
+        assert partial.status == "running"
+        with _pytest.raises(RunStoreError, match="different spec"):
+            run_spec(self.parse(chunk_size=64), runs_dir=str(tmp_path / "a"),
+                     run_id="chunked", resume=True)
+        resumed = run_spec(spec, runs_dir=str(tmp_path / "a"),
+                           run_id="chunked", resume=True)
+        assert resumed.status == "complete"
+        uninterrupted = run_spec(spec, runs_dir=str(tmp_path / "b"),
+                                 run_id="chunked")
+        assert resumed.rows() == uninterrupted.rows()
