@@ -1,0 +1,122 @@
+"""Shared harness for the committed variance-reduction evidence.
+
+A fixed panel of stochastic configurations is replicated twice at equal
+replication count — once with ``variance="none"`` and once with the
+panel entry's variance-reduction mode — and the measured variance ratio
+
+    ratio = Var_none(mean) / sem_mode^2
+          = (std_none^2 / n) / sem_mode^2
+
+is recorded.  Everything is deterministic given :data:`BASE_SEED`, so the
+committed ``benchmarks/results/variance_reduction.*`` table can be
+re-derived exactly; two consumers must agree on the panel definition:
+
+* ``benchmarks/test_bench_variance.py`` generates the committed table and
+  asserts the headline claim at generation time (at least
+  :data:`MIN_ENFORCED_CONFIGS` enforced rows with ratio at or above
+  :data:`VARIANCE_RATIO_FLOOR`);
+* ``scripts/check_bench_regression.py --only variance-reduction``
+  re-derives every committed row in-process and re-enforces the floor,
+  so the evidence cannot rot silently.
+
+The enforced rows are single-interrupt ``uniform-owner`` sweep points:
+with one uniformly distributed reclaim time the harvested work is
+monotone in the single underlying uniform, the regime where antithetic
+pairing provably excels (the pair mean interpolates the response around
+its median).  The unenforced rows document honest, more modest gains on
+multi-machine scenario families, where averaging across machines dilutes
+the monotone dependence.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Dict
+
+_HERE = os.path.abspath(__file__)
+_ROOT = os.path.dirname(os.path.dirname(_HERE))
+_SRC = os.path.join(_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+#: Enforced rows must show at least this variance ratio (ISSUE acceptance
+#: bar: >= 4x at equal replication count; the measured enforced ratios are
+#: orders of magnitude above it).
+VARIANCE_RATIO_FLOOR = 4.0
+
+#: At least this many panel entries must be enforced and above the floor.
+MIN_ENFORCED_CONFIGS = 2
+
+#: Replications per measurement (same count for both modes — the ratio is
+#: an equal-budget comparison, not an equal-precision one).
+REPLICATIONS = 400
+
+#: Base seed for every measurement (results are deterministic given it).
+BASE_SEED = 11
+
+#: The panel: label -> measurement definition.  ``enforce`` marks the
+#: rows whose ratio the CI gate holds above :data:`VARIANCE_RATIO_FLOOR`.
+CONFIGS = {
+    "single-period/uniform-owner p=1": dict(
+        kind="sweep", mode="antithetic", enforce=True,
+        point=dict(index=0, lifespan=100.0, setup_cost=1.0,
+                   max_interrupts=1, scheduler="single-period",
+                   adversary="uniform-owner")),
+    "equal-split/uniform-owner p=1": dict(
+        kind="sweep", mode="antithetic", enforce=True,
+        point=dict(index=0, lifespan=100.0, setup_cost=1.0,
+                   max_interrupts=1, scheduler="equal-split",
+                   adversary="uniform-owner")),
+    "rosenberg-nonadaptive/uniform-owner p=1": dict(
+        kind="sweep", mode="antithetic", enforce=True,
+        point=dict(index=0, lifespan=100.0, setup_cost=1.0,
+                   max_interrupts=1, scheduler="rosenberg-nonadaptive",
+                   adversary="uniform-owner")),
+    "laptop/equalizing-adaptive": dict(
+        kind="scenario", mode="antithetic", enforce=False,
+        family="laptop", scheduler="equalizing-adaptive", params={}),
+    "desktops/equalizing-adaptive": dict(
+        kind="scenario", mode="stratified", enforce=False,
+        family="desktops", scheduler="equalizing-adaptive", params={}),
+}
+
+
+def _replicate(config: dict, variance: str) -> Dict[str, float]:
+    if config["kind"] == "sweep":
+        from repro.experiments import SweepPoint, replicate_point
+
+        return replicate_point(SweepPoint(**config["point"]), REPLICATIONS,
+                               base_seed=BASE_SEED, backend="batch",
+                               variance=variance)
+    from repro.experiments import replicate_scenario
+    from repro.experiments.grid import make_scheduler
+    from repro.registry import SCENARIO_FAMILIES
+
+    family = SCENARIO_FAMILIES[config["family"]]
+    probe = family(**config["params"])
+    scheduler = make_scheduler(config["scheduler"], probe.params)
+    return replicate_scenario(family, REPLICATIONS, base_seed=BASE_SEED,
+                              scheduler=scheduler, backend="batch",
+                              variance=variance, **config["params"])
+
+
+def measure_config(label: str) -> Dict[str, object]:
+    """One committed evidence row: both modes replicated, ratio derived."""
+    config = CONFIGS[label]
+    none = _replicate(config, "none")
+    reduced = _replicate(config, config["mode"])
+    sem_none = none["work_std"] / REPLICATIONS ** 0.5
+    sem_mode = float(reduced["work_sem"])
+    ratio = (sem_none ** 2) / (sem_mode ** 2) if sem_mode > 0 else float("inf")
+    return {
+        "config": label,
+        "mode": config["mode"],
+        "replications": REPLICATIONS,
+        "work_mean_none": float(none["work_mean"]),
+        "work_mean_reduced": float(reduced["work_mean"]),
+        "sem_none": float(sem_none),
+        "sem_reduced": sem_mode,
+        "variance_ratio": float(ratio),
+        "enforced": "yes" if config["enforce"] else "no",
+    }

@@ -13,7 +13,7 @@ Usage::
 
     PYTHONPATH=src python scripts/check_bench_regression.py \
         [--max-lifespan 5000] [--tolerance 1e-9] [--results-dir benchmarks/results] \
-        [--only {all,optimality-gap,nonadaptive,referee,runstore-io,mc-streaming}]
+        [--only {all,optimality-gap,nonadaptive,referee,runstore-io,mc-streaming,variance-reduction}]
 
 The default ``--max-lifespan`` keeps the check under a few seconds; raise
 it to re-verify the full committed grid.  ``--only runstore-io`` runs just
@@ -332,6 +332,78 @@ def check_mc_streaming(results_dir: str, max_lifespan: float,
     return checked, failures
 
 
+def check_variance_reduction(results_dir: str, max_lifespan: float,
+                             tolerance: float):
+    """Re-verify the committed variance-reduction evidence.
+
+    ``variance_reduction.csv`` holds one row per panel configuration (see
+    ``benchmarks/variance_reduction_util.CONFIGS``): plain-sampling and
+    reduced-mode means/standard errors at equal replication count plus
+    their variance ratio.  Every quantity is deterministic given the
+    panel's base seed, so each row is re-derived **in-process** and
+    compared to the committed values; the enforced rows must additionally
+    keep their re-derived ratio at or above ``VARIANCE_RATIO_FLOOR`` —
+    the ISSUE's >= 4x headline claim — and at least
+    ``MIN_ENFORCED_CONFIGS`` of them must exist.
+    """
+    sys.path.insert(0, os.path.join(_ROOT, "benchmarks"))
+    from variance_reduction_util import (
+        CONFIGS,
+        MIN_ENFORCED_CONFIGS,
+        VARIANCE_RATIO_FLOOR,
+        measure_config,
+    )
+
+    path = os.path.join(results_dir, "variance_reduction.csv")
+    failures = []
+    checked = 0
+    enforced_ok = 0
+    for row in read_rows(path):
+        label = row["config"]
+        if label not in CONFIGS:
+            failures.append(f"{path}: unknown panel config {label!r} — the "
+                            "committed table and the panel definition in "
+                            "variance_reduction_util diverged")
+            continue
+        recomputed = measure_config(label)
+        # The committed columns are rounded at generation time; compare at
+        # a tolerance matching that rounding, relative for the means and
+        # the ratio (which spans orders of magnitude).
+        for column, tol in (("work_mean_none", max(tolerance, 1e-6)),
+                            ("work_mean_reduced", max(tolerance, 1e-6)),
+                            ("sem_none", max(tolerance, 1e-6)),
+                            ("sem_reduced", max(tolerance, 1e-6)),
+                            ("variance_ratio", max(tolerance, 1e-3))):
+            committed = float(row[column])
+            drift = relative_drift(committed, float(recomputed[column]))
+            if drift > tol:
+                failures.append(
+                    f"{path}: {label}: {column} drifted {drift:.3e} "
+                    f"(committed {committed!r}, recomputed "
+                    f"{recomputed[column]!r})")
+        if row["mode"] != recomputed["mode"] \
+                or row["enforced"] != recomputed["enforced"]:
+            failures.append(f"{path}: {label}: mode/enforced flags diverged "
+                            "from the panel definition")
+        if row["enforced"] == "yes":
+            ratio = float(recomputed["variance_ratio"])
+            if ratio < VARIANCE_RATIO_FLOOR:
+                failures.append(
+                    f"{path}: {label}: re-derived variance ratio {ratio:g}x "
+                    f"fell below the {VARIANCE_RATIO_FLOOR:g}x floor — "
+                    "regenerate the evidence only after fixing the "
+                    "regression")
+            else:
+                enforced_ok += 1
+        checked += 1
+    if checked and enforced_ok < MIN_ENFORCED_CONFIGS:
+        failures.append(
+            f"{path}: only {enforced_ok} enforced config(s) meet the "
+            f"{VARIANCE_RATIO_FLOOR:g}x floor; the committed evidence needs "
+            f"at least {MIN_ENFORCED_CONFIGS}")
+    return checked, failures
+
+
 #: Streaming-evidence rows at or below this replication count are re-run
 #: in-process by ``check_mc_streaming``; larger counts are trusted as
 #: committed (their flatness ratio is still enforced) to keep the guard
@@ -351,7 +423,8 @@ def main(argv=None) -> int:
                         help="optional on-disk DP-table cache directory")
     parser.add_argument("--only", default="all",
                         choices=["all", "optimality-gap", "nonadaptive",
-                                 "referee", "runstore-io", "mc-streaming"],
+                                 "referee", "runstore-io", "mc-streaming",
+                                 "variance-reduction"],
                         help="run a single check instead of the full set")
     args = parser.parse_args(argv)
 
@@ -366,6 +439,8 @@ def main(argv=None) -> int:
         "runstore-io": lambda: check_runstore_io(
             args.results_dir, args.max_lifespan, args.tolerance),
         "mc-streaming": lambda: check_mc_streaming(
+            args.results_dir, args.max_lifespan, args.tolerance),
+        "variance-reduction": lambda: check_variance_reduction(
             args.results_dir, args.max_lifespan, args.tolerance),
     }
     selected = list(checkers) if args.only == "all" else [args.only]

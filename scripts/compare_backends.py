@@ -119,6 +119,99 @@ def check_aggregation_parity(families, replications: int,
                        f"between exact ({a!r}) and streaming ({b!r})")
 
 
+def check_variance_parity(families, replications: int,
+                          chunk_sizes, seed: int, tolerance: float):
+    """Variance-reduction modes vs plain sampling, across both backends.
+
+    For every scenario family, replicates the same stream under all three
+    variance modes and yields one message per violation of the
+    variance-reduction contracts:
+
+    * **stratified is a re-weighting of the identical sample**: it uses
+      the very same per-replication seeds as ``variance="none"``, so every
+      shared aggregate column (means, stds, quantiles — everything except
+      the added CI columns and the ``variance`` label) must agree within
+      ``tolerance`` (bit-identical in practice);
+    * **both backends agree under every mode**: the event-driven reference
+      and the vectorized batch backend consume identical (paired) traces,
+      so their aggregate rows must agree within ``tolerance`` per mode —
+      this is what pins the antithetic reflections to being applied
+      identically in the scalar and the vectorized samplers;
+    * **antithetic estimates the same quantities**: its means are computed
+      from reflected — not identical — draws, so they are only required
+      to stay within a generous statistical allowance (6 combined
+      standard errors) of plain sampling, not within ``tolerance``;
+    * **CI columns are chunking-invariant**: streaming antithetic rows at
+      two different chunk sizes must be bit-identical, CI columns
+      included — chunking stays a memory knob, never a results knob.
+    """
+    for name in families:
+        family = SCENARIO_FAMILIES[name]
+        start = time.perf_counter()
+        rows = {}
+        for mode in ("none", "antithetic", "stratified"):
+            for backend in ("event", "batch"):
+                rows[(mode, backend)] = replicate_scenario(
+                    family, replications, base_seed=seed, backend=backend,
+                    aggregation="exact", variance=mode)
+        seconds = time.perf_counter() - start
+        print(f"variance-parity: family {name!r} x {replications} "
+              f"replications x 3 modes x 2 backends in {seconds:.1f}s")
+
+        for mode in ("none", "antithetic", "stratified"):
+            for message in compare_rows([rows[(mode, "event")]],
+                                        [rows[(mode, "batch")]], tolerance):
+                yield f"family {name!r} mode {mode!r}: {message}"
+
+        none = rows[("none", "batch")]
+        stratified = rows[("stratified", "batch")]
+        for key in sorted(none):
+            if key not in stratified:
+                yield (f"family {name!r}: column {key!r} vanished under "
+                       "stratification")
+                continue
+            a, b = none[key], stratified[key]
+            if isinstance(a, str):
+                if a != b:
+                    yield f"family {name!r}: stratified {key} {b!r} != {a!r}"
+                continue
+            drift = abs(float(a) - float(b)) / max(1.0, abs(float(a)))
+            if drift > tolerance:
+                yield (f"family {name!r}: stratified {key} drifted "
+                       f"{drift:.3e} from plain sampling ({a!r} vs {b!r}) — "
+                       "stratification must re-weight, not re-sample")
+
+        antithetic = rows[("antithetic", "batch")]
+        for prefix in ("work", "tasks", "interrupts"):
+            mean_key, n = f"{prefix}_mean", replications
+            if mean_key not in none:
+                continue
+            sem_none = float(none[f"{prefix}_std"]) / n ** 0.5
+            sem_anti = float(antithetic[f"{prefix}_sem"])
+            allowance = 6.0 * (sem_none ** 2 + sem_anti ** 2) ** 0.5
+            drift = abs(float(antithetic[mean_key]) - float(none[mean_key]))
+            if drift > max(allowance, tolerance):
+                yield (f"family {name!r}: antithetic {mean_key} "
+                       f"{antithetic[mean_key]!r} is {drift:g} from plain "
+                       f"sampling's {none[mean_key]!r} (allowance "
+                       f"{allowance:g}) — the reflection is biased")
+
+        chunked = [replicate_scenario(family, replications, base_seed=seed,
+                                      backend="batch",
+                                      aggregation="streaming",
+                                      chunk_size=chunk,
+                                      variance="antithetic")
+                   for chunk in chunk_sizes]
+        first, second = chunked
+        if first != second:
+            diffs = sorted(k for k in set(first) | set(second)
+                           if first.get(k) != second.get(k))
+            yield (f"family {name!r}: antithetic streaming rows differ "
+                   f"between chunk sizes {chunk_sizes[0]} and "
+                   f"{chunk_sizes[1]} (columns {diffs}) — CI columns must "
+                   "be chunking-invariant")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--lifespans", type=float, nargs="+",
@@ -155,7 +248,42 @@ def main(argv=None) -> int:
                         help="the two (deliberately non-divisible) chunk "
                              "sizes whose streaming rows must agree "
                              "bit-for-bit")
+    parser.add_argument("--variance-parity", action="store_true",
+                        help="check the variance-reduction modes on every "
+                             "scenario family: stratified rows within "
+                             "--tolerance of plain sampling, both backends "
+                             "agreeing per mode on paired traces, "
+                             "antithetic means statistically consistent, "
+                             "and CI columns bit-identical across chunk "
+                             "sizes")
     args = parser.parse_args(argv)
+
+    if args.variance_parity:
+        families = args.families or SCENARIO_FAMILIES.names()
+        replications = args.family_replications or args.replications
+        if replications % 2:
+            replications += 1  # antithetic pairs need an even count
+        try:
+            failures = list(check_variance_parity(
+                families, replications, args.parity_chunk_sizes,
+                args.seed, args.tolerance))
+        except Exception as exc:
+            github_error(f"variance parity check could not run: {exc}")
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_ERROR
+        if failures:
+            github_error(f"{len(failures)} variance-parity violation(s) "
+                         "— see the job log")
+            print(f"VARIANCE PARITY VIOLATED ({len(failures)} value(s), "
+                  f"tolerance {args.tolerance:g}):", file=sys.stderr)
+            for failure in failures:
+                print(f"  - {failure}", file=sys.stderr)
+            return EXIT_DIVERGED
+        print(f"ok: {len(families)} families x {replications} replications "
+              "agree across variance modes (stratified == plain within "
+              f"{args.tolerance:g}, backends agree per mode, antithetic "
+              "statistically consistent, CI columns chunking-invariant)")
+        return EXIT_OK
 
     if args.aggregation_parity:
         families = args.families or SCENARIO_FAMILIES.names()

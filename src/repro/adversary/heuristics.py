@@ -14,6 +14,7 @@ from typing import Iterable, Optional
 
 import numpy as np
 
+from ..core.sampling import spawn_rng
 from ..core.schedule import EpisodeSchedule
 from .base import Adversary, last_instant_of_period
 
@@ -123,7 +124,7 @@ class RandomPeriodAdversary(Adversary):
         if not (0.0 <= probability <= 1.0):
             raise ValueError(f"probability must lie in [0, 1], got {probability!r}")
         self.probability = float(probability)
-        self._rng = np.random.default_rng(seed)
+        self._rng = spawn_rng(seed)
 
     def choose_interrupt(self, schedule: EpisodeSchedule, residual_lifespan: float,
                          interrupts_remaining: int, setup_cost: float) -> Optional[float]:

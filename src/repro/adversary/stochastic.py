@@ -12,8 +12,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
-
+from ..core.sampling import spawn_rng
 from ..core.schedule import EpisodeSchedule
 from .base import Adversary
 
@@ -37,7 +36,7 @@ class PoissonOwner(Adversary):
         if rate <= 0.0:
             raise ValueError(f"rate must be positive, got {rate!r}")
         self.rate = float(rate)
-        self._rng = np.random.default_rng(seed)
+        self._rng = spawn_rng(seed)
 
     def choose_interrupt(self, schedule: EpisodeSchedule, residual_lifespan: float,
                          interrupts_remaining: int, setup_cost: float) -> Optional[float]:
@@ -64,7 +63,7 @@ class UniformResidualOwner(Adversary):
                 f"reclaim_probability must lie in [0, 1], got {reclaim_probability!r}"
             )
         self.reclaim_probability = float(reclaim_probability)
-        self._rng = np.random.default_rng(seed)
+        self._rng = spawn_rng(seed)
 
     def choose_interrupt(self, schedule: EpisodeSchedule, residual_lifespan: float,
                          interrupts_remaining: int, setup_cost: float) -> Optional[float]:

@@ -148,6 +148,12 @@ def build_parser() -> argparse.ArgumentParser:
                     help="streaming chunk size in replications (default: "
                          "auto-sized from --replications; never changes "
                          "results, only memory/throughput)")
+    sw.add_argument("--variance", choices=["none", "antithetic", "stratified"],
+                    default="none",
+                    help="variance-reduction mode: antithetic pairs the "
+                         "interrupt traces (needs even --replications), "
+                         "stratified post-stratifies on interrupt count; "
+                         "both add CI columns ({col}_sem/_ci_lo/_ci_hi)")
     sw.add_argument("--profile", action="store_true",
                     help="print a per-stage wall-time breakdown (referee / "
                          "DP solve / Monte-Carlo) to stderr")
@@ -177,6 +183,10 @@ def build_parser() -> argparse.ArgumentParser:
     rn.add_argument("--chunk-size", type=int, default=None, dest="chunk_size",
                     help="override the spec's streaming chunk size (never "
                          "changes results, so resumes may re-chunk freely)")
+    rn.add_argument("--variance", choices=["none", "antithetic", "stratified"],
+                    default=None,
+                    help="override the spec's variance-reduction mode "
+                         "(changes results, so it is part of the run identity)")
     rn.add_argument("--cache-dir", default=CACHE_DIR_HELP_DEFAULT,
                     help=CACHE_DIR_HELP)
     rn.add_argument("--max-points", type=int, default=None,
@@ -310,7 +320,7 @@ def _cmd_sweep(args) -> List[dict]:
                      seed=args.seed, cache_dir=args.cache_dir,
                      include_optimal=args.optimal, backend=args.backend,
                      aggregation=args.aggregation, chunk_size=args.chunk_size,
-                     profile=args.profile)
+                     variance=args.variance, profile=args.profile)
 
 
 def _spec_with_overrides(args):
@@ -320,7 +330,7 @@ def _spec_with_overrides(args):
     spec = load_spec(args.spec)
     overrides = {key: getattr(args, key, None)
                  for key in ("replications", "seed", "backend",
-                             "aggregation", "chunk_size")}
+                             "aggregation", "chunk_size", "variance")}
     if any(value is not None for value in overrides.values()):
         data = spec_to_dict(spec)
         for key, value in overrides.items():

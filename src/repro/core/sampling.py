@@ -1,0 +1,191 @@
+"""Paired (antithetic) random streams for variance-reduced replication.
+
+Antithetic variates halve the Monte-Carlo variance of any statistic that
+is monotone in the underlying uniforms — often far better than halving —
+by playing replications in *pairs*: member 0 of a pair consumes a
+pseudo-random stream ``u_1, u_2, ...`` and member 1 consumes the
+complementary stream ``1 - u_1, 1 - u_2, ...``, so their errors are
+negatively correlated and cancel in the pair mean.  This module provides
+the three primitives the rest of the code base builds on:
+
+* :class:`PairedSeed` — an ``int`` subclass carrying a pair-member tag
+  (0 or 1) alongside the shared pair seed.  It flows through every
+  existing seed-plumbing path unchanged: arithmetic like ``seed + i``
+  (machine-seed derivation in the scenario families) preserves the tag,
+  while feeding it to :func:`numpy.random.default_rng` deliberately
+  *drops* the tag — structural randomness (task bags, machine counts,
+  speed factors) stays identical within a pair, so the two members differ
+  **only** in their interrupt traces.
+* :class:`AntitheticRng` — a ``numpy.random.Generator`` façade that draws
+  from the native generator (member 0 returns those draws bitwise
+  unchanged) and, for member 1, applies the distribution's antithetic
+  reflection to every draw.  Both members consume identical bit-stream
+  positions, so trace *structure* (e.g. block sizes in the vectorized
+  Poisson sampler) never diverges between members.
+* :func:`spawn_rng` / :func:`reseed` — the two hooks the samplers and
+  scenario families call: ``spawn_rng`` turns any seed (plain int,
+  ``None`` or :class:`PairedSeed`) into the right generator, and
+  ``reseed`` re-attaches the pair-member tag to an integer seed derived
+  from a structural draw.
+
+The reflections are the exact antithetic maps for each distribution
+(involutions that preserve the distribution):
+
+=================  =====================================================
+``random()``       ``u -> 1 - u``
+``uniform(a, b)``  ``x -> a + b - x``
+``exponential(s)`` ``x -> -s * log(-expm1(-x / s))``  (CDF complement)
+``integers(a, b)`` ``k -> a + b - 1 - k``  (half-open convention)
+``normal(m, s)``   ``x -> 2 * m - x``
+=================  =====================================================
+
+With plain integer seeds nothing here changes behaviour: ``spawn_rng``
+returns a plain ``numpy.random.default_rng`` and ``reseed`` returns a
+plain ``int``, keeping ``variance="none"`` byte-identical to the
+pre-variance pipeline.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Union
+
+import numpy as np
+
+__all__ = ["PairedSeed", "AntitheticRng", "spawn_rng", "reseed"]
+
+#: Smallest positive normal float: clamps ``-expm1(-x/s)`` away from zero
+#: so the exponential reflection of ``x == 0.0`` stays finite.
+_TINY = float(np.finfo(float).tiny)
+
+
+class PairedSeed(int):
+    """An integer seed tagged with an antithetic pair member (0 or 1).
+
+    Being an ``int`` subclass, a ``PairedSeed`` passes through every
+    integer-seed API untouched — ``numpy.random.default_rng(paired)``
+    produces exactly the stream of the untagged seed, which is what the
+    *structural* randomness of a scenario (task bags, machine counts)
+    must do so that pair members differ only in their interrupt traces.
+    Integer arithmetic (``seed + i``) keeps the tag, so derived machine
+    seeds stay paired.
+    """
+
+    def __new__(cls, seed: int, member: int):
+        if member not in (0, 1):
+            raise ValueError(f"pair member must be 0 or 1, got {member!r}")
+        self = super().__new__(cls, int(seed))
+        self.member = int(member)
+        return self
+
+    def __repr__(self) -> str:
+        return f"PairedSeed({int(self)}, member={self.member})"
+
+    def __add__(self, other):
+        return PairedSeed(int(self) + int(other), self.member)
+
+    def __radd__(self, other):
+        return PairedSeed(int(other) + int(self), self.member)
+
+    def __sub__(self, other):
+        return PairedSeed(int(self) - int(other), self.member)
+
+    def __mul__(self, other):
+        return PairedSeed(int(self) * int(other), self.member)
+
+    def __rmul__(self, other):
+        return PairedSeed(int(other) * int(self), self.member)
+
+
+class AntitheticRng:
+    """Generator façade producing a stream or its antithetic reflection.
+
+    Wraps ``numpy.random.default_rng(seed)`` and mirrors the subset of
+    its sampling API the interrupt-trace samplers and stochastic
+    adversaries use.  Every method draws from the underlying generator —
+    so both pair members consume identical bit-stream positions — and,
+    for ``member == 1``, reflects each draw through the distribution's
+    antithetic map.  ``member == 0`` returns the native draws bitwise
+    unchanged, which makes an antithetic run's even-indexed replications
+    exactly reproduce a ``variance="none"`` run with the same seeds.
+    """
+
+    __slots__ = ("_rng", "member")
+
+    def __init__(self, seed: Optional[int], member: int):
+        if member not in (0, 1):
+            raise ValueError(f"pair member must be 0 or 1, got {member!r}")
+        self._rng = np.random.default_rng(None if seed is None else int(seed))
+        self.member = int(member)
+
+    # -- uniforms ---------------------------------------------------------
+    def random(self, size=None):
+        u = self._rng.random(size)
+        if self.member == 0:
+            return u
+        return 1.0 - u
+
+    def uniform(self, low: float = 0.0, high: float = 1.0, size=None):
+        x = self._rng.uniform(low, high, size)
+        if self.member == 0:
+            return x
+        return low + high - x
+
+    # -- exponentials -----------------------------------------------------
+    def exponential(self, scale: float = 1.0, size=None):
+        x = self._rng.exponential(scale, size)
+        if self.member == 0:
+            return x
+        # Antithetic map for Exp(scale): x -> F^-1(1 - F(x)) with
+        # F(x) = 1 - exp(-x/scale).  An involution; clamped so x == 0
+        # (probability-zero but representable) reflects to a finite value.
+        if size is None:
+            u = max(-math.expm1(-float(x) / scale), _TINY)
+            return -scale * math.log(u)
+        u = np.maximum(-np.expm1(-np.asarray(x) / scale), _TINY)
+        return -scale * np.log(u)
+
+    # -- discrete ---------------------------------------------------------
+    def integers(self, low, high=None, size=None):
+        k = self._rng.integers(low, high, size)
+        if self.member == 0:
+            return k
+        lo, hi = (0, low) if high is None else (low, high)
+        return lo + hi - 1 - k
+
+    # -- normals ----------------------------------------------------------
+    def normal(self, loc: float = 0.0, scale: float = 1.0, size=None):
+        x = self._rng.normal(loc, scale, size)
+        if self.member == 0:
+            return x
+        return 2.0 * loc - x
+
+
+Seed = Union[None, int, PairedSeed]
+
+
+def spawn_rng(seed: Seed):
+    """The sampler-facing generator for ``seed``.
+
+    Plain ints and ``None`` get a plain ``numpy.random.default_rng`` —
+    bitwise the historical behaviour.  A :class:`PairedSeed` gets an
+    :class:`AntitheticRng` over the shared pair seed, reflecting draws
+    for pair member 1.
+    """
+    if isinstance(seed, PairedSeed):
+        return AntitheticRng(int(seed), seed.member)
+    return np.random.default_rng(seed)
+
+
+def reseed(parent: Seed, value) -> Union[int, PairedSeed]:
+    """Re-attach ``parent``'s pair-member tag to a derived integer seed.
+
+    The scenario families derive machine seeds from a structural
+    generator (``int(rng.integers(...))``), which would silently strip
+    the pair tag; wrapping the derivation in ``reseed(seed, ...)`` keeps
+    the derived seed on the same antithetic stream.  With a plain-int
+    parent this is exactly ``int(value)``.
+    """
+    if isinstance(parent, PairedSeed):
+        return PairedSeed(int(value), parent.member)
+    return int(value)

@@ -41,6 +41,23 @@ or below :data:`STREAMING_AUTO_THRESHOLD` replications and streaming
 above, preserving exact results for every small run.  Each replicated row
 carries a ``quantile_method`` column (``"exact"`` or ``"p2"``) so reports
 can flag which convention its quantile columns follow.
+
+Variance reduction
+------------------
+``variance="antithetic"`` replaces independent replication seeds with
+antithetic pairs (see :mod:`repro.experiments.variance`): replications
+``(2k, 2k+1)`` share a pair seed and consume a common uniform stream and
+its complement, threaded through the interrupt-trace samplers and the
+stochastic adversaries identically under both backends.
+``variance="stratified"`` keeps the exact seeds of ``variance="none"``
+(every historical column stays bitwise identical) and post-stratifies
+the standard errors over observed interrupt-count strata.  Both modes
+add ``{prefix}_sem/_ci_lo/_ci_hi`` (and batch-means ``_bm`` variants)
+plus a ``variance`` label column to the row; ``variance="none"`` (the
+default) emits no new columns and stays byte-identical to the
+pre-variance pipeline.  CI columns are bit-identical across chunk sizes
+and across the exact/streaming aggregation paths (the accumulators are
+strictly sequential with a fixed internal batch size).
 """
 
 from __future__ import annotations
@@ -53,12 +70,18 @@ import numpy as np
 from ..core.exceptions import InvalidScheduleError, SchedulingError
 from ..core.game import play_adaptive, play_nonadaptive
 from ..core.schedule import EpisodeSchedule
-from .grid import SweepPoint, make_adversary, make_scheduler, point_seed
+from .grid import SweepPoint, make_adversary, make_scheduler
 from .streaming import StreamingAggregator
+from .variance import (
+    CiAccumulator,
+    VARIANCE_MODES,
+    replication_seed,
+    resolve_variance,
+)
 
 __all__ = ["aggregate", "replicate_point", "replicate_scenario", "BACKENDS",
            "AGGREGATIONS", "STREAMING_AUTO_THRESHOLD", "resolve_aggregation",
-           "resolve_chunk_size"]
+           "resolve_chunk_size", "VARIANCE_MODES", "resolve_variance"]
 
 #: Quantiles reported for every replicated statistic.
 QUANTILES = (0.1, 0.5, 0.9)
@@ -143,11 +166,13 @@ def aggregate(values: Sequence[float], prefix: str) -> Dict[str, float]:
     arr = np.asarray(list(values), dtype=float)
     if arr.size == 0:
         return {f"{prefix}_n": 0}
-    nan_count = int(np.isnan(arr).sum())
+    nan_mask = np.isnan(arr)
+    nan_count = int(nan_mask.sum())
     if nan_count:
         raise ValueError(
             f"cannot aggregate {prefix!r}: {nan_count} of {arr.size} "
-            "replication values are NaN; NaN cannot be aggregated (it would "
+            f"replication values are NaN (first at replication index "
+            f"{int(nan_mask.argmax())}); NaN cannot be aggregated (it would "
             "poison mean/std/quantiles) — check the scheduler/adversary/"
             "scenario for invalid parameters producing undefined work values")
     out: Dict[str, float] = {
@@ -177,10 +202,40 @@ def _record_chunk(profile: Optional[Dict[str, float]], seconds: float) -> None:
                                     float(seconds))
 
 
+def _make_cis(variance: str, names: Sequence[str],
+              stratified: Sequence[str]) -> Optional[Dict[str, CiAccumulator]]:
+    """One CI accumulator per statistic, or ``None`` under ``variance="none"``.
+
+    Under ``"stratified"``, only the statistics in ``stratified`` get the
+    post-stratified standard error — statistics that are functions of the
+    stratum variable itself (interrupt/episode counts) keep the plain
+    i.i.d. one, which is what their CI should be.
+    """
+    if variance == "none":
+        return None
+    return {name: CiAccumulator(variance if variance != "stratified"
+                                or name in stratified else "none")
+            for name in names}
+
+
+def _chunk_context(exc: ValueError, index: int, start: int,
+                   stop: int) -> ValueError:
+    """Annotate an aggregation error with its chunk's identity.
+
+    The streaming accumulators already report the absolute replication
+    index of the first offending value; adding the chunk ordinal and its
+    ``[start, stop)`` replication range makes a bad replication in a
+    10^6-point run findable (re-run just that chunk's range).
+    """
+    return ValueError(f"{exc} [while aggregating chunk {index}, "
+                      f"replications [{start}, {stop})]")
+
+
 def replicate_point(point: SweepPoint, replications: int,
                     base_seed: int = 0, *, backend: str = "event",
                     aggregation: str = "auto",
                     chunk_size: Optional[int] = None,
+                    variance: str = "none",
                     profile: Optional[Dict[str, float]] = None) -> Dict[str, float]:
     """Play ``replications`` randomized traces of one sweep point.
 
@@ -200,15 +255,17 @@ def replicate_point(point: SweepPoint, replications: int,
     tail-reuse-aware batch pass.  ``aggregation`` / ``chunk_size`` select
     the aggregation pipeline (see the module docstring); replication ``r``
     is always seeded by its absolute index, so results are independent of
-    the chunking.  ``profile`` (a mutable mapping, optional) receives
-    per-chunk stage accounting under the ``mc_chunks`` /
-    ``mc_chunk_s_max`` keys.
+    the chunking.  ``variance`` selects the replication design and CI
+    columns (see the module docstring); ``profile`` (a mutable mapping,
+    optional) receives per-chunk stage accounting under the
+    ``mc_chunks`` / ``mc_chunk_s_max`` keys.
     """
     if point.adversary is None:
         raise ValueError(f"point {point.index} has no adversary to sample")
     if replications < 1:
         raise ValueError(f"replications must be >= 1, got {replications!r}")
     _check_backend(backend)
+    resolve_variance(variance, int(replications))
     mode = resolve_aggregation(aggregation, int(replications))
     params = point.params()
     scheduler = make_scheduler(point.scheduler, params)
@@ -216,15 +273,16 @@ def replicate_point(point: SweepPoint, replications: int,
 
     def play_range(start: int, stop: int):
         if backend == "batch" and adaptive:
-            return _play_point_batch(point, scheduler, start, stop, base_seed)
+            return _play_point_batch(point, scheduler, start, stop, base_seed,
+                                     variance)
         if backend == "batch":
             return _play_point_nonadaptive_batch(point, scheduler, start,
-                                                 stop, base_seed)
+                                                 stop, base_seed, variance)
         works: List[float] = []
         interrupts: List[float] = []
         episodes: List[float] = []
         for r in range(start, stop):
-            seed = point_seed(base_seed, point.index, r)
+            seed = replication_seed(base_seed, point.index, r, variance)
             adversary = make_adversary(point.adversary, params, seed=seed)
             if adaptive:
                 result = play_adaptive(scheduler, adversary, params)
@@ -235,39 +293,58 @@ def replicate_point(point: SweepPoint, replications: int,
             episodes.append(float(result.num_episodes))
         return works, interrupts, episodes
 
+    cis = _make_cis(variance, ("work", "efficiency", "interrupts",
+                               "episodes"), ("work", "efficiency"))
     row: Dict[str, float] = {}
     if mode == "exact":
         started = time.perf_counter()
         works, interrupts, episodes = play_range(0, int(replications))
         _record_chunk(profile, time.perf_counter() - started)
+        efficiencies = [w / params.lifespan for w in works]
         row.update(aggregate(works, "work"))
-        row.update(aggregate([w / params.lifespan for w in works],
-                             "efficiency"))
+        row.update(aggregate(efficiencies, "efficiency"))
         row.update(aggregate(interrupts, "interrupts"))
         row.update(aggregate(episodes, "episodes"))
+        if cis is not None:
+            cis["work"].extend(works, interrupts)
+            cis["efficiency"].extend(efficiencies, interrupts)
+            cis["interrupts"].extend(interrupts)
+            cis["episodes"].extend(episodes)
+            for name, ci in cis.items():
+                row.update(ci.columns(name))
+            row["variance"] = variance
         row["quantile_method"] = "exact"
         return row
 
     chunk = resolve_chunk_size(chunk_size, int(replications))
-    aggregators = {name: StreamingAggregator(name, QUANTILES)
+    aggregators = {name: StreamingAggregator(
+                       name, QUANTILES, ci=None if cis is None else cis[name])
                    for name in ("work", "efficiency", "interrupts",
                                 "episodes")}
-    for start, stop in _chunk_ranges(int(replications), chunk):
+    for index, (start, stop) in enumerate(_chunk_ranges(int(replications),
+                                                        chunk)):
         started = time.perf_counter()
         works, interrupts, episodes = play_range(start, stop)
-        aggregators["work"].extend(works)
-        aggregators["efficiency"].extend([w / params.lifespan for w in works])
-        aggregators["interrupts"].extend(interrupts)
-        aggregators["episodes"].extend(episodes)
+        try:
+            aggregators["work"].extend(works, interrupts)
+            aggregators["efficiency"].extend(
+                [w / params.lifespan for w in works], interrupts)
+            aggregators["interrupts"].extend(interrupts)
+            aggregators["episodes"].extend(episodes)
+        except ValueError as exc:
+            raise _chunk_context(exc, index, start, stop) from exc
         _record_chunk(profile, time.perf_counter() - started)
     for name, aggregator in aggregators.items():
         row.update(aggregator.summary(name))
+    if variance != "none":
+        row["variance"] = variance
     row["quantile_method"] = "p2"
     return row
 
 
 def _play_point_batch(point: SweepPoint, scheduler, rep_start: int,
-                      rep_stop: int, base_seed: int):
+                      rep_stop: int, base_seed: int,
+                      variance: str = "none"):
     """Adaptive game over replications ``[rep_start, rep_stop)``, level by level.
 
     Mirrors :func:`repro.core.game.play_adaptive` step for step: every
@@ -285,7 +362,8 @@ def _play_point_batch(point: SweepPoint, scheduler, rep_start: int,
     c = params.setup_cost
     count = rep_stop - rep_start
     adversaries = [make_adversary(point.adversary, params,
-                                  seed=point_seed(base_seed, point.index, r))
+                                  seed=replication_seed(base_seed, point.index,
+                                                        r, variance))
                    for r in range(rep_start, rep_stop)]
     residual = [params.lifespan] * count
     p_left = [params.max_interrupts] * count
@@ -363,7 +441,7 @@ def _play_point_batch(point: SweepPoint, scheduler, rep_start: int,
 
 def _play_point_nonadaptive_batch(point: SweepPoint, scheduler,
                                   rep_start: int, rep_stop: int,
-                                  base_seed: int):
+                                  base_seed: int, variance: str = "none"):
     """Non-adaptive game over replications ``[rep_start, rep_stop)``.
 
     Mirrors :func:`repro.core.game.play_nonadaptive` with a
@@ -394,7 +472,8 @@ def _play_point_nonadaptive_batch(point: SweepPoint, scheduler,
     base.validate_for_lifespan(lifespan, require_exact=False)
 
     adversaries = [make_adversary(point.adversary, params,
-                                  seed=point_seed(base_seed, point.index, r))
+                                  seed=replication_seed(base_seed, point.index,
+                                                        r, variance))
                    for r in range(rep_start, rep_stop)]
     clock = [0.0] * count
     left = [budget] * count
@@ -494,6 +573,7 @@ def replicate_scenario(family, replications: int, *, base_seed: int = 0,
                        backend: str = "event",
                        aggregation: str = "auto",
                        chunk_size: Optional[int] = None,
+                       variance: str = "none",
                        profile: Optional[Dict[str, float]] = None,
                        **family_kwargs) -> Dict[str, float]:
     """Replicate a randomized scenario family through the NOW simulator.
@@ -521,6 +601,13 @@ def replicate_scenario(family, replications: int, *, base_seed: int = 0,
         the streaming accumulators — instances are generated, simulated
         and released chunk by chunk, so peak memory is flat in
         ``replications``.
+    variance:
+        Replication design and CI columns (see the module docstring):
+        ``"antithetic"`` draws scenario instances in paired-seed couples
+        whose interrupt traces reflect each other (structural randomness
+        — task bags, machine counts, speeds — stays identical within a
+        pair); ``"stratified"`` keeps independent seeds and
+        post-stratifies standard errors over observed interrupt counts.
     profile:
         Optional mutable mapping receiving per-chunk stage accounting
         (``mc_chunks`` / ``mc_chunk_s_max``).
@@ -534,17 +621,18 @@ def replicate_scenario(family, replications: int, *, base_seed: int = 0,
     dimensionless; interrupts here are the *observed* owner reclaims,
     which may exceed the negotiated budget ``p`` for contract-breaking
     families.  Replication ``r`` samples scenario instance
-    ``family(seed=point_seed(base_seed, family_label, r))`` — the seed
-    depends on the family and (absolute) replication index only, never on
-    the scheduler or the chunking, so different schedulers face identical
-    instances (paired comparison) and chunked results are bit-identical
-    for any chunk size.
+    ``family(seed=replication_seed(base_seed, family_label, r, variance))``
+    — the seed depends on the family, the (absolute) replication index
+    and the variance mode only, never on the scheduler or the chunking,
+    so different schedulers face identical instances (paired comparison)
+    and chunked results are bit-identical for any chunk size.
     """
     from ..simulator import CycleStealingSimulation
 
     if replications < 1:
         raise ValueError(f"replications must be >= 1, got {replications!r}")
     _check_backend(backend)
+    resolve_variance(variance, int(replications))
     mode = resolve_aggregation(aggregation, int(replications))
 
     # Stable label for seeding and reporting.  Never fall back to repr():
@@ -563,7 +651,8 @@ def replicate_scenario(family, replications: int, *, base_seed: int = 0,
         if backend == "batch":
             from ..simulator.batch import simulate_scenarios_batch
 
-            scenarios = [family(seed=point_seed(base_seed, family_label, r),
+            scenarios = [family(seed=replication_seed(base_seed, family_label,
+                                                      r, variance),
                                 **family_kwargs)
                          for r in range(start, stop)]
             run_scheduler = scheduler
@@ -573,7 +662,8 @@ def replicate_scenario(family, replications: int, *, base_seed: int = 0,
                 scenarios, run_scheduler, scheduler_factory=scheduler_factory)
         reports = []
         for r in range(start, stop):
-            scenario = family(seed=point_seed(base_seed, family_label, r),
+            scenario = family(seed=replication_seed(base_seed, family_label,
+                                                    r, variance),
                               **family_kwargs)
             if scheduler is None and scheduler_factory is None:
                 run_scheduler = default_scheduler()
@@ -585,6 +675,8 @@ def replicate_scenario(family, replications: int, *, base_seed: int = 0,
             reports.append(sim.run())
         return reports
 
+    cis = _make_cis(variance, ("work", "tasks", "interrupts"),
+                    ("work", "tasks"))
     row: Dict[str, float] = {"scenario": family_label}
     if mode == "exact":
         started = time.perf_counter()
@@ -596,22 +688,37 @@ def replicate_scenario(family, replications: int, *, base_seed: int = 0,
         row.update(aggregate(works, "work"))
         row.update(aggregate(tasks, "tasks"))
         row.update(aggregate(interrupts, "interrupts"))
+        if cis is not None:
+            cis["work"].extend(works, interrupts)
+            cis["tasks"].extend(tasks, interrupts)
+            cis["interrupts"].extend(interrupts)
+            for name, ci in cis.items():
+                row.update(ci.columns(name))
+            row["variance"] = variance
         row["quantile_method"] = "exact"
         return row
 
     chunk = resolve_chunk_size(chunk_size, int(replications))
-    aggregators = {name: StreamingAggregator(name, QUANTILES)
+    aggregators = {name: StreamingAggregator(
+                       name, QUANTILES, ci=None if cis is None else cis[name])
                    for name in ("work", "tasks", "interrupts")}
-    for start, stop in _chunk_ranges(int(replications), chunk):
+    for index, (start, stop) in enumerate(_chunk_ranges(int(replications),
+                                                        chunk)):
         started = time.perf_counter()
         reports = simulate_range(start, stop)
-        aggregators["work"].extend([report.total_work for report in reports])
-        aggregators["tasks"].extend([float(report.total_tasks_completed)
-                                     for report in reports])
-        aggregators["interrupts"].extend([float(report.total_interrupts)
-                                          for report in reports])
+        works = [report.total_work for report in reports]
+        tasks = [float(report.total_tasks_completed) for report in reports]
+        interrupts = [float(report.total_interrupts) for report in reports]
+        try:
+            aggregators["work"].extend(works, interrupts)
+            aggregators["tasks"].extend(tasks, interrupts)
+            aggregators["interrupts"].extend(interrupts)
+        except ValueError as exc:
+            raise _chunk_context(exc, index, start, stop) from exc
         _record_chunk(profile, time.perf_counter() - started)
     for name, aggregator in aggregators.items():
         row.update(aggregator.summary(name))
+    if variance != "none":
+        row["variance"] = variance
     row["quantile_method"] = "p2"
     return row

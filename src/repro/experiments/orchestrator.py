@@ -67,6 +67,10 @@ class ExperimentConfig:
     #: Streaming chunk size (replications per chunk); ``None`` auto-sizes
     #: from the replication count.  Never affects results, only memory.
     chunk_size: Optional[int] = None
+    #: Variance-reduction mode: ``"none"``, ``"antithetic"`` or
+    #: ``"stratified"`` (see :mod:`repro.experiments.variance`).  Non-default
+    #: modes add ``{prefix}_sem/_ci_lo/_ci_hi`` columns to replicated rows.
+    variance: str = "none"
     #: DP tables the driver published to shared memory (attach-by-name in
     #: workers; empty = every worker resolves tables itself).
     shared_tables: Tuple[SharedTableHandle, ...] = ()
@@ -157,6 +161,7 @@ def _evaluate_point(payload: Tuple[SweepPoint, ExperimentConfig]) -> Dict[str, A
                                    backend=config.backend,
                                    aggregation=config.aggregation,
                                    chunk_size=config.chunk_size,
+                                   variance=config.variance,
                                    profile=chunk_profile))
         if profile:
             row[stage_column("monte_carlo")] = time.perf_counter() - started
@@ -246,6 +251,7 @@ def run_sweep(grid: SweepGrid, *, jobs: int = 1, replications: int = 0,
               backend: str = "event",
               aggregation: str = "auto",
               chunk_size: Optional[int] = None,
+              variance: str = "none",
               profile: bool = False) -> List[Dict[str, Any]]:
     """Run a full sweep and return one row per grid point, in grid order.
 
@@ -283,6 +289,14 @@ def run_sweep(grid: SweepGrid, *, jobs: int = 1, replications: int = 0,
     chunk_size:
         Streaming chunk size (replications per chunk); ``None`` auto-sizes
         from the replication count.  Chunking never changes results.
+    variance:
+        Variance-reduction mode: ``"none"`` (independent seeds, the
+        historical behaviour), ``"antithetic"`` (paired interrupt traces)
+        or ``"stratified"`` (post-stratified standard errors; identical
+        seeds and base columns to ``"none"``).  Non-default modes add CI
+        columns (``{prefix}_sem/_ci_lo/_ci_hi`` and ``_bm`` variants) and
+        a ``variance`` label to replicated rows; ``"antithetic"`` needs an
+        even replication count.
     profile:
         Collect a per-stage wall-time breakdown (referee / DP solve /
         Monte-Carlo) and print it to stderr when the sweep finishes.  The
@@ -297,12 +311,18 @@ def run_sweep(grid: SweepGrid, *, jobs: int = 1, replications: int = 0,
     ``jobs`` (see :func:`publish_shared_tables` and
     ``benchmarks/results/shared_dp_memory.*``).
     """
-    from .montecarlo import _check_backend, resolve_aggregation, resolve_chunk_size
+    from .montecarlo import (
+        _check_backend,
+        resolve_aggregation,
+        resolve_chunk_size,
+        resolve_variance,
+    )
 
     _check_backend(backend)
     resolve_aggregation(aggregation, int(replications))
     if chunk_size is not None:
         resolve_chunk_size(chunk_size, int(replications))
+    resolve_variance(variance, int(replications) if replications else None)
     config = ExperimentConfig(replications=int(replications), seed=int(seed),
                               cache_dir=cache_dir, dp_method=dp_method,
                               include_optimal=bool(include_optimal),
@@ -311,6 +331,7 @@ def run_sweep(grid: SweepGrid, *, jobs: int = 1, replications: int = 0,
                               aggregation=str(aggregation),
                               chunk_size=(None if chunk_size is None
                                           else int(chunk_size)),
+                              variance=str(variance),
                               profile=bool(profile))
     points = grid.points()
     publisher: Optional[SharedTablePublisher] = None

@@ -37,13 +37,16 @@ import numpy as np
 __all__ = ["RunningMoments", "P2Quantile", "StreamingAggregator"]
 
 
-def _reject_nan(name: Optional[str], count_nan: int, count_total: int) -> None:
+def _reject_nan(name: Optional[str], count_nan: int, count_total: int,
+                first_index: Optional[int] = None) -> None:
     label = f" {name!r}" if name else ""
+    where = ("" if first_index is None
+             else f" (first NaN at absolute replication index {first_index})")
     raise ValueError(
         f"replicated statistic{label}: {count_nan} of {count_total} values "
-        "in this update are NaN; NaN cannot be aggregated (it would poison "
-        "mean/std/quantiles) — check the scheduler/adversary/scenario for "
-        "invalid parameters producing undefined work values")
+        f"in this update are NaN{where}; NaN cannot be aggregated (it would "
+        "poison mean/std/quantiles) — check the scheduler/adversary/scenario "
+        "for invalid parameters producing undefined work values")
 
 
 class RunningMoments:
@@ -69,7 +72,7 @@ class RunningMoments:
     def update(self, value: float) -> None:
         value = float(value)
         if math.isnan(value):
-            _reject_nan(self.name, 1, 1)
+            _reject_nan(self.name, 1, 1, self.count)
         self.count += 1
         delta = value - self.mean
         self.mean += delta / self.count
@@ -84,9 +87,11 @@ class RunningMoments:
                          else values, dtype=float)
         if arr.size == 0:
             return
-        nan_count = int(np.isnan(arr).sum())
+        nan_mask = np.isnan(arr)
+        nan_count = int(nan_mask.sum())
         if nan_count:
-            _reject_nan(self.name, nan_count, int(arr.size))
+            _reject_nan(self.name, nan_count, int(arr.size),
+                        self.count + int(nan_mask.argmax()))
         # Welford is inherently sequential (each step divides by the
         # running count); min/max are associative, so they merge from the
         # chunk's exact numpy reduction — both stay chunking-invariant.
@@ -147,7 +152,7 @@ class P2Quantile:
     def update(self, value: float) -> None:
         value = float(value)
         if math.isnan(value):
-            _reject_nan(self.name, 1, 1)
+            _reject_nan(self.name, 1, 1, self.count)
         self.count += 1
         heights = self._heights
         if self.count <= 5:
@@ -208,9 +213,11 @@ class P2Quantile:
                          else values, dtype=float)
         if arr.size == 0:
             return
-        nan_count = int(np.isnan(arr).sum())
+        nan_mask = np.isnan(arr)
+        nan_count = int(nan_mask.sum())
         if nan_count:
-            _reject_nan(self.name, nan_count, int(arr.size))
+            _reject_nan(self.name, nan_count, int(arr.size),
+                        self.count + int(nan_mask.argmax()))
         update = self.update
         for value in arr.tolist():
             update(value)
@@ -235,25 +242,39 @@ class StreamingAggregator:
     values (monotone across quantiles by construction: the summary sorts
     the estimates so ``q10 <= q50 <= q90`` always holds, matching the
     order exact quantiles satisfy automatically).
+
+    ``ci`` (optional) attaches a confidence-interval accumulator — any
+    object with ``update(value, stratum)``, ``extend(values, strata)``
+    and ``columns(prefix)``, in practice
+    :class:`repro.experiments.variance.CiAccumulator`.  It is fed the
+    same stream in the same order (after NaN screening), and its columns
+    are merged into :meth:`summary`, so ``{prefix}_sem/_ci_lo/_ci_hi``
+    ride along with the mean/std/quantile columns.  ``strata`` (optional
+    per-value stratum labels, e.g. observed interrupt counts) are passed
+    through to the accumulator untouched.
     """
 
     def __init__(self, name: Optional[str] = None,
-                 quantiles: Sequence[float] = (0.1, 0.5, 0.9)):
+                 quantiles: Sequence[float] = (0.1, 0.5, 0.9), ci=None):
         self.name = name
         self.quantiles: Tuple[float, ...] = tuple(sorted(quantiles))
         self.moments = RunningMoments(name)
         self.estimators = [P2Quantile(q, name) for q in self.quantiles]
+        self.ci = ci
 
     @property
     def count(self) -> int:
         return self.moments.count
 
-    def update(self, value: float) -> None:
+    def update(self, value: float, stratum: Optional[float] = None) -> None:
         self.moments.update(value)
         for estimator in self.estimators:
             estimator.update(value)
+        if self.ci is not None:
+            self.ci.update(value, stratum)
 
-    def extend(self, values: Iterable[float]) -> None:
+    def extend(self, values: Iterable[float],
+               strata: Optional[Sequence[float]] = None) -> None:
         arr = np.asarray(list(values) if not isinstance(values, np.ndarray)
                          else values, dtype=float)
         if arr.size == 0:
@@ -261,6 +282,8 @@ class StreamingAggregator:
         self.moments.extend(arr)
         for estimator in self.estimators:
             estimator.extend(arr)
+        if self.ci is not None:
+            self.ci.extend(arr.tolist(), strata)
 
     def summary(self, prefix: str) -> Dict[str, float]:
         """The aggregate row columns (same names/conventions as ``aggregate``)."""
@@ -277,4 +300,6 @@ class StreamingAggregator:
         estimates = sorted(est.value() for est in self.estimators)
         for q, estimate in zip(self.quantiles, estimates):
             out[f"{prefix}_q{int(round(q * 100))}"] = float(estimate)
+        if self.ci is not None:
+            out.update(self.ci.columns(prefix))
         return out

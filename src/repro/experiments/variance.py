@@ -1,0 +1,283 @@
+"""Variance reduction and confidence intervals for Monte-Carlo replication.
+
+The paper's guideline-vs-optimal comparisons rank schedulers whose
+expected guaranteed work is often near-tied; raw mean/std columns cannot
+say when two points are *distinguishable*.  This module adds the
+statistical machinery:
+
+* **variance modes** (:data:`VARIANCE_MODES`) selecting how replication
+  seeds are drawn — ``"none"`` (independent, the historical behaviour,
+  byte-identical to the pre-variance pipeline), ``"antithetic"``
+  (replication pairs on a common uniform stream and its complement, via
+  :class:`repro.core.sampling.PairedSeed` /
+  :class:`~repro.core.sampling.AntitheticRng`), and ``"stratified"``
+  (the *same* independent seeds as ``"none"`` — so every existing column
+  stays bitwise identical — with post-stratified standard errors over
+  observed interrupt-count strata);
+* :class:`CiAccumulator` — a strictly sequential confidence-interval
+  accumulator emitting ``{prefix}_sem/_ci_lo/_ci_hi`` (the
+  mode-appropriate normal-theory interval) and
+  ``{prefix}_sem_bm/_ci_lo_bm/_ci_hi_bm`` (a bootstrap-free batch-means
+  variant, robust to within-stream dependence) that composes with the
+  streaming P² quantile path and is **bit-identical under any chunking**
+  (the internal batch size is fixed, never the streaming chunk size);
+* :func:`replication_seed` — the one place pair seeds are derived:
+  replication ``r`` of an antithetic run shares
+  ``point_seed(base_seed, key, r - (r % 2))`` with its pair partner and
+  carries ``r % 2`` as the pair member, so seeds depend only on absolute
+  replication indices and resume/chunking can never change a result.
+
+Statistical conventions
+-----------------------
+``antithetic`` treats each *pair mean* as one i.i.d. observation: with
+``m = n/2`` pairs, ``sem = std(pair_means, ddof=1) / sqrt(m)``.  The
+point estimate (the overall mean) equals the mean of pair means exactly.
+
+``stratified`` reports Cochran's post-stratification standard error over
+the observed interrupt-count strata (capped at :data:`STRATA_CAP`):
+``sem^2 = (1/n) * sum_h W_h s_h^2 + (1/n^2) * sum_h (1 - W_h) s_h^2``
+with ``W_h = n_h / n`` and singleton strata contributing the pooled
+sample variance.  The interval is *conditional on the observed
+interrupt-count allocation* — the right instrument for ranking
+schedulers that face identical adversary traces, where the allocation is
+common to all contenders.  Statistics that are functions of the stratum
+variable itself (interrupt and episode counts) keep the plain i.i.d.
+standard error.
+
+The batch-means columns use fixed consecutive batches of
+:data:`BATCH_MEANS_SIZE` replications (even, so antithetic pairs never
+straddle a batch boundary) and fall back to the mode's primary ``sem``
+below two batches.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Optional
+
+from ..core.sampling import AntitheticRng, PairedSeed, reseed, spawn_rng
+from .grid import point_seed
+
+__all__ = ["VARIANCE_MODES", "resolve_variance", "replication_seed",
+           "CiAccumulator", "Z95", "BATCH_MEANS_SIZE", "STRATA_CAP",
+           "PairedSeed", "AntitheticRng", "spawn_rng", "reseed"]
+
+#: Recognised variance-reduction modes.
+VARIANCE_MODES = ("none", "antithetic", "stratified")
+
+#: Two-sided 95% normal critical value, pinned so CI columns are
+#: bit-reproducible across platforms and scipy-free.
+Z95 = 1.959963984540054
+
+#: Replications per batch for the batch-means standard error.  Fixed and
+#: even: independent of the streaming chunk size (so CI columns are
+#: bit-identical across chunkings) and aligned with antithetic pairs.
+BATCH_MEANS_SIZE = 64
+
+#: Interrupt-count strata above this are pooled into one tail stratum.
+STRATA_CAP = 32
+
+
+def resolve_variance(variance: str, replications: Optional[int] = None) -> str:
+    """Validate a variance mode (and the replication count it requires).
+
+    ``"antithetic"`` pairs replications ``(2k, 2k+1)``, so it requires an
+    even replication count — rejecting odd counts up front beats silently
+    leaving one unpaired replication with the wrong weight.
+    """
+    if variance not in VARIANCE_MODES:
+        raise ValueError(f"unknown variance {variance!r}; "
+                         f"known: {list(VARIANCE_MODES)}")
+    if (variance == "antithetic" and replications is not None
+            and int(replications) % 2):
+        raise ValueError(
+            f"variance='antithetic' pairs replications and needs an even "
+            f"replication count, got {replications!r}")
+    return variance
+
+
+def replication_seed(base_seed: int, key, r: int, variance: str = "none"):
+    """The seed for replication ``r`` under a variance mode.
+
+    ``"none"`` and ``"stratified"`` use the historical independent seed
+    ``point_seed(base_seed, key, r)`` — stratification changes only the
+    standard-error estimate, never a single draw.  ``"antithetic"``
+    returns a :class:`PairedSeed`: both members of pair ``k`` share
+    ``point_seed(base_seed, key, 2k)`` and differ only in the member tag,
+    so the pairing depends on absolute indices alone (chunk- and
+    resume-invariant) and member 0 reproduces the ``"none"`` stream of
+    the even replication bitwise.
+    """
+    if variance == "antithetic":
+        member = int(r) % 2
+        return PairedSeed(point_seed(base_seed, key, int(r) - member), member)
+    return point_seed(base_seed, key, r)
+
+
+class _Welford:
+    """Minimal sequential mean/variance state (no NaN checks, no min/max)."""
+
+    __slots__ = ("count", "mean", "m2")
+
+    def __init__(self):
+        self.count = 0
+        self.mean = 0.0
+        self.m2 = 0.0
+
+    def update(self, value: float) -> None:
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self.m2 += delta * (value - self.mean)
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (``ddof=1``); ``0.0`` below two values."""
+        if self.count < 2:
+            return 0.0
+        return self.m2 / (self.count - 1)
+
+
+class CiAccumulator:
+    """Streaming standard errors and 95% CIs for one replicated statistic.
+
+    Strictly sequential (every internal estimator consumes the stream one
+    value at a time in replication order), so its columns are
+    bit-identical no matter how the stream is chunked, and identical
+    between the exact and streaming aggregation paths.  NaN screening is
+    the caller's job — values reach this accumulator only after
+    :func:`repro.experiments.montecarlo.aggregate` or the streaming
+    accumulators have already rejected NaN.
+
+    ``mode`` selects the primary standard error: ``"none"`` the plain
+    i.i.d. ``std/sqrt(n)``, ``"antithetic"`` the pair-means estimator,
+    ``"stratified"`` Cochran's post-stratified estimator over the strata
+    labels passed alongside each value (see the module docstring).
+    """
+
+    __slots__ = ("mode", "batch_size", "_overall", "_pairs", "_pending",
+                 "_have_pending", "_strata", "_batches", "_batch_sum",
+                 "_batch_count")
+
+    def __init__(self, mode: str = "none", batch_size: int = BATCH_MEANS_SIZE):
+        if mode not in VARIANCE_MODES:
+            raise ValueError(f"unknown variance {mode!r}; "
+                             f"known: {list(VARIANCE_MODES)}")
+        self.mode = mode
+        self.batch_size = int(batch_size)
+        self._overall = _Welford()
+        self._pairs = _Welford()
+        self._pending = 0.0
+        self._have_pending = False
+        self._strata: Dict[int, _Welford] = {}
+        self._batches = _Welford()
+        self._batch_sum = 0.0
+        self._batch_count = 0
+
+    @property
+    def count(self) -> int:
+        return self._overall.count
+
+    def update(self, value: float, stratum: Optional[float] = None) -> None:
+        value = float(value)
+        self._overall.update(value)
+        self._batch_sum += value
+        self._batch_count += 1
+        if self._batch_count == self.batch_size:
+            self._batches.update(self._batch_sum / self._batch_count)
+            self._batch_sum = 0.0
+            self._batch_count = 0
+        if self.mode == "antithetic":
+            if self._have_pending:
+                self._pairs.update((self._pending + value) / 2.0)
+                self._have_pending = False
+            else:
+                self._pending = value
+                self._have_pending = True
+        elif self.mode == "stratified":
+            label = 0 if stratum is None else min(int(stratum), STRATA_CAP)
+            cell = self._strata.get(label)
+            if cell is None:
+                cell = self._strata[label] = _Welford()
+            cell.update(value)
+
+    def extend(self, values: Iterable[float],
+               strata: Optional[Iterable[float]] = None) -> None:
+        if strata is None:
+            for value in values:
+                self.update(value)
+        else:
+            for value, stratum in zip(values, strata):
+                self.update(value, stratum)
+
+    # -- standard errors --------------------------------------------------
+    def _plain_sem(self) -> float:
+        n = self._overall.count
+        if n < 2:
+            return 0.0
+        return math.sqrt(self._overall.variance / n)
+
+    def _antithetic_sem(self) -> float:
+        # Pair means are i.i.d.; an unpaired trailing value (impossible in
+        # the replication pipeline, which enforces even counts, but legal
+        # for direct users) counts as a singleton pair.
+        count = self._pairs.count
+        mean = self._pairs.mean
+        m2 = self._pairs.m2
+        if self._have_pending:
+            count += 1
+            delta = self._pending - mean
+            mean += delta / count
+            m2 += delta * (self._pending - mean)
+        if count < 2:
+            return self._plain_sem()
+        return math.sqrt(m2 / (count - 1) / count)
+
+    def _stratified_sem(self) -> float:
+        n = self._overall.count
+        if n < 2:
+            return 0.0
+        pooled = self._overall.variance
+        within = 0.0
+        correction = 0.0
+        for cell in self._strata.values():
+            weight = cell.count / n
+            cell_var = cell.variance if cell.count > 1 else pooled
+            within += weight * cell_var
+            correction += (1.0 - weight) * cell_var
+        return math.sqrt(within / n + correction / (n * n))
+
+    def _batch_means_sem(self, fallback: float) -> float:
+        count = self._batches.count
+        mean = self._batches.mean
+        m2 = self._batches.m2
+        if self._batch_count:
+            partial = self._batch_sum / self._batch_count
+            count += 1
+            delta = partial - mean
+            mean += delta / count
+            m2 += delta * (partial - mean)
+        if count < 2:
+            return fallback
+        return math.sqrt(m2 / (count - 1) / count)
+
+    def columns(self, prefix: str) -> Dict[str, float]:
+        """The ``{prefix}_sem/_ci_lo/_ci_hi`` (+ ``_bm``) row columns."""
+        if self._overall.count == 0:
+            return {}
+        if self.mode == "antithetic":
+            sem = self._antithetic_sem()
+        elif self.mode == "stratified":
+            sem = self._stratified_sem()
+        else:
+            sem = self._plain_sem()
+        sem_bm = self._batch_means_sem(sem)
+        mean = self._overall.mean
+        return {
+            f"{prefix}_sem": float(sem),
+            f"{prefix}_ci_lo": float(mean - Z95 * sem),
+            f"{prefix}_ci_hi": float(mean + Z95 * sem),
+            f"{prefix}_sem_bm": float(sem_bm),
+            f"{prefix}_ci_lo_bm": float(mean - Z95 * sem_bm),
+            f"{prefix}_ci_hi_bm": float(mean + Z95 * sem_bm),
+        }

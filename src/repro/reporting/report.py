@@ -30,6 +30,7 @@ import os
 import tempfile
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from ..experiments.variance import Z95
 from .table import render_markdown_table
 
 __all__ = ["render_run_report", "write_run_report", "refresh_run_report",
@@ -111,6 +112,48 @@ def _relative_output_rows(rows: Sequence[Mapping[str, Any]],
     return out
 
 
+def _distinguishability_rows(rows: Sequence[Mapping[str, Any]]
+                             ) -> List[Dict[str, Any]]:
+    """Best vs runner-up scheduler per opportunity, with a 95% verdict.
+
+    For each group of rows sharing an opportunity, compares the two
+    schedulers with the highest ``work_mean`` using their standard-error
+    columns (a Welch-style z-test): the pair is *distinguishable at 95%*
+    when ``|Δmean| > z_0.975 · √(sem₁² + sem₂²)``.  Only rows carrying CI
+    columns participate, so the section appears exactly when the run used
+    a variance-reduction mode.
+    """
+    groups: Dict[Tuple, List[Mapping[str, Any]]] = {}
+    for row in rows:
+        if row.get("work_mean") is None or row.get("work_sem") is None \
+                or "scheduler" not in row:
+            continue
+        groups.setdefault(_group_key(row), []).append(row)
+
+    out: List[Dict[str, Any]] = []
+    for key, group in sorted(groups.items(),
+                             key=lambda item: tuple(map(str, item[0]))):
+        if len(group) < 2:
+            continue
+        ranked = sorted(group, key=lambda r: float(r["work_mean"]),
+                        reverse=True)
+        best, runner = ranked[0], ranked[1]
+        delta = float(best["work_mean"]) - float(runner["work_mean"])
+        halfwidth = Z95 * math.hypot(float(best["work_sem"]),
+                                     float(runner["work_sem"]))
+        row: Dict[str, Any] = {k: v for k, v in zip(
+            [g for g in _GROUP_KEYS if g in best], key)}
+        row.update({
+            "best": str(best["scheduler"]),
+            "runner_up": str(runner["scheduler"]),
+            "work_delta": delta,
+            "delta_ci95_halfwidth": halfwidth,
+            "distinguishable_at_95": "yes" if delta > halfwidth else "no",
+        })
+        out.append(row)
+    return out
+
+
 def render_run_report(run) -> str:
     """Render one stored run (a :class:`repro.runstore.Run`) as markdown.
 
@@ -143,6 +186,8 @@ def render_run_report(run) -> str:
         lines.append(f"- **aggregation**: {spec.aggregation}")
     if getattr(spec, "chunk_size", None) is not None:
         lines.append(f"- **chunk size**: {spec.chunk_size}")
+    if getattr(spec, "variance", "none") != "none":
+        lines.append(f"- **variance reduction**: {spec.variance}")
     lines.append(f"- **points**: {completed}/{total} completed"
                  + ("" if completed == total else " (partial run)"))
     lines.append("")
@@ -200,14 +245,40 @@ def render_run_report(run) -> str:
                          "values and **P² estimates** — see each row's "
                          "`quantile_method`; mean/std/min/max are always "
                          "exact.")
+        if any(r.get("work_sem") is not None for r in replicated):
+            variance_modes = sorted({str(r["variance"]) for r in replicated
+                                     if r.get("variance") is not None})
+            lines.append(f"Variance reduction "
+                         f"(`{'`, `'.join(variance_modes)}`) adds CI "
+                         "columns: `work_sem` is the mode-aware standard "
+                         "error and `[work_ci_lo, work_ci_hi]` the normal "
+                         "95% interval; `*_bm` variants (in the stored "
+                         "rows) re-derive them from batch means.")
         lines.append("")
         lines.append(_subtable(
             replicated,
             ("family", "scheduler", "adversary", "lifespan", "setup_cost",
-             "max_interrupts", "work_mean", "work_std", "work_q10",
+             "max_interrupts", "work_mean", "work_std", "work_sem",
+             "work_ci_lo", "work_ci_hi", "work_q10",
              "work_q50", "work_q90", "tasks_mean", "interrupts_mean",
              "episodes_mean", "quantile_method")))
         lines.append("")
+
+        distinguishable = _distinguishability_rows(replicated)
+        if distinguishable:
+            lines.append("## Scheduler distinguishability at 95%")
+            lines.append("")
+            lines.append("Per opportunity: the two schedulers with the "
+                         "highest mean Monte-Carlo work, their mean gap, "
+                         "and the 95% half-width of that gap "
+                         "(`z₀.₉₇₅·√(sem₁²+sem₂²)`).  A **yes** means the "
+                         "ranking is resolved at this replication count; "
+                         "a **no** means more replications (or a stronger "
+                         "variance-reduction mode) are needed before "
+                         "reading anything into the order.")
+            lines.append("")
+            lines.append(render_markdown_table(distinguishable))
+            lines.append("")
 
     value_key = "work_mean" if replicated else "guaranteed_work"
     relative = _relative_output_rows(rows, value_key)

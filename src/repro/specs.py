@@ -41,6 +41,7 @@ with the same structure::
     backend = "batch"               # "event" | "batch" (default "event")
     aggregation = "auto"            # "exact" | "streaming" | "auto" (default)
     chunk_size = 4096               # streaming chunk size (optional)
+    variance = "none"               # "none" | "antithetic" | "stratified"
 
     [scenario]                      # when kind = "scenario"
     family = "laptop"               # a repro.registry.SCENARIO_FAMILIES name
@@ -126,6 +127,10 @@ class ExperimentSpec:
     #: from the replication count.  Chunking never changes results, so it
     #: is excluded from point digests (a resume may change it freely).
     chunk_size: Optional[int] = None
+    #: Variance-reduction mode: ``"none"``, ``"antithetic"`` or
+    #: ``"stratified"``.  Non-default modes add CI columns (and antithetic
+    #: changes the draws), so they are part of the point digests.
+    variance: str = "none"
 
     # --- kind = "sweep" ------------------------------------------------
     lifespans: Tuple[float, ...] = ()
@@ -176,6 +181,7 @@ class ScenarioPoint:
     backend: str = "event"
     aggregation: str = "auto"
     chunk_size: Optional[int] = None
+    variance: str = "none"
     family_params: Tuple[Tuple[str, Any], ...] = ()
     #: Return per-stage timing columns with the row (``--profile``).
     profile: bool = False
@@ -189,7 +195,7 @@ class ScenarioPoint:
 # Parsing and validation
 # ----------------------------------------------------------------------
 _EXPERIMENT_KEYS = {"name", "kind", "seed", "replications", "backend",
-                    "aggregation", "chunk_size"}
+                    "aggregation", "chunk_size", "variance"}
 _SWEEP_KEYS = {"lifespans", "setup_costs", "interrupts", "schedulers",
                "adversaries", "optimal"}
 _SCENARIO_KEYS = {"family", "schedulers", "params"}
@@ -292,6 +298,17 @@ def parse_spec(data: Mapping, *, source: Optional[str] = None) -> ExperimentSpec
     if exp.get("chunk_size") is not None:
         chunk_size = _as_int(exp.get("chunk_size"), "experiment.chunk_size",
                              source, minimum=1)
+    variance = exp.get("variance", "none")
+    from .experiments.montecarlo import VARIANCE_MODES
+    if variance not in VARIANCE_MODES:
+        raise SpecError(
+            f"experiment.variance must be one of {list(VARIANCE_MODES)}, "
+            f"got {variance!r}{_where(source)}")
+    if variance == "antithetic" and replications % 2 != 0:
+        raise SpecError(
+            "experiment.variance = 'antithetic' plays replications in "
+            "pairs and needs an even experiment.replications, got "
+            f"{replications}{_where(source)}")
 
     if kind == "sweep":
         if "scenario" in data:
@@ -326,6 +343,7 @@ def parse_spec(data: Mapping, *, source: Optional[str] = None) -> ExperimentSpec
         return ExperimentSpec(name=name, kind=kind, seed=seed,
                               replications=replications, backend=backend,
                               aggregation=aggregation, chunk_size=chunk_size,
+                              variance=variance,
                               lifespans=lifespans, setup_costs=setup_costs,
                               interrupts=interrupts, schedulers=schedulers,
                               adversaries=adversaries, optimal=optimal)
@@ -360,6 +378,7 @@ def parse_spec(data: Mapping, *, source: Optional[str] = None) -> ExperimentSpec
     return ExperimentSpec(name=name, kind=kind, seed=seed,
                           replications=replications, backend=backend,
                           aggregation=aggregation, chunk_size=chunk_size,
+                          variance=variance,
                           schedulers=schedulers, family=family,
                           family_params=dict(family_params))
 
@@ -426,6 +445,8 @@ def spec_to_dict(spec: ExperimentSpec) -> Dict[str, Any]:
         out["experiment"]["aggregation"] = spec.aggregation
     if spec.chunk_size is not None:
         out["experiment"]["chunk_size"] = spec.chunk_size
+    if spec.variance != "none":
+        out["experiment"]["variance"] = spec.variance
     if spec.kind == "sweep":
         sweep: Dict[str, Any] = {
             "lifespans": list(spec.lifespans),
@@ -664,6 +685,7 @@ def payload_config(spec: ExperimentSpec,
                             backend=spec.backend,
                             aggregation=spec.aggregation,
                             chunk_size=spec.chunk_size,
+                            variance=spec.variance,
                             profile=bool(profile))
 
 
@@ -675,6 +697,7 @@ def _scenario_point_at(spec: ExperimentSpec, index: int,
                          backend=spec.backend,
                          aggregation=spec.aggregation,
                          chunk_size=spec.chunk_size,
+                         variance=spec.variance,
                          family_params=tuple(sorted(spec.family_params.items())),
                          profile=bool(profile))
 
@@ -712,7 +735,10 @@ def payload_digest(payload) -> str:
     re-chunked resume still matches the digests recorded by the original
     run.  The aggregation mode *does* change quantile columns, so a
     non-default ``aggregation`` is part of the identity (the default
-    ``"auto"`` is omitted, keeping digests of older runs stable).
+    ``"auto"`` is omitted, keeping digests of older runs stable).  The
+    same holds for ``variance``: non-default modes add CI columns (and
+    antithetic changes the draws), so they are part of the identity,
+    while the default ``"none"`` is omitted.
     """
     if isinstance(payload, ScenarioPoint):
         identity = {
@@ -724,6 +750,8 @@ def payload_digest(payload) -> str:
         }
         if payload.aggregation != "auto":
             identity["aggregation"] = payload.aggregation
+        if payload.variance != "none":
+            identity["variance"] = payload.variance
     else:
         point, config = payload
         identity = {
@@ -737,6 +765,8 @@ def payload_digest(payload) -> str:
         }
         if config.aggregation != "auto":
             identity["aggregation"] = config.aggregation
+        if config.variance != "none":
+            identity["variance"] = config.variance
     blob = json.dumps(identity, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
@@ -780,6 +810,7 @@ def _evaluate_scenario_point(point: ScenarioPoint) -> Dict[str, Any]:
                                   backend=point.backend,
                                   aggregation=point.aggregation,
                                   chunk_size=point.chunk_size,
+                                  variance=point.variance,
                                   profile=chunk_profile,
                                   **family_params))
     if point.profile:

@@ -14,6 +14,8 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..core.sampling import spawn_rng
+
 __all__ = [
     "poisson_interrupts",
     "poisson_interrupts_batch",
@@ -35,7 +37,9 @@ def poisson_interrupts(lifespan: float, rate: float,
         raise ValueError("lifespan must be positive and rate non-negative")
     if rate == 0.0:
         return []
-    rng = np.random.default_rng(seed)
+    # spawn_rng: a plain default_rng for ordinary seeds, the antithetic
+    # reflection stream for PairedSeed (see repro.core.sampling).
+    rng = spawn_rng(seed)
     times: List[float] = []
     t = 0.0
     while True:
@@ -74,7 +78,7 @@ def poisson_interrupts_batch(lifespan: float, rate: float,
     block = max(8, int(expected + 6.0 * max(1.0, expected ** 0.5)) + 1)
     scale = 1.0 / rate
     for seed in seeds:
-        rng = np.random.default_rng(seed)
+        rng = spawn_rng(seed)
         times = np.cumsum(rng.exponential(scale, size=block))
         while times[-1] < lifespan:
             # Continue the accumulation from times[-1] *inside* the cumsum so
@@ -125,7 +129,7 @@ def inhomogeneous_poisson_interrupts(lifespan: float, rate_fn,
     """
     if lifespan <= 0.0 or max_rate <= 0.0:
         raise ValueError("lifespan and max_rate must be positive")
-    rng = np.random.default_rng(seed)
+    rng = spawn_rng(seed)
     times: List[float] = []
     t = 0.0
     while True:
@@ -203,7 +207,7 @@ def workday_interrupts(lifespan: float, day_length: float = 480.0,
     """
     if not (0.0 <= busy_fraction <= 1.0):
         raise ValueError(f"busy_fraction must lie in [0, 1], got {busy_fraction!r}")
-    rng = np.random.default_rng(seed)
+    rng = spawn_rng(seed)
     times: List[float] = []
     day_start = 0.0
     while day_start < lifespan:
@@ -224,7 +228,7 @@ def bursty_interrupts(lifespan: float, num_bursts: int, burst_size: int = 3,
     """Clusters of reclaims (e.g. the owner repeatedly checking mail)."""
     if num_bursts < 0 or burst_size < 1 or burst_spread <= 0.0:
         raise ValueError("need num_bursts >= 0, burst_size >= 1, burst_spread > 0")
-    rng = np.random.default_rng(seed)
+    rng = spawn_rng(seed)
     centres = np.sort(rng.uniform(0.0, lifespan, size=int(num_bursts)))
     times: List[float] = []
     for centre in centres:

@@ -21,6 +21,7 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from ..core.params import CycleStealingParams
+from ..core.sampling import reseed
 from ..registry import SCENARIO_FAMILIES
 from ..simulator.workstation import BorrowedWorkstation
 from .owner_activity import (
@@ -157,7 +158,7 @@ def bursty_office_day(*, num_machines: int = 6, day_length: float = 480.0,
     rng = np.random.default_rng(seed)
     workstations: List[BorrowedWorkstation] = []
     for i in range(num_machines):
-        machine_seed = None if seed is None else int(rng.integers(0, 2**31 - 1))
+        machine_seed = None if seed is None else reseed(seed, rng.integers(0, 2**31 - 1))
         background = workday_interrupts(day_length, day_length=day_length,
                                         busy_fraction=0.25, rate_when_busy=0.008,
                                         seed=machine_seed)
@@ -195,7 +196,7 @@ def heterogeneous_cluster(*, num_machines: int = 12, lifespan: float = 720.0,
         # Seed and speed draws interleave on one generator stream; the order
         # is part of the family's deterministic identity.
         machine_seeds.append(None if seed is None
-                             else int(rng.integers(0, 2**31 - 1)))
+                             else reseed(seed, rng.integers(0, 2**31 - 1)))
         speeds.append(float(np.exp(rng.normal(0.0, speed_sigma))))
     traces = poisson_interrupts_batch(lifespan, interrupt_budget / lifespan,
                                       machine_seeds,
@@ -231,7 +232,7 @@ def flaky_owners(*, num_machines: int = 5, lifespan: float = 360.0,
     if breach_factor < 1.0:
         raise ValueError(f"breach_factor must be >= 1, got {breach_factor!r}")
     rng = np.random.default_rng(seed)
-    machine_seeds = [None if seed is None else int(rng.integers(0, 2**31 - 1))
+    machine_seeds = [None if seed is None else reseed(seed, rng.integers(0, 2**31 - 1))
                     for _ in range(num_machines)]
     rate = breach_factor * max(interrupt_budget, 1) / lifespan
     traces = poisson_interrupts_batch(lifespan, rate, machine_seeds)
@@ -278,7 +279,7 @@ def diurnal_owners(*, num_machines: int = 6, num_days: float = 2.0,
     rng = np.random.default_rng(seed)
     workstations: List[BorrowedWorkstation] = []
     for i in range(num_machines):
-        machine_seed = None if seed is None else int(rng.integers(0, 2**31 - 1))
+        machine_seed = None if seed is None else reseed(seed, rng.integers(0, 2**31 - 1))
         # Owners peak at slightly different times of day (staggered lunches).
         peak_time = 0.5 * day_length * (1.0 + 0.2 * ((i % 3) - 1))
         trace = inhomogeneous_poisson_interrupts(
@@ -314,7 +315,7 @@ def mixed_fleet(*, lifespan: float = 480.0, seed: Optional[int] = 47,
     rng = np.random.default_rng(seed)
 
     def next_seed() -> Optional[int]:
-        return None if seed is None else int(rng.integers(0, 2**31 - 1))
+        return None if seed is None else reseed(seed, rng.integers(0, 2**31 - 1))
 
     workstations: List[BorrowedWorkstation] = []
     for i in range(num_laptops):
