@@ -1,0 +1,169 @@
+#!/usr/bin/env python
+"""Nightly service round-trip: submit two specs -> SIGKILL -> restart -> verify.
+
+Exercises the run-service's durability story end to end with real
+processes:
+
+1. submit two spec files (two tenants) into a fresh queue journal;
+2. launch ``repro serve --drain`` as a subprocess and SIGKILL it as soon
+   as at least one point shard has been persisted (if the service drains
+   before the kill lands, the restart degrades to a no-op — the checks
+   still hold);
+3. restart the service and let it drain: both submissions must finish
+   ``published``, with no corrupt or stray journal entries;
+4. render both published runs' reports and diff them against
+   uninterrupted in-process reference runs of the same specs — they must
+   be **byte-identical**;
+5. assert the queue snapshot agrees (2 published, nothing pending).
+
+Exit code 0 when every check passes, 1 otherwise (failures are also
+emitted as GitHub Actions ``::error::`` annotations).  The status
+snapshot is left at ``--status-out`` for upload as a workflow artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import time
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.reporting import render_run_report  # noqa: E402
+from repro.runstore import RunStore, run_spec  # noqa: E402
+from repro.service import Journal, status_snapshot  # noqa: E402
+from repro.service.journal import QUEUE_DIRNAME  # noqa: E402
+from repro.specs import default_run_id, load_spec, load_spec_data  # noqa: E402
+
+TENANTS = ("team-a", "team-b")
+
+
+def github_error(message: str) -> None:
+    """Emit a GitHub Actions error annotation (harmless plain text locally)."""
+    print(f"::error title=service roundtrip::{str(message).splitlines()[0]}")
+
+
+def fail(message: str) -> int:
+    github_error(message)
+    print(f"FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def serve(runs_dir: str, *, kill: bool, shard_dirs=(),
+          poll_deadline: float = 300.0) -> bool:
+    """Run ``repro serve --drain``; SIGKILL mid-run when ``kill`` is set.
+
+    Returns True when the kill landed while the service was still alive.
+    """
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--runs-dir", runs_dir,
+         "--drain", "--workers", "2", "--poll-interval", "0.02"],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+    try:
+        if not kill:
+            proc.wait(timeout=max(poll_deadline, 600))
+            return False
+        deadline = time.monotonic() + poll_deadline
+        while time.monotonic() < deadline and proc.poll() is None:
+            if any(name.endswith(".npz")
+                   for directory in shard_dirs if os.path.isdir(directory)
+                   for name in os.listdir(directory)):
+                break
+            time.sleep(0.02)
+        killed = proc.poll() is None
+        if killed:
+            proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=120)
+        return killed
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--specs", nargs=2,
+                        default=[os.path.join(_ROOT, "specs", "laptop.toml"),
+                                 os.path.join(_ROOT, "specs", "office.toml")],
+                        help="two spec files to submit (one per tenant)")
+    parser.add_argument("--runs-dir", default="service-roundtrip-runs")
+    parser.add_argument("--status-out", default="service_status.json",
+                        help="where to write the final queue snapshot")
+    args = parser.parse_args(argv)
+
+    shutil.rmtree(args.runs_dir, ignore_errors=True)
+    os.makedirs(args.runs_dir, exist_ok=True)
+    reference_dir = os.path.join(args.runs_dir, "_reference")
+
+    journal = Journal(os.path.join(args.runs_dir, QUEUE_DIRNAME))
+    entries, run_ids = [], []
+    for tenant, spec_path in zip(TENANTS, args.specs):
+        entries.append(journal.submit(load_spec_data(spec_path),
+                                      tenant=tenant))
+        run_ids.append(default_run_id(load_spec(spec_path)))
+    print(f"submitted {len(entries)} specs: "
+          + ", ".join(e.entry_id for e in entries))
+
+    shard_dirs = [os.path.join(args.runs_dir, tenant, run_id, "points")
+                  for tenant, run_id in zip(TENANTS, run_ids)]
+    killed = serve(args.runs_dir, kill=True, shard_dirs=shard_dirs)
+    print(f"serve phase: "
+          f"{'SIGKILLed mid-run' if killed else 'drained before the kill'}")
+
+    states = {e.entry_id: journal.get(e.entry_id).state for e in entries}
+    print(f"journal after kill: {states}")
+    if journal.corrupt_entries():
+        return fail(f"corrupt journal entries after SIGKILL: "
+                    f"{journal.corrupt_entries()}")
+
+    serve(args.runs_dir, kill=False)
+
+    for entry in entries:
+        final = journal.get(entry.entry_id)
+        if final.state != "published":
+            return fail(f"{entry.entry_id} is {final.state!r} after restart, "
+                        "expected published")
+    if journal.corrupt_entries():
+        return fail(f"corrupt journal entries after restart: "
+                    f"{journal.corrupt_entries()}")
+    print("restart drained both submissions to published")
+
+    for tenant, spec_path, run_id in zip(TENANTS, args.specs, run_ids):
+        run = RunStore(os.path.join(args.runs_dir, tenant)).open(run_id)
+        if run.status != "complete":
+            return fail(f"{tenant}/{run_id} is {run.status!r}, "
+                        "expected complete")
+        reference = run_spec(load_spec(spec_path),
+                             runs_dir=os.path.join(reference_dir, tenant),
+                             run_id=run_id)
+        if render_run_report(run) != render_run_report(reference):
+            return fail(f"{tenant}/{run_id}: published report is not "
+                        "byte-identical to the uninterrupted reference")
+        print(f"{tenant}/{run_id}: byte-identical to reference")
+
+    snapshot = status_snapshot(journal)
+    if snapshot["queue"]["published"] != len(entries) \
+            or any(snapshot["queue"][state]
+                   for state in ("submitted", "validated", "running",
+                                 "failed", "dead")):
+        return fail(f"unexpected final queue counts: {snapshot['queue']}")
+    with open(args.status_out, "w", encoding="utf-8") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"ok: service round-trip verified; snapshot at {args.status_out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,6 +17,11 @@ Sub-commands
                :mod:`repro.specs`) into the resumable run store.
 ``resume``     Finish an interrupted run from its last completed point.
 ``report``     Render a stored run as a paper-style markdown report.
+``serve``      Run the spec-submission service: durable queue, bounded
+               workers, crash recovery (see docs/service.md).
+``submit``     Enqueue a spec file (or stdin) for the service to execute.
+``status``     Show the submission queue (table or ``--json``).
+``cancel``     Cancel a not-yet-running submission.
 
 Scheduler, adversary and scenario-family names accepted by the commands
 are the :mod:`repro.registry` names.  Each table-producing command prints
@@ -225,6 +230,68 @@ def build_parser() -> argparse.ArgumentParser:
                     help="print the end-to-end report_render wall time to "
                          "stderr (collapses to the digest check on a cache hit)")
 
+    sv = sub.add_parser(
+        "serve", help="run the spec-submission service (durable queue, "
+                      "bounded workers, crash recovery)")
+    sv.add_argument("--runs-dir", default=DEFAULT_RUNS_DIR,
+                    help=f"run-store root directory (default: {DEFAULT_RUNS_DIR}/); "
+                         "the queue journal lives in <runs-dir>/_queue/")
+    sv.add_argument("--workers", type=int, default=2,
+                    help="concurrently executing submissions (default: 2)")
+    sv.add_argument("--jobs", "-j", type=int, default=1,
+                    help="worker processes per run (0 = one per CPU)")
+    sv.add_argument("--max-retries", type=int, default=3,
+                    help="failed attempts retried before dead-lettering")
+    sv.add_argument("--backoff-base", type=float, default=0.5,
+                    help="first retry delay in seconds (doubles per attempt)")
+    sv.add_argument("--backoff-cap", type=float, default=30.0,
+                    help="maximum retry delay in seconds")
+    sv.add_argument("--poll-interval", type=float, default=0.1,
+                    help="journal poll period in seconds")
+    sv.add_argument("--cache-dir", default=CACHE_DIR_HELP_DEFAULT,
+                    help=CACHE_DIR_HELP)
+    sv.add_argument("--http-port", type=int, default=None,
+                    help="serve the JSON status endpoint on this localhost "
+                         "port (0 = ephemeral, printed at startup; "
+                         "default: disabled)")
+    sv.add_argument("--drain", action="store_true",
+                    help="exit once every submission is published, dead or "
+                         "cancelled (instead of serving forever)")
+    sv.add_argument("--max-runtime", type=float, default=None,
+                    help="wall-clock safety limit in seconds")
+
+    sb = sub.add_parser(
+        "submit", help="enqueue a spec file (or '-' for stdin) for the service")
+    sb.add_argument("spec", help="path to a .toml/.json experiment spec, "
+                                 "or '-' to read the spec from stdin")
+    sb.add_argument("--runs-dir", default=DEFAULT_RUNS_DIR,
+                    help=f"run-store root directory (default: {DEFAULT_RUNS_DIR}/)")
+    sb.add_argument("--tenant", default=None,
+                    help="run-store namespace (default: the spec file's "
+                         "[submission] tenant, else 'default')")
+    sb.add_argument("--priority", type=int, default=None,
+                    help="scheduling priority, higher first (default: the "
+                         "spec file's [submission] priority, else 0)")
+    sb.add_argument("--format", choices=["toml", "json"], default=None,
+                    help="stdin spec format (default: sniffed — a leading "
+                         "'{' means JSON, anything else TOML)")
+
+    st = sub.add_parser(
+        "status", help="show the submission queue (table or --json)")
+    st.add_argument("entry", nargs="?", default=None,
+                    help="show one entry in full (default: the whole queue)")
+    st.add_argument("--runs-dir", default=DEFAULT_RUNS_DIR,
+                    help=f"run-store root directory (default: {DEFAULT_RUNS_DIR}/)")
+    st.add_argument("--json", action="store_true", dest="as_json",
+                    help="emit the machine-readable JSON snapshot (the "
+                         "schema the HTTP /status endpoint also serves)")
+
+    cn = sub.add_parser(
+        "cancel", help="cancel a not-yet-running submission")
+    cn.add_argument("entry", help="entry id to cancel (see `repro status`)")
+    cn.add_argument("--runs-dir", default=DEFAULT_RUNS_DIR,
+                    help=f"run-store root directory (default: {DEFAULT_RUNS_DIR}/)")
+
     return parser
 
 
@@ -394,6 +461,142 @@ def _cmd_report(args) -> str:
     return text
 
 
+def _open_journal(runs_dir: str):
+    import os
+
+    from .service.journal import QUEUE_DIRNAME, Journal
+
+    return Journal(os.path.join(runs_dir, QUEUE_DIRNAME))
+
+
+def _cmd_serve(args) -> str:
+    import signal
+
+    from .service.http import StatusHTTPServer
+    from .service.runner import RunService
+
+    service = RunService(args.runs_dir, workers=args.workers,
+                         jobs_per_run=args.jobs,
+                         max_retries=args.max_retries,
+                         backoff_base=args.backoff_base,
+                         backoff_cap=args.backoff_cap,
+                         poll_interval=args.poll_interval,
+                         cache_dir=args.cache_dir,
+                         http_port=args.http_port)
+
+    def request_stop(signum, frame):
+        service.stop()
+
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(signum, request_stop)
+        except (ValueError, OSError):  # pragma: no cover - non-main thread
+            pass
+    if args.http_port is not None:
+        # Start HTTP before the blocking loop so an ephemeral port
+        # (--http-port 0) can be announced to whoever started us.
+        service.http = StatusHTTPServer(service.journal, port=args.http_port,
+                                        inflight=service.inflight_ids)
+        service.http.start()
+        print(f"status endpoint: http://127.0.0.1:{service.http.port}/status",
+              file=sys.stderr)
+    counts = service.serve(drain=args.drain, max_runtime=args.max_runtime)
+    pending = sum(counts[state]
+                  for state in ("submitted", "validated", "running", "failed"))
+    return (f"service stopped: {counts['published']} published, "
+            f"{counts['dead']} dead, {counts['cancelled']} cancelled, "
+            f"{pending} pending")
+
+
+def _cmd_submit(args) -> str:
+    from .service.journal import JournalError
+    from .specs import (
+        SpecError,
+        decode_spec_data,
+        load_spec_data,
+        parse_submission,
+    )
+
+    try:
+        if args.spec == "-":
+            data = decode_spec_data(sys.stdin.read(), format=args.format)
+            source = "<stdin>"
+        else:
+            data = load_spec_data(args.spec)
+            source = args.spec
+        # Submission metadata resolution: CLI flag > the spec file's
+        # [submission] table > defaults.  Semantic spec validation is the
+        # service's job (a bad spec dead-letters with a captured error);
+        # only the format and the routing metadata are checked here.
+        meta = parse_submission(data, source=source)
+        tenant = args.tenant if args.tenant is not None else meta.tenant
+        priority = args.priority if args.priority is not None else meta.priority
+        entry = _open_journal(args.runs_dir).submit(
+            data, tenant=tenant, priority=priority)
+    except (SpecError, JournalError) as exc:
+        raise SystemExit(f"error: {exc}")
+    return (f"submitted {entry.entry_id} "
+            f"(spec={entry.spec_name or '?'}, tenant={tenant}, "
+            f"priority={priority}) from {source}")
+
+
+def _status_row(summary: dict) -> dict:
+    """One compact table row (full detail lives in --json / single-entry)."""
+    error = (summary["error"] or "").strip()
+    return {
+        "entry": summary["entry"],
+        "state": summary["state"],
+        "tenant": summary["tenant"],
+        "priority": summary["priority"],
+        "attempts": summary["attempts"],
+        "spec": summary["spec_name"] or "?",
+        "run_id": summary["run_id"] or "",
+        "error": error.splitlines()[-1][:60] if error else "",
+    }
+
+
+def _cmd_status(args):
+    import json
+
+    from .service.journal import JournalError
+    from .service.status import entry_summary, status_snapshot
+
+    journal = _open_journal(args.runs_dir)
+    if args.entry is None:
+        if args.as_json:
+            return json.dumps(status_snapshot(journal), indent=2,
+                              sort_keys=True)
+        rows = [_status_row(entry_summary(entry))
+                for entry in journal.entries()]
+        if not rows:
+            return f"queue is empty: no submissions under {journal.root}/"
+        return rows
+    try:
+        entry = journal.get(args.entry)
+    except JournalError as exc:
+        raise SystemExit(f"error: {exc}")
+    summary = entry_summary(entry)
+    if args.as_json:
+        return json.dumps(summary, indent=2, sort_keys=True)
+    lines = [f"{key}: {summary[key]}"
+             for key in ("entry", "state", "tenant", "priority", "seq",
+                         "spec_name", "run_id", "attempts",
+                         "next_attempt_at", "submitted_at", "updated_at")]
+    if summary["error"]:
+        lines += ["error:", str(summary["error"]).rstrip()]
+    return "\n".join(lines)
+
+
+def _cmd_cancel(args) -> str:
+    from .service.journal import JournalError
+
+    try:
+        entry = _open_journal(args.runs_dir).cancel(args.entry)
+    except JournalError as exc:
+        raise SystemExit(f"error: {exc}")
+    return f"cancelled {entry.entry_id} (spec={entry.spec_name or '?'})"
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -409,6 +612,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": _cmd_run,
         "resume": _cmd_resume,
         "report": _cmd_report,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "status": _cmd_status,
+        "cancel": _cmd_cancel,
     }
     result = handlers[args.command](args)
     if isinstance(result, str):  # pre-rendered output (markdown reports)

@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import os
 import tempfile
+import threading
 import zipfile
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -52,7 +53,7 @@ from ..dp.solver import solve
 from ..dp.value import ValueTable
 
 __all__ = ["CacheStats", "DPTableCache", "cached_solve", "shared_cache",
-           "configure_shared_cache", "SharedTableHandle",
+           "configure_shared_cache", "SharedTableHandle", "PublisherStats",
            "SharedTablePublisher", "attach_shared_table"]
 
 #: Cache key: ``(max_lifespan, setup_cost, max_interrupts, method)``.
@@ -109,6 +110,12 @@ class DPTableCache:
         self.allow_covering = bool(allow_covering)
         self._memory: "OrderedDict[CacheKey, ValueTable]" = OrderedDict()
         self.stats = CacheStats()
+        # The run-service shares one cache across worker THREADS; the LRU
+        # OrderedDict (and the covering lookup's iteration over it) is not
+        # safe under concurrent mutation.  Holding the lock across a full
+        # solve() also means concurrent requests for the same key solve it
+        # exactly once per process — the behaviour the service wants.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Public API
@@ -118,22 +125,23 @@ class DPTableCache:
         """Return the solved table, computing it at most once per key."""
         key = self._key(max_lifespan, setup_cost, max_interrupts, method)
 
-        table = self._memory_lookup(key)
-        if table is not None:
-            self.stats.memory_hits += 1
-            return table
+        with self._lock:
+            table = self._memory_lookup(key)
+            if table is not None:
+                self.stats.memory_hits += 1
+                return table
 
-        table = self._disk_lookup(key)
-        if table is not None:
-            self.stats.disk_hits += 1
+            table = self._disk_lookup(key)
+            if table is not None:
+                self.stats.disk_hits += 1
+                self._memory_store(key, table)
+                return table
+
+            self.stats.misses += 1
+            table = solve(key[0], key[1], key[2], method=key[3])
             self._memory_store(key, table)
+            self._disk_store(key, table)
             return table
-
-        self.stats.misses += 1
-        table = solve(key[0], key[1], key[2], method=key[3])
-        self._memory_store(key, table)
-        self._disk_store(key, table)
-        return table
 
     def preload(self, table: ValueTable, *, method: str = "fast") -> None:
         """Seed the memory level with an externally obtained table.
@@ -146,12 +154,14 @@ class DPTableCache:
         """
         key = self._key(table.max_lifespan, table.setup_cost,
                         table.max_interrupts, method)
-        self._memory_store(key, table)
+        with self._lock:
+            self._memory_store(key, table)
 
     def clear(self, *, memory: bool = True, disk: bool = False) -> None:
         """Drop cached tables (the disk level only when asked explicitly)."""
         if memory:
-            self._memory.clear()
+            with self._lock:
+                self._memory.clear()
         if disk and self.cache_dir and os.path.isdir(self.cache_dir):
             for name in os.listdir(self.cache_dir):
                 if name.startswith("dp_") and name.endswith(".npz"):
@@ -308,6 +318,24 @@ class SharedTableHandle:
         return 2 * rows * cols * 8
 
 
+@dataclass
+class PublisherStats:
+    """Publication counters of one :class:`SharedTablePublisher`.
+
+    The run-service asserts on these: two concurrent submissions sharing
+    an ``(L, c, p)`` key must show ``created == 1`` and ``reused >= 1``
+    for it — the shared-memory table really was published exactly once
+    per machine.  Counters survive :meth:`SharedTablePublisher.close`.
+    """
+
+    #: Blocks actually created (one per distinct cache key).
+    created: int = 0
+    #: ``publish()`` calls answered by an already-published block.
+    reused: int = 0
+    #: The keys created, in publication order.
+    created_keys: List[CacheKey] = field(default_factory=list)
+
+
 class SharedTablePublisher:
     """Driver-side owner of DP tables published to shared memory.
 
@@ -320,12 +348,16 @@ class SharedTablePublisher:
 
     Usable as a context manager; exceptions during ``publish`` (e.g. an
     exhausted ``/dev/shm``) surface to the caller, which should fall back
-    to per-worker solving rather than fail the sweep.
+    to per-worker solving rather than fail the sweep.  ``publish()`` is
+    thread-safe: the run-service calls it from concurrent worker threads
+    and relies on per-key idempotence holding under that concurrency.
     """
 
     def __init__(self) -> None:
         self._blocks: List[object] = []
         self._handles: Dict[CacheKey, SharedTableHandle] = {}
+        self._lock = threading.Lock()
+        self.stats = PublisherStats()
 
     def publish(self, table: ValueTable, *, method: str = "fast") -> SharedTableHandle:
         """Publish one solved table; idempotent per cache key."""
@@ -333,21 +365,25 @@ class SharedTablePublisher:
 
         key = DPTableCache._key(table.max_lifespan, table.setup_cost,
                                 table.max_interrupts, method)
-        handle = self._handles.get(key)
-        if handle is not None:
+        with self._lock:
+            handle = self._handles.get(key)
+            if handle is not None:
+                self.stats.reused += 1
+                return handle
+            values = np.ascontiguousarray(table.values, dtype=np.int64)
+            first = np.ascontiguousarray(table.first_periods, dtype=np.int64)
+            block = shared_memory.SharedMemory(create=True,
+                                               size=values.nbytes + first.nbytes)
+            self._blocks.append(block)
+            stacked = np.ndarray((2,) + values.shape, dtype=np.int64,
+                                 buffer=block.buf)
+            stacked[0] = values
+            stacked[1] = first
+            handle = SharedTableHandle(block_name=block.name, key=key)
+            self._handles[key] = handle
+            self.stats.created += 1
+            self.stats.created_keys.append(key)
             return handle
-        values = np.ascontiguousarray(table.values, dtype=np.int64)
-        first = np.ascontiguousarray(table.first_periods, dtype=np.int64)
-        block = shared_memory.SharedMemory(create=True,
-                                           size=values.nbytes + first.nbytes)
-        self._blocks.append(block)
-        stacked = np.ndarray((2,) + values.shape, dtype=np.int64,
-                             buffer=block.buf)
-        stacked[0] = values
-        stacked[1] = first
-        handle = SharedTableHandle(block_name=block.name, key=key)
-        self._handles[key] = handle
-        return handle
 
     @property
     def handles(self) -> Tuple[SharedTableHandle, ...]:
@@ -355,16 +391,21 @@ class SharedTablePublisher:
         return tuple(self._handles.values())
 
     def close(self, *, unlink: bool = True) -> None:
-        """Release (and by default unlink) every published block."""
-        for block in self._blocks:
+        """Release (and by default unlink) every published block.
+
+        :attr:`stats` is deliberately left intact — the counters describe
+        the publisher's whole lifetime and are read after shutdown.
+        """
+        with self._lock:
+            blocks, self._blocks = self._blocks, []
+            self._handles = {}
+        for block in blocks:
             try:
                 block.close()
                 if unlink:
                     block.unlink()
             except OSError:  # pragma: no cover - already gone
                 pass
-        self._blocks = []
-        self._handles = {}
 
     def __enter__(self) -> "SharedTablePublisher":
         return self

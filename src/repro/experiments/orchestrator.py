@@ -194,7 +194,8 @@ def _shared_table_keys(points: Sequence[SweepPoint],
 
 def publish_shared_tables(points: Sequence[SweepPoint],
                           config: ExperimentConfig,
-                          *, cache: Optional[DPTableCache] = None
+                          *, cache: Optional[DPTableCache] = None,
+                          publisher: Optional[SharedTablePublisher] = None
                           ) -> Tuple[Optional[SharedTablePublisher],
                                      ExperimentConfig]:
     """Solve the sweep's DP tables once and publish them to shared memory.
@@ -207,6 +208,12 @@ def publish_shared_tables(points: Sequence[SweepPoint],
     ``finally``; ``None`` when there is nothing to share) and the config
     carrying the attach-by-name handles for the workers.
 
+    With ``publisher`` given, publication goes through that externally
+    owned (e.g. service-lifetime) publisher instead: already-published
+    keys are reused across calls, the returned config carries only *this*
+    call's handles, and the returned publisher is ``None`` — ownership
+    (and ``close()``) stays with the caller.
+
     If shared memory is unavailable (e.g. an exhausted ``/dev/shm``) the
     sweep falls back to per-worker solving — slower and per-worker RSS
     grows again, but results are identical.
@@ -215,15 +222,20 @@ def publish_shared_tables(points: Sequence[SweepPoint],
     if not keys:
         return None, config
     cache = cache if cache is not None else DPTableCache(cache_dir=config.cache_dir)
-    publisher = SharedTablePublisher()
+    owned = publisher is None
+    pub = SharedTablePublisher() if owned else publisher
+    handles: List[SharedTableHandle] = []
     try:
         for L, c, p in keys:
-            publisher.publish(cache.solve(L, c, p, method=config.dp_method),
-                              method=config.dp_method)
+            handles.append(
+                pub.publish(cache.solve(L, c, p, method=config.dp_method),
+                            method=config.dp_method))
     except OSError:
-        publisher.close()
+        if owned:
+            pub.close()
         return None, config
-    return publisher, replace(config, shared_tables=publisher.handles)
+    return (pub if owned else None), replace(config,
+                                             shared_tables=tuple(handles))
 
 
 def parallel_map(func: Callable[[Any], Any], payloads: Sequence[Any],

@@ -99,6 +99,9 @@ MANIFEST_VERSION = 2
 #: Columnar-sidecar schema version (``columns.npz``).
 SIDECAR_VERSION = 1
 
+#: Shard-vouch schema version (``columns.vouch.json``).
+VOUCH_VERSION = 1
+
 _SHARD_RE = re.compile(r"^point-(\d{4,})\.npz$")
 
 #: Array-name prefixes inside the sidecar: one ``col::<name>`` per result
@@ -388,19 +391,29 @@ class Run:
         A shard that exists but cannot be read (torn by a crash that
         bypassed the atomic rename, disk corruption) counts as *not*
         completed, so resume recomputes it rather than trusting it.
+
+        Shards the consolidation pass has *vouched* for — read whole
+        while building ``columns.npz``, stat signature recorded in
+        ``columns.vouch.json`` — are trusted from a ``stat()`` alone when
+        the signature still matches; only uncovered or suspect shards
+        (changed size/mtime, no vouch entry) pay a full ``.npz`` open.
+        On a consolidated run a resume therefore scans the directory
+        once and opens zero shards; any in-place edit or corruption
+        changes the stat and sends that shard back through the full read.
         """
         completed: Set[int] = set()
-        try:
-            names = os.listdir(self.points_dir)
-        except OSError:
-            return completed
-        for name in names:
-            match = _SHARD_RE.match(name)
-            if not match:
-                continue
-            index = int(match.group(1))
+        vouched = self._read_vouch()
+        for index, name in self._shard_names_on_disk():
+            path = os.path.join(self.points_dir, name)
             try:
-                read_row_shard(os.path.join(self.points_dir, name))
+                stat = os.stat(path)
+            except OSError:
+                continue
+            if vouched.get(index) == (stat.st_size, stat.st_mtime_ns):
+                completed.add(index)
+                continue
+            try:
+                read_row_shard(path)
             except RunStoreError:
                 continue
             completed.add(index)
@@ -467,6 +480,76 @@ class Run:
                 continue
             out[index] = (stat.st_size, stat.st_mtime_ns)
         return out
+
+    # -- shard vouch (resume fast-path) --------------------------------
+    @property
+    def vouch_path(self) -> str:
+        """Sidecar companion recording which shards were read whole.
+
+        ``{index: (size, mtime_ns)}`` signatures captured *before* a
+        consolidation pass read each shard, bound to the run's identity
+        digest.  Purely advisory: :meth:`completed_points` trusts a
+        matching signature without opening the shard, and any mismatch,
+        corruption or absence just degrades to the full per-shard scan.
+        Kept out of ``columns.npz`` (whose bytes are pinned deterministic
+        for the report digest cache) and out of :meth:`content_digest`.
+        """
+        return os.path.join(self.root, "columns.vouch.json")
+
+    def _read_vouch(self) -> Dict[int, Tuple[int, int]]:
+        """The vouched shard signatures (empty on any doubt)."""
+        try:
+            with open(self.vouch_path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            if data.get("schema") != VOUCH_VERSION \
+                    or data.get("identity") != self._identity_digest():
+                return {}
+            shards = data.get("shards")
+            if not isinstance(shards, dict):
+                return {}
+            return {int(index): (int(sig[0]), int(sig[1]))
+                    for index, sig in shards.items()}
+        except (OSError, ValueError, TypeError, KeyError, IndexError,
+                json.JSONDecodeError, RunStoreError):
+            return {}
+
+    def _write_vouch(self, signatures: Dict[int, Tuple[int, int]]) -> None:
+        """Atomically publish the vouch file (best-effort, never raises)."""
+        payload = {
+            "schema": VOUCH_VERSION,
+            "identity": self._identity_digest(),
+            "shards": {str(index): [size, mtime_ns]
+                       for index, (size, mtime_ns) in sorted(signatures.items())},
+        }
+        try:
+            fd, tmp_path = tempfile.mkstemp(dir=self.root, suffix=".json.tmp")
+        except OSError:
+            return
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            os.replace(tmp_path, self.vouch_path)
+        except (OSError, RunStoreError):
+            try:
+                os.remove(tmp_path)
+            except OSError:
+                pass
+
+    def _vouch_after_read(self, indices: List[int],
+                          before: Dict[int, Tuple[int, int]]) -> None:
+        """Vouch for shards read whole whose stat never changed meanwhile.
+
+        ``before`` is the pre-read :meth:`_shard_stat_snapshot`; a shard
+        overwritten between snapshot and now gets no vouch — the rows in
+        hand may predate the overwrite, and a stale vouch would let a
+        future resume trust the wrong signature.
+        """
+        after = self._shard_stat_snapshot()
+        signatures = {index: before[index] for index in indices
+                      if index in before and before[index] == after.get(index)}
+        if signatures:
+            self._write_vouch(signatures)
 
     # -- columnar sidecar ----------------------------------------------
     def _identity_digest(self) -> str:
@@ -593,10 +676,16 @@ class Run:
         """
         if not force and self._load_valid_sidecar() is not None:
             return self.columns_path
+        before = self._shard_stat_snapshot()
         indices, rows = self._read_all_shards()
         if not rows:
             return None
-        return self._write_sidecar(indices, rows)
+        path = self._write_sidecar(indices, rows)
+        # Every index in `indices` was just read whole: vouch for the ones
+        # whose stat did not change underneath the read, so the next
+        # resume's completed_points() trusts them without reopening.
+        self._vouch_after_read(indices, before)
+        return path
 
     def columns(self, *, source: str = "auto") -> RunColumns:
         """The completed rows as one array per column (single-pass read).
@@ -640,6 +729,7 @@ class Run:
                     self._publish_sidecar(packed)
                 except OSError:
                     pass
+                self._vouch_after_read(indices, before)
         data = {name[len(_COL_PREFIX):]: column
                 for name, column in packed.items()
                 if name.startswith(_COL_PREFIX)}
@@ -672,6 +762,7 @@ class Run:
             self._write_sidecar(indices, rows)
         except (OSError, RunStoreError):
             pass
+        self._vouch_after_read(indices, before)
 
     def content_digest(self) -> Optional[str]:
         """Digest of the run's manifest + consolidated results, or ``None``.
@@ -799,7 +890,9 @@ def run_spec(spec: ExperimentSpec, *,
              cache_dir: Optional[str] = None,
              max_points: Optional[int] = None,
              resume: bool = False,
-             profile: bool = False) -> Run:
+             profile: bool = False,
+             publisher: Optional[Any] = None,
+             table_cache: Optional[Any] = None) -> Run:
     """Execute a spec, streaming every completed point into the run store.
 
     Parameters
@@ -828,6 +921,18 @@ def run_spec(spec: ExperimentSpec, *,
         Monte-Carlo / shard I/O) to stderr when the run finishes.  Timing
         columns never reach the stored shards, so profiled and unprofiled
         runs are byte-identical.
+    publisher:
+        An externally owned
+        :class:`~repro.experiments.cache.SharedTablePublisher` (the
+        run-service passes its service-lifetime one).  Sweep DP tables are
+        then published through it — even with ``jobs=1``, so concurrent
+        in-process runs share one machine-wide copy — and never closed
+        here; ownership stays with the caller.
+    table_cache:
+        A :class:`~repro.experiments.cache.DPTableCache` to solve shared
+        tables through (only meaningful with ``publisher``); the service
+        passes one cache for its whole lifetime so a table is solved once
+        per service, not once per submission.
 
     Returns the :class:`Run`; its status is ``"complete"`` once every
     point has a shard.
@@ -884,7 +989,8 @@ def run_spec(spec: ExperimentSpec, *,
 
     jobs = _resolve_jobs(jobs)
     totals = _execute_points(run, payloads, pending, jobs=jobs,
-                             profile=profile)
+                             profile=profile, publisher=publisher,
+                             table_cache=table_cache)
 
     # _execute_points returning means every pending shard was written and
     # atomically published, so no re-scan of the store is needed here.
@@ -915,7 +1021,9 @@ def resume_run(run_id: str, *,
                runs_dir: Union[str, os.PathLike] = DEFAULT_RUNS_DIR,
                jobs: int = 1, cache_dir: Optional[str] = None,
                max_points: Optional[int] = None,
-               profile: bool = False) -> Run:
+               profile: bool = False,
+               publisher: Optional[Any] = None,
+               table_cache: Optional[Any] = None) -> Run:
     """Finish an interrupted run from its last completed point.
 
     Only the manifest is needed — not the original spec file — so a run
@@ -924,7 +1032,8 @@ def resume_run(run_id: str, *,
     run = RunStore(runs_dir).open(run_id)
     return run_spec(run.spec(), runs_dir=runs_dir, run_id=run_id, jobs=jobs,
                     cache_dir=cache_dir, max_points=max_points, resume=True,
-                    profile=profile)
+                    profile=profile, publisher=publisher,
+                    table_cache=table_cache)
 
 
 def _resolve_jobs(jobs: Optional[int]) -> int:
@@ -968,7 +1077,9 @@ def _expand_pending(run: Run, spec: ExperimentSpec, pending: List[int],
 
 
 def _prepare_shared_tables(payloads: Dict[int, Any], pending: List[int],
-                           jobs: int):
+                           jobs: int, *,
+                           external_publisher: Optional[Any] = None,
+                           table_cache: Optional[Any] = None):
     """Publish sweep DP tables to shared memory for a parallel run.
 
     Only the *pending* points' tables are published — a resume with a
@@ -976,9 +1087,17 @@ def _prepare_shared_tables(payloads: Dict[int, Any], pending: List[int],
     No-op (``None`` publisher, unchanged payloads) for serial runs,
     single-point remainders, scenario-kind payloads, or grids that need
     no tables.
+
+    With ``external_publisher`` (the run-service's service-lifetime
+    publisher), tables are published through it instead — even for
+    ``jobs=1`` in-process execution, since the point is sharing across
+    *concurrent submissions*, not across worker processes.  The returned
+    publisher is then ``None``: the caller's ``finally`` must never close
+    what it does not own.
     """
-    if jobs <= 1 or len(pending) <= 1 \
-            or not isinstance(payloads[pending[0]], tuple):
+    if not pending or not isinstance(payloads[pending[0]], tuple):
+        return None, payloads
+    if external_publisher is None and (jobs <= 1 or len(pending) <= 1):
         return None, payloads
     from .experiments.orchestrator import ExperimentConfig, publish_shared_tables
 
@@ -986,15 +1105,18 @@ def _prepare_shared_tables(payloads: Dict[int, Any], pending: List[int],
     if not isinstance(config, ExperimentConfig):
         return None, payloads
     publisher, config = publish_shared_tables(
-        [payloads[i][0] for i in pending], config)
-    if publisher is None:
+        [payloads[i][0] for i in pending], config,
+        cache=table_cache, publisher=external_publisher)
+    if publisher is None and not config.shared_tables:
         return None, payloads
     return publisher, {i: (point, config)
                        for i, (point, _config) in payloads.items()}
 
 
 def _execute_points(run: Run, payloads: Dict[int, Any], pending: List[int],
-                    *, jobs: int = 1, profile: bool = False) -> Dict[str, float]:
+                    *, jobs: int = 1, profile: bool = False,
+                    publisher: Optional[Any] = None,
+                    table_cache: Optional[Any] = None) -> Dict[str, float]:
     """Evaluate ``pending`` payload indices, persisting each as it finishes.
 
     Returns the aggregated per-stage seconds when ``profile`` is set
@@ -1016,7 +1138,9 @@ def _execute_points(run: Run, payloads: Dict[int, Any], pending: List[int],
         else:
             run.write_point(index, row)
 
-    publisher, payloads = _prepare_shared_tables(payloads, pending, jobs)
+    owned_publisher, payloads = _prepare_shared_tables(
+        payloads, pending, jobs,
+        external_publisher=publisher, table_cache=table_cache)
     try:
         if jobs <= 1 or len(pending) <= 1:
             for index in pending:
@@ -1035,8 +1159,8 @@ def _execute_points(run: Run, payloads: Dict[int, Any], pending: List[int],
                     for future in finished:
                         persist(futures[future], future.result())
     finally:
-        if publisher is not None:
-            publisher.close()
+        if owned_publisher is not None:
+            owned_publisher.close()
     if not profile:
         return {}
     totals = aggregate_profiles(profiles)

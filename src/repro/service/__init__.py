@@ -1,0 +1,44 @@
+"""Run-service layer: durable spec submissions executed by a daemon.
+
+See ``docs/service.md`` for the lifecycle and operational model.  The
+package splits by responsibility:
+
+* :mod:`repro.service.journal` — the durable on-disk queue (atomic JSON
+  entries under ``runs/_queue/``, the submitted → validated → running →
+  published/failed/dead/cancelled state machine).
+* :mod:`repro.service.runner` — :class:`RunService`: bounded worker pool,
+  crash recovery, capped-backoff retries, the shared DP-table cache and
+  shared-memory publisher.
+* :mod:`repro.service.status` — the one snapshot shape behind ``repro
+  status`` and the HTTP endpoint.
+* :mod:`repro.service.http` — the stdlib JSON-over-HTTP status server.
+"""
+
+from .journal import (
+    ACTIVE_STATES,
+    CANCELLABLE_STATES,
+    QUEUE_DIRNAME,
+    STATES,
+    TERMINAL_STATES,
+    TRANSITIONS,
+    Journal,
+    JournalError,
+    QueueEntry,
+)
+from .runner import RunService
+from .status import entry_summary, status_snapshot
+
+__all__ = [
+    "ACTIVE_STATES",
+    "CANCELLABLE_STATES",
+    "QUEUE_DIRNAME",
+    "STATES",
+    "TERMINAL_STATES",
+    "TRANSITIONS",
+    "Journal",
+    "JournalError",
+    "QueueEntry",
+    "RunService",
+    "entry_summary",
+    "status_snapshot",
+]

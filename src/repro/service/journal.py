@@ -1,0 +1,438 @@
+"""Durable spec-submission queue journal (``runs/_queue/``).
+
+The run-service accepts experiment-spec submissions into an on-disk
+journal that survives any crash: one JSON file per submission, every
+state change written atomically (temp file + ``os.replace``), so a
+SIGKILL at any instant — mid-submit, mid-transition, power loss — leaves
+each entry in exactly one well-defined state, never lost, torn or
+duplicated.  The journal is the service's *only* mutable state; a
+restarted service reconstructs everything by scanning the directory.
+
+Lifecycle (see ``docs/service.md`` for the full diagram)::
+
+    submitted ──▶ validated ──▶ running ──▶ published
+        │             │         │   ▲  └──▶ dead      (retries exhausted /
+        │             │         ▼   │                  invalid forever)
+        │             │       failed┘                 (awaiting backoff)
+        └───────────▶ cancelled ◀───┴─ (submitted/validated/failed only)
+
+* ``submitted`` — the raw spec dictionary is on disk; nothing checked yet.
+* ``validated`` — the service parsed the spec against the registries and
+  stamped the deterministic run id.
+* ``running`` — claimed by a worker; the run store is executing it.  An
+  entry found ``running`` at startup is a crash leftover and is simply
+  re-claimed — the run store's kill/resume machinery makes re-execution
+  resume from the last completed point, byte-identically.
+* ``failed`` — the last attempt raised; the entry retries after a capped
+  exponential backoff (``next_attempt_at``).
+* ``published`` / ``dead`` / ``cancelled`` — terminal.  ``dead`` is the
+  dead-letter state: the captured traceback of the final attempt is
+  preserved in ``error``.
+
+Entries are ordered by ``(-priority, seq, entry_id)``: higher priority
+first, FIFO within a priority band.  ``tenant`` namespaces the run store
+(each tenant's runs live under ``<runs-dir>/<tenant>/``); tenant names
+are restricted to filesystem-safe characters at submit time.
+
+This module is deliberately free of experiment imports — it knows JSON
+files and states, nothing about specs or runs — so the property tests
+can drive it hard without paying for the simulation stack.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import tempfile
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..core.exceptions import CycleStealingError
+
+__all__ = [
+    "JournalError",
+    "Journal",
+    "QueueEntry",
+    "QUEUE_DIRNAME",
+    "STATES",
+    "ACTIVE_STATES",
+    "TERMINAL_STATES",
+    "CANCELLABLE_STATES",
+    "TRANSITIONS",
+]
+
+#: Name of the queue directory under the run-store root.  The underscore
+#: keeps it out of :meth:`repro.runstore.RunStore.list_runs` (no
+#: ``manifest.json``) and visually separates it from run directories.
+QUEUE_DIRNAME = "_queue"
+
+#: Every journal state, in lifecycle order.
+STATES = ("submitted", "validated", "running", "failed",
+          "published", "dead", "cancelled")
+
+#: States that still need service attention.
+ACTIVE_STATES = ("submitted", "validated", "running", "failed")
+
+#: States an entry never leaves.
+TERMINAL_STATES = ("published", "dead", "cancelled")
+
+#: States ``repro cancel`` may cancel from (a running run keeps running —
+#: killing a worker mid-point would only waste the completed shards).
+CANCELLABLE_STATES = ("submitted", "validated", "failed")
+
+#: Legal state transitions.  ``running -> running`` is the re-claim of a
+#: crash leftover by a restarted service.
+TRANSITIONS: Dict[str, Tuple[str, ...]] = {
+    "submitted": ("validated", "dead", "cancelled"),
+    "validated": ("running", "cancelled"),
+    "running": ("running", "published", "failed", "dead"),
+    "failed": ("running", "dead", "cancelled"),
+    "published": (),
+    "dead": (),
+    "cancelled": (),
+}
+
+#: Entry-file schema version.
+ENTRY_SCHEMA = 1
+
+#: Tenant names become run-store subdirectories; keep them boring.
+_TENANT_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+_ENTRY_FILE_RE = re.compile(r"^(sub-\d{6,}-[0-9a-f]{8})\.json$")
+
+#: Test-only hook: seconds to sleep between staging a *transition*'s temp
+#: file and its atomic publish (new submissions are unaffected).  Lets
+#: the fault-injection suite land a SIGKILL inside the rename window and
+#: assert no entry is lost or duplicated; a ``.transitioning`` marker
+#: signals the window is open.  Mirrors REPRO_TEST_CONSOLIDATE_DELAY in
+#: :mod:`repro.runstore`.
+_JOURNAL_DELAY_ENV = "REPRO_TEST_JOURNAL_DELAY"
+
+
+class JournalError(CycleStealingError, RuntimeError):
+    """A missing, corrupt or illegally transitioned journal entry."""
+
+
+@dataclass(frozen=True)
+class QueueEntry:
+    """One submission's durable record (immutable snapshot of the file)."""
+
+    entry_id: str
+    state: str
+    tenant: str
+    priority: int
+    #: Submission sequence number: FIFO order within a priority band.
+    seq: int
+    #: The raw (file-shaped) spec dictionary as submitted.
+    spec_data: Mapping[str, Any]
+    #: Deterministic run id, stamped at validation.
+    run_id: Optional[str] = None
+    #: Execution attempts so far (failed or succeeded).
+    attempts: int = 0
+    #: Captured traceback of the most recent failure (preserved in the
+    #: dead-letter state).
+    error: Optional[str] = None
+    #: Epoch seconds before which a ``failed`` entry must not be retried.
+    next_attempt_at: float = 0.0
+    submitted_at: float = 0.0
+    updated_at: float = 0.0
+    #: ``(state, epoch-seconds)`` pairs, in transition order.
+    history: Tuple[Tuple[str, float], ...] = ()
+
+    @property
+    def spec_name(self) -> Optional[str]:
+        """The spec's ``experiment.name`` when present (display only)."""
+        experiment = self.spec_data.get("experiment") \
+            if isinstance(self.spec_data, Mapping) else None
+        if isinstance(experiment, Mapping):
+            name = experiment.get("name")
+            if isinstance(name, str):
+                return name
+        return None
+
+    def order_key(self) -> Tuple[int, int, str]:
+        """Scheduling order: higher priority first, then FIFO."""
+        return (-self.priority, self.seq, self.entry_id)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": ENTRY_SCHEMA,
+            "entry": self.entry_id,
+            "state": self.state,
+            "tenant": self.tenant,
+            "priority": self.priority,
+            "seq": self.seq,
+            "spec": dict(self.spec_data),
+            "run_id": self.run_id,
+            "attempts": self.attempts,
+            "error": self.error,
+            "next_attempt_at": self.next_attempt_at,
+            "submitted_at": self.submitted_at,
+            "updated_at": self.updated_at,
+            "history": [list(item) for item in self.history],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "QueueEntry":
+        try:
+            if int(data["schema"]) != ENTRY_SCHEMA:
+                raise JournalError(
+                    f"unsupported journal entry schema {data['schema']!r}")
+            state = str(data["state"])
+            if state not in STATES:
+                raise JournalError(f"unknown journal state {state!r}")
+            return cls(
+                entry_id=str(data["entry"]), state=state,
+                tenant=str(data["tenant"]), priority=int(data["priority"]),
+                seq=int(data["seq"]), spec_data=dict(data["spec"]),
+                run_id=data.get("run_id"),
+                attempts=int(data.get("attempts", 0)),
+                error=data.get("error"),
+                next_attempt_at=float(data.get("next_attempt_at", 0.0)),
+                submitted_at=float(data.get("submitted_at", 0.0)),
+                updated_at=float(data.get("updated_at", 0.0)),
+                history=tuple((str(s), float(t))
+                              for s, t in data.get("history", [])),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise JournalError(f"malformed journal entry: {exc}") from exc
+
+
+def validate_tenant(tenant: str) -> str:
+    """Check a tenant name is filesystem-safe; returns it unchanged."""
+    if not isinstance(tenant, str) or not _TENANT_RE.match(tenant):
+        raise JournalError(
+            f"invalid tenant {tenant!r}: tenant names must match "
+            "[A-Za-z0-9][A-Za-z0-9._-]* (max 64 chars) — they become "
+            "run-store subdirectories")
+    return tenant
+
+
+class Journal:
+    """The on-disk queue journal: one atomic JSON file per submission.
+
+    All writes are temp-file + ``os.replace`` inside the journal
+    directory, so concurrent readers (the status CLI, the HTTP endpoint,
+    a second ``submit``) and crashes only ever observe whole entries.
+    In-process callers (the service's worker threads) are serialised by a
+    lock; cross-process writers only ever *create* new files (``submit``)
+    or are the single service process, so the single-writer-per-entry
+    rule holds without file locks.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = os.fspath(root)
+        self._lock = threading.RLock()
+
+    # -- paths ---------------------------------------------------------
+    def entry_path(self, entry_id: str) -> str:
+        return os.path.join(self.root, f"{entry_id}.json")
+
+    def _entry_files(self) -> List[Tuple[str, str]]:
+        """``(entry_id, filename)`` for every entry file, unsorted."""
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return []
+        out = []
+        for name in names:
+            match = _ENTRY_FILE_RE.match(name)
+            if match:
+                out.append((match.group(1), name))
+        return out
+
+    # -- submit --------------------------------------------------------
+    def submit(self, spec_data: Mapping[str, Any], *,
+               tenant: str = "default", priority: int = 0,
+               entry_id: Optional[str] = None) -> QueueEntry:
+        """Append a new submission in state ``submitted``.
+
+        ``spec_data`` is the raw (file-shaped) spec dictionary; semantic
+        validation against the registries is the *service's* job — the
+        journal only requires a JSON-serialisable mapping.
+        """
+        if not isinstance(spec_data, Mapping):
+            raise JournalError(
+                f"spec_data must be a mapping (the parsed spec file), "
+                f"got {type(spec_data).__name__}")
+        validate_tenant(tenant)
+        if isinstance(priority, bool) or not isinstance(priority, int):
+            raise JournalError(f"priority must be an integer, got {priority!r}")
+        with self._lock:
+            os.makedirs(self.root, exist_ok=True)
+            seq = self._next_seq()
+            if entry_id is None:
+                entry_id = f"sub-{seq:06d}-{uuid.uuid4().hex[:8]}"
+            elif not _ENTRY_FILE_RE.match(f"{entry_id}.json"):
+                raise JournalError(
+                    f"invalid entry id {entry_id!r}; expected "
+                    "sub-<seq>-<8 hex chars>")
+            if os.path.exists(self.entry_path(entry_id)):
+                raise JournalError(f"entry {entry_id!r} already exists")
+            now = time.time()
+            entry = QueueEntry(entry_id=entry_id, state="submitted",
+                               tenant=tenant, priority=int(priority),
+                               seq=seq, spec_data=dict(spec_data),
+                               submitted_at=now, updated_at=now,
+                               history=(("submitted", now),))
+            try:
+                self._write_entry(entry, transition=False)
+            except TypeError as exc:  # non-JSON-serialisable spec value
+                raise JournalError(
+                    f"spec_data is not JSON-serialisable: {exc}") from exc
+            return entry
+
+    def _next_seq(self) -> int:
+        highest = 0
+        for entry_id, _name in self._entry_files():
+            try:
+                highest = max(highest, int(entry_id.split("-")[1]))
+            except (IndexError, ValueError):  # pragma: no cover - never written
+                continue
+        return highest + 1
+
+    # -- read ----------------------------------------------------------
+    def get(self, entry_id: str) -> QueueEntry:
+        """Read one entry; raises :class:`JournalError` if missing/corrupt."""
+        path = self.entry_path(entry_id)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except FileNotFoundError:
+            known = sorted(eid for eid, _ in self._entry_files())
+            raise JournalError(
+                f"no queue entry {entry_id!r} under {self.root!r}; "
+                f"known entries: {known}") from None
+        except (OSError, json.JSONDecodeError) as exc:
+            raise JournalError(
+                f"unreadable queue entry {entry_id!r} ({path}): {exc}") from exc
+        return QueueEntry.from_dict(data)
+
+    def entries(self, *, states: Optional[Iterable[str]] = None
+                ) -> List[QueueEntry]:
+        """Every readable entry, sorted by ``(seq, entry_id)``.
+
+        Corrupt or half-written files are skipped (they are listed by
+        :meth:`corrupt_entries`); atomic writes make them impossible to
+        *create* through this class, but disk faults happen.
+        """
+        wanted = None if states is None else set(states)
+        out: List[QueueEntry] = []
+        for entry_id, _name in self._entry_files():
+            try:
+                entry = self.get(entry_id)
+            except JournalError:
+                continue
+            if wanted is None or entry.state in wanted:
+                out.append(entry)
+        out.sort(key=lambda e: (e.seq, e.entry_id))
+        return out
+
+    def corrupt_entries(self) -> List[str]:
+        """Entry ids whose files exist but cannot be parsed."""
+        out = []
+        for entry_id, _name in self._entry_files():
+            try:
+                self.get(entry_id)
+            except JournalError:
+                out.append(entry_id)
+        return sorted(out)
+
+    def counts(self) -> Dict[str, int]:
+        """``{state: entry count}`` over every state (zeros included)."""
+        counts = {state: 0 for state in STATES}
+        for entry in self.entries():
+            counts[entry.state] += 1
+        return counts
+
+    def runnable(self, now: Optional[float] = None) -> List[QueueEntry]:
+        """Entries ready to claim, in ``(-priority, seq)`` order.
+
+        ``validated`` entries, ``failed`` entries whose backoff elapsed,
+        and ``running`` crash leftovers (the caller excludes ids it is
+        itself executing).
+        """
+        now = time.time() if now is None else now
+        ready = []
+        for entry in self.entries(states=("validated", "failed", "running")):
+            if entry.state == "failed" and entry.next_attempt_at > now:
+                continue
+            ready.append(entry)
+        ready.sort(key=QueueEntry.order_key)
+        return ready
+
+    # -- transition ----------------------------------------------------
+    def transition(self, entry_id: str, new_state: str, *,
+                   run_id: Optional[str] = None,
+                   error: Optional[str] = None,
+                   attempts: Optional[int] = None,
+                   next_attempt_at: Optional[float] = None) -> QueueEntry:
+        """Atomically move an entry to ``new_state`` (legal moves only).
+
+        Returns the new snapshot.  Raises :class:`JournalError` for an
+        unknown state, an illegal transition, or a missing entry — the
+        journal's transition table *is* the service's state machine, and
+        violating it would corrupt scheduling.
+        """
+        if new_state not in STATES:
+            raise JournalError(f"unknown journal state {new_state!r}; "
+                               f"expected one of {list(STATES)}")
+        with self._lock:
+            entry = self.get(entry_id)
+            if new_state not in TRANSITIONS[entry.state]:
+                raise JournalError(
+                    f"illegal transition {entry.state!r} -> {new_state!r} "
+                    f"for entry {entry_id!r} (allowed: "
+                    f"{list(TRANSITIONS[entry.state])})")
+            now = time.time()
+            updated = QueueEntry(
+                entry_id=entry.entry_id, state=new_state,
+                tenant=entry.tenant, priority=entry.priority, seq=entry.seq,
+                spec_data=entry.spec_data,
+                run_id=entry.run_id if run_id is None else run_id,
+                attempts=entry.attempts if attempts is None else int(attempts),
+                error=entry.error if error is None else error,
+                next_attempt_at=(entry.next_attempt_at
+                                 if next_attempt_at is None
+                                 else float(next_attempt_at)),
+                submitted_at=entry.submitted_at, updated_at=now,
+                history=entry.history + ((new_state, now),),
+            )
+            self._write_entry(updated, transition=True)
+            return updated
+
+    def cancel(self, entry_id: str) -> QueueEntry:
+        """Cancel a not-yet-running entry (see :data:`CANCELLABLE_STATES`)."""
+        with self._lock:
+            entry = self.get(entry_id)
+            if entry.state not in CANCELLABLE_STATES:
+                raise JournalError(
+                    f"cannot cancel entry {entry_id!r} in state "
+                    f"{entry.state!r}; only {list(CANCELLABLE_STATES)} "
+                    "can be cancelled")
+            return self.transition(entry_id, "cancelled")
+
+    # -- atomic write --------------------------------------------------
+    def _write_entry(self, entry: QueueEntry, *, transition: bool) -> None:
+        os.makedirs(self.root, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(dir=self.root, suffix=".json.tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(entry.to_dict(), handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            delay = os.environ.get(_JOURNAL_DELAY_ENV)
+            if delay and transition:  # test-only kill window (see above)
+                with open(os.path.join(self.root, ".transitioning"), "w"):
+                    pass
+                time.sleep(float(delay))
+            os.replace(tmp_path, self.entry_path(entry.entry_id))
+        except BaseException:
+            try:
+                os.remove(tmp_path)
+            except OSError:
+                pass
+            raise

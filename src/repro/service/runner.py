@@ -1,0 +1,280 @@
+"""The run-service daemon: bounded workers over the durable queue journal.
+
+:class:`RunService` turns the one-shot ``repro run`` CLI into a system: it
+accepts :class:`~repro.specs.ExperimentSpec` submissions (journalled by
+:mod:`repro.service.journal`), validates them, and executes them through
+the existing :func:`repro.runstore.run_spec` machinery under a bounded
+pool of worker threads.  All the durability lives *below* the service —
+atomic journal entries, atomic run-store shards, byte-identical resume —
+so the service itself can be killed at any instant and simply pick up
+where the disk says it was:
+
+* Entries found ``running`` at startup are crash leftovers; they are
+  re-claimed and re-executed with ``resume=True``, which skips every
+  completed shard and produces byte-identical published results.
+* A failing entry retries with capped exponential backoff
+  (``min(backoff_cap, backoff_base * 2**(attempts-1))`` seconds) until
+  ``max_retries`` is exhausted, then parks in the dead-letter state with
+  the captured traceback.
+* Runs are namespaced per tenant: entry ``tenant`` ``t`` executes under
+  ``<runs_dir>/t/``, so tenants cannot collide on run ids.
+
+Concurrent submissions share one service-lifetime
+:class:`~repro.experiments.cache.DPTableCache` and one machine-wide
+:class:`~repro.experiments.cache.SharedTablePublisher`: a 60k-lifespan DP
+table is solved and published once per *service*, not once per
+submission (asserted by the fault-injection suite through
+``publisher.stats``).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..experiments.cache import DPTableCache, SharedTablePublisher
+from ..runstore import DEFAULT_RUNS_DIR, run_spec
+from ..specs import SpecError, default_run_id, parse_spec
+from .journal import ACTIVE_STATES, QUEUE_DIRNAME, Journal, JournalError
+
+__all__ = ["RunService"]
+
+#: Test-only hook: ``"<needle>:<n>"`` — a worker raises an injected
+#: RuntimeError for any entry whose id, run id or spec name contains
+#: ``needle``, for as long as the entry has had fewer than ``n`` attempts.
+#: ``n = 1`` fails the first attempt only (retry succeeds); a large ``n``
+#: drives the entry into the dead-letter state.  Lets the fault suite
+#: exercise retry → backoff → dead-letter without a spec that genuinely
+#: crashes the simulation stack.
+_FAULT_ENV = "REPRO_TEST_SERVICE_FAULT"
+
+
+def _injected_fault(entry) -> None:
+    spec = os.environ.get(_FAULT_ENV)
+    if not spec:
+        return
+    needle, _, count = spec.rpartition(":")
+    try:
+        threshold = int(count)
+    except ValueError:
+        return
+    haystack = " ".join(filter(None, (entry.entry_id, entry.run_id,
+                                      entry.spec_name)))
+    if needle in haystack and entry.attempts < threshold:
+        raise RuntimeError(
+            f"injected service fault for {entry.entry_id} "
+            f"(attempt {entry.attempts + 1}/{threshold})")
+
+
+class RunService:
+    """Durable-queue experiment executor with a bounded worker pool.
+
+    Parameters
+    ----------
+    runs_dir:
+        Run-store root; the queue journal lives in ``<runs_dir>/_queue/``
+        and each tenant's runs under ``<runs_dir>/<tenant>/``.
+    workers:
+        Maximum concurrently executing submissions (worker *threads*; the
+        heavy lifting is NumPy, which releases the GIL).
+    jobs_per_run:
+        ``jobs`` forwarded to :func:`~repro.runstore.run_spec` for each
+        submission (worker *processes* within one run).
+    max_retries:
+        Failed attempts beyond the first before dead-lettering; an entry
+        dead-letters on failure number ``max_retries + 1``.
+    backoff_base / backoff_cap:
+        Capped exponential retry delay in seconds.
+    poll_interval:
+        Main-loop poll period (journal scans, drain checks).
+    cache_dir:
+        On-disk DP-table cache directory shared by every submission.
+    http_port:
+        When not ``None``, serve the JSON status endpoint on this
+        localhost port (``0`` = ephemeral; read ``service.http.port``).
+    """
+
+    def __init__(self, runs_dir: str = DEFAULT_RUNS_DIR, *,
+                 workers: int = 2, jobs_per_run: int = 1,
+                 max_retries: int = 3, backoff_base: float = 0.5,
+                 backoff_cap: float = 30.0, poll_interval: float = 0.1,
+                 cache_dir: Optional[str] = None,
+                 http_port: Optional[int] = None) -> None:
+        if workers < 1:
+            raise JournalError(f"workers must be >= 1, got {workers!r}")
+        self.runs_dir = os.fspath(runs_dir)
+        self.journal = Journal(os.path.join(self.runs_dir, QUEUE_DIRNAME))
+        self.workers = int(workers)
+        self.jobs_per_run = int(jobs_per_run)
+        self.max_retries = int(max_retries)
+        self.backoff_base = float(backoff_base)
+        self.backoff_cap = float(backoff_cap)
+        self.poll_interval = float(poll_interval)
+        self.cache_dir = cache_dir
+        self.http_port = http_port
+        self.http = None
+        #: Service-lifetime DP cache + publisher: one solve and one
+        #: shared-memory copy per (L, c, p, method) key per service.
+        self.table_cache = DPTableCache(cache_dir=cache_dir)
+        self.publisher = SharedTablePublisher()
+        self._inflight: Dict[str, Future] = {}
+        #: ``(tenant, run_id)`` keys currently executing — two submissions
+        #: of the same spec must serialise, not race on one run directory.
+        self._inflight_runs: Set[Tuple[str, Optional[str]]] = set()
+        self._stop = threading.Event()
+
+    # -- control -------------------------------------------------------
+    def stop(self) -> None:
+        """Ask the serve loop to exit after the current reap (signal-safe)."""
+        self._stop.set()
+
+    def tenant_runs_dir(self, tenant: str) -> str:
+        return os.path.join(self.runs_dir, tenant)
+
+    def inflight_ids(self) -> List[str]:
+        """Entry ids currently executing (sorted; for status displays)."""
+        return sorted(self._inflight)
+
+    # -- the serve loop ------------------------------------------------
+    def serve(self, *, drain: bool = False,
+              max_runtime: Optional[float] = None) -> Dict[str, int]:
+        """Run the service loop; returns the final journal state counts.
+
+        ``drain=True`` exits once no active entries remain (every
+        submission published, dead or cancelled) — the mode the CLI tests
+        and the nightly round-trip script use.  ``max_runtime`` is a
+        wall-clock safety net in seconds; the loop also exits on
+        :meth:`stop` (wired to SIGTERM/SIGINT by the CLI).
+        """
+        started = time.monotonic()
+        if self.http_port is not None and self.http is None:
+            from .http import StatusHTTPServer
+
+            self.http = StatusHTTPServer(
+                self.journal, port=self.http_port,
+                inflight=self.inflight_ids)
+            self.http.start()
+        pool = ThreadPoolExecutor(max_workers=self.workers,
+                                  thread_name_prefix="repro-service")
+        try:
+            while not self._stop.is_set():
+                self._reap()
+                self._validate_new()
+                self._launch_ready(pool)
+                if drain and not self._inflight \
+                        and not self.journal.entries(states=ACTIVE_STATES):
+                    break
+                if max_runtime is not None \
+                        and time.monotonic() - started >= max_runtime:
+                    break
+                self._wait_for_progress()
+        finally:
+            self._stop.set()
+            pool.shutdown(wait=True)
+            self._reap()
+            if self.http is not None:
+                self.http.close()
+            # Unlink the shared-memory blocks; stats survive for callers.
+            self.publisher.close()
+        return self.journal.counts()
+
+    def _wait_for_progress(self) -> None:
+        futures = list(self._inflight.values())
+        if futures:
+            wait(futures, timeout=self.poll_interval,
+                 return_when=FIRST_COMPLETED)
+        else:
+            self._stop.wait(self.poll_interval)
+
+    # -- loop stages ---------------------------------------------------
+    def _reap(self) -> None:
+        """Drop finished futures (transitions already happened in-thread)."""
+        for entry_id in [eid for eid, fut in self._inflight.items()
+                         if fut.done()]:
+            future = self._inflight.pop(entry_id)
+            self._inflight_runs.discard(self._run_key(entry_id))
+            # _execute_entry catches everything; anything surfacing here
+            # is a service bug and must not be silently swallowed.
+            future.result()
+
+    def _run_key(self, entry_id: str) -> Tuple[str, Optional[str]]:
+        try:
+            entry = self.journal.get(entry_id)
+        except JournalError:  # pragma: no cover - entry vanished
+            return ("", entry_id)
+        return (entry.tenant, entry.run_id)
+
+    def _validate_new(self) -> None:
+        """Parse ``submitted`` entries; stamp run ids or dead-letter them."""
+        for entry in self.journal.entries(states=("submitted",)):
+            try:
+                spec = parse_spec(entry.spec_data,
+                                  source=f"submission {entry.entry_id}")
+            except SpecError:
+                self.journal.transition(entry.entry_id, "dead",
+                                        error=traceback.format_exc())
+                continue
+            self.journal.transition(entry.entry_id, "validated",
+                                    run_id=default_run_id(spec))
+
+    def _launch_ready(self, pool: ThreadPoolExecutor) -> None:
+        """Claim runnable entries up to the worker bound and submit them.
+
+        ``runnable()`` also lists ``running`` crash leftovers from a
+        killed service — re-claiming them (``running -> running``) and
+        executing with ``resume=True`` is exactly the recovery path.
+        """
+        for entry in self.journal.runnable():
+            if len(self._inflight) >= self.workers:
+                break
+            if entry.entry_id in self._inflight:
+                continue
+            run_key = (entry.tenant, entry.run_id)
+            if entry.run_id is not None and run_key in self._inflight_runs:
+                continue  # same run already executing: serialise
+            try:
+                self.journal.transition(entry.entry_id, "running")
+            except JournalError:
+                continue  # lost a race (e.g. concurrent cancel): skip
+            self._inflight_runs.add(run_key)
+            self._inflight[entry.entry_id] = pool.submit(
+                self._execute_entry, entry.entry_id)
+
+    # -- execution (worker threads) ------------------------------------
+    def _execute_entry(self, entry_id: str) -> None:
+        entry = self.journal.get(entry_id)
+        try:
+            _injected_fault(entry)
+            spec = parse_spec(entry.spec_data,
+                              source=f"submission {entry.entry_id}")
+            run_id = entry.run_id or default_run_id(spec)
+            run_spec(spec, runs_dir=self.tenant_runs_dir(entry.tenant),
+                     run_id=run_id, jobs=self.jobs_per_run,
+                     cache_dir=self.cache_dir, resume=True,
+                     publisher=self.publisher, table_cache=self.table_cache)
+        except BaseException:
+            self._record_failure(entry)
+            return
+        self.journal.transition(entry_id, "published",
+                                attempts=entry.attempts + 1, error="")
+
+    def _record_failure(self, entry) -> None:
+        """Move a failed attempt to ``failed`` (backoff) or ``dead``."""
+        captured = traceback.format_exc()
+        attempts = entry.attempts + 1
+        try:
+            if attempts > self.max_retries:
+                self.journal.transition(entry.entry_id, "dead",
+                                        attempts=attempts, error=captured)
+            else:
+                delay = min(self.backoff_cap,
+                            self.backoff_base * 2 ** (attempts - 1))
+                self.journal.transition(entry.entry_id, "failed",
+                                        attempts=attempts, error=captured,
+                                        next_attempt_at=time.time() + delay)
+        except JournalError:  # pragma: no cover - journal dir destroyed
+            pass

@@ -1,0 +1,58 @@
+"""Status views over the queue journal, shared by the CLI and HTTP layers.
+
+One snapshot shape serves ``repro status``, ``repro status --json`` and
+the HTTP ``/status`` endpoint, so the golden-file schema test in
+``tests/test_service_cli.py`` pins all three at once.  The snapshot is a
+pure function of the journal directory — any process (the service, the
+CLI, a monitoring probe) can take one concurrently, because every journal
+file is written atomically.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List
+
+from .journal import Journal, QueueEntry
+
+__all__ = ["SNAPSHOT_SCHEMA", "entry_summary", "status_snapshot"]
+
+#: Version of the snapshot dictionary layout (bump on breaking changes;
+#: the golden schema file pins the key set per version).
+SNAPSHOT_SCHEMA = 1
+
+
+def entry_summary(entry: QueueEntry) -> Dict[str, Any]:
+    """The status row of one journal entry (JSON-ready scalars only)."""
+    return {
+        "entry": entry.entry_id,
+        "state": entry.state,
+        "tenant": entry.tenant,
+        "priority": entry.priority,
+        "seq": entry.seq,
+        "spec_name": entry.spec_name,
+        "run_id": entry.run_id,
+        "attempts": entry.attempts,
+        "error": entry.error,
+        "next_attempt_at": entry.next_attempt_at,
+        "submitted_at": entry.submitted_at,
+        "updated_at": entry.updated_at,
+    }
+
+
+def status_snapshot(journal: Journal, *,
+                    inflight: Iterable[str] = ()) -> Dict[str, Any]:
+    """The whole queue's state as one JSON-ready dictionary.
+
+    ``inflight`` (entry ids currently executing) comes from the live
+    service when available; a CLI snapshot of the journal alone passes
+    none and the field stays an empty list.
+    """
+    entries: List[Dict[str, Any]] = [entry_summary(entry)
+                                     for entry in journal.entries()]
+    return {
+        "schema": SNAPSHOT_SCHEMA,
+        "queue": journal.counts(),
+        "inflight": sorted(inflight),
+        "corrupt": journal.corrupt_entries(),
+        "entries": entries,
+    }

@@ -64,6 +64,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import re
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
@@ -74,8 +75,12 @@ __all__ = [
     "SpecError",
     "ExperimentSpec",
     "ScenarioPoint",
+    "SubmissionMeta",
     "load_spec",
+    "load_spec_data",
+    "decode_spec_data",
     "parse_spec",
+    "parse_submission",
     "spec_to_dict",
     "canonical_spec_json",
     "default_run_id",
@@ -162,6 +167,58 @@ class ExperimentSpec:
                          interrupt_budgets=self.interrupts,
                          schedulers=self.schedulers,
                          adversaries=self.adversaries)
+
+
+#: Tenant names become run-store subdirectories under the service, so the
+#: same filesystem-safe alphabet is enforced here and in the queue journal.
+_TENANT_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+
+@dataclass(frozen=True)
+class SubmissionMeta:
+    """Service-submission metadata carried by an optional ``[submission]``
+    table in a spec file.
+
+    Deliberately *not* part of :class:`ExperimentSpec`: the tenant and
+    priority say where and when a run executes, never what it computes, so
+    they stay out of the canonical spec JSON, the default run id and the
+    run-store manifest.  ``spec_to_dict`` never emits the table, keeping
+    every pre-service run id byte-identical.
+    """
+
+    #: Run-store namespace; runs land under ``<runs-dir>/<tenant>/``.
+    tenant: str = "default"
+    #: Scheduling priority (higher first; FIFO within a band).
+    priority: int = 0
+
+
+_SUBMISSION_KEYS = {"tenant", "priority"}
+
+
+def parse_submission(data: Mapping, *, source: Optional[str] = None
+                     ) -> SubmissionMeta:
+    """Validate a spec file's optional ``[submission]`` table."""
+    if not isinstance(data, Mapping):
+        raise SpecError(f"spec root must be a table/object, got "
+                        f"{type(data).__name__}{_where(source)}")
+    table = data.get("submission")
+    if table is None:
+        return SubmissionMeta()
+    if not isinstance(table, Mapping):
+        raise SpecError(
+            f"[submission] must be a table, got {table!r}{_where(source)}")
+    _reject_unknown_keys(table, _SUBMISSION_KEYS, "submission", source)
+    tenant = table.get("tenant", "default")
+    if not isinstance(tenant, str) or not _TENANT_RE.match(tenant):
+        raise SpecError(
+            f"submission.tenant must match [A-Za-z0-9][A-Za-z0-9._-]* "
+            f"(max 64 chars), got {tenant!r}{_where(source)}")
+    priority = table.get("priority", 0)
+    if isinstance(priority, bool) or not isinstance(priority, int):
+        raise SpecError(
+            f"submission.priority must be an integer, got "
+            f"{priority!r}{_where(source)}")
+    return SubmissionMeta(tenant=tenant, priority=priority)
 
 
 @dataclass(frozen=True)
@@ -267,8 +324,13 @@ def parse_spec(data: Mapping, *, source: Optional[str] = None) -> ExperimentSpec
     if not isinstance(data, Mapping):
         raise SpecError(f"spec root must be a table/object, got "
                         f"{type(data).__name__}{_where(source)}")
-    allowed_tables = {"experiment", "sweep", "scenario"}
+    allowed_tables = {"experiment", "sweep", "scenario", "submission"}
     _reject_unknown_keys(data, allowed_tables, "spec root", source)
+    # [submission] carries service routing metadata (tenant/priority).  It
+    # is validated here so a typo fails at parse time, but it is NOT part
+    # of the ExperimentSpec: spec_to_dict never emits it, so run ids and
+    # manifests are unaffected by how a spec was submitted.
+    parse_submission(data, source=source)
 
     exp = _require_table(data, "experiment", source)
     _reject_unknown_keys(exp, _EXPERIMENT_KEYS, "experiment", source)
@@ -492,6 +554,19 @@ def default_run_id(spec: ExperimentSpec) -> str:
 def load_spec(path: Union[str, os.PathLike]) -> ExperimentSpec:
     """Load and validate a spec file (``.toml`` or ``.json``)."""
     path = os.fspath(path)
+    return parse_spec(load_spec_data(path), source=path)
+
+
+def load_spec_data(path: Union[str, os.PathLike]) -> Mapping:
+    """Read a spec file into its raw nested dictionary, format-checked only.
+
+    This is the submission half of :func:`load_spec`: the run-service
+    journals the *raw* dictionary (so what executes is exactly what was
+    submitted) and defers semantic validation to the service's own
+    validate step, where a bad spec becomes a dead-letter entry with a
+    captured error instead of a client-side crash.
+    """
+    path = os.fspath(path)
     try:
         with open(path, "rb") as handle:
             raw = handle.read()
@@ -508,7 +583,39 @@ def load_spec(path: Union[str, os.PathLike]) -> ExperimentSpec:
     else:
         raise SpecError(
             f"spec files must end in .toml or .json, got {path!r}")
-    return parse_spec(data, source=path)
+    if not isinstance(data, Mapping):
+        raise SpecError(
+            f"spec root must be a table/object, got "
+            f"{type(data).__name__} (in {path})")
+    return data
+
+
+def decode_spec_data(text: str, *, format: Optional[str] = None,
+                     source: Optional[str] = None) -> Mapping:
+    """Decode spec text (e.g. from stdin) into its raw dictionary.
+
+    ``format`` is ``"toml"``, ``"json"`` or ``None`` to sniff: text whose
+    first non-whitespace character is ``{`` is JSON, anything else TOML.
+    """
+    where = source or "<stdin>"
+    if format is None:
+        stripped = text.lstrip()
+        format = "json" if stripped.startswith("{") else "toml"
+    if format == "json":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SpecError(f"invalid JSON spec from {where}: {exc}") from exc
+    elif format == "toml":
+        data = _load_toml(text.encode("utf-8"), where)
+    else:
+        raise SpecError(
+            f"unknown spec format {format!r}; expected 'toml' or 'json'")
+    if not isinstance(data, Mapping):
+        raise SpecError(
+            f"spec root must be a table/object, got "
+            f"{type(data).__name__} (in {where})")
+    return data
 
 
 def _load_toml(raw: bytes, path: str) -> Mapping:

@@ -628,3 +628,91 @@ class TestEmptyColumns:
         columns = run.columns()
         assert len(columns) == 0
         assert columns.to_rows() == [] == run.rows()
+
+
+class TestCompletedPointsVouch:
+    """The resume fast-path: vouched shards are trusted from a stat().
+
+    ``consolidate_columns`` reads every shard whole anyway, so it vouches
+    for their ``(size, mtime_ns)`` signatures in ``columns.vouch.json``.
+    ``completed_points()`` then skips opening any shard whose stat still
+    matches — resume on a large mostly-complete run goes from N shard
+    opens to only the uncovered/suspect ones.
+    """
+
+    def _count_reads(self, monkeypatch):
+        reads = []
+        real = runstore_module.read_row_shard
+        monkeypatch.setattr(runstore_module, "read_row_shard",
+                            lambda path: (reads.append(path), real(path))[1])
+        return reads
+
+    def test_completed_run_resume_opens_zero_shards(self, tmp_path,
+                                                    monkeypatch):
+        run = run_spec(parse_spec(SWEEP_SPEC), runs_dir=tmp_path)
+        assert os.path.exists(run.vouch_path)
+        reads = self._count_reads(monkeypatch)
+        reopened = RunStore(tmp_path).open(run.run_id)
+        assert reopened.completed_points() == set(range(6))
+        assert reads == []
+
+    def test_modified_shard_is_suspect_and_reopened(self, tmp_path,
+                                                    monkeypatch):
+        # Corrupt one shard in place: its stat signature no longer matches
+        # the vouch, so it (and only it) pays a full open — which fails,
+        # excluding it from the completed set.
+        run = run_spec(parse_spec(SWEEP_SPEC), runs_dir=tmp_path)
+        with open(run.shard_path(2), "wb") as handle:
+            handle.write(b"disk corruption")
+        reads = self._count_reads(monkeypatch)
+        reopened = RunStore(tmp_path).open(run.run_id)
+        assert reopened.completed_points() == set(range(6)) - {2}
+        assert reads == [run.shard_path(2)]
+
+    def test_missing_vouch_falls_back_to_full_scan(self, tmp_path,
+                                                   monkeypatch):
+        run = run_spec(parse_spec(SWEEP_SPEC), runs_dir=tmp_path)
+        os.remove(run.vouch_path)
+        reads = self._count_reads(monkeypatch)
+        reopened = RunStore(tmp_path).open(run.run_id)
+        assert reopened.completed_points() == set(range(6))
+        assert len(reads) == 6  # no vouch: every shard verified whole
+
+    def test_identity_mismatch_invalidates_whole_vouch(self, tmp_path,
+                                                       monkeypatch):
+        # A vouch written by a different spec/manifest must not be
+        # trusted, even if the shard signatures happen to line up.
+        run = run_spec(parse_spec(SWEEP_SPEC), runs_dir=tmp_path)
+        with open(run.vouch_path) as handle:
+            vouch = json.load(handle)
+        vouch["identity"] = "0" * 16
+        with open(run.vouch_path, "w") as handle:
+            json.dump(vouch, handle)
+        reads = self._count_reads(monkeypatch)
+        reopened = RunStore(tmp_path).open(run.run_id)
+        assert reopened.completed_points() == set(range(6))
+        assert len(reads) == 6
+
+    def test_partial_vouch_opens_only_uncovered_shards(self, tmp_path,
+                                                       monkeypatch):
+        run = run_spec(parse_spec(SWEEP_SPEC), runs_dir=tmp_path)
+        with open(run.vouch_path) as handle:
+            vouch = json.load(handle)
+        for index in ("0", "3"):
+            del vouch["shards"][index]
+        with open(run.vouch_path, "w") as handle:
+            json.dump(vouch, handle)
+        reads = self._count_reads(monkeypatch)
+        reopened = RunStore(tmp_path).open(run.run_id)
+        assert reopened.completed_points() == set(range(6))
+        assert sorted(reads) == [run.shard_path(0), run.shard_path(3)]
+
+    def test_vouch_file_never_changes_published_bytes(self, tmp_path):
+        # The vouch is a cache hint, not data: the sidecar, the report and
+        # the content digest are identical with and without it.
+        run = run_spec(parse_spec(SWEEP_SPEC), runs_dir=tmp_path)
+        with_vouch = (render_run_report(run), run.content_digest())
+        os.remove(run.vouch_path)
+        reopened = RunStore(tmp_path).open(run.run_id)
+        assert (render_run_report(reopened),
+                reopened.content_digest()) == with_vouch

@@ -1,0 +1,278 @@
+"""CLI round-trips for the service commands: serve/submit/status/cancel.
+
+Everything goes through ``repro.cli.main`` exactly as a shell user would —
+submit by file path and by stdin, watch the queue with ``status`` (table
+and ``--json``), drain with ``serve --drain``, cancel.  The ``--json``
+output shape is pinned by ``tests/data/service_status_schema.json`` so
+downstream dashboards can rely on it.
+"""
+
+import io
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.service import Journal, status_snapshot
+from repro.service.journal import QUEUE_DIRNAME
+from repro.service.status import SNAPSHOT_SCHEMA, entry_summary
+
+_HERE = os.path.dirname(__file__)
+GOLDEN_SCHEMA = os.path.join(_HERE, "data", "service_status_schema.json")
+
+SPEC_TOML = """\
+[experiment]
+name = "cli-sweep"
+kind = "sweep"
+seed = 1
+replications = 2
+
+[sweep]
+lifespans = [100.0]
+interrupts = [1]
+schedulers = ["equalizing-adaptive"]
+adversaries = ["poisson-owner"]
+"""
+
+SPEC_WITH_SUBMISSION = SPEC_TOML + """
+[submission]
+tenant = "team-a"
+priority = 3
+"""
+
+SPEC_JSON = json.dumps({
+    "experiment": {"name": "cli-json", "kind": "sweep", "seed": 2,
+                   "replications": 2},
+    "sweep": {"lifespans": [100.0], "interrupts": [1],
+              "schedulers": ["equalizing-adaptive"],
+              "adversaries": ["poisson-owner"]},
+})
+
+
+def submit(capsys, *argv):
+    """Run ``repro submit``; return the printed entry id."""
+    assert main(list(argv)) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("submitted ")
+    return out.split()[1]
+
+
+@pytest.fixture()
+def runs_dir(tmp_path):
+    return str(tmp_path / "runs")
+
+
+@pytest.fixture()
+def spec_path(tmp_path):
+    path = tmp_path / "spec.toml"
+    path.write_text(SPEC_TOML)
+    return str(path)
+
+
+class TestSubmit:
+    def test_submit_by_path(self, runs_dir, spec_path, capsys):
+        entry_id = submit(capsys, "submit", spec_path,
+                          "--runs-dir", runs_dir)
+        journal = Journal(os.path.join(runs_dir, QUEUE_DIRNAME))
+        entry = journal.get(entry_id)
+        assert entry.state == "submitted"
+        assert entry.spec_name == "cli-sweep"
+        assert entry.tenant == "default" and entry.priority == 0
+
+    def test_submit_by_stdin_json(self, runs_dir, capsys, monkeypatch):
+        monkeypatch.setattr("sys.stdin", io.StringIO(SPEC_JSON))
+        entry_id = submit(capsys, "submit", "-", "--runs-dir", runs_dir)
+        journal = Journal(os.path.join(runs_dir, QUEUE_DIRNAME))
+        assert journal.get(entry_id).spec_name == "cli-json"
+
+    def test_submit_by_stdin_toml_with_explicit_format(self, runs_dir,
+                                                       capsys, monkeypatch):
+        monkeypatch.setattr("sys.stdin", io.StringIO(SPEC_TOML))
+        entry_id = submit(capsys, "submit", "-", "--format", "toml",
+                          "--runs-dir", runs_dir)
+        journal = Journal(os.path.join(runs_dir, QUEUE_DIRNAME))
+        assert journal.get(entry_id).spec_name == "cli-sweep"
+
+    def test_submission_table_in_spec_sets_tenant_and_priority(
+            self, runs_dir, tmp_path, capsys):
+        path = tmp_path / "meta.toml"
+        path.write_text(SPEC_WITH_SUBMISSION)
+        entry_id = submit(capsys, "submit", str(path),
+                          "--runs-dir", runs_dir)
+        entry = Journal(os.path.join(runs_dir, QUEUE_DIRNAME)).get(entry_id)
+        assert entry.tenant == "team-a" and entry.priority == 3
+
+    def test_cli_flags_override_submission_table(self, runs_dir, tmp_path,
+                                                 capsys):
+        path = tmp_path / "meta.toml"
+        path.write_text(SPEC_WITH_SUBMISSION)
+        entry_id = submit(capsys, "submit", str(path),
+                          "--runs-dir", runs_dir,
+                          "--tenant", "team-b", "--priority", "9")
+        entry = Journal(os.path.join(runs_dir, QUEUE_DIRNAME)).get(entry_id)
+        assert entry.tenant == "team-b" and entry.priority == 9
+
+    def test_submit_missing_file_errors(self, runs_dir, capsys):
+        with pytest.raises(SystemExit, match="error:"):
+            main(["submit", "/nonexistent/spec.toml",
+                  "--runs-dir", runs_dir])
+
+    def test_submit_bad_tenant_errors(self, runs_dir, spec_path):
+        with pytest.raises(SystemExit, match="tenant"):
+            main(["submit", spec_path, "--runs-dir", runs_dir,
+                  "--tenant", "../escape"])
+
+
+class TestStatus:
+    def test_empty_queue_message(self, runs_dir, capsys):
+        assert main(["status", "--runs-dir", runs_dir]) == 0
+        assert "queue is empty" in capsys.readouterr().out
+
+    def test_status_table_lists_submissions(self, runs_dir, spec_path,
+                                            capsys):
+        entry_id = submit(capsys, "submit", spec_path,
+                          "--runs-dir", runs_dir)
+        assert main(["status", "--runs-dir", runs_dir]) == 0
+        out = capsys.readouterr().out
+        assert entry_id in out
+        assert "submitted" in out and "cli-sweep" in out
+
+    def test_status_single_entry_detail(self, runs_dir, spec_path, capsys):
+        entry_id = submit(capsys, "submit", spec_path,
+                          "--runs-dir", runs_dir)
+        assert main(["status", entry_id, "--runs-dir", runs_dir]) == 0
+        out = capsys.readouterr().out
+        assert f"entry: {entry_id}" in out
+        assert "state: submitted" in out
+
+    def test_status_unknown_entry_errors(self, runs_dir, capsys):
+        with pytest.raises(SystemExit, match="error:"):
+            main(["status", "sub-000001-deadbeef", "--runs-dir", runs_dir])
+
+    def test_status_json_matches_golden_schema(self, runs_dir, spec_path,
+                                               capsys):
+        """The machine-readable snapshot shape is a frozen contract."""
+        submit(capsys, "submit", spec_path, "--runs-dir", runs_dir)
+        assert main(["status", "--json", "--runs-dir", runs_dir]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        with open(GOLDEN_SCHEMA) as handle:
+            golden = json.load(handle)
+        assert snapshot["schema"] == golden["schema_version"] \
+            == SNAPSHOT_SCHEMA
+        assert sorted(snapshot) == golden["snapshot_keys"]
+        assert sorted(snapshot["queue"]) == golden["queue_keys"]
+        assert len(snapshot["entries"]) == 1
+        for summary in snapshot["entries"]:
+            assert sorted(summary) == golden["entry_summary_keys"]
+
+    def test_status_single_entry_json_matches_golden_schema(
+            self, runs_dir, spec_path, capsys):
+        entry_id = submit(capsys, "submit", spec_path,
+                          "--runs-dir", runs_dir)
+        assert main(["status", entry_id, "--json",
+                     "--runs-dir", runs_dir]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        with open(GOLDEN_SCHEMA) as handle:
+            golden = json.load(handle)
+        assert sorted(summary) == golden["entry_summary_keys"]
+
+    def test_snapshot_helper_agrees_with_cli_json(self, runs_dir, spec_path,
+                                                  capsys):
+        submit(capsys, "submit", spec_path, "--runs-dir", runs_dir)
+        assert main(["status", "--json", "--runs-dir", runs_dir]) == 0
+        via_cli = json.loads(capsys.readouterr().out)
+        journal = Journal(os.path.join(runs_dir, QUEUE_DIRNAME))
+        direct = status_snapshot(journal)
+        assert via_cli == json.loads(json.dumps(direct))
+
+
+class TestCancel:
+    def test_cancel_submitted_entry(self, runs_dir, spec_path, capsys):
+        entry_id = submit(capsys, "submit", spec_path,
+                          "--runs-dir", runs_dir)
+        assert main(["cancel", entry_id, "--runs-dir", runs_dir]) == 0
+        assert f"cancelled {entry_id}" in capsys.readouterr().out
+        journal = Journal(os.path.join(runs_dir, QUEUE_DIRNAME))
+        assert journal.get(entry_id).state == "cancelled"
+
+    def test_cancel_unknown_entry_errors(self, runs_dir):
+        with pytest.raises(SystemExit, match="error:"):
+            main(["cancel", "sub-000001-deadbeef", "--runs-dir", runs_dir])
+
+    def test_cancel_published_entry_errors(self, runs_dir, spec_path,
+                                           capsys):
+        entry_id = submit(capsys, "submit", spec_path,
+                          "--runs-dir", runs_dir)
+        assert main(["serve", "--runs-dir", runs_dir, "--drain",
+                     "--poll-interval", "0.02"]) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="cannot cancel"):
+            main(["cancel", entry_id, "--runs-dir", runs_dir])
+
+
+class TestServe:
+    def test_serve_drain_publishes_submission(self, runs_dir, spec_path,
+                                              capsys):
+        entry_id = submit(capsys, "submit", spec_path,
+                          "--runs-dir", runs_dir)
+        assert main(["serve", "--runs-dir", runs_dir, "--drain",
+                     "--poll-interval", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "service stopped: 1 published, 0 dead" in out
+        journal = Journal(os.path.join(runs_dir, QUEUE_DIRNAME))
+        entry = journal.get(entry_id)
+        assert entry.state == "published"
+        # The run landed in the tenant namespace and is reportable.
+        run_root = os.path.join(runs_dir, entry.tenant, entry.run_id)
+        assert os.path.isdir(run_root)
+        assert main(["report", entry.run_id, "--runs-dir",
+                     os.path.join(runs_dir, entry.tenant)]) == 0
+        assert "cli-sweep" in capsys.readouterr().out
+
+    def test_serve_drain_on_empty_queue_exits_immediately(self, runs_dir,
+                                                          capsys):
+        assert main(["serve", "--runs-dir", runs_dir, "--drain",
+                     "--poll-interval", "0.02"]) == 0
+        assert "0 published, 0 dead, 0 cancelled, 0 pending" \
+            in capsys.readouterr().out
+
+    def test_serve_drain_dead_letters_invalid_spec(self, runs_dir, capsys):
+        journal = Journal(os.path.join(runs_dir, QUEUE_DIRNAME))
+        entry = journal.submit({"experiment": {"name": "bad",
+                                               "kind": "no-such-kind"}})
+        assert main(["serve", "--runs-dir", runs_dir, "--drain",
+                     "--poll-interval", "0.02"]) == 0
+        assert "0 published, 1 dead" in capsys.readouterr().out
+        dead = journal.get(entry.entry_id)
+        assert dead.state == "dead"
+        assert "Traceback" in dead.error
+
+    def test_serve_respects_priority_order(self, runs_dir, tmp_path,
+                                           capsys):
+        """Higher-priority submissions are validated and claimed first."""
+        path = tmp_path / "spec.toml"
+        path.write_text(SPEC_TOML)
+        low = submit(capsys, "submit", str(path), "--runs-dir", runs_dir,
+                     "--tenant", "slow", "--priority", "0")
+        high = submit(capsys, "submit", str(path), "--runs-dir", runs_dir,
+                      "--tenant", "fast", "--priority", "5")
+        assert main(["serve", "--runs-dir", runs_dir, "--drain",
+                     "--workers", "1", "--poll-interval", "0.02"]) == 0
+        journal = Journal(os.path.join(runs_dir, QUEUE_DIRNAME))
+        ran_high = journal.get(high)
+        ran_low = journal.get(low)
+        assert ran_high.state == ran_low.state == "published"
+        started = {state: stamp for state, stamp in ran_high.history}
+        started_low = {state: stamp for state, stamp in ran_low.history}
+        assert started["running"] <= started_low["running"]
+
+
+class TestStatusHelpers:
+    def test_entry_summary_round_trips_through_json(self, runs_dir,
+                                                    spec_path, capsys):
+        entry_id = submit(capsys, "submit", spec_path,
+                          "--runs-dir", runs_dir)
+        journal = Journal(os.path.join(runs_dir, QUEUE_DIRNAME))
+        summary = entry_summary(journal.get(entry_id))
+        assert json.loads(json.dumps(summary)) == summary

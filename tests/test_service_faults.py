@@ -1,0 +1,353 @@
+"""Fault-injection harness for the run-service.
+
+The service's whole design claim is that a SIGKILL at *any* instant is
+recoverable: the journal and the run store only ever expose whole files,
+so a restarted service re-claims what the disk says was running and
+publishes byte-identical results.  These tests kill a real ``repro
+serve`` subprocess mid-run and mid-journal-transition, drive entries
+through retry → backoff → dead-letter with the ``REPRO_TEST_SERVICE_FAULT``
+hook, and pin the shared-table acceptance criterion: two concurrent
+submissions sharing a DP key publish the shared-memory table exactly
+once per service.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+
+import pytest
+
+from repro.reporting import render_run_report
+from repro.runstore import Run, run_spec
+from repro.service import Journal, JournalError, RunService
+from repro.service.journal import QUEUE_DIRNAME
+from repro.specs import default_run_id, parse_spec
+
+SLOW_SPEC = {
+    "experiment": {"name": "fault-slow", "kind": "scenario", "seed": 0,
+                   "replications": 30, "backend": "event"},
+    "scenario": {"family": "laptop",
+                 "schedulers": ["equalizing-adaptive", "rosenberg-adaptive",
+                                "fixed-period", "single-period",
+                                "equal-split", "geometric"]},
+}
+
+FAST_SPEC = {
+    "experiment": {"name": "fault-fast", "kind": "sweep", "seed": 1,
+                   "replications": 2},
+    "sweep": {"lifespans": [100.0], "interrupts": [1],
+              "schedulers": ["equalizing-adaptive"],
+              "adversaries": ["poisson-owner"]},
+}
+
+#: Sweep with the DP optimum enabled: executing it publishes one shared
+#: (lifespan, cost, interrupts, method) table per lifespan.
+DP_SPEC = {
+    "experiment": {"name": "fault-dp", "kind": "sweep", "seed": 1,
+                   "replications": 2},
+    "sweep": {"lifespans": [60.0], "interrupts": [1],
+              "schedulers": ["equalizing-adaptive"],
+              "adversaries": ["poisson-owner"], "optimal": True},
+}
+
+
+def _service_env():
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep \
+        + env.get("PYTHONPATH", "")
+    env.pop("REPRO_TEST_SERVICE_FAULT", None)
+    env.pop("REPRO_TEST_JOURNAL_DELAY", None)
+    return env
+
+
+def _serve_cmd(runs_dir):
+    return [sys.executable, "-m", "repro", "serve", "--runs-dir",
+            str(runs_dir), "--drain", "--poll-interval", "0.02"]
+
+
+def _drain(runs_dir, **kwargs):
+    """Run an in-process service to completion; return it for stats."""
+    service = RunService(str(runs_dir), poll_interval=0.02, **kwargs)
+    service.serve(drain=True, max_runtime=240.0)
+    return service
+
+
+class TestKillService:
+    """SIGKILL a real `repro serve` subprocess at the nasty instants."""
+
+    def test_sigkill_mid_run_then_restart_publishes_byte_identical(
+            self, tmp_path):
+        runs_dir = tmp_path / "runs"
+        journal = Journal(str(runs_dir / QUEUE_DIRNAME))
+        entry = journal.submit(SLOW_SPEC)
+        run_id = default_run_id(parse_spec(SLOW_SPEC))
+
+        proc = subprocess.Popen(_serve_cmd(runs_dir), env=_service_env(),
+                                stdout=subprocess.DEVNULL,
+                                stderr=subprocess.DEVNULL)
+        points_dir = runs_dir / "default" / run_id / "points"
+        try:
+            # Kill once at least one point shard is durable (the
+            # interesting window); if the service wins the race and
+            # drains first, the restart degrades to a no-op resume and
+            # the byte-identity assertion still holds.
+            deadline = time.monotonic() + 120.0
+            while time.monotonic() < deadline and proc.poll() is None:
+                if points_dir.is_dir() \
+                        and any(points_dir.glob("point-*.npz")):
+                    break
+                time.sleep(0.02)
+            killed = proc.poll() is None
+            if killed:
+                proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=60)
+        finally:
+            if proc.poll() is None:  # pragma: no cover - cleanup on failure
+                proc.kill()
+                proc.wait()
+
+        if killed:
+            state = journal.get(entry.entry_id).state
+            assert state in ("submitted", "validated", "running")
+
+        # A fresh service process must pick the entry up from the journal
+        # alone and finish it.
+        subprocess.run(_serve_cmd(runs_dir), env=_service_env(), check=True,
+                       timeout=240, stdout=subprocess.DEVNULL,
+                       stderr=subprocess.DEVNULL)
+        final = journal.get(entry.entry_id)
+        assert final.state == "published"
+        assert final.run_id == run_id
+
+        resumed = Run(str(runs_dir / "default" / run_id))
+        assert resumed.status == "complete"
+        reference = run_spec(parse_spec(SLOW_SPEC), runs_dir=tmp_path / "ref",
+                             run_id=run_id)
+        assert render_run_report(resumed) == render_run_report(reference)
+
+    def test_sigkill_during_journal_transition_loses_nothing(self, tmp_path):
+        # REPRO_TEST_JOURNAL_DELAY opens a kill window between staging an
+        # entry's new contents and the atomic os.replace: the service
+        # touches `.transitioning` and sleeps.  A SIGKILL inside the
+        # window must leave the previous whole entry file — nothing
+        # lost, duplicated or torn.
+        runs_dir = tmp_path / "runs"
+        journal = Journal(str(runs_dir / QUEUE_DIRNAME))
+        entry = journal.submit(FAST_SPEC)
+        before = {e.entry_id: e.state for e in journal.entries()}
+
+        env = _service_env()
+        env["REPRO_TEST_JOURNAL_DELAY"] = "120"
+        proc = subprocess.Popen(_serve_cmd(runs_dir), env=env,
+                                stdout=subprocess.DEVNULL,
+                                stderr=subprocess.DEVNULL)
+        marker = runs_dir / QUEUE_DIRNAME / ".transitioning"
+        try:
+            deadline = time.monotonic() + 120.0
+            while time.monotonic() < deadline and proc.poll() is None:
+                if marker.exists():
+                    break
+                time.sleep(0.02)
+            assert marker.exists(), "journal transition never started"
+            assert proc.poll() is None, "service exited before the kill"
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=60)
+        finally:
+            if proc.poll() is None:  # pragma: no cover - cleanup on failure
+                proc.kill()
+                proc.wait()
+
+        # The interrupted transition never happened: same entry set, same
+        # states, no corrupt files, no stray duplicates.
+        assert {e.entry_id: e.state for e in journal.entries()} == before
+        assert journal.corrupt_entries() == []
+        files = [name for name in os.listdir(journal.root)
+                 if name.endswith(".json")]
+        assert files == [f"{entry.entry_id}.json"]
+
+        # And the entry is still live: a restart (without the delay hook)
+        # drains it to published.
+        subprocess.run(_serve_cmd(runs_dir), env=_service_env(), check=True,
+                       timeout=240, stdout=subprocess.DEVNULL,
+                       stderr=subprocess.DEVNULL)
+        assert journal.get(entry.entry_id).state == "published"
+
+    def test_crash_leftover_running_entry_is_reclaimed(self, tmp_path):
+        # Simulate a service that died after claiming: the journal says
+        # `running` but no worker exists.  A fresh service must re-claim
+        # (running -> running) and execute with resume semantics.
+        runs_dir = tmp_path / "runs"
+        journal = Journal(str(runs_dir / QUEUE_DIRNAME))
+        entry = journal.submit(FAST_SPEC)
+        run_id = default_run_id(parse_spec(FAST_SPEC))
+        journal.transition(entry.entry_id, "validated", run_id=run_id)
+        journal.transition(entry.entry_id, "running")
+
+        _drain(runs_dir)
+        final = journal.get(entry.entry_id)
+        assert final.state == "published"
+        assert Run(str(runs_dir / "default" / run_id)).status == "complete"
+
+
+class TestInjectedFaults:
+    """retry -> capped backoff -> dead-letter, via REPRO_TEST_SERVICE_FAULT."""
+
+    def test_persistent_fault_retries_then_dead_letters(self, tmp_path,
+                                                        monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_SERVICE_FAULT", "fault-fast:99")
+        runs_dir = tmp_path / "runs"
+        journal = Journal(str(runs_dir / QUEUE_DIRNAME))
+        entry = journal.submit(FAST_SPEC)
+
+        _drain(runs_dir, max_retries=2, backoff_base=0.01, backoff_cap=0.05)
+        dead = journal.get(entry.entry_id)
+        assert dead.state == "dead"
+        # First attempt + max_retries retries, then parked.
+        assert dead.attempts == 3
+        assert "Traceback" in dead.error
+        assert "injected service fault" in dead.error
+        states = [state for state, _t in dead.history]
+        assert states.count("failed") == 2
+        assert states[-1] == "dead"
+
+    def test_transient_fault_recovers_and_publishes(self, tmp_path,
+                                                    monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_SERVICE_FAULT", "fault-fast:1")
+        runs_dir = tmp_path / "runs"
+        journal = Journal(str(runs_dir / QUEUE_DIRNAME))
+        entry = journal.submit(FAST_SPEC)
+
+        _drain(runs_dir, backoff_base=0.01, backoff_cap=0.05)
+        final = journal.get(entry.entry_id)
+        assert final.state == "published"
+        assert final.attempts == 2  # one failure, then the retry landed
+        assert final.error == ""
+        # The failure (with its traceback) is preserved in history.
+        assert [s for s, _t in final.history].count("failed") == 1
+
+    def test_backoff_delay_doubles_and_caps(self, tmp_path):
+        service = RunService(str(tmp_path / "runs"), max_retries=10,
+                             backoff_base=0.5, backoff_cap=3.0)
+        journal = service.journal
+        entry = journal.submit(FAST_SPEC)
+        journal.transition(entry.entry_id, "validated")
+        expected = [0.5, 1.0, 2.0, 3.0, 3.0]  # capped at backoff_cap
+        for attempt, delay in enumerate(expected, start=1):
+            journal.transition(entry.entry_id, "running")
+            before = time.time()
+            try:
+                raise RuntimeError("synthetic failure")
+            except RuntimeError:
+                service._record_failure(journal.get(entry.entry_id))
+            failed = journal.get(entry.entry_id)
+            assert failed.state == "failed"
+            assert failed.attempts == attempt
+            assert failed.next_attempt_at == pytest.approx(
+                before + delay, abs=0.25)
+            assert "synthetic failure" in failed.error
+
+    def test_cancelled_entry_never_executes(self, tmp_path):
+        runs_dir = tmp_path / "runs"
+        journal = Journal(str(runs_dir / QUEUE_DIRNAME))
+        entry = journal.submit(FAST_SPEC)
+        journal.cancel(entry.entry_id)
+
+        counts = RunService(str(runs_dir), poll_interval=0.02).serve(
+            drain=True, max_runtime=60.0)
+        assert counts["cancelled"] == 1 and counts["published"] == 0
+        run_id = default_run_id(parse_spec(FAST_SPEC))
+        assert not os.path.exists(str(runs_dir / "default" / run_id))
+
+
+class TestSharedTables:
+    """Acceptance: one shared-memory DP table per key per *service*."""
+
+    def test_concurrent_submissions_share_one_published_table(self,
+                                                              tmp_path):
+        runs_dir = tmp_path / "runs"
+        journal = Journal(str(runs_dir / QUEUE_DIRNAME))
+        # Same (lifespan, cost, interrupts) DP key, different tenants —
+        # distinct run directories, concurrent workers.
+        journal.submit(DP_SPEC, tenant="team-a")
+        journal.submit(DP_SPEC, tenant="team-b")
+
+        service = _drain(runs_dir, workers=2)
+        assert service.journal.counts()["published"] == 2
+        stats = service.publisher.stats
+        # The 60k-lifespan table went into shared memory exactly once and
+        # the second submission attached to it.
+        assert stats.created == 1
+        assert stats.reused >= 1
+        assert len(set(stats.created_keys)) == 1
+        # ... and it was *solved* exactly once, via the shared cache.
+        assert service.table_cache.stats.misses == 1
+        assert service.table_cache.stats.memory_hits >= 1
+
+    def test_tenant_namespaces_isolate_runs(self, tmp_path):
+        runs_dir = tmp_path / "runs"
+        journal = Journal(str(runs_dir / QUEUE_DIRNAME))
+        a = journal.submit(FAST_SPEC, tenant="team-a")
+        b = journal.submit(FAST_SPEC, tenant="team-b")
+
+        _drain(runs_dir, workers=2)
+        run_id = default_run_id(parse_spec(FAST_SPEC))
+        for entry in (a, b):
+            assert journal.get(entry.entry_id).state == "published"
+        report_a = render_run_report(Run(str(runs_dir / "team-a" / run_id)))
+        report_b = render_run_report(Run(str(runs_dir / "team-b" / run_id)))
+        assert report_a == report_b  # same spec, isolated stores
+
+    def test_same_run_submissions_serialise_not_corrupt(self, tmp_path):
+        # Two submissions of the *same* spec to the *same* tenant target
+        # one run directory; the service must serialise them instead of
+        # letting two workers race on it.
+        runs_dir = tmp_path / "runs"
+        journal = Journal(str(runs_dir / QUEUE_DIRNAME))
+        first = journal.submit(FAST_SPEC)
+        second = journal.submit(FAST_SPEC)
+
+        _drain(runs_dir, workers=2)
+        assert journal.get(first.entry_id).state == "published"
+        assert journal.get(second.entry_id).state == "published"
+        run_id = default_run_id(parse_spec(FAST_SPEC))
+        run = Run(str(runs_dir / "default" / run_id))
+        assert run.status == "complete"
+        assert render_run_report(run) == render_run_report(run_spec(
+            parse_spec(FAST_SPEC), runs_dir=tmp_path / "ref", run_id=run_id))
+
+
+class TestHTTPStatus:
+    def test_endpoints_while_service_runs(self, tmp_path):
+        runs_dir = tmp_path / "runs"
+        journal = Journal(str(runs_dir / QUEUE_DIRNAME))
+        entry = journal.submit(FAST_SPEC)
+
+        service = RunService(str(runs_dir), poll_interval=0.02, http_port=0)
+        from repro.service.http import StatusHTTPServer
+
+        service.http = StatusHTTPServer(service.journal, port=0,
+                                        inflight=service.inflight_ids)
+        service.http.start()
+        base = f"http://127.0.0.1:{service.http.port}"
+        try:
+            with urllib.request.urlopen(f"{base}/healthz", timeout=10) as r:
+                assert json.loads(r.read()) == {"ok": True}
+            with urllib.request.urlopen(f"{base}/status", timeout=10) as r:
+                snapshot = json.loads(r.read())
+            assert snapshot["queue"]["submitted"] == 1
+            url = f"{base}/status/{entry.entry_id}"
+            with urllib.request.urlopen(url, timeout=10) as r:
+                assert json.loads(r.read())["entry"] == entry.entry_id
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(f"{base}/status/nope", timeout=10)
+            assert excinfo.value.code == 404
+        finally:
+            service.serve(drain=True, max_runtime=120.0)  # closes http too
+        assert journal.get(entry.entry_id).state == "published"
+        with pytest.raises(JournalError):
+            journal.get("definitely-missing")

@@ -1,0 +1,371 @@
+"""Queue-journal tests: durability invariants and the state machine.
+
+The journal is the run-service's only mutable state, so these tests pin
+its contract hard: atomic whole-file entries, the legal-transition table,
+priority/FIFO ordering, backoff eligibility — and a hypothesis
+state-machine test driving arbitrary interleavings of
+submit/validate/start/complete/fail/cancel plus crash-replay, asserting
+the journal always matches an in-memory model (every entry in exactly one
+state, no entry lost or duplicated).
+"""
+
+import json
+import os
+
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.service.journal import (
+    ACTIVE_STATES,
+    CANCELLABLE_STATES,
+    STATES,
+    TERMINAL_STATES,
+    TRANSITIONS,
+    Journal,
+    JournalError,
+)
+
+SPEC_DATA = {"experiment": {"name": "j-test", "kind": "sweep"},
+             "sweep": {"lifespans": [60.0],
+                       "schedulers": ["equalizing-adaptive"]}}
+
+
+@pytest.fixture()
+def journal(tmp_path):
+    return Journal(str(tmp_path / "_queue"))
+
+
+class TestSubmit:
+    def test_submit_round_trips_the_spec_and_metadata(self, journal):
+        entry = journal.submit(SPEC_DATA, tenant="team-a", priority=7)
+        loaded = journal.get(entry.entry_id)
+        assert loaded == entry
+        assert loaded.state == "submitted"
+        assert loaded.tenant == "team-a"
+        assert loaded.priority == 7
+        assert loaded.spec_data == SPEC_DATA
+        assert loaded.spec_name == "j-test"
+        assert loaded.history[0][0] == "submitted"
+
+    def test_sequence_numbers_increase(self, journal):
+        first = journal.submit(SPEC_DATA)
+        second = journal.submit(SPEC_DATA)
+        assert second.seq == first.seq + 1
+
+    def test_invalid_tenant_rejected(self, journal):
+        for bad in ("", "../escape", "a/b", ".hidden", "x" * 65, "sp ace"):
+            with pytest.raises(JournalError, match="tenant"):
+                journal.submit(SPEC_DATA, tenant=bad)
+
+    def test_non_integer_priority_rejected(self, journal):
+        with pytest.raises(JournalError, match="priority"):
+            journal.submit(SPEC_DATA, priority="high")
+        with pytest.raises(JournalError, match="priority"):
+            journal.submit(SPEC_DATA, priority=True)
+
+    def test_duplicate_entry_id_rejected(self, journal):
+        entry = journal.submit(SPEC_DATA)
+        with pytest.raises(JournalError, match="already exists"):
+            journal.submit(SPEC_DATA, entry_id=entry.entry_id)
+
+    def test_non_serialisable_spec_rejected_and_leaves_no_file(self, journal):
+        with pytest.raises(JournalError, match="mapping|serialisable"):
+            journal.submit({"experiment": {"name": object()}})
+        assert journal.entries() == []
+        assert [n for n in os.listdir(journal.root)
+                if not n.startswith(".")] == []
+
+    def test_non_mapping_spec_rejected(self, journal):
+        with pytest.raises(JournalError, match="mapping"):
+            journal.submit("not a dict")
+
+
+class TestTransitions:
+    def test_full_happy_path(self, journal):
+        entry = journal.submit(SPEC_DATA)
+        journal.transition(entry.entry_id, "validated", run_id="run-1")
+        journal.transition(entry.entry_id, "running")
+        final = journal.transition(entry.entry_id, "published", attempts=1)
+        assert final.state == "published"
+        assert final.run_id == "run-1"
+        assert [state for state, _t in final.history] == \
+            ["submitted", "validated", "running", "published"]
+
+    def test_every_illegal_transition_rejected(self, journal):
+        """Drive one entry into each state and try every illegal move."""
+        paths = {  # shortest legal path into each state
+            "submitted": [],
+            "validated": ["validated"],
+            "running": ["validated", "running"],
+            "failed": ["validated", "running", "failed"],
+            "published": ["validated", "running", "published"],
+            "dead": ["dead"],
+            "cancelled": ["cancelled"],
+        }
+        for state, path in paths.items():
+            entry = journal.submit(SPEC_DATA)
+            for step in path:
+                journal.transition(entry.entry_id, step)
+            assert journal.get(entry.entry_id).state == state
+            for target in STATES:
+                if target in TRANSITIONS[state]:
+                    continue
+                with pytest.raises(JournalError, match="illegal transition"):
+                    journal.transition(entry.entry_id, target)
+                assert journal.get(entry.entry_id).state == state
+
+    def test_running_reclaim_is_legal(self, journal):
+        entry = journal.submit(SPEC_DATA)
+        journal.transition(entry.entry_id, "validated")
+        journal.transition(entry.entry_id, "running")
+        # A restarted service re-claims a crash leftover: running -> running.
+        reclaimed = journal.transition(entry.entry_id, "running")
+        assert reclaimed.state == "running"
+
+    def test_unknown_state_rejected(self, journal):
+        entry = journal.submit(SPEC_DATA)
+        with pytest.raises(JournalError, match="unknown journal state"):
+            journal.transition(entry.entry_id, "exploded")
+
+    def test_missing_entry_lists_known_ids(self, journal):
+        entry = journal.submit(SPEC_DATA)
+        with pytest.raises(JournalError, match=entry.entry_id):
+            journal.get("sub-999999-deadbeef")
+
+    def test_failure_metadata_survives_retry_claim(self, journal):
+        entry = journal.submit(SPEC_DATA)
+        journal.transition(entry.entry_id, "validated")
+        journal.transition(entry.entry_id, "running")
+        journal.transition(entry.entry_id, "failed", attempts=1,
+                           error="Traceback: boom", next_attempt_at=1.0)
+        claimed = journal.transition(entry.entry_id, "running")
+        assert claimed.attempts == 1
+        assert "boom" in claimed.error
+
+    def test_cancel_only_from_cancellable_states(self, journal):
+        entry = journal.submit(SPEC_DATA)
+        journal.transition(entry.entry_id, "validated")
+        journal.transition(entry.entry_id, "running")
+        with pytest.raises(JournalError, match="cannot cancel"):
+            journal.cancel(entry.entry_id)
+        other = journal.submit(SPEC_DATA)
+        assert journal.cancel(other.entry_id).state == "cancelled"
+        assert set(CANCELLABLE_STATES) == {"submitted", "validated", "failed"}
+
+
+class TestDurability:
+    def test_atomic_writes_leave_no_partial_files(self, journal):
+        entry = journal.submit(SPEC_DATA)
+        journal.transition(entry.entry_id, "validated")
+        names = os.listdir(journal.root)
+        assert f"{entry.entry_id}.json" in names
+        assert not [n for n in names if n.endswith(".tmp")]
+
+    def test_corrupt_entry_skipped_in_listing_and_raised_in_get(self, journal):
+        good = journal.submit(SPEC_DATA)
+        bad = journal.submit(SPEC_DATA)
+        with open(journal.entry_path(bad.entry_id), "w") as handle:
+            handle.write("{ torn json")
+        assert [e.entry_id for e in journal.entries()] == [good.entry_id]
+        assert journal.corrupt_entries() == [bad.entry_id]
+        with pytest.raises(JournalError, match="unreadable|malformed"):
+            journal.get(bad.entry_id)
+
+    def test_wrong_schema_version_rejected(self, journal):
+        entry = journal.submit(SPEC_DATA)
+        path = journal.entry_path(entry.entry_id)
+        with open(path) as handle:
+            data = json.load(handle)
+        data["schema"] = 999
+        with open(path, "w") as handle:
+            json.dump(data, handle)
+        with pytest.raises(JournalError, match="schema"):
+            journal.get(entry.entry_id)
+
+    def test_seq_resumes_after_restart(self, journal):
+        first = journal.submit(SPEC_DATA)
+        reopened = Journal(journal.root)  # a fresh service process
+        second = reopened.submit(SPEC_DATA)
+        assert second.seq == first.seq + 1
+
+    def test_counts_cover_every_state(self, journal):
+        journal.submit(SPEC_DATA)
+        counts = journal.counts()
+        assert set(counts) == set(STATES)
+        assert counts["submitted"] == 1
+        assert sum(counts.values()) == 1
+
+
+class TestRunnable:
+    def test_priority_then_fifo_ordering(self, journal):
+        low = journal.submit(SPEC_DATA, priority=0)
+        high = journal.submit(SPEC_DATA, priority=9)
+        mid = journal.submit(SPEC_DATA, priority=5)
+        for entry in (low, high, mid):
+            journal.transition(entry.entry_id, "validated")
+        ready = [e.entry_id for e in journal.runnable()]
+        assert ready == [high.entry_id, mid.entry_id, low.entry_id]
+
+    def test_fifo_within_a_priority_band(self, journal):
+        first = journal.submit(SPEC_DATA, priority=1)
+        second = journal.submit(SPEC_DATA, priority=1)
+        for entry in (first, second):
+            journal.transition(entry.entry_id, "validated")
+        assert [e.entry_id for e in journal.runnable()] == \
+            [first.entry_id, second.entry_id]
+
+    def test_failed_entry_waits_for_backoff(self, journal):
+        entry = journal.submit(SPEC_DATA)
+        journal.transition(entry.entry_id, "validated")
+        journal.transition(entry.entry_id, "running")
+        journal.transition(entry.entry_id, "failed", attempts=1,
+                           next_attempt_at=1000.0)
+        assert journal.runnable(now=999.0) == []
+        assert [e.entry_id for e in journal.runnable(now=1000.5)] == \
+            [entry.entry_id]
+
+    def test_submitted_and_terminal_entries_not_runnable(self, journal):
+        journal.submit(SPEC_DATA)  # not yet validated
+        done = journal.submit(SPEC_DATA)
+        journal.transition(done.entry_id, "validated")
+        journal.transition(done.entry_id, "running")
+        journal.transition(done.entry_id, "published")
+        assert journal.runnable() == []
+
+    def test_running_crash_leftovers_are_runnable(self, journal):
+        entry = journal.submit(SPEC_DATA)
+        journal.transition(entry.entry_id, "validated")
+        journal.transition(entry.entry_id, "running")
+        # The service that claimed it was SIGKILLed; a restart must see it.
+        assert [e.entry_id for e in journal.runnable()] == [entry.entry_id]
+
+
+# ----------------------------------------------------------------------
+# Property test: arbitrary interleavings keep the journal consistent
+# ----------------------------------------------------------------------
+class JournalMachine(RuleBasedStateMachine):
+    """Model-based test of the journal against an in-memory mirror.
+
+    Rules mirror exactly what the service does — submit, validate, claim,
+    complete, fail, cancel — plus ``crash_replay``, which re-opens the
+    directory with a fresh :class:`Journal` (a restarted service) and
+    checks nothing was lost, duplicated or mutated.  Invariants: the
+    on-disk entries match the model one-for-one, every state is legal,
+    and terminal entries never move again.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.model = {}  # entry_id -> expected state
+
+    @initialize(tmp=st.none())
+    def setup(self, tmp):
+        import tempfile
+
+        self.root = tempfile.mkdtemp(prefix="journal-machine-")
+        self.journal = Journal(os.path.join(self.root, "_queue"))
+
+    def ids_in(self, *states):
+        return sorted(eid for eid, state in self.model.items()
+                      if state in states)
+
+    @rule(priority=st.integers(min_value=-3, max_value=3),
+          tenant=st.sampled_from(["default", "team-a", "team-b"]))
+    def submit(self, priority, tenant):
+        entry = self.journal.submit(SPEC_DATA, tenant=tenant,
+                                    priority=priority)
+        assert entry.entry_id not in self.model
+        self.model[entry.entry_id] = "submitted"
+
+    @precondition(lambda self: self.ids_in("submitted"))
+    @rule(data=st.data())
+    def validate(self, data):
+        entry_id = data.draw(st.sampled_from(self.ids_in("submitted")))
+        self.journal.transition(entry_id, "validated", run_id="run-x")
+        self.model[entry_id] = "validated"
+
+    @precondition(lambda self: self.ids_in("validated", "failed", "running"))
+    @rule(data=st.data())
+    def claim(self, data):
+        entry_id = data.draw(st.sampled_from(
+            self.ids_in("validated", "failed", "running")))
+        self.journal.transition(entry_id, "running")
+        self.model[entry_id] = "running"
+
+    @precondition(lambda self: self.ids_in("running"))
+    @rule(data=st.data())
+    def complete(self, data):
+        entry_id = data.draw(st.sampled_from(self.ids_in("running")))
+        self.journal.transition(entry_id, "published")
+        self.model[entry_id] = "published"
+
+    @precondition(lambda self: self.ids_in("running"))
+    @rule(data=st.data(), fatal=st.booleans())
+    def fail(self, data, fatal):
+        entry_id = data.draw(st.sampled_from(self.ids_in("running")))
+        state = "dead" if fatal else "failed"
+        self.journal.transition(entry_id, state, error="Traceback: boom",
+                                attempts=1)
+        self.model[entry_id] = state
+
+    @precondition(lambda self: self.ids_in(*CANCELLABLE_STATES))
+    @rule(data=st.data())
+    def cancel(self, data):
+        entry_id = data.draw(st.sampled_from(
+            self.ids_in(*CANCELLABLE_STATES)))
+        self.journal.cancel(entry_id)
+        self.model[entry_id] = "cancelled"
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def illegal_transition_changes_nothing(self, data):
+        entry_id = data.draw(st.sampled_from(sorted(self.model)))
+        state = self.model[entry_id]
+        illegal = [s for s in STATES if s not in TRANSITIONS[state]]
+        target = data.draw(st.sampled_from(illegal))
+        try:
+            self.journal.transition(entry_id, target)
+        except JournalError:
+            pass
+        else:
+            raise AssertionError(
+                f"{state} -> {target} should have been rejected")
+
+    @rule()
+    def crash_replay(self):
+        # A restarted service sees the directory cold: same entries, same
+        # states, nothing lost or duplicated.
+        self.journal = Journal(self.journal.root)
+
+    @invariant()
+    def journal_matches_model(self):
+        if not hasattr(self, "journal"):
+            return
+        on_disk = {e.entry_id: e.state for e in self.journal.entries()}
+        assert on_disk == self.model
+        assert self.journal.corrupt_entries() == []
+
+    @invariant()
+    def states_are_legal_and_terminal_entries_have_history(self):
+        if not hasattr(self, "journal"):
+            return
+        for entry in self.journal.entries():
+            assert entry.state in STATES
+            assert entry.history[0][0] == "submitted"
+            assert entry.history[-1][0] == entry.state
+            if entry.state in TERMINAL_STATES:
+                assert entry.state not in ACTIVE_STATES
+
+
+TestJournalMachine = JournalMachine.TestCase
+TestJournalMachine.settings = settings(max_examples=25,
+                                       stateful_step_count=30,
+                                       deadline=None)

