@@ -13,7 +13,7 @@ Usage::
 
     PYTHONPATH=src python scripts/check_bench_regression.py \
         [--max-lifespan 5000] [--tolerance 1e-9] [--results-dir benchmarks/results] \
-        [--only {all,optimality-gap,nonadaptive,referee,runstore-io,mc-streaming,variance-reduction}]
+        [--only {all,optimality-gap,nonadaptive,referee,runstore-io,mc-streaming,variance-reduction,distributed-sweep}]
 
 The default ``--max-lifespan`` keeps the check under a few seconds; raise
 it to re-verify the full committed grid.  ``--only runstore-io`` runs just
@@ -23,6 +23,9 @@ columnar-sidecar read paths, and enforces the committed sidecar-vs-shard
 speedup floor.  ``--only mc-streaming`` re-derives the deterministic work
 statistics of the committed streaming-aggregation evidence
 (``mc_streaming.csv``) and enforces its peak-RSS flatness floor.
+``--only distributed-sweep`` enforces the committed 2-worker throughput
+floor of the distributed executor and re-runs its table-service cluster
+live to re-prove the one-DP-solve-per-key property.
 
 Exit codes (so CI can distinguish the failure modes):
 
@@ -404,6 +407,94 @@ def check_variance_reduction(results_dir: str, max_lifespan: float,
     return checked, failures
 
 
+def check_distributed_sweep(results_dir: str, max_lifespan: float,
+                            tolerance: float):
+    """Re-verify the committed distributed-executor evidence.
+
+    ``distributed_sweep.csv`` commits point-throughput scaling rows (1, 2
+    and 4 loopback workers over a fixed-cost sweep) plus one DP-enabled
+    table-service row.  Three properties are enforced:
+
+    * the committed 2-worker speedup stays at or above ``SPEEDUP_FLOOR``
+      (the executor's acceptance bar) and the speedup column is
+      arithmetically consistent with the committed throughputs;
+    * the committed table-service row claims exactly one DP solve per
+      distinct ``(L, c, p)`` key, where the key count is **re-derived**
+      from the spec through the workers' own expansion;
+    * the table-service cluster is **re-run live** (2 workers over
+      loopback — sub-second) and must again cost exactly one solve per
+      key, so the exactly-once property is tested, not just remembered.
+    """
+    import tempfile
+
+    sys.path.insert(0, os.path.join(_ROOT, "benchmarks"))
+    from distributed_util import (
+        SPEEDUP_FLOOR,
+        WORKER_COUNTS,
+        expected_table_keys,
+        measure_table_service,
+    )
+
+    path = os.path.join(results_dir, "distributed_sweep.csv")
+    failures = []
+    checked = 0
+    scaling = {}
+    table_rows = []
+    for row in read_rows(path):
+        if row["kind"] == "scaling":
+            scaling[int(row["workers"])] = row
+        elif row["kind"] == "table-service":
+            table_rows.append(row)
+
+    missing = [w for w in WORKER_COUNTS if w not in scaling]
+    if missing:
+        failures.append(f"{path}: no scaling row for worker count(s) "
+                        f"{missing} — regenerate the evidence")
+    else:
+        baseline = float(scaling[WORKER_COUNTS[0]]["points_per_s"])
+        for workers, row in sorted(scaling.items()):
+            committed = float(row["speedup"])
+            derived = float(row["points_per_s"]) / baseline
+            if relative_drift(committed, round(derived, 2)) > 1e-6:
+                failures.append(
+                    f"{path}: {workers} workers: committed speedup "
+                    f"{committed:g}x inconsistent with committed "
+                    f"throughputs ({derived:.2f}x)")
+            checked += 1
+        two_worker = float(scaling[2]["speedup"])
+        if two_worker < SPEEDUP_FLOOR:
+            failures.append(
+                f"{path}: committed 2-worker speedup {two_worker:g}x is "
+                f"below the {SPEEDUP_FLOOR:g}x floor — regenerate the "
+                "evidence only after fixing the regression")
+
+    expected_keys = expected_table_keys()
+    if not table_rows:
+        failures.append(f"{path}: no table-service row — regenerate the "
+                        "evidence")
+    for row in table_rows:
+        committed_solves = int(row["dp_solves"])
+        committed_keys = int(row["distinct_table_keys"])
+        if not committed_solves == committed_keys == expected_keys:
+            failures.append(
+                f"{path}: table-service row claims {committed_solves} DP "
+                f"solves over {committed_keys} keys; the spec re-derives "
+                f"{expected_keys} distinct keys — exactly-once is broken "
+                "or the spec drifted from the committed table")
+        checked += 1
+
+    # Live exactly-once: run the table-service cluster here and now.
+    with tempfile.TemporaryDirectory() as runs_dir:
+        live = measure_table_service(runs_dir)
+    if int(live["dp_solves"]) != expected_keys:
+        failures.append(
+            f"live table-service cluster cost {live['dp_solves']} DP solves "
+            f"for {expected_keys} distinct keys — the content-addressed "
+            "table service re-solved (or skipped) a table")
+    checked += 1
+    return checked, failures
+
+
 #: Streaming-evidence rows at or below this replication count are re-run
 #: in-process by ``check_mc_streaming``; larger counts are trusted as
 #: committed (their flatness ratio is still enforced) to keep the guard
@@ -424,7 +515,7 @@ def main(argv=None) -> int:
     parser.add_argument("--only", default="all",
                         choices=["all", "optimality-gap", "nonadaptive",
                                  "referee", "runstore-io", "mc-streaming",
-                                 "variance-reduction"],
+                                 "variance-reduction", "distributed-sweep"],
                         help="run a single check instead of the full set")
     args = parser.parse_args(argv)
 
@@ -441,6 +532,8 @@ def main(argv=None) -> int:
         "mc-streaming": lambda: check_mc_streaming(
             args.results_dir, args.max_lifespan, args.tolerance),
         "variance-reduction": lambda: check_variance_reduction(
+            args.results_dir, args.max_lifespan, args.tolerance),
+        "distributed-sweep": lambda: check_distributed_sweep(
             args.results_dir, args.max_lifespan, args.tolerance),
     }
     selected = list(checkers) if args.only == "all" else [args.only]

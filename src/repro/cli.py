@@ -14,7 +14,9 @@ Sub-commands
                scheduler × adversary grid, with ``--jobs``, ``--replications``,
                ``--seed`` and a shared DP-table ``--cache-dir``.
 ``run``        Execute a declarative experiment spec (TOML/JSON, see
-               :mod:`repro.specs`) into the resumable run store.
+               :mod:`repro.specs`) into the resumable run store —
+               in-process (``--executor local``) or through a loopback
+               worker cluster (``--executor cluster``).
 ``resume``     Finish an interrupted run from its last completed point.
 ``report``     Render a stored run as a paper-style markdown report.
 ``serve``      Run the spec-submission service: durable queue, bounded
@@ -22,6 +24,10 @@ Sub-commands
 ``submit``     Enqueue a spec file (or stdin) for the service to execute.
 ``status``     Show the submission queue (table or ``--json``).
 ``cancel``     Cancel a not-yet-running submission.
+``coordinator``Serve a spec's points to remote ``worker`` processes over
+               TCP (work-stealing leases; see docs/distributed.md).
+``worker``     Connect to a coordinator, compute leased points, stream
+               the shards back.
 
 Scheduler, adversary and scenario-family names accepted by the commands
 are the :mod:`repro.registry` names.  Each table-producing command prints
@@ -202,6 +208,15 @@ def build_parser() -> argparse.ArgumentParser:
     rn.add_argument("--profile", action="store_true",
                     help="print a per-stage wall-time breakdown (spec parse / "
                          "referee / DP solve / Monte-Carlo / shard I/O) to stderr")
+    rn.add_argument("--executor", choices=["local", "cluster"],
+                    default="local",
+                    help="point executor: local in-process pool, or cluster "
+                         "(loopback coordinator + --jobs worker processes "
+                         "talking the distributed protocol; byte-identical "
+                         "results, see docs/distributed.md)")
+    rn.add_argument("--lease-ttl", type=float, default=60.0,
+                    help="cluster executor only: lease expiry in seconds "
+                         "(a worker silent this long forfeits its point)")
 
     rs = sub.add_parser(
         "resume", help="finish an interrupted run from its last completed point")
@@ -259,6 +274,59 @@ def build_parser() -> argparse.ArgumentParser:
                          "cancelled (instead of serving forever)")
     sv.add_argument("--max-runtime", type=float, default=None,
                     help="wall-clock safety limit in seconds")
+    sv.add_argument("--executor", choices=["local", "cluster"],
+                    default="local",
+                    help="how submissions execute: local run_spec, or "
+                         "cluster (loopback coordinator + --cluster-workers "
+                         "worker processes per submission)")
+    sv.add_argument("--cluster-workers", type=int, default=2,
+                    help="worker processes per submission with "
+                         "--executor cluster (default: 2)")
+
+    co = sub.add_parser(
+        "coordinator", help="serve a spec's pending points to workers over "
+                            "TCP (work-stealing leases, table service)")
+    co.add_argument("spec", help="path to a .toml or .json experiment spec")
+    co.add_argument("--runs-dir", default=DEFAULT_RUNS_DIR,
+                    help=f"run-store root directory (default: {DEFAULT_RUNS_DIR}/)")
+    co.add_argument("--run-id", default=None,
+                    help="run id (default: spec name + content digest)")
+    co.add_argument("--bind", default="127.0.0.1:0",
+                    help="host:port to listen on (port 0 = ephemeral; the "
+                         "bound address is printed to stdout at startup)")
+    co.add_argument("--lease-ttl", type=float, default=60.0,
+                    help="lease expiry in seconds; workers heartbeat at a "
+                         "third of this (default: 60)")
+    co.add_argument("--resume", action="store_true",
+                    help="continue the run if it already exists")
+    co.add_argument("--cache-dir", default=CACHE_DIR_HELP_DEFAULT,
+                    help=CACHE_DIR_HELP)
+    co.add_argument("--http-port", type=int, default=None,
+                    help="serve /healthz + /metrics on this localhost port "
+                         "(0 = ephemeral, printed at startup; default: "
+                         "disabled)")
+    co.add_argument("--max-runtime", type=float, default=None,
+                    help="wall-clock safety limit in seconds")
+
+    wk = sub.add_parser(
+        "worker", help="connect to a coordinator, compute leased points, "
+                       "stream the shards back")
+    wk.add_argument("address", help="coordinator host:port (printed by "
+                                    "`repro coordinator` at startup)")
+    wk.add_argument("--spec", default=None,
+                    help="local spec file to verify against the coordinator "
+                         "by digest (default: adopt the coordinator's spec)")
+    wk.add_argument("--jobs", "-j", type=int, default=1,
+                    help="local evaluation processes (leases up to this "
+                         "many points at once)")
+    wk.add_argument("--cache-dir", default=CACHE_DIR_HELP_DEFAULT,
+                    help=CACHE_DIR_HELP)
+    wk.add_argument("--worker-id", default=None,
+                    help="stable worker identity for logs and lease "
+                         "accounting (default: random)")
+    wk.add_argument("--retry-for", type=float, default=10.0,
+                    help="seconds to retry the initial connection while the "
+                         "coordinator comes up (default: 10)")
 
     sb = sub.add_parser(
         "submit", help="enqueue a spec file (or '-' for stdin) for the service")
@@ -410,10 +478,26 @@ def _spec_with_overrides(args):
 def _cmd_run(args) -> List[dict]:
     from .runstore import run_spec
 
-    run = run_spec(_spec_with_overrides(args), runs_dir=args.runs_dir,
-                   run_id=args.run_id, jobs=args.jobs,
-                   cache_dir=args.cache_dir, max_points=args.max_points,
-                   resume=args.resume, profile=args.profile)
+    spec = _spec_with_overrides(args)
+    if args.executor == "cluster":
+        if args.max_points is not None or args.profile:
+            raise SystemExit("error: --max-points and --profile are not "
+                             "supported with --executor cluster (run the "
+                             "coordinator directly for finer control)")
+        from .distributed import run_spec_distributed
+        from .experiments.orchestrator import _resolve_jobs
+
+        run = run_spec_distributed(spec, runs_dir=args.runs_dir,
+                                   run_id=args.run_id,
+                                   workers=_resolve_jobs(args.jobs),
+                                   cache_dir=args.cache_dir,
+                                   lease_ttl=args.lease_ttl,
+                                   resume=args.resume)
+    else:
+        run = run_spec(spec, runs_dir=args.runs_dir,
+                       run_id=args.run_id, jobs=args.jobs,
+                       cache_dir=args.cache_dir, max_points=args.max_points,
+                       resume=args.resume, profile=args.profile)
     rows = run.rows()
     print(f"run {run.run_id}: {run.status} "
           f"({len(rows)}/{run.num_points} points) "
@@ -482,7 +566,9 @@ def _cmd_serve(args) -> str:
                          backoff_cap=args.backoff_cap,
                          poll_interval=args.poll_interval,
                          cache_dir=args.cache_dir,
-                         http_port=args.http_port)
+                         http_port=args.http_port,
+                         executor=args.executor,
+                         cluster_workers=args.cluster_workers)
 
     def request_stop(signum, frame):
         service.stop()
@@ -496,7 +582,8 @@ def _cmd_serve(args) -> str:
         # Start HTTP before the blocking loop so an ephemeral port
         # (--http-port 0) can be announced to whoever started us.
         service.http = StatusHTTPServer(service.journal, port=args.http_port,
-                                        inflight=service.inflight_ids)
+                                        inflight=service.inflight_ids,
+                                        metrics=service.metrics_snapshot)
         service.http.start()
         print(f"status endpoint: http://127.0.0.1:{service.http.port}/status",
               file=sys.stderr)
@@ -587,6 +674,72 @@ def _cmd_status(args):
     return "\n".join(lines)
 
 
+def _cmd_coordinator(args) -> str:
+    from .distributed import Coordinator, DistributedError
+    from .distributed.protocol import resolve_bind
+    from .specs import load_spec
+
+    spec = load_spec(args.spec)
+    host, port = resolve_bind(args.bind)
+    coordinator = Coordinator(spec, runs_dir=args.runs_dir,
+                              run_id=args.run_id, host=host, port=port,
+                              lease_ttl=args.lease_ttl, resume=args.resume,
+                              cache_dir=args.cache_dir)
+    http = None
+    try:
+        coordinator.start()
+        bound_host, bound_port = coordinator.address
+        # Announced on stdout, flushed before blocking: scripts spawning
+        # `repro coordinator --bind host:0` parse this line for the port.
+        print(f"coordinator listening on {bound_host}:{bound_port}",
+              flush=True)
+        if args.http_port is not None:
+            from .service.http import StatusHTTPServer
+
+            http = StatusHTTPServer(None, port=args.http_port,
+                                    metrics=coordinator.metrics_snapshot)
+            http.start()
+            print(f"metrics endpoint: "
+                  f"http://127.0.0.1:{http.port}/metrics", flush=True)
+        finished = coordinator.wait(timeout=args.max_runtime)
+    finally:
+        coordinator.stop()
+        if http is not None:
+            http.close()
+    counts = coordinator.ledger.counts()
+    if not finished:
+        raise SystemExit(
+            f"error: coordinator stopped with {counts.total - counts.done} "
+            f"of {counts.total} points incomplete (run "
+            f"{coordinator.run.run_id!r} stays resumable)")
+    metrics = coordinator.metrics_snapshot()
+    return (f"run {coordinator.run.run_id}: complete "
+            f"({counts.done}/{counts.total} points; "
+            f"{metrics['workers']['seen']} workers, "
+            f"{metrics['table_service']['dp_solves']} DP solves, "
+            f"{metrics['shards']['bytes_streamed']} shard bytes streamed)")
+
+
+def _cmd_worker(args) -> str:
+    from .distributed import WorkerClient
+    from .distributed.protocol import resolve_bind
+
+    host, port = resolve_bind(args.address)
+    spec = None
+    if args.spec is not None:
+        from .specs import load_spec
+
+        spec = load_spec(args.spec)
+    stats = WorkerClient(host, port, spec=spec, worker_id=args.worker_id,
+                         jobs=args.jobs, cache_dir=args.cache_dir,
+                         connect_retry_for=args.retry_for).run()
+    return (f"worker {stats.worker_id}: "
+            f"{stats.points_completed} points completed "
+            f"({stats.points_duplicate} duplicates, "
+            f"{stats.tables_fetched} tables fetched, "
+            f"{stats.shard_bytes_sent} shard bytes sent)")
+
+
 def _cmd_cancel(args) -> str:
     from .service.journal import JournalError
 
@@ -616,6 +769,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "submit": _cmd_submit,
         "status": _cmd_status,
         "cancel": _cmd_cancel,
+        "coordinator": _cmd_coordinator,
+        "worker": _cmd_worker,
     }
     result = handlers[args.command](args)
     if isinstance(result, str):  # pre-rendered output (markdown reports)

@@ -1,0 +1,31 @@
+"""Distributed work-stealing sweep executor (ROADMAP item 1).
+
+A coordinator owns a run directory and leases pending point indices to
+workers over a length-prefixed JSON/TCP protocol; workers compute
+points through the exact same ``expand_payload_at`` /
+``evaluate_payload`` machinery as a local run and stream deterministic
+shard bytes back, sha256-verified.  A content-addressed table service
+solves each DP ``(L, c, p, method)`` table once per *cluster* and ships
+the bytes to whichever machines need them.
+
+See ``docs/distributed.md`` for the protocol frames, the lease
+lifecycle, and the failure matrix.
+"""
+
+from .coordinator import Coordinator, DistributedError, Lease, PointLedger
+from .executor import run_spec_distributed
+from .protocol import PROTOCOL_VERSION, Connection, ProtocolError
+from .worker import WorkerClient, WorkerStats
+
+__all__ = [
+    "Coordinator",
+    "DistributedError",
+    "Lease",
+    "PointLedger",
+    "run_spec_distributed",
+    "PROTOCOL_VERSION",
+    "Connection",
+    "ProtocolError",
+    "WorkerClient",
+    "WorkerStats",
+]

@@ -1,0 +1,110 @@
+"""Loopback cluster executor: coordinator + N worker processes, one call.
+
+:func:`run_spec_distributed` is the cluster-shaped sibling of
+:func:`repro.runstore.run_spec`: same spec in, same :class:`Run` out,
+byte-identical run directory — the points just happen to be computed by
+worker *processes* talking the wire protocol over loopback TCP instead
+of a process pool sharing memory.  It is what ``repro run --executor
+cluster`` and the run-service's cluster executor call; multi-machine
+deployments run ``repro coordinator`` / ``repro worker`` directly and
+never go through this module.
+
+Workers are spawned with the multiprocessing ``spawn`` start method so
+each one exercises the real cold-start path (fresh interpreter, spec
+adopted over the wire or re-parsed from a dict) — the same thing a
+worker on another machine would do.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from typing import Any, Dict, List, Optional, Union
+
+from ..runstore import DEFAULT_RUNS_DIR, Run
+from ..specs import ExperimentSpec, parse_spec, spec_to_dict
+from .coordinator import Coordinator, DistributedError
+from .worker import WorkerClient
+
+__all__ = ["run_spec_distributed", "DistributedError"]
+
+
+def _worker_entry(host: str, port: int, spec_data: Optional[Dict[str, Any]],
+                  worker_id: str, jobs: int,
+                  cache_dir: Optional[str]) -> None:
+    """Module-level so it pickles into a ``spawn`` child."""
+    spec = None if spec_data is None else parse_spec(spec_data,
+                                                     source="cluster-worker")
+    WorkerClient(host, port, spec=spec, worker_id=worker_id, jobs=jobs,
+                 cache_dir=cache_dir).run()
+
+
+def run_spec_distributed(spec: ExperimentSpec, *,
+                         runs_dir: Union[str, os.PathLike] = DEFAULT_RUNS_DIR,
+                         run_id: Optional[str] = None,
+                         workers: int = 2,
+                         worker_jobs: int = 1,
+                         cache_dir: Optional[str] = None,
+                         lease_ttl: float = 60.0,
+                         resume: bool = False,
+                         timeout: Optional[float] = None,
+                         metrics_out: Optional[Dict[str, Any]] = None) -> Run:
+    """Execute a spec through a coordinator + ``workers`` local processes.
+
+    Parameters mirror :func:`repro.runstore.run_spec` where they overlap;
+    ``workers`` replaces ``jobs`` as the parallelism knob (each worker
+    additionally runs ``worker_jobs`` local evaluation processes).
+    ``metrics_out``, when given, receives the coordinator's final
+    metrics snapshot — the benchmark reads DP-solve and lease counters
+    from it.
+
+    Worker death is survivable as long as at least one worker remains:
+    dead workers' leases return to the pending set and the survivors
+    steal them.  Only when *every* worker has exited with points still
+    pending does this raise :class:`DistributedError`.
+    """
+    workers = max(1, int(workers))
+    coordinator = Coordinator(spec, runs_dir=runs_dir, run_id=run_id,
+                              host="127.0.0.1", port=0, lease_ttl=lease_ttl,
+                              resume=resume, cache_dir=cache_dir)
+    context = multiprocessing.get_context("spawn")
+    processes: List[multiprocessing.Process] = []
+    deadline = None if timeout is None else time.monotonic() + timeout
+    try:
+        coordinator.start()
+        host, port = coordinator.address
+        spec_data = spec_to_dict(spec)
+        for rank in range(workers):
+            process = context.Process(
+                target=_worker_entry,
+                args=(host, port, spec_data, f"loopback-{rank}",
+                      worker_jobs, cache_dir),
+                name=f"repro-cluster-worker-{rank}", daemon=True)
+            process.start()
+            processes.append(process)
+        while not coordinator.wait(timeout=0.05):
+            if deadline is not None and time.monotonic() > deadline:
+                raise DistributedError(
+                    f"cluster run {coordinator.run.run_id!r} timed out "
+                    f"after {timeout}s")
+            if all(not process.is_alive() for process in processes):
+                # One last check: the final worker may have completed the
+                # run and exited between our wait() and is_alive() polls.
+                if coordinator.wait(timeout=0.5):
+                    break
+                raise DistributedError(
+                    f"all {workers} workers exited with points still "
+                    f"pending in run {coordinator.run.run_id!r} "
+                    f"(ledger: {coordinator.ledger.counts()})")
+        for process in processes:
+            process.join(timeout=30.0)
+    finally:
+        coordinator.stop()
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+    if metrics_out is not None:
+        metrics_out.update(coordinator.metrics_snapshot())
+    return coordinator.run

@@ -54,7 +54,8 @@ from ..dp.value import ValueTable
 
 __all__ = ["CacheStats", "DPTableCache", "cached_solve", "shared_cache",
            "configure_shared_cache", "SharedTableHandle", "PublisherStats",
-           "SharedTablePublisher", "attach_shared_table"]
+           "SharedTablePublisher", "attach_shared_table",
+           "serialize_table", "deserialize_table"]
 
 #: Cache key: ``(max_lifespan, setup_cost, max_interrupts, method)``.
 CacheKey = Tuple[int, int, int, str]
@@ -459,3 +460,48 @@ def attach_shared_table(handle: SharedTableHandle) -> ValueTable:
     _attached_blocks[handle.block_name] = block
     _attached_tables[handle.block_name] = table
     return table
+
+
+# ----------------------------------------------------------------------
+# Wire format: content-addressed table shipping (cluster table service)
+# ----------------------------------------------------------------------
+def serialize_table(table: ValueTable) -> bytes:
+    """Flatten a solved table to wire bytes (stacked little-endian int64).
+
+    The cluster table service ships these from the coordinator to workers
+    alongside the cache key and a sha256 of the bytes: ``values`` and
+    ``first_periods`` stacked as a ``(2, p + 1, L + 1)`` array in a fixed
+    ``<i8`` byte order, so the digest is machine-independent and
+    :func:`deserialize_table` needs only the key to rebuild the table.
+    """
+    values = np.ascontiguousarray(table.values, dtype="<i8")
+    first = np.ascontiguousarray(table.first_periods, dtype="<i8")
+    if values.shape != first.shape:  # pragma: no cover - ValueTable invariant
+        raise InvalidParameterError(
+            f"table arrays disagree on shape: {values.shape} vs {first.shape}")
+    return values.tobytes() + first.tobytes()
+
+
+def deserialize_table(data: bytes, *, key: CacheKey) -> ValueTable:
+    """Rebuild a :class:`ValueTable` from :func:`serialize_table` bytes.
+
+    Validates the byte count against the shape the key implies — a
+    truncated or padded blob (a torn stream the sha256 check somehow
+    missed, or a coordinator/worker version skew) raises rather than
+    yielding a silently wrong table.
+    """
+    max_lifespan, setup_cost, max_interrupts, _method = key
+    rows, cols = max_interrupts + 1, max_lifespan + 1
+    expected = 2 * rows * cols * 8
+    if len(data) != expected:
+        raise InvalidParameterError(
+            f"table blob for key {key!r} holds {len(data)} bytes, "
+            f"expected {expected}")
+    stacked = np.frombuffer(data, dtype="<i8").astype(np.int64)
+    stacked = stacked.reshape(2, rows, cols)
+    values = np.ascontiguousarray(stacked[0])
+    first = np.ascontiguousarray(stacked[1])
+    values.setflags(write=False)
+    first.setflags(write=False)
+    return ValueTable(setup_cost=setup_cost, values=values,
+                      first_periods=first)

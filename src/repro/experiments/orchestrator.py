@@ -47,7 +47,7 @@ from .montecarlo import replicate_point
 from .profiling import aggregate_profiles, pop_profile, render_profile, stage_column
 
 __all__ = ["ExperimentConfig", "run_sweep", "parallel_map",
-           "publish_shared_tables"]
+           "publish_shared_tables", "shared_table_keys"]
 
 
 @dataclass(frozen=True)
@@ -179,9 +179,15 @@ def _resolve_jobs(jobs: Optional[int]) -> int:
     return int(jobs)
 
 
-def _shared_table_keys(points: Sequence[SweepPoint],
-                       config: ExperimentConfig) -> List[Tuple[int, int, int]]:
-    """Distinct integer DP keys the worker fleet will need, sorted."""
+def shared_table_keys(points: Sequence[SweepPoint],
+                      config: ExperimentConfig) -> List[Tuple[int, int, int]]:
+    """Distinct integer DP ``(L, c, p)`` keys the worker fleet will need.
+
+    Public because the distributed executor asks the same question per
+    leased point: which tables must be fetched from the coordinator's
+    table service before this point can be evaluated locally.  Sorted for
+    deterministic publish order.
+    """
     keys: Set[Tuple[int, int, int]] = set()
     for point in points:
         if not (config.include_optimal or point.scheduler == "dp-optimal"):
@@ -190,6 +196,10 @@ def _shared_table_keys(points: Sequence[SweepPoint],
         if L.is_integer() and c.is_integer():
             keys.add((int(L), int(c), int(point.max_interrupts)))
     return sorted(keys)
+
+
+#: Backwards-compatible alias (pre-distributed name).
+_shared_table_keys = shared_table_keys
 
 
 def publish_shared_tables(points: Sequence[SweepPoint],

@@ -85,6 +85,9 @@ __all__ = [
     "resume_run",
     "write_row_shard",
     "read_row_shard",
+    "row_to_shard_bytes",
+    "row_from_shard_bytes",
+    "write_shard_bytes",
     "DEFAULT_RUNS_DIR",
 ]
 
@@ -122,16 +125,8 @@ class RunStoreError(CycleStealingError, RuntimeError):
 # ----------------------------------------------------------------------
 # Row <-> .npz shard round-trip
 # ----------------------------------------------------------------------
-def write_row_shard(path: Union[str, os.PathLike], row: Dict[str, Any]) -> None:
-    """Atomically write one result row as a compressed ``.npz`` shard.
-
-    Scalars (floats, ints, bools, strings) are stored as 0-d arrays.  The
-    write is temp-file + ``os.replace``, so concurrent readers (and any
-    process inspecting a killed run) only ever observe whole shards.
-    """
-    path = os.fspath(path)
-    directory = os.path.dirname(path) or "."
-    os.makedirs(directory, exist_ok=True)
+def _row_arrays(row: Dict[str, Any]) -> Dict[str, np.ndarray]:
+    """Validate a result row into the arrays its shard will store."""
     arrays = {}
     for key, value in row.items():
         arr = np.asarray(value)
@@ -145,10 +140,53 @@ def write_row_shard(path: Union[str, os.PathLike], row: Dict[str, Any]) -> None:
                 "shard; rows must hold scalars (numbers, strings, booleans) "
                 "or numeric/string arrays")
         arrays[key] = arr
+    return arrays
+
+
+def row_to_shard_bytes(row: Dict[str, Any]) -> bytes:
+    """Serialize one result row to the exact bytes its ``.npz`` shard holds.
+
+    Shards are written through the same deterministic zip writer as the
+    columnar sidecar (members stamped with the zip epoch), so the bytes
+    are a pure function of the row: the same row produces the same shard
+    on any machine at any time.  That is what lets a distributed worker
+    stream shard bytes to the coordinator with a sha256 alongside, lets a
+    duplicate completion of a point be verified *identical* instead of
+    merely plausible, and makes a multi-worker cluster run byte-identical
+    to a single-machine ``--jobs`` run of the same spec.
+    """
+    buffer = io.BytesIO()
+    _write_npz_deterministic(buffer, _row_arrays(row))
+    return buffer.getvalue()
+
+
+def write_row_shard(path: Union[str, os.PathLike], row: Dict[str, Any]) -> None:
+    """Atomically write one result row as a compressed ``.npz`` shard.
+
+    Scalars (floats, ints, bools, strings) are stored as 0-d arrays.  The
+    write is temp-file + ``os.replace``, so concurrent readers (and any
+    process inspecting a killed run) only ever observe whole shards; the
+    bytes themselves are deterministic (see :func:`row_to_shard_bytes`).
+    """
+    write_shard_bytes(path, row_to_shard_bytes(row))
+
+
+def write_shard_bytes(path: Union[str, os.PathLike], data: bytes) -> None:
+    """Atomically publish already-serialized shard bytes (temp + replace).
+
+    The write path the distributed coordinator uses for remotely computed
+    points: the worker serialized the row with :func:`row_to_shard_bytes`
+    and the coordinator verified its sha256, so the bytes land unmodified
+    through the exact same temp-file + ``os.replace`` discipline as a
+    locally computed shard.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
     fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".npz.tmp")
     try:
         with os.fdopen(fd, "wb") as handle:
-            np.savez_compressed(handle, **arrays)
+            handle.write(data)
         os.replace(tmp_path, path)
     except BaseException:
         try:
@@ -156,6 +194,20 @@ def write_row_shard(path: Union[str, os.PathLike], row: Dict[str, Any]) -> None:
         except OSError:
             pass
         raise
+
+
+def _archive_to_row(archive) -> Dict[str, Any]:
+    row: Dict[str, Any] = {}
+    for key in archive.files:
+        value = archive[key]
+        if value.ndim == 0:
+            item = value.item()
+            if isinstance(item, (np.generic,)):  # pragma: no cover
+                item = item.item()
+            row[key] = item
+        else:
+            row[key] = value
+    return row
 
 
 def read_row_shard(path: Union[str, os.PathLike]) -> Dict[str, Any]:
@@ -166,19 +218,24 @@ def read_row_shard(path: Union[str, os.PathLike]) -> Dict[str, Any]:
     """
     try:
         with np.load(os.fspath(path), allow_pickle=False) as archive:
-            row: Dict[str, Any] = {}
-            for key in archive.files:
-                value = archive[key]
-                if value.ndim == 0:
-                    item = value.item()
-                    if isinstance(item, (np.generic,)):  # pragma: no cover
-                        item = item.item()
-                    row[key] = item
-                else:
-                    row[key] = value
-            return row
+            return _archive_to_row(archive)
     except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile) as exc:
         raise RunStoreError(f"corrupt or unreadable shard {path!r}: {exc}") from exc
+
+
+def row_from_shard_bytes(data: bytes) -> Dict[str, Any]:
+    """Parse in-memory shard bytes back into the row they encode.
+
+    The coordinator runs every remotely streamed shard through this
+    before publishing it — a worker that shipped bytes whose sha256
+    matches but whose content is not a readable shard must be rejected,
+    not written into the store where it would poison every future resume.
+    """
+    try:
+        with np.load(io.BytesIO(data), allow_pickle=False) as archive:
+            return _archive_to_row(archive)
+    except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile) as exc:
+        raise RunStoreError(f"corrupt shard bytes: {exc}") from exc
 
 
 # ----------------------------------------------------------------------
@@ -400,16 +457,25 @@ class Run:
         On a consolidated run a resume therefore scans the directory
         once and opens zero shards; any in-place edit or corruption
         changes the stat and sends that shard back through the full read.
+
+        Shards this scan *did* have to open and read whole are folded
+        back into the vouch (best-effort, signature captured before the
+        read and confirmed unchanged after) — so a run receiving a steady
+        stream of remotely computed shards (a live distributed sweep) pays
+        the full open once per new shard across repeated ``repro status``
+        scans, not once per scan, and the reported counts are never stale.
         """
         completed: Set[int] = set()
         vouched = self._read_vouch()
+        fresh: Dict[int, Tuple[int, int]] = {}
         for index, name in self._shard_names_on_disk():
             path = os.path.join(self.points_dir, name)
             try:
                 stat = os.stat(path)
             except OSError:
                 continue
-            if vouched.get(index) == (stat.st_size, stat.st_mtime_ns):
+            signature = (stat.st_size, stat.st_mtime_ns)
+            if vouched.get(index) == signature:
                 completed.add(index)
                 continue
             try:
@@ -417,6 +483,19 @@ class Run:
             except RunStoreError:
                 continue
             completed.add(index)
+            fresh[index] = signature
+        if fresh:
+            # Re-stat: a shard overwritten while we were reading it must
+            # not be vouched under the pre-overwrite signature.
+            after = self._shard_stat_snapshot()
+            stable = {index: signature for index, signature in fresh.items()
+                      if after.get(index) == signature}
+            if stable:
+                merged = {index: signature
+                          for index, signature in vouched.items()
+                          if after.get(index) == signature}
+                merged.update(stable)
+                self._write_vouch(merged)
         return completed
 
     def write_point(self, index: int, row: Dict[str, Any]) -> None:
@@ -429,6 +508,23 @@ class Run:
         read or consolidation rebuilds it.
         """
         write_row_shard(self.shard_path(index), row)
+        try:
+            os.remove(self.columns_path)
+        except OSError:
+            pass
+
+    def write_point_bytes(self, index: int, data: bytes) -> None:
+        """Persist pre-serialized shard bytes for one point (atomic).
+
+        The distributed coordinator's landing strip for remotely computed
+        shards: the bytes were produced by :func:`row_to_shard_bytes` on
+        the worker and sha256-verified on receipt, and they go through the
+        same temp + ``os.replace`` path and sidecar drop as a local
+        :meth:`write_point` — resume, vouch, and consolidation see no
+        difference between a local and a remote shard.
+        """
+        row_from_shard_bytes(data)  # reject unparseable bytes up front
+        write_shard_bytes(self.shard_path(index), data)
         try:
             os.remove(self.columns_path)
         except OSError:

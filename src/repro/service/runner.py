@@ -96,6 +96,16 @@ class RunService:
     http_port:
         When not ``None``, serve the JSON status endpoint on this
         localhost port (``0`` = ephemeral; read ``service.http.port``).
+    executor:
+        ``"local"`` (default) executes submissions through
+        :func:`~repro.runstore.run_spec` in-process; ``"cluster"``
+        routes each one through
+        :func:`repro.distributed.run_spec_distributed` — a loopback
+        coordinator plus ``cluster_workers`` worker processes per
+        submission, with the distributed metrics surfaced at
+        ``/metrics``.
+    cluster_workers:
+        Worker processes per submission when ``executor="cluster"``.
     """
 
     def __init__(self, runs_dir: str = DEFAULT_RUNS_DIR, *,
@@ -103,9 +113,14 @@ class RunService:
                  max_retries: int = 3, backoff_base: float = 0.5,
                  backoff_cap: float = 30.0, poll_interval: float = 0.1,
                  cache_dir: Optional[str] = None,
-                 http_port: Optional[int] = None) -> None:
+                 http_port: Optional[int] = None,
+                 executor: str = "local",
+                 cluster_workers: int = 2) -> None:
         if workers < 1:
             raise JournalError(f"workers must be >= 1, got {workers!r}")
+        if executor not in ("local", "cluster"):
+            raise JournalError(
+                f"executor must be 'local' or 'cluster', got {executor!r}")
         self.runs_dir = os.fspath(runs_dir)
         self.journal = Journal(os.path.join(self.runs_dir, QUEUE_DIRNAME))
         self.workers = int(workers)
@@ -117,6 +132,16 @@ class RunService:
         self.cache_dir = cache_dir
         self.http_port = http_port
         self.http = None
+        self.executor = executor
+        self.cluster_workers = int(cluster_workers)
+        #: Cumulative distributed-executor counters across finished
+        #: submissions, plus live coordinator snapshots while they run.
+        self._distributed_totals: Dict[str, int] = {
+            "runs": 0, "points_done": 0, "shards_streamed": 0,
+            "shard_bytes_streamed": 0, "table_requests": 0,
+            "dp_solves": 0, "table_bytes_streamed": 0,
+            "leases_granted": 0, "leases_expired": 0}
+        self._metrics_lock = threading.Lock()
         #: Service-lifetime DP cache + publisher: one solve and one
         #: shared-memory copy per (L, c, p, method) key per service.
         self.table_cache = DPTableCache(cache_dir=cache_dir)
@@ -139,6 +164,48 @@ class RunService:
         """Entry ids currently executing (sorted; for status displays)."""
         return sorted(self._inflight)
 
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """Executor gauges for ``/metrics`` (merged with queue counts).
+
+        Always reports the executor mode and the service-lifetime
+        DP-cache counters; with ``executor="cluster"`` adds the
+        cumulative distributed totals across finished submissions.
+        """
+        stats = self.table_cache.stats
+        payload: Dict[str, object] = {
+            "executor": self.executor,
+            "inflight": len(self._inflight),
+            "table_cache": {"memory_hits": stats.memory_hits,
+                            "disk_hits": stats.disk_hits,
+                            "misses": stats.misses},
+            "shared_tables": {"created": self.publisher.stats.created,
+                              "reused": self.publisher.stats.reused},
+        }
+        if self.executor == "cluster":
+            with self._metrics_lock:
+                payload["distributed"] = dict(self._distributed_totals)
+        return payload
+
+    def _absorb_cluster_metrics(self, metrics: Dict[str, object]) -> None:
+        """Fold one finished submission's coordinator snapshot into totals."""
+        points = metrics.get("points", {})
+        tables = metrics.get("table_service", {})
+        shards = metrics.get("shards", {})
+        leases = metrics.get("leases", {})
+        with self._metrics_lock:
+            totals = self._distributed_totals
+            totals["runs"] += 1
+            totals["points_done"] += int(points.get("done", 0))
+            totals["shards_streamed"] += int(shards.get("streamed", 0))
+            totals["shard_bytes_streamed"] += \
+                int(shards.get("bytes_streamed", 0))
+            totals["table_requests"] += int(tables.get("requests", 0))
+            totals["dp_solves"] += int(tables.get("dp_solves", 0))
+            totals["table_bytes_streamed"] += \
+                int(tables.get("bytes_streamed", 0))
+            totals["leases_granted"] += int(leases.get("granted", 0))
+            totals["leases_expired"] += int(leases.get("expired", 0))
+
     # -- the serve loop ------------------------------------------------
     def serve(self, *, drain: bool = False,
               max_runtime: Optional[float] = None) -> Dict[str, int]:
@@ -156,7 +223,8 @@ class RunService:
 
             self.http = StatusHTTPServer(
                 self.journal, port=self.http_port,
-                inflight=self.inflight_ids)
+                inflight=self.inflight_ids,
+                metrics=self.metrics_snapshot)
             self.http.start()
         pool = ThreadPoolExecutor(max_workers=self.workers,
                                   thread_name_prefix="repro-service")
@@ -252,10 +320,23 @@ class RunService:
             spec = parse_spec(entry.spec_data,
                               source=f"submission {entry.entry_id}")
             run_id = entry.run_id or default_run_id(spec)
-            run_spec(spec, runs_dir=self.tenant_runs_dir(entry.tenant),
-                     run_id=run_id, jobs=self.jobs_per_run,
-                     cache_dir=self.cache_dir, resume=True,
-                     publisher=self.publisher, table_cache=self.table_cache)
+            if self.executor == "cluster":
+                from ..distributed import run_spec_distributed
+
+                metrics: Dict[str, object] = {}
+                run_spec_distributed(
+                    spec, runs_dir=self.tenant_runs_dir(entry.tenant),
+                    run_id=run_id, workers=self.cluster_workers,
+                    worker_jobs=self.jobs_per_run,
+                    cache_dir=self.cache_dir, resume=True,
+                    metrics_out=metrics)
+                self._absorb_cluster_metrics(metrics)
+            else:
+                run_spec(spec, runs_dir=self.tenant_runs_dir(entry.tenant),
+                         run_id=run_id, jobs=self.jobs_per_run,
+                         cache_dir=self.cache_dir, resume=True,
+                         publisher=self.publisher,
+                         table_cache=self.table_cache)
         except BaseException:
             self._record_failure(entry)
             return

@@ -83,6 +83,7 @@ __all__ = [
     "parse_submission",
     "spec_to_dict",
     "canonical_spec_json",
+    "spec_digest",
     "default_run_id",
     "expand_payloads",
     "count_payloads",
@@ -537,6 +538,16 @@ def canonical_spec_json(spec: ExperimentSpec) -> str:
                       separators=(",", ":"))
 
 
+def spec_digest(spec: ExperimentSpec) -> str:
+    """Full sha256 hex digest of a spec's canonical JSON.
+
+    The handshake token of the distributed executor: a worker offering a
+    digest that differs from the coordinator's spec is computing a
+    *different experiment* and must be refused before it leases anything.
+    """
+    return hashlib.sha256(canonical_spec_json(spec).encode()).hexdigest()
+
+
 def default_run_id(spec: ExperimentSpec) -> str:
     """Deterministic run id: spec name plus a digest of its contents.
 
@@ -544,8 +555,7 @@ def default_run_id(spec: ExperimentSpec) -> str:
     finished run is recognised and an interrupted one resumed), while any
     change to the spec yields a fresh id.
     """
-    digest = hashlib.sha256(canonical_spec_json(spec).encode()).hexdigest()
-    return f"{spec.name}-{digest[:10]}"
+    return f"{spec.name}-{spec_digest(spec)[:10]}"
 
 
 # ----------------------------------------------------------------------
@@ -888,8 +898,21 @@ def payload_digests(spec: ExperimentSpec) -> List[str]:
     return [payload_digest(payload) for payload in expand_payloads(spec)]
 
 
+#: Test hook: a float number of seconds to sleep before evaluating each
+#: point.  Lets scheduling-layer tests and the distributed-executor
+#: benchmark give every point a known fixed cost that overlaps across
+#: worker *processes* regardless of core count — the same idiom as
+#: ``REPRO_TEST_CONSOLIDATE_DELAY`` and ``REPRO_TEST_JOURNAL_DELAY``.
+_POINT_DELAY_ENV = "REPRO_TEST_POINT_DELAY"
+
+
 def evaluate_payload(payload) -> Dict[str, Any]:
     """Compute one result row from a point payload (runs inside workers)."""
+    delay = os.environ.get(_POINT_DELAY_ENV)
+    if delay:
+        import time
+
+        time.sleep(float(delay))
     if isinstance(payload, ScenarioPoint):
         return _evaluate_scenario_point(payload)
     from .experiments.orchestrator import _evaluate_point

@@ -707,6 +707,50 @@ class TestCompletedPointsVouch:
         assert reopened.completed_points() == set(range(6))
         assert sorted(reads) == [run.shard_path(0), run.shard_path(3)]
 
+    def test_full_scan_refreshes_vouch_for_the_next_scan(self, tmp_path,
+                                                         monkeypatch):
+        # Shards a scan had to open whole are folded back into the vouch,
+        # so the *second* status scan is free again.
+        run = run_spec(parse_spec(SWEEP_SPEC), runs_dir=tmp_path)
+        os.remove(run.vouch_path)
+        first = self._count_reads(monkeypatch)
+        assert RunStore(tmp_path).open(run.run_id).completed_points() \
+            == set(range(6))
+        assert len(first) == 6
+        second = self._count_reads(monkeypatch)
+        assert RunStore(tmp_path).open(run.run_id).completed_points() \
+            == set(range(6))
+        assert second == []
+
+    def test_streamed_shards_verified_once_not_once_per_scan(self, tmp_path,
+                                                             monkeypatch):
+        # A run receiving remotely computed shards (a live distributed
+        # sweep): each new shard pays one full open across repeated status
+        # scans, not one per scan — so live counts are cheap *and* fresh.
+        run = RunStore(tmp_path).create(parse_spec(SWEEP_SPEC),
+                                        run_id="streamed")
+        for index in range(4):
+            run.write_point(index, {"x": float(index)})
+        first = self._count_reads(monkeypatch)
+        scan = RunStore(tmp_path).open("streamed")
+        assert scan.completed_points() == set(range(4))
+        assert len(first) == 4  # each streamed shard verified whole once
+        run.write_point(4, {"x": 4.0})  # one more shard lands mid-run
+        second = self._count_reads(monkeypatch)
+        scan = RunStore(tmp_path).open("streamed")
+        assert scan.completed_points() == set(range(5))
+        assert second == [run.shard_path(4)]  # only the newcomer
+
+    def test_unreadable_shard_is_never_vouched(self, tmp_path, monkeypatch):
+        run = run_spec(parse_spec(SWEEP_SPEC), runs_dir=tmp_path)
+        with open(run.shard_path(2), "wb") as handle:
+            handle.write(b"disk corruption")
+        for _ in range(2):  # suspect on every scan, not just the first
+            reads = self._count_reads(monkeypatch)
+            scan = RunStore(tmp_path).open(run.run_id)
+            assert scan.completed_points() == set(range(6)) - {2}
+            assert reads == [run.shard_path(2)]
+
     def test_vouch_file_never_changes_published_bytes(self, tmp_path):
         # The vouch is a cache hint, not data: the sidecar, the report and
         # the content digest are identical with and without it.
