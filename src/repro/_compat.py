@@ -1,0 +1,58 @@
+"""Deprecation shims for the consolidated public API.
+
+The blessed entry points (:func:`repro.runstore.run_spec`,
+:func:`repro.runstore.resume_run`,
+:func:`repro.experiments.montecarlo.replicate_point`, …) take their
+config-bearing parameters — backend, aggregation, variance, jobs, seeds —
+**keyword-only**, so call sites stay readable and the spec/CLI/API triples
+cannot silently drift when a parameter is inserted.  Legacy positional
+callers are not broken cold, though: :func:`keyword_only` maps the extra
+positional arguments onto the declared keyword names in order and emits a
+:class:`DeprecationWarning` naming the exact replacement spelling.
+"""
+
+from __future__ import annotations
+
+import functools
+import warnings
+
+__all__ = ["keyword_only"]
+
+
+def keyword_only(*names: str, lead: int):
+    """Tolerate legacy positional use of now-keyword-only parameters.
+
+    ``lead`` is how many genuinely positional parameters the function
+    keeps; any further positional arguments are mapped onto ``names`` in
+    declaration order, each with a :class:`DeprecationWarning` that spells
+    out the keyword form to migrate to.  Passing a parameter both
+    positionally and by keyword stays a :class:`TypeError`, exactly as the
+    plain signature would raise.
+    """
+
+    def decorate(func):
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            if len(args) > lead:
+                extra, args = args[lead:], args[:lead]
+                if len(extra) > len(names):
+                    raise TypeError(
+                        f"{func.__name__}() takes {lead} positional "
+                        f"argument(s) (plus, deprecated, {list(names)}) but "
+                        f"{lead + len(extra)} were given")
+                for name, value in zip(names, extra):
+                    if name in kwargs:
+                        raise TypeError(
+                            f"{func.__name__}() got multiple values for "
+                            f"argument {name!r}")
+                    warnings.warn(
+                        f"passing {name!r} to {func.__name__}() positionally "
+                        f"is deprecated and will become an error; pass "
+                        f"{name}=... instead (the parameter is keyword-only)",
+                        DeprecationWarning, stacklevel=2)
+                    kwargs[name] = value
+            return func(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

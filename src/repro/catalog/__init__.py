@@ -1,0 +1,32 @@
+"""Cross-run analytics: a persistent run index with a query API.
+
+See :doc:`docs/catalog` for the index layout and a query cookbook.
+"""
+
+from .export import EXPORT_FORMATS, export_frame, frame_to_arrow_table
+from .index import (
+    INDEX_DIRNAME,
+    INDEX_FILENAME,
+    INDEX_VERSION,
+    PROVENANCE_COLUMNS,
+    Catalog,
+    CatalogError,
+    RunHandle,
+    RunRecord,
+    discover_runs,
+)
+
+__all__ = [
+    "Catalog",
+    "CatalogError",
+    "RunHandle",
+    "RunRecord",
+    "discover_runs",
+    "export_frame",
+    "frame_to_arrow_table",
+    "EXPORT_FORMATS",
+    "INDEX_DIRNAME",
+    "INDEX_FILENAME",
+    "INDEX_VERSION",
+    "PROVENANCE_COLUMNS",
+]

@@ -1,0 +1,98 @@
+"""Export a cross-run frame to CSV, Apache Parquet, or Arrow IPC.
+
+CSV needs only the standard library and reuses the reporting layer's
+serialiser, so it always works.  Parquet and Arrow go through ``pyarrow``,
+which this project deliberately does not depend on — the builders below
+*gate* on it at call time with an actionable error instead of failing at
+import, so ``import repro.catalog`` stays dependency-free.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from ..reporting.table import rows_to_csv
+from ..runstore import RunColumns
+from .index import CatalogError
+
+__all__ = ["export_frame", "frame_to_arrow_table", "EXPORT_FORMATS"]
+
+#: Formats ``export_frame`` accepts, and the extensions ``"auto"`` maps.
+EXPORT_FORMATS = ("csv", "parquet", "arrow")
+
+_EXTENSIONS = {
+    ".csv": "csv",
+    ".parquet": "parquet", ".pq": "parquet",
+    ".arrow": "arrow", ".feather": "arrow", ".ipc": "arrow",
+}
+
+
+def _require_pyarrow(what: str):
+    try:
+        import pyarrow  # noqa: F401 - availability probe
+    except ImportError as exc:
+        raise CatalogError(
+            f"{what} export needs the optional dependency pyarrow "
+            "(`pip install pyarrow`); CSV export works without it: "
+            "pass format='csv' or an .csv path") from exc
+    return pyarrow
+
+
+def frame_to_arrow_table(frame: RunColumns):
+    """The frame as a ``pyarrow.Table`` (requires pyarrow).
+
+    Columns keep the frame's order (result columns first, provenance
+    last), preceded by ``point_index``; masked-out slots become Arrow
+    nulls, matching how :meth:`RunColumns.to_rows` omits those keys.
+    """
+    pa = _require_pyarrow("Arrow")
+    arrays = {"point_index": pa.array(frame.point_index)}
+    for name, column in frame.data.items():
+        mask = frame.mask.get(name)
+        if mask is None:
+            arrays[name] = pa.array(column)
+        else:
+            values = column.tolist()
+            arrays[name] = pa.array(
+                [v if ok else None
+                 for v, ok in zip(values, mask.tolist())])
+    return pa.table(arrays)
+
+
+def export_frame(frame: RunColumns, path: str, *,
+                 format: str = "auto",
+                 columns: Optional[list] = None) -> str:
+    """Write ``frame`` to ``path``; returns the resolved format.
+
+    ``format="auto"`` resolves from the file extension (``.csv``,
+    ``.parquet``/``.pq``, ``.arrow``/``.feather``/``.ipc``).  ``columns``
+    restricts *and orders* the exported columns (CSV only passes it
+    through to the serialiser; Arrow formats select on the table).
+    """
+    if format == "auto":
+        ext = os.path.splitext(path)[1].lower()
+        format = _EXTENSIONS.get(ext, "")
+        if not format:
+            raise CatalogError(
+                f"cannot infer export format from {path!r}; pass "
+                f"format= one of {list(EXPORT_FORMATS)}")
+    if format not in EXPORT_FORMATS:
+        raise CatalogError(
+            f"unknown export format {format!r}; "
+            f"expected one of {list(EXPORT_FORMATS)}")
+    if format == "csv":
+        text = rows_to_csv(frame, columns)
+        with open(path, "w", newline="") as handle:
+            handle.write(text)
+        return format
+    table = frame_to_arrow_table(frame)
+    if columns is not None:
+        table = table.select(list(columns))
+    if format == "parquet":
+        import pyarrow.parquet as pq
+        pq.write_table(table, path)
+    else:
+        import pyarrow.feather as feather
+        feather.write_feather(table, path)
+    return format

@@ -1,0 +1,667 @@
+"""Persistent cross-run index with a first-class query API.
+
+A :class:`Catalog` watches one or more ``runs/`` roots — flat CLI layouts
+and the run-service's per-tenant namespaces alike — and maintains a single
+JSON index mapping every stored run to its manifest summary, flat spec
+metadata (:func:`repro.specs.spec_summary`), column schema, and content
+digest.  The index is the cheap half of every cross-run question: *which*
+runs swept ``p = 3`` under the bounded-risk adversary is answered from one
+file read, and only the survivors' columnar sidecars are then opened.
+
+Three properties carry the design:
+
+* **Incremental.**  ``refresh()`` re-extracts only runs whose
+  :meth:`repro.runstore.Run.content_digest` no longer matches the indexed
+  one; unchanged runs cost a manifest/sidecar hash, never a row read, and
+  deleted run directories drop out without a full rebuild.
+* **Atomic.**  The index file is rewritten via temp-file +
+  ``os.replace``, so a reader never observes a half-written index; the
+  run-service's publish hook (:meth:`Catalog.index_run`) serialises its
+  read-modify-write through a best-effort lock file.
+* **One pass per run.**  :meth:`Catalog.frame` concatenates the columnar
+  sidecars of matching runs — zero per-shard ``.npz`` opens on
+  vouched/consolidated runs — and tags every row with ``run_id`` /
+  ``tenant`` / ``spec_digest`` provenance columns, appended *after* the
+  result columns so stripping them leaves each run's rows byte-identical
+  to its own :meth:`repro.runstore.Run.rows`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.exceptions import CycleStealingError
+from ..runstore import Run, RunColumns, RunStoreError, _check_source
+from ..specs import ExperimentSpec, parse_spec, spec_digest, spec_summary
+
+__all__ = [
+    "Catalog",
+    "CatalogError",
+    "RunHandle",
+    "RunRecord",
+    "INDEX_DIRNAME",
+    "INDEX_FILENAME",
+    "INDEX_VERSION",
+    "PROVENANCE_COLUMNS",
+]
+
+#: Index schema version; bumping it invalidates (and silently rebuilds)
+#: indexes written by older code.
+INDEX_VERSION = 1
+
+#: The index lives inside the *first* root, in a ``_``-prefixed directory
+#: so run discovery (which skips such names) never mistakes it for a run.
+INDEX_DIRNAME = "_catalog"
+INDEX_FILENAME = "index.json"
+
+#: Provenance columns :meth:`Catalog.frame` appends after the result
+#: columns of every row.
+PROVENANCE_COLUMNS = ("run_id", "tenant", "spec_digest")
+
+#: Numpy dtype kinds that may be promoted against each other when runs
+#: disagree on a column's exact dtype (bool/int/uint/float).
+_NUMERIC_KINDS = frozenset("biuf")
+
+
+class CatalogError(CycleStealingError, RuntimeError):
+    """A catalog operation failed (bad filter, missing run, broken index)."""
+
+
+def _since_epoch(since: Union[str, float, int]) -> float:
+    """Normalise a ``since=`` filter value to a POSIX timestamp.
+
+    Accepts a numeric epoch or an ISO ``YYYY-MM-DD[THH:MM:SS]`` string
+    (interpreted in local time, like the filesystem mtimes it is compared
+    against).
+    """
+    if isinstance(since, (int, float)) and not isinstance(since, bool):
+        return float(since)
+    if isinstance(since, str):
+        for fmt in ("%Y-%m-%dT%H:%M:%S", "%Y-%m-%d %H:%M:%S", "%Y-%m-%d"):
+            try:
+                return time.mktime(time.strptime(since, fmt))
+            except ValueError:
+                continue
+    raise CatalogError(
+        f"bad since= filter {since!r}: expected a POSIX timestamp or an "
+        "ISO date like '2026-08-08' / '2026-08-08T12:00:00'")
+
+
+@dataclass
+class RunRecord:
+    """One indexed run: everything ``find()`` filters on, no row data."""
+
+    run_id: str
+    tenant: str          #: ``""`` for top-level runs, dirname otherwise.
+    root: str            #: The runs root this run was discovered under.
+    path: str            #: The run directory itself.
+    status: str
+    num_points: int
+    completed: int
+    spec: Dict[str, Any]          #: Flat :func:`spec_summary` projection.
+    spec_digest: str
+    column_schema: Dict[str, str]  #: ``{column: numpy dtype string}``.
+    content_digest: Optional[str]  #: ``None`` until a valid sidecar exists.
+    mtime: float                   #: Manifest mtime at index time.
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "run_id": self.run_id, "tenant": self.tenant,
+            "root": self.root, "path": self.path, "status": self.status,
+            "num_points": self.num_points, "completed": self.completed,
+            "spec": self.spec, "spec_digest": self.spec_digest,
+            "column_schema": self.column_schema,
+            "content_digest": self.content_digest, "mtime": self.mtime,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "RunRecord":
+        return cls(
+            run_id=str(data["run_id"]), tenant=str(data["tenant"]),
+            root=str(data["root"]), path=str(data["path"]),
+            status=str(data["status"]),
+            num_points=int(data["num_points"]),
+            completed=int(data["completed"]),
+            spec=dict(data["spec"]),
+            spec_digest=str(data["spec_digest"]),
+            column_schema=dict(data["column_schema"]),
+            content_digest=data.get("content_digest"),
+            mtime=float(data["mtime"]),
+        )
+
+
+class RunHandle:
+    """Lazy handle to an indexed run: metadata now, row data on demand.
+
+    ``find()`` returns these instead of :class:`repro.runstore.Run` so
+    listing a thousand runs opens zero run directories; :meth:`open`,
+    :meth:`rows` and :meth:`columns` touch disk only when called.
+    """
+
+    def __init__(self, record: RunRecord) -> None:
+        self.record = record
+        self._run: Optional[Run] = None
+
+    # -- metadata (index-only, no disk) --------------------------------
+    @property
+    def run_id(self) -> str:
+        return self.record.run_id
+
+    @property
+    def tenant(self) -> str:
+        return self.record.tenant
+
+    @property
+    def path(self) -> str:
+        return self.record.path
+
+    @property
+    def status(self) -> str:
+        return self.record.status
+
+    @property
+    def spec_digest(self) -> str:
+        return self.record.spec_digest
+
+    # -- data (opens the run directory) --------------------------------
+    def open(self) -> Run:
+        """The underlying :class:`repro.runstore.Run` (cached)."""
+        if self._run is None:
+            if not os.path.isfile(os.path.join(self.record.path,
+                                               "manifest.json")):
+                raise CatalogError(
+                    f"indexed run {self.run_id!r} has vanished from "
+                    f"{self.record.path!r}; re-run `repro catalog index`")
+            self._run = Run(self.record.path)
+        return self._run
+
+    def spec(self) -> ExperimentSpec:
+        return self.open().spec()
+
+    def rows(self, *, source: str = "auto") -> List[Dict[str, Any]]:
+        return self.open().rows(source=source)
+
+    def columns(self, *, source: str = "auto") -> RunColumns:
+        return self.open().columns(source=source)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"RunHandle({self.run_id!r}, tenant={self.tenant!r}, "
+                f"status={self.record.status!r})")
+
+
+# ----------------------------------------------------------------------
+# Discovery
+# ----------------------------------------------------------------------
+def _is_run_dir(path: str) -> bool:
+    return os.path.isfile(os.path.join(path, "manifest.json"))
+
+
+def discover_runs(roots: Sequence[str]) -> List[Tuple[str, str, str, str]]:
+    """``(root, tenant, run_id, path)`` for every run under ``roots``.
+
+    Two layouts coexist under one root: a directory holding a
+    ``manifest.json`` is a top-level run (``tenant=""``, the CLI layout),
+    and a directory *of* such directories is a tenant namespace (the
+    run-service layout, ``<root>/<tenant>/<run_id>``).  Names starting
+    with ``_`` or ``.`` are infrastructure (``_queue``, ``_catalog``,
+    ``.cache``) at both levels and are never descended into.
+    """
+    found: List[Tuple[str, str, str, str]] = []
+    for root in roots:
+        try:
+            names = sorted(os.listdir(root))
+        except OSError:
+            continue
+        for name in names:
+            if name.startswith(("_", ".")):
+                continue
+            path = os.path.join(root, name)
+            if not os.path.isdir(path):
+                continue
+            if _is_run_dir(path):
+                found.append((root, "", name, path))
+                continue
+            try:
+                subnames = sorted(os.listdir(path))
+            except OSError:
+                continue
+            for subname in subnames:
+                if subname.startswith(("_", ".")):
+                    continue
+                subpath = os.path.join(path, subname)
+                if os.path.isdir(subpath) and _is_run_dir(subpath):
+                    found.append((root, name, subname, subpath))
+    return found
+
+
+# ----------------------------------------------------------------------
+# Catalog
+# ----------------------------------------------------------------------
+class Catalog:
+    """A queryable, incrementally maintained index over runs roots.
+
+    >>> cat = Catalog(["runs"])
+    >>> cat.refresh()                          # doctest: +SKIP
+    >>> for handle in cat.find(kind="sweep", p=3):
+    ...     print(handle.run_id, handle.record.spec["schedulers"])
+    >>> frame = cat.frame(where={"scheduler": "geometric"})
+    """
+
+    def __init__(self, roots: Union[str, Sequence[str]] = "runs", *,
+                 index_path: Optional[str] = None) -> None:
+        if isinstance(roots, (str, os.PathLike)):
+            roots = [roots]
+        self.roots = [os.fspath(r) for r in roots]
+        if not self.roots:
+            raise CatalogError("Catalog needs at least one runs root")
+        self.index_path = index_path or os.path.join(
+            self.roots[0], INDEX_DIRNAME, INDEX_FILENAME)
+        self._records: Optional[Dict[str, RunRecord]] = None
+
+    # -- index persistence ---------------------------------------------
+    def _load_index(self) -> Dict[str, RunRecord]:
+        """The on-disk index as ``{path: record}`` (empty when absent)."""
+        try:
+            with open(self.index_path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return {}
+        if data.get("version") != INDEX_VERSION:
+            return {}
+        records: Dict[str, RunRecord] = {}
+        for key, raw in data.get("runs", {}).items():
+            try:
+                records[key] = RunRecord.from_json(raw)
+            except (KeyError, TypeError, ValueError):
+                continue  # one corrupt record must not poison the index
+        return records
+
+    def _write_index(self, records: Dict[str, RunRecord]) -> None:
+        """Atomically replace the index file (temp file + rename)."""
+        index_dir = os.path.dirname(self.index_path)
+        os.makedirs(index_dir, exist_ok=True)
+        payload = {
+            "version": INDEX_VERSION,
+            "roots": list(self.roots),
+            "runs": {key: record.to_json()
+                     for key, record in sorted(records.items())},
+        }
+        fd, tmp_path = tempfile.mkstemp(dir=index_dir, suffix=".json.tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            os.replace(tmp_path, self.index_path)
+        except BaseException:
+            try:
+                os.remove(tmp_path)
+            except OSError:
+                pass
+            raise
+        self._records = records
+
+    @property
+    def lock_path(self) -> str:
+        return self.index_path + ".lock"
+
+    def _with_lock(self, timeout: float = 5.0):
+        """Best-effort exclusive lock around index read-modify-write.
+
+        ``O_CREAT | O_EXCL`` on a sibling lock file; a stale lock (holder
+        crashed) is broken after ``timeout`` seconds.  This only guards
+        concurrent *writers* (service workers publishing simultaneously) —
+        readers are safe unlocked because the index write is atomic.
+        """
+        catalog = self
+
+        class _Lock:
+            def __enter__(self):
+                os.makedirs(os.path.dirname(catalog.lock_path), exist_ok=True)
+                deadline = time.monotonic() + timeout
+                while True:
+                    try:
+                        fd = os.open(catalog.lock_path,
+                                     os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                        os.close(fd)
+                        return self
+                    except FileExistsError:
+                        if time.monotonic() >= deadline:
+                            try:  # stale holder: break the lock
+                                os.remove(catalog.lock_path)
+                            except OSError:
+                                pass
+                        time.sleep(0.02)
+
+            def __exit__(self, *exc):
+                try:
+                    os.remove(catalog.lock_path)
+                except OSError:
+                    pass
+                return False
+
+        return _Lock()
+
+    # -- extraction ----------------------------------------------------
+    def _extract(self, root: str, tenant: str, run_id: str,
+                 path: str) -> RunRecord:
+        """Build the index record for one run directory (reads the run)."""
+        run = Run(path)
+        manifest = run.manifest  # raises RunStoreError when unreadable
+        spec = parse_spec(manifest["spec"],
+                          source=f"manifest of run {run_id!r}")
+        try:
+            schema = run.column_schema()
+        except RunStoreError:
+            schema = {}
+        try:
+            mtime = os.stat(run.manifest_path).st_mtime
+        except OSError:
+            mtime = 0.0
+        return RunRecord(
+            run_id=run_id, tenant=tenant, root=root, path=path,
+            status=run.status, num_points=run.num_points,
+            completed=len(run.completed_points()),
+            spec=spec_summary(spec), spec_digest=spec_digest(spec),
+            column_schema=schema, content_digest=run.content_digest(),
+            mtime=mtime,
+        )
+
+    # -- maintenance ---------------------------------------------------
+    def refresh(self, *, full: bool = False) -> Dict[str, int]:
+        """Bring the index in line with the runs roots; return what moved.
+
+        Incremental by default: a discovered run already in the index is
+        re-extracted only when its :meth:`~repro.runstore.Run.content_digest`
+        differs from the indexed one (or either digest is ``None`` — no
+        valid sidecar means no cheap staleness probe, so the run is
+        re-read).  Runs that vanished from disk are dropped.  ``full=True``
+        re-extracts everything.  The returned stats —
+        ``{"indexed", "unchanged", "removed", "failed", "total"}`` — are
+        what the staleness tests pin: an untouched run must land in
+        ``unchanged``, never ``indexed``.
+        """
+        old = self._load_index()
+        new: Dict[str, RunRecord] = {}
+        stats = {"indexed": 0, "unchanged": 0, "removed": 0, "failed": 0}
+        for root, tenant, run_id, path in discover_runs(self.roots):
+            record = old.get(path)
+            if record is not None and not full:
+                digest = Run(path).content_digest()
+                if digest is not None and digest == record.content_digest:
+                    new[path] = record
+                    stats["unchanged"] += 1
+                    continue
+            try:
+                new[path] = self._extract(root, tenant, run_id, path)
+            except (RunStoreError, CycleStealingError, OSError):
+                stats["failed"] += 1  # unreadable run: skip, don't crash
+                continue
+            stats["indexed"] += 1
+        stats["removed"] = len(set(old) - set(new))
+        stats["total"] = len(new)
+        self._write_index(new)
+        return stats
+
+    def index_run(self, path: str, *, tenant: str = "",
+                  root: Optional[str] = None) -> RunRecord:
+        """Upsert one run into the index (the service's publish hook).
+
+        A targeted read-modify-write under the catalog lock: only the
+        published run is extracted, every other record is carried over
+        verbatim, and the rewrite is atomic — so concurrent publishes from
+        several service workers serialise instead of clobbering.
+        """
+        path = os.fspath(path)
+        run_id = os.path.basename(os.path.normpath(path))
+        record = self._extract(root or self.roots[0], tenant, run_id, path)
+        with self._with_lock():
+            records = self._load_index()
+            records[path] = record
+            self._write_index(records)
+        return record
+
+    # -- queries -------------------------------------------------------
+    def records(self) -> List[RunRecord]:
+        """Every indexed record (loads the index file once, then cached)."""
+        if self._records is None:
+            self._records = self._load_index()
+        return sorted(self._records.values(),
+                      key=lambda r: (r.tenant, r.run_id, r.root))
+
+    def find(self, **filters: Any) -> List[RunHandle]:
+        """Lazy handles for every indexed run matching ``filters``.
+
+        Supported filters — all conjunctive, unknown names raise:
+
+        ``run_id``, ``tenant``, ``status``, ``name``, ``kind``,
+        ``family``, ``backend``  — exact match;
+        ``scheduler``, ``adversary`` — membership in the spec's list;
+        ``p``, ``c``, ``u`` — membership in the swept ``interrupts`` /
+        ``setup_costs`` / ``lifespans`` grids;
+        ``since`` — manifest mtime at/after a timestamp or ISO date.
+
+        Deterministic order: ``(tenant, run_id, root)`` — which is also
+        the concatenation order of :meth:`frame`.
+        """
+        known = {"run_id", "tenant", "status", "name", "kind", "family",
+                 "backend", "scheduler", "adversary", "p", "c", "u",
+                 "since"}
+        unknown = set(filters) - known
+        if unknown:
+            raise CatalogError(
+                f"unknown find() filter(s) {sorted(unknown)}; "
+                f"supported: {sorted(known)}")
+        since = filters.pop("since", None)
+        since_epoch = None if since is None else _since_epoch(since)
+
+        def matches(record: RunRecord) -> bool:
+            spec = record.spec
+            for key, want in filters.items():
+                if want is None:
+                    continue
+                if key == "run_id":
+                    got = record.run_id
+                elif key == "tenant":
+                    got = record.tenant
+                elif key == "status":
+                    got = record.status
+                elif key in ("name", "kind", "family", "backend"):
+                    got = spec.get(key)
+                elif key == "scheduler":
+                    if want not in spec.get("schedulers", []):
+                        return False
+                    continue
+                elif key == "adversary":
+                    if want not in spec.get("adversaries", []):
+                        return False
+                    continue
+                elif key == "p":
+                    if int(want) not in spec.get("interrupts", []):
+                        return False
+                    continue
+                elif key == "c":
+                    if float(want) not in spec.get("setup_costs", []):
+                        return False
+                    continue
+                else:  # key == "u"
+                    if float(want) not in spec.get("lifespans", []):
+                        return False
+                    continue
+                if got != want:
+                    return False
+            if since_epoch is not None and record.mtime < since_epoch:
+                return False
+            return True
+
+        return [RunHandle(record) for record in self.records()
+                if matches(record)]
+
+    def get(self, run_id: str, *, tenant: Optional[str] = None) -> RunHandle:
+        """The one indexed run with this id (and tenant, when given)."""
+        hits = [h for h in self.find(run_id=run_id)
+                if tenant is None or h.tenant == tenant]
+        if not hits:
+            raise CatalogError(
+                f"no indexed run {run_id!r}"
+                + (f" for tenant {tenant!r}" if tenant is not None else "")
+                + f"; known: {[r.run_id for r in self.records()]}")
+        if len(hits) > 1:
+            raise CatalogError(
+                f"run id {run_id!r} is ambiguous across tenants "
+                f"{[h.tenant for h in hits]}; pass tenant=")
+        return hits[0]
+
+    def diff(self, run_a: str, run_b: str, *,
+             tenant_a: Optional[str] = None,
+             tenant_b: Optional[str] = None,
+             source: str = "auto") -> str:
+        """Markdown comparison of two indexed runs (``catalog diff``)."""
+        from ..reporting.compare import render_run_comparison
+        return render_run_comparison(
+            self.get(run_a, tenant=tenant_a),
+            self.get(run_b, tenant=tenant_b), source=source)
+
+    # -- the cross-run frame -------------------------------------------
+    def frame(self, columns: Optional[Sequence[str]] = None, *,
+              where: Optional[Dict[str, Any]] = None,
+              source: str = "auto",
+              handles: Optional[Iterable[RunHandle]] = None,
+              **filters: Any) -> RunColumns:
+        """Concatenate matching runs' result columns into one frame.
+
+        One :meth:`~repro.runstore.Run.columns` call per matching run —
+        the sidecar fast path, zero per-shard opens on vouched runs —
+        then a single numpy concatenation per column.  ``columns``
+        restricts the result columns (a run lacking one contributes
+        masked slots); ``where`` keeps only rows whose column equals (or
+        is a member of) the given scalar (or list); remaining keyword
+        filters are passed to :meth:`find`.  The provenance columns
+        ``run_id`` / ``tenant`` / ``spec_digest`` come *after* the result
+        columns, so dropping them leaves each run's rows byte-identical
+        to that run's own ``rows()``.
+        """
+        _check_source(source)
+        if handles is None:
+            handles = self.find(**filters)
+        segments: List[Tuple[RunHandle, RunColumns, np.ndarray]] = []
+        order: List[str] = []   # global first-seen column order
+        for handle in handles:
+            cols = handle.columns(source=source)
+            keep = self._where_mask(cols, where)
+            segments.append((handle, cols, keep))
+            for name in cols.data:
+                if columns is not None and name not in columns:
+                    continue
+                if name not in order:
+                    order.append(name)
+        if columns is not None:
+            missing = [c for c in columns if c not in order]
+            if missing and segments:
+                raise CatalogError(
+                    f"column(s) {missing} appear in no matching run; "
+                    f"available: {sorted(set().union(*[set(c.data) for _, c, _ in segments]))}")
+            order = [c for c in columns if c in order]
+        for name in PROVENANCE_COLUMNS:
+            if name in order:
+                raise CatalogError(
+                    f"result column {name!r} collides with a provenance "
+                    "column; select it away with columns=[...]")
+        return self._concatenate(segments, order)
+
+    @staticmethod
+    def _where_mask(cols: RunColumns,
+                    where: Optional[Dict[str, Any]]) -> np.ndarray:
+        """Boolean keep-mask for one run segment under a ``where`` dict."""
+        keep = np.ones(len(cols), dtype=bool)
+        if not where:
+            return keep
+        for name, want in where.items():
+            column = cols.data.get(name)
+            if column is None:
+                keep[:] = False  # the filtered column never exists here
+                break
+            values = want if isinstance(want, (list, tuple, set)) \
+                else [want]
+            try:
+                hit = np.isin(column, np.asarray(list(values)))
+            except (TypeError, ValueError) as exc:
+                raise CatalogError(
+                    f"where[{name!r}] value {want!r} is not comparable "
+                    f"with column dtype {column.dtype}: {exc}") from exc
+            mask = cols.mask.get(name)
+            if mask is not None:
+                hit &= mask  # a masked-out slot never matches
+            keep &= hit
+        return keep
+
+    @staticmethod
+    def _concatenate(segments: Sequence[Tuple[RunHandle, RunColumns,
+                                              np.ndarray]],
+                     order: List[str]) -> RunColumns:
+        """Stack per-run segments into one RunColumns, provenance last."""
+        counts = [int(keep.sum()) for _, _, keep in segments]
+        total = sum(counts)
+        point_index = np.concatenate(
+            [cols.point_index[keep] for _, cols, keep in segments]
+        ) if segments else np.zeros(0, dtype=np.int64)
+        data: Dict[str, np.ndarray] = {}
+        mask: Dict[str, np.ndarray] = {}
+        for name in order:
+            dtype = None
+            for _, cols, _ in segments:
+                column = cols.data.get(name)
+                if column is None:
+                    continue
+                if dtype is None:
+                    dtype = column.dtype
+                    continue
+                both = {dtype.kind, column.dtype.kind}
+                if both <= _NUMERIC_KINDS or both == {"U"}:
+                    dtype = np.promote_types(dtype, column.dtype)
+                else:
+                    raise CatalogError(
+                        f"column {name!r} mixes incompatible dtypes "
+                        f"across runs ({dtype} vs {column.dtype}); "
+                        "exclude it with columns=[...]")
+            parts: List[np.ndarray] = []
+            mask_parts: List[np.ndarray] = []
+            any_masked = False
+            for (_, cols, keep), count in zip(segments, counts):
+                column = cols.data.get(name)
+                if column is None:
+                    parts.append(np.zeros(count, dtype=dtype))
+                    mask_parts.append(np.zeros(count, dtype=np.bool_))
+                    any_masked = True
+                    continue
+                parts.append(column[keep].astype(dtype, copy=False))
+                seg_mask = cols.mask.get(name)
+                if seg_mask is None:
+                    mask_parts.append(np.ones(count, dtype=np.bool_))
+                else:
+                    mask_parts.append(seg_mask[keep])
+                    if not seg_mask[keep].all():
+                        any_masked = True
+            data[name] = np.concatenate(parts) if parts \
+                else np.zeros(0, dtype=dtype or np.float64)
+            if any_masked:
+                mask[name] = np.concatenate(mask_parts) if mask_parts \
+                    else np.zeros(0, dtype=np.bool_)
+        # Provenance last: stripping these columns from to_rows() output
+        # leaves each segment byte-identical to that run's own rows().
+        for name, value_of in (
+                ("run_id", lambda h: h.run_id),
+                ("tenant", lambda h: h.tenant),
+                ("spec_digest", lambda h: h.spec_digest)):
+            parts = [np.full(count, np.str_(value_of(handle)))
+                     for (handle, _, _), count in zip(segments, counts)]
+            data[name] = np.concatenate(parts) if parts \
+                else np.zeros(0, dtype="U1")
+        assert len(point_index) == total
+        return RunColumns(point_index=point_index, data=data, mask=mask)

@@ -23,6 +23,9 @@ Sub-commands
                workers, crash recovery (see docs/service.md).
 ``submit``     Enqueue a spec file (or stdin) for the service to execute.
 ``status``     Show the submission queue (table or ``--json``).
+``catalog``    Cross-run analytics: ``index`` / ``list`` / ``query`` /
+               ``export`` / ``diff`` over one or more runs roots
+               (see docs/catalog.md).
 ``cancel``     Cancel a not-yet-running submission.
 ``coordinator``Serve a spec's points to remote ``worker`` processes over
                TCP (work-stealing leases; see docs/distributed.md).
@@ -38,6 +41,7 @@ an aligned ASCII table; ``--csv PATH`` writes the same rows to a CSV file.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -282,6 +286,10 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--cluster-workers", type=int, default=2,
                     help="worker processes per submission with "
                          "--executor cluster (default: 2)")
+    sv.add_argument("--no-catalog", action="store_true",
+                    help="skip the catalog index upsert after each publish "
+                         "(default: published runs become queryable via "
+                         "`repro catalog` immediately)")
 
     co = sub.add_parser(
         "coordinator", help="serve a spec's pending points to workers over "
@@ -359,6 +367,91 @@ def build_parser() -> argparse.ArgumentParser:
     cn.add_argument("entry", help="entry id to cancel (see `repro status`)")
     cn.add_argument("--runs-dir", default=DEFAULT_RUNS_DIR,
                     help=f"run-store root directory (default: {DEFAULT_RUNS_DIR}/)")
+
+    ct = sub.add_parser(
+        "catalog", help="cross-run analytics over one or more runs roots "
+                        "(see docs/catalog.md)")
+    ct.add_argument("--runs-dir", action="append", default=None,
+                    dest="runs_dirs", metavar="DIR",
+                    help="runs root to index/query (repeatable for multiple "
+                         f"roots; default: {DEFAULT_RUNS_DIR}/; the index "
+                         "lives in <first root>/_catalog/)")
+    ctsub = ct.add_subparsers(dest="catalog_command", required=True)
+
+    def add_find_filters(sp):
+        """The shared ``find()`` filter flags (list / query / export)."""
+        sp.add_argument("--name", default=None, help="exact spec name")
+        sp.add_argument("--kind", choices=["sweep", "scenario"], default=None)
+        sp.add_argument("--family", default=None,
+                        help="scenario family (scenario runs only)")
+        sp.add_argument("--scheduler", default=None,
+                        help="runs whose spec includes this scheduler")
+        sp.add_argument("--adversary", default=None,
+                        help="runs whose spec includes this adversary")
+        sp.add_argument("-p", "--interrupts", type=int, default=None,
+                        dest="p", help="runs sweeping this interrupt budget")
+        sp.add_argument("-c", "--setup-cost", type=float, default=None,
+                        dest="c", help="runs sweeping this set-up cost")
+        sp.add_argument("-U", "--lifespan", type=float, default=None,
+                        dest="u", help="runs sweeping this lifespan")
+        sp.add_argument("--status", choices=["running", "complete"],
+                        default=None)
+        sp.add_argument("--tenant", default=None,
+                        help="service namespace ('' = top-level CLI runs)")
+        sp.add_argument("--since", default=None,
+                        help="runs modified at/after this ISO date or "
+                             "POSIX timestamp")
+        sp.add_argument("--no-refresh", action="store_true",
+                        help="query the index as-is instead of refreshing "
+                             "it incrementally first")
+
+    cti = ctsub.add_parser(
+        "index", help="bring the index in line with the runs roots "
+                      "(incremental: only changed runs are re-read)")
+    cti.add_argument("--full", action="store_true",
+                     help="re-extract every run, ignoring content digests")
+
+    ctl = ctsub.add_parser("list", help="list indexed runs (one row each)")
+    add_find_filters(ctl)
+
+    ctq = ctsub.add_parser(
+        "query", help="concatenate matching runs' result rows "
+                      "(provenance-tagged: run_id, tenant, spec_digest)")
+    add_find_filters(ctq)
+    ctq.add_argument("--columns", nargs="+", default=None,
+                     help="restrict the result columns (provenance columns "
+                          "are always appended)")
+    ctq.add_argument("--where", action="append", default=None,
+                     metavar="COL=VALUE",
+                     help="keep only rows where COL equals VALUE "
+                          "(repeatable; repeated COL means 'any of')")
+    ctq.add_argument("--source", choices=["auto", "sidecar", "shards"],
+                     default="auto",
+                     help="where rows come from (auto = sidecar fast path "
+                          "when valid, shards otherwise)")
+
+    cte = ctsub.add_parser(
+        "export", help="write the matching rows to CSV / Parquet / Arrow")
+    cte.add_argument("output", help="output path (.csv, .parquet, .arrow; "
+                                    "Parquet/Arrow need pyarrow installed)")
+    add_find_filters(cte)
+    cte.add_argument("--columns", nargs="+", default=None)
+    cte.add_argument("--where", action="append", default=None,
+                     metavar="COL=VALUE")
+    cte.add_argument("--format", choices=["auto", "csv", "parquet", "arrow"],
+                     default="auto",
+                     help="export format (default: from the file extension)")
+
+    ctd = ctsub.add_parser(
+        "diff", help="markdown comparison of two indexed runs")
+    ctd.add_argument("run_a", help="first run id")
+    ctd.add_argument("run_b", help="second run id")
+    ctd.add_argument("--tenant-a", default=None,
+                     help="disambiguate run_a across tenants")
+    ctd.add_argument("--tenant-b", default=None,
+                     help="disambiguate run_b across tenants")
+    ctd.add_argument("--no-refresh", action="store_true",
+                     help="query the index as-is instead of refreshing first")
 
     return parser
 
@@ -568,7 +661,8 @@ def _cmd_serve(args) -> str:
                          cache_dir=args.cache_dir,
                          http_port=args.http_port,
                          executor=args.executor,
-                         cluster_workers=args.cluster_workers)
+                         cluster_workers=args.cluster_workers,
+                         catalog_index=not args.no_catalog)
 
     def request_stop(signum, frame):
         service.stop()
@@ -740,6 +834,94 @@ def _cmd_worker(args) -> str:
             f"{stats.shard_bytes_sent} shard bytes sent)")
 
 
+def _parse_where(pairs: Optional[List[str]]) -> Optional[dict]:
+    """``--where COL=VALUE`` flags into a ``frame(where=...)`` dict.
+
+    Values parse as JSON when possible (so ``-p 3`` style numerics compare
+    as numbers) and fall back to plain strings; a repeated column becomes
+    a membership list.
+    """
+    import json
+
+    if not pairs:
+        return None
+    where: dict = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"error: --where expects COL=VALUE, got {pair!r}")
+        name, _, raw = pair.partition("=")
+        try:
+            value = json.loads(raw)
+        except json.JSONDecodeError:
+            value = raw
+        if name in where:
+            previous = where[name]
+            where[name] = (previous if isinstance(previous, list)
+                           else [previous]) + [value]
+        else:
+            where[name] = value
+    return where
+
+
+def _catalog_record_row(record) -> dict:
+    """One ``catalog list`` table row per indexed run."""
+    spec = record.spec
+    return {
+        "run_id": record.run_id,
+        "tenant": record.tenant or "-",
+        "status": record.status,
+        "points": f"{record.completed}/{record.num_points}",
+        "kind": spec.get("kind", "?"),
+        "name": spec.get("name", "?"),
+        "schedulers": len(spec.get("schedulers", [])),
+        "columns": len(record.column_schema),
+        "spec_digest": record.spec_digest[:12],
+    }
+
+
+def _cmd_catalog(args):
+    from .catalog import Catalog, CatalogError, export_frame
+    from .runstore import DEFAULT_RUNS_DIR
+
+    roots = args.runs_dirs or [DEFAULT_RUNS_DIR]
+    catalog = Catalog(roots)
+    try:
+        if args.catalog_command == "index":
+            stats = catalog.refresh(full=args.full)
+            return (f"indexed {stats['indexed']} run(s), "
+                    f"{stats['unchanged']} unchanged, "
+                    f"{stats['removed']} removed, "
+                    f"{stats['failed']} unreadable "
+                    f"({stats['total']} total) -> {catalog.index_path}")
+        if not args.no_refresh:
+            catalog.refresh()
+        if args.catalog_command == "diff":
+            return catalog.diff(args.run_a, args.run_b,
+                                tenant_a=args.tenant_a,
+                                tenant_b=args.tenant_b)
+        filters = {key: getattr(args, key)
+                   for key in ("name", "kind", "family", "scheduler",
+                               "adversary", "p", "c", "u", "status",
+                               "tenant", "since")
+                   if getattr(args, key) is not None}
+        if args.catalog_command == "list":
+            handles = catalog.find(**filters)
+            if not handles:
+                return (f"no indexed runs match under {', '.join(roots)} "
+                        "(run `repro catalog index` after adding runs)")
+            return [_catalog_record_row(h.record) for h in handles]
+        frame = catalog.frame(args.columns, where=_parse_where(args.where),
+                              source=getattr(args, "source", "auto"),
+                              **filters)
+        if args.catalog_command == "query":
+            return frame
+        fmt = export_frame(frame, args.output, format=args.format)
+        return (f"wrote {len(frame)} row(s) x {len(frame.data)} column(s) "
+                f"to {args.output} ({fmt})")
+    except CatalogError as exc:
+        raise SystemExit(f"error: {exc}")
+
+
 def _cmd_cancel(args) -> str:
     from .service.journal import JournalError
 
@@ -769,17 +951,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         "submit": _cmd_submit,
         "status": _cmd_status,
         "cancel": _cmd_cancel,
+        "catalog": _cmd_catalog,
         "coordinator": _cmd_coordinator,
         "worker": _cmd_worker,
     }
     result = handlers[args.command](args)
-    if isinstance(result, str):  # pre-rendered output (markdown reports)
-        print(result)
+    try:
+        if isinstance(result, str):  # pre-rendered output (markdown reports)
+            print(result)
+            return 0
+        print(render_table(result, title=f"cycle-stealing {args.command}"))
+        if args.csv:
+            write_csv(args.csv, result)
+            print(f"\nwrote {len(result)} rows to {args.csv}")
+    except BrokenPipeError:
+        # Downstream consumer (head, grep -q, ...) closed stdout early:
+        # the conventional CLI response is a quiet exit, not a traceback.
+        # Detach stdout so interpreter shutdown doesn't re-raise on flush.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
         return 0
-    print(render_table(result, title=f"cycle-stealing {args.command}"))
-    if args.csv:
-        write_csv(args.csv, result)
-        print(f"\nwrote {len(result)} rows to {args.csv}")
     return 0
 
 

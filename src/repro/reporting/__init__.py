@@ -1,5 +1,6 @@
 """Result rendering: ASCII/CSV/markdown tables, run reports, series summaries."""
 
+from .compare import render_run_comparison
 from .report import (
     refresh_run_report,
     render_run_report,
@@ -24,6 +25,7 @@ __all__ = [
     "pivot_series",
     "ratio_summary",
     "crossover_point",
+    "render_run_comparison",
     "render_run_report",
     "write_run_report",
     "refresh_run_report",

@@ -1,0 +1,121 @@
+"""Cross-run comparison: the markdown behind ``repro catalog diff``.
+
+A deliberately small report for the question "what changed between these
+two runs?" — identity and spec deltas from the catalog index alone, plus a
+metric table over the numeric columns both runs share (one sidecar read
+per run, same fast path as :meth:`repro.catalog.Catalog.frame`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+import numpy as np
+
+from .table import render_markdown_table
+
+__all__ = ["render_run_comparison"]
+
+
+def _fmt(value: Any) -> Any:
+    """Spec-summary values as short cells (lists joined, rest verbatim)."""
+    if isinstance(value, (list, tuple)):
+        return ", ".join(str(v) for v in value)
+    if isinstance(value, dict):
+        return ", ".join(f"{k}={v}" for k, v in sorted(value.items()))
+    return value
+
+
+def render_run_comparison(a, b, *, source: str = "auto",
+                          float_format: str = "{:.6g}") -> str:
+    """Markdown diff of two indexed runs (``repro catalog diff``).
+
+    ``a`` / ``b`` are :class:`repro.catalog.RunHandle` objects (anything
+    with a ``.record`` and ``.columns()`` works).  Sections: identity,
+    spec-summary fields that differ, columns present in only one run, and
+    mean/min/max deltas over the shared numeric columns.
+    """
+    ra, rb = a.record, b.record
+    label_a = f"{ra.tenant + '/' if ra.tenant else ''}{ra.run_id}"
+    label_b = f"{rb.tenant + '/' if rb.tenant else ''}{rb.run_id}"
+    lines: List[str] = [f"# Run comparison: `{label_a}` vs `{label_b}`", ""]
+
+    identity = [
+        {"field": "run id", "a": ra.run_id, "b": rb.run_id},
+        {"field": "tenant", "a": ra.tenant or "-", "b": rb.tenant or "-"},
+        {"field": "status", "a": ra.status, "b": rb.status},
+        {"field": "points",
+         "a": f"{ra.completed}/{ra.num_points}",
+         "b": f"{rb.completed}/{rb.num_points}"},
+        {"field": "spec digest",
+         "a": ra.spec_digest[:12], "b": rb.spec_digest[:12]},
+        {"field": "content digest",
+         "a": (ra.content_digest or "-")[:12],
+         "b": (rb.content_digest or "-")[:12]},
+    ]
+    lines += ["## Identity", "",
+              render_markdown_table(identity, ["field", "a", "b"]), ""]
+
+    spec_a: Dict[str, Any] = ra.spec
+    spec_b: Dict[str, Any] = rb.spec
+    changed = [{"field": key,
+                "a": _fmt(spec_a.get(key, "-")),
+                "b": _fmt(spec_b.get(key, "-"))}
+               for key in sorted(set(spec_a) | set(spec_b))
+               if spec_a.get(key) != spec_b.get(key)]
+    lines.append("## Spec differences")
+    lines.append("")
+    if changed:
+        lines += [render_markdown_table(changed, ["field", "a", "b"]), ""]
+    else:
+        lines += ["Identical spec summaries.", ""]
+
+    schema_a, schema_b = ra.column_schema, rb.column_schema
+    only_a = sorted(set(schema_a) - set(schema_b))
+    only_b = sorted(set(schema_b) - set(schema_a))
+    if only_a or only_b:
+        lines.append("## Schema differences")
+        lines.append("")
+        if only_a:
+            lines.append(f"- only in `{label_a}`: "
+                         + ", ".join(f"`{c}`" for c in only_a))
+        if only_b:
+            lines.append(f"- only in `{label_b}`: "
+                         + ", ".join(f"`{c}`" for c in only_b))
+        lines.append("")
+
+    cols_a = a.columns(source=source)
+    cols_b = b.columns(source=source)
+    metric_rows: List[Dict[str, Any]] = []
+    for name, column_a in cols_a.data.items():
+        column_b = cols_b.data.get(name)
+        if column_b is None:
+            continue
+        if column_a.dtype.kind not in "biuf" \
+                or column_b.dtype.kind not in "biuf":
+            continue
+        mask_a, mask_b = cols_a.mask.get(name), cols_b.mask.get(name)
+        va = column_a if mask_a is None else column_a[mask_a]
+        vb = column_b if mask_b is None else column_b[mask_b]
+        if not len(va) or not len(vb):
+            continue
+        mean_a, mean_b = float(np.mean(va)), float(np.mean(vb))
+        metric_rows.append({
+            "column": name,
+            "mean a": mean_a, "mean b": mean_b,
+            "delta": mean_b - mean_a,
+            "min a": float(np.min(va)), "min b": float(np.min(vb)),
+            "max a": float(np.max(va)), "max b": float(np.max(vb)),
+        })
+    lines.append("## Shared metrics")
+    lines.append("")
+    if metric_rows:
+        lines.append(render_markdown_table(
+            metric_rows,
+            ["column", "mean a", "mean b", "delta",
+             "min a", "min b", "max a", "max b"],
+            float_format=float_format))
+    else:
+        lines.append("No shared numeric columns with data.")
+    lines.append("")
+    return "\n".join(lines)

@@ -61,6 +61,7 @@ from typing import Any, Dict, List, Optional, Set, Tuple, Union
 
 import numpy as np
 
+from ._compat import keyword_only
 from .core.exceptions import CycleStealingError
 from .experiments.profiling import aggregate_profiles, pop_profile, render_profile
 from .specs import (
@@ -89,6 +90,7 @@ __all__ = [
     "row_from_shard_bytes",
     "write_shard_bytes",
     "DEFAULT_RUNS_DIR",
+    "ROW_SOURCES",
 ]
 
 #: Default root directory for stored runs (relative to the working directory).
@@ -106,6 +108,21 @@ SIDECAR_VERSION = 1
 VOUCH_VERSION = 1
 
 _SHARD_RE = re.compile(r"^point-(\d{4,})\.npz$")
+
+#: The one result-access vocabulary, shared by :meth:`Run.rows`,
+#: :meth:`Run.columns` and :meth:`repro.catalog.Catalog.frame`:
+#: ``"auto"`` reads the columnar sidecar when valid and falls back to
+#: per-shard reads, ``"sidecar"`` requires a valid sidecar, ``"shards"``
+#: always reads per shard.
+ROW_SOURCES = ("auto", "sidecar", "shards")
+
+
+def _check_source(source: str) -> str:
+    """Validate a result-access ``source`` value (shared error message)."""
+    if source not in ROW_SOURCES:
+        raise ValueError(
+            f"unknown source {source!r}; expected one of {list(ROW_SOURCES)}")
+    return source
 
 #: Array-name prefixes inside the sidecar: one ``col::<name>`` per result
 #: column, plus ``mask::<name>`` for columns absent from some rows.
@@ -794,9 +811,7 @@ class Run:
         :class:`RunStoreError` when the rows cannot be represented
         columnar.
         """
-        if source not in ("auto", "sidecar", "shards"):
-            raise ValueError(f"unknown columns source {source!r}; "
-                             "expected 'auto', 'sidecar' or 'shards'")
+        _check_source(source)
         if source != "shards":
             sidecar = self._load_valid_sidecar()
             if sidecar is not None:
@@ -834,6 +849,18 @@ class Run:
                 if name.startswith(_MASK_PREFIX)}
         return RunColumns(point_index=packed["_point_index"], data=data,
                           mask=mask)
+
+    def column_schema(self, *, source: str = "auto") -> Dict[str, str]:
+        """``{column: numpy dtype string}`` of the completed result rows.
+
+        The schema the cross-run catalog indexes per run: column names in
+        first-seen row order, each with its array dtype (``"<f8"``,
+        ``"<i8"``, ``"<U12"``, …).  Reads through :meth:`columns`, so with
+        a valid sidecar it costs one file pass and zero per-shard opens;
+        raises :class:`RunStoreError` when the rows are not columnar.
+        """
+        return {name: column.dtype.str
+                for name, column in self.columns(source=source).data.items()}
 
     def _opportunistic_consolidate(
             self, indices: List[int], rows: List[Dict[str, Any]],
@@ -894,9 +921,7 @@ class Run:
         identical rows whenever both are available, which the nightly
         workflow re-verifies end to end.
         """
-        if source not in ("auto", "sidecar", "shards"):
-            raise ValueError(f"unknown rows source {source!r}; "
-                             "expected 'auto', 'sidecar' or 'shards'")
+        _check_source(source)
         if source != "shards":
             sidecar = self._load_valid_sidecar()
             if sidecar is not None:
@@ -980,6 +1005,8 @@ class RunStore:
 # ----------------------------------------------------------------------
 # Execution: run / resume a spec against a store
 # ----------------------------------------------------------------------
+@keyword_only("runs_dir", "run_id", "jobs", "cache_dir", "max_points",
+              "resume", "profile", lead=1)
 def run_spec(spec: ExperimentSpec, *,
              runs_dir: Union[str, os.PathLike] = DEFAULT_RUNS_DIR,
              run_id: Optional[str] = None, jobs: int = 1,
@@ -1113,6 +1140,8 @@ def run_spec(spec: ExperimentSpec, *,
     return run
 
 
+@keyword_only("runs_dir", "jobs", "cache_dir", "max_points", "profile",
+              lead=1)
 def resume_run(run_id: str, *,
                runs_dir: Union[str, os.PathLike] = DEFAULT_RUNS_DIR,
                jobs: int = 1, cache_dir: Optional[str] = None,

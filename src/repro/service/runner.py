@@ -115,7 +115,8 @@ class RunService:
                  cache_dir: Optional[str] = None,
                  http_port: Optional[int] = None,
                  executor: str = "local",
-                 cluster_workers: int = 2) -> None:
+                 cluster_workers: int = 2,
+                 catalog_index: bool = True) -> None:
         if workers < 1:
             raise JournalError(f"workers must be >= 1, got {workers!r}")
         if executor not in ("local", "cluster"):
@@ -134,6 +135,9 @@ class RunService:
         self.http = None
         self.executor = executor
         self.cluster_workers = int(cluster_workers)
+        #: Upsert published runs into the cross-run catalog index
+        #: (<runs_dir>/_catalog/) so `repro catalog` sees them immediately.
+        self.catalog_index = bool(catalog_index)
         #: Cumulative distributed-executor counters across finished
         #: submissions, plus live coordinator snapshots while they run.
         self._distributed_totals: Dict[str, int] = {
@@ -342,6 +346,26 @@ class RunService:
             return
         self.journal.transition(entry_id, "published",
                                 attempts=entry.attempts + 1, error="")
+        self._index_published(entry.tenant, run_id)
+
+    def _index_published(self, tenant: str, run_id: str) -> None:
+        """Upsert one published run into the catalog index (best-effort).
+
+        The index is an accelerator over state the run directories already
+        hold, so a failure here (unwritable index dir, concurrent rebuild
+        race) must never fail the publish — the next ``repro catalog
+        index`` repairs it.
+        """
+        if not self.catalog_index:
+            return
+        try:
+            from ..catalog import Catalog
+
+            Catalog([self.runs_dir]).index_run(
+                os.path.join(self.tenant_runs_dir(tenant), run_id),
+                tenant=tenant)
+        except Exception:  # noqa: BLE001 - advisory cache, never fatal
+            pass
 
     def _record_failure(self, entry) -> None:
         """Move a failed attempt to ``failed`` (backoff) or ``dead``."""

@@ -82,6 +82,7 @@ __all__ = [
     "parse_spec",
     "parse_submission",
     "spec_to_dict",
+    "spec_summary",
     "canonical_spec_json",
     "spec_digest",
     "default_run_id",
@@ -529,6 +530,39 @@ def spec_to_dict(spec: ExperimentSpec) -> Dict[str, Any]:
         if spec.family_params:
             scenario["params"] = dict(spec.family_params)
         out["scenario"] = scenario
+    return out
+
+
+def spec_summary(spec: ExperimentSpec) -> Dict[str, Any]:
+    """Flat, JSON-safe metadata summary of a spec (the catalog index form).
+
+    A *projection* of the spec for indexing and filtering — every value is
+    a JSON scalar or a list of scalars, keys are stable, and kind-specific
+    keys (``family`` for scenarios, ``lifespans``/``interrupts``/… for
+    sweeps) appear only when the kind defines them.  This is what
+    :mod:`repro.catalog` stores per run and what ``Catalog.find`` filters
+    against; the *complete* spec still lives in the run manifest and is
+    recovered with :func:`parse_spec` when needed.
+    """
+    out: Dict[str, Any] = {
+        "name": spec.name,
+        "kind": spec.kind,
+        "seed": spec.seed,
+        "replications": spec.replications,
+        "backend": spec.backend,
+        "aggregation": spec.aggregation,
+        "variance": spec.variance,
+        "schedulers": list(spec.schedulers),
+    }
+    if spec.kind == "sweep":
+        out["lifespans"] = [float(u) for u in spec.lifespans]
+        out["setup_costs"] = [float(c) for c in spec.setup_costs]
+        out["interrupts"] = [int(p) for p in spec.interrupts]
+        out["adversaries"] = list(spec.adversaries)
+        out["optimal"] = bool(spec.optimal)
+    else:
+        out["family"] = spec.family
+        out["family_params"] = dict(spec.family_params)
     return out
 
 

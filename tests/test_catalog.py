@@ -1,0 +1,370 @@
+"""Cross-run catalog: discovery, incremental index, query API, CLI.
+
+The acceptance spine: a query over two completed runs (one through the
+service tenant layout) returns provenance-tagged rows byte-identical to
+concatenating each run's own ``Run.rows()``, with zero per-shard ``.npz``
+opens on vouched runs, and an incremental re-index re-reads only the runs
+whose content digest actually changed.
+"""
+
+import json
+import os
+import shutil
+
+import pytest
+
+import repro.runstore as runstore_module
+from repro.catalog import (
+    INDEX_DIRNAME,
+    PROVENANCE_COLUMNS,
+    Catalog,
+    CatalogError,
+    discover_runs,
+    export_frame,
+)
+from repro.cli import main
+from repro.reporting import render_run_comparison
+from repro.runstore import RunStore, run_spec
+from repro.specs import parse_spec
+
+SPEC_A = {
+    "experiment": {"name": "cat-a", "kind": "sweep", "seed": 0,
+                   "replications": 0},
+    "sweep": {"lifespans": [40.0, 50.0], "setup_costs": [1.0],
+              "interrupts": [1], "schedulers": ["equalizing-adaptive"]},
+}
+SPEC_B = {
+    "experiment": {"name": "cat-b", "kind": "sweep", "seed": 1,
+                   "replications": 0},
+    "sweep": {"lifespans": [60.0], "setup_costs": [1.0, 2.0],
+              "interrupts": [2], "schedulers": ["equalizing-adaptive"]},
+}
+
+
+@pytest.fixture
+def roots(tmp_path):
+    """One runs root holding a top-level run and a tenant-layout run."""
+    root = str(tmp_path / "runs")
+    run_a = run_spec(parse_spec(SPEC_A), runs_dir=root)
+    run_b = run_spec(parse_spec(SPEC_B),
+                     runs_dir=os.path.join(root, "alice"))
+    return root, run_a, run_b
+
+
+def _strip_provenance(rows):
+    return [{k: v for k, v in row.items() if k not in PROVENANCE_COLUMNS}
+            for row in rows]
+
+
+class TestDiscovery:
+    def test_finds_both_layouts_and_skips_infrastructure(self, roots,
+                                                         tmp_path):
+        root, run_a, run_b = roots
+        os.makedirs(os.path.join(root, "_queue"))
+        os.makedirs(os.path.join(root, ".cache"))
+        os.makedirs(os.path.join(root, "alice", "_scratch"))
+        found = discover_runs([root])
+        assert [(tenant, run_id) for _, tenant, run_id, _ in found] == [
+            ("alice", run_b.run_id), ("", run_a.run_id)]
+
+    def test_missing_root_is_empty_not_an_error(self, tmp_path):
+        assert discover_runs([str(tmp_path / "nope")]) == []
+
+
+class TestRefresh:
+    def test_initial_index_and_incremental_noop(self, roots):
+        root, _, _ = roots
+        stats = Catalog([root]).refresh()
+        assert stats == {"indexed": 2, "unchanged": 0, "removed": 0,
+                         "failed": 0, "total": 2}
+        assert os.path.isfile(os.path.join(root, INDEX_DIRNAME,
+                                           "index.json"))
+        again = Catalog([root]).refresh()
+        assert again["indexed"] == 0 and again["unchanged"] == 2
+
+    def test_republished_run_is_reindexed_alone(self, roots):
+        # Staleness: a digest change re-extracts that run and only it.
+        root, run_a, _ = roots
+        Catalog([root]).refresh()
+        before = Catalog([root]).get(run_a.run_id).record.content_digest
+        row = dict(run_a.read_point(0))
+        row["guaranteed_work"] = row["guaranteed_work"] + 1.0
+        run_a.write_point(0, row)          # drops the sidecar
+        run_a.consolidate_columns()        # re-publish: new content digest
+        stats = Catalog([root]).refresh()
+        assert stats["indexed"] == 1 and stats["unchanged"] == 1
+        after = Catalog([root]).get(run_a.run_id).record.content_digest
+        assert after is not None and after != before
+
+    def test_deleted_run_drops_out_without_full_rebuild(self, roots):
+        root, run_a, run_b = roots
+        Catalog([root]).refresh()
+        shutil.rmtree(run_b.root)
+        stats = Catalog([root]).refresh()
+        assert stats == {"indexed": 0, "unchanged": 1, "removed": 1,
+                         "failed": 0, "total": 1}
+        assert [h.run_id for h in Catalog([root]).find()] == [run_a.run_id]
+
+    def test_unreadable_run_is_skipped_not_fatal(self, roots, tmp_path):
+        root, _, _ = roots
+        bad = os.path.join(root, "torn-run")
+        os.makedirs(bad)
+        with open(os.path.join(bad, "manifest.json"), "w") as handle:
+            handle.write("{not json")
+        stats = Catalog([root]).refresh()
+        assert stats["failed"] == 1 and stats["total"] == 2
+
+    def test_index_run_upserts_without_touching_others(self, roots):
+        root, run_a, run_b = roots
+        catalog = Catalog([root])
+        catalog.index_run(run_b.root, tenant="alice")
+        ids = [r.run_id for r in Catalog([root]).records()]
+        assert ids == [run_b.run_id]
+        catalog.index_run(run_a.root)
+        ids = [r.run_id for r in Catalog([root]).records()]
+        assert set(ids) == {run_a.run_id, run_b.run_id}
+
+
+class TestFind:
+    @pytest.fixture
+    def catalog(self, roots):
+        root, _, _ = roots
+        cat = Catalog([root])
+        cat.refresh()
+        return cat
+
+    def test_filters(self, catalog, roots):
+        _, run_a, run_b = roots
+        assert [h.run_id for h in catalog.find(kind="sweep")] == [
+            run_a.run_id, run_b.run_id]     # "" tenant sorts first
+        assert [h.run_id for h in catalog.find(p=2)] == [run_b.run_id]
+        assert [h.run_id for h in catalog.find(c=2.0)] == [run_b.run_id]
+        assert [h.run_id for h in catalog.find(u=40.0)] == [run_a.run_id]
+        assert [h.run_id for h in catalog.find(tenant="")] == [run_a.run_id]
+        assert [h.run_id for h in catalog.find(name="cat-b")] == [
+            run_b.run_id]
+        assert catalog.find(scheduler="equalizing-adaptive",
+                            status="complete") and \
+            catalog.find(scheduler="geometric") == []
+
+    def test_since(self, catalog):
+        assert len(catalog.find(since="2000-01-01")) == 2
+        assert catalog.find(since=2e10) == []
+        with pytest.raises(CatalogError, match="since="):
+            catalog.find(since="not-a-date")
+
+    def test_unknown_filter_raises(self, catalog):
+        with pytest.raises(CatalogError, match="unknown find"):
+            catalog.find(flavour="strawberry")
+
+    def test_get_disambiguates_by_tenant(self, roots, catalog):
+        root, run_a, _ = roots
+        assert catalog.get(run_a.run_id).tenant == ""
+        with pytest.raises(CatalogError, match="no indexed run"):
+            catalog.get("nope")
+
+    def test_handles_are_lazy_and_detect_vanished_runs(self, roots,
+                                                       catalog):
+        _, _, run_b = roots
+        handle = catalog.get(run_b.run_id)
+        shutil.rmtree(run_b.root)
+        with pytest.raises(CatalogError, match="vanished"):
+            handle.rows()
+
+
+class TestFrame:
+    @pytest.fixture
+    def catalog(self, roots):
+        root, _, _ = roots
+        cat = Catalog([root])
+        cat.refresh()
+        return cat
+
+    def test_rows_byte_identical_to_per_run_union(self, roots, catalog):
+        # The acceptance criterion: strip the provenance columns and the
+        # frame is byte-for-byte the concatenation of each run's rows()
+        # in find() order (top-level "" tenant first, then "alice").
+        _, run_a, run_b = roots
+        rows = catalog.frame().to_rows()
+        union = run_a.rows() + run_b.rows()
+        assert json.dumps(_strip_provenance(rows)) == json.dumps(union)
+        assert {row["run_id"] for row in rows} == {run_a.run_id,
+                                                   run_b.run_id}
+        assert [row["tenant"] for row in rows] == ["", "", "alice", "alice"]
+        digests = {row["run_id"]: row["spec_digest"] for row in rows}
+        assert digests[run_a.run_id] != digests[run_b.run_id]
+
+    def test_provenance_columns_come_last(self, catalog):
+        frame = catalog.frame()
+        assert tuple(frame.data)[-3:] == PROVENANCE_COLUMNS
+
+    def test_zero_shard_opens_on_vouched_runs(self, roots, monkeypatch):
+        # Completed runs have a valid sidecar + vouch: indexing AND
+        # querying them must never open a per-point .npz shard.
+        root, _, _ = roots
+        reads = []
+        real = runstore_module.read_row_shard
+        monkeypatch.setattr(
+            runstore_module, "read_row_shard",
+            lambda path: (reads.append(path), real(path))[1])
+        catalog = Catalog([root])
+        catalog.refresh()
+        frame = catalog.frame()
+        assert len(frame) == 4
+        assert reads == []
+
+    def test_where_and_columns(self, roots, catalog):
+        _, run_a, run_b = roots
+        frame = catalog.frame(where={"max_interrupts": 2})
+        assert len(frame) == 2
+        assert set(frame.data["run_id"].tolist()) == {run_b.run_id}
+        frame = catalog.frame(where={"lifespan": [40.0, 60.0]},
+                              columns=["lifespan", "guaranteed_work"])
+        assert list(frame.data) == ["lifespan", "guaranteed_work",
+                                    *PROVENANCE_COLUMNS]
+        assert sorted(frame.data["lifespan"].tolist()) == [40.0, 60.0,
+                                                           60.0]
+        assert len(catalog.frame(where={"no_such_column": 1})) == 0
+
+    def test_find_filters_pass_through(self, roots, catalog):
+        _, _, run_b = roots
+        frame = catalog.frame(tenant="alice")
+        assert set(frame.data["run_id"].tolist()) == {run_b.run_id}
+
+    def test_missing_requested_column_raises(self, catalog):
+        with pytest.raises(CatalogError, match="appear in no matching run"):
+            catalog.frame(columns=["no_such_column"])
+
+    def test_bad_source_uses_shared_vocabulary(self, catalog):
+        with pytest.raises(ValueError, match="unknown source 'bogus'"):
+            catalog.frame(source="bogus")
+
+    def test_empty_match_yields_empty_frame(self, catalog):
+        frame = catalog.frame(name="no-such-spec")
+        assert len(frame) == 0 and tuple(frame.data) == PROVENANCE_COLUMNS
+
+
+class TestExportAndDiff:
+    @pytest.fixture
+    def catalog(self, roots):
+        root, _, _ = roots
+        cat = Catalog([root])
+        cat.refresh()
+        return cat
+
+    def test_csv_round_trip_matches_frame(self, catalog, tmp_path):
+        frame = catalog.frame()
+        out = tmp_path / "frame.csv"
+        assert export_frame(frame, str(out)) == "csv"
+        lines = out.read_text().strip().splitlines()
+        assert len(lines) == len(frame) + 1
+        header = lines[0].split(",")
+        assert header[-3:] == list(PROVENANCE_COLUMNS)
+
+    def test_unknown_format_raises(self, catalog, tmp_path):
+        with pytest.raises(CatalogError, match="cannot infer"):
+            export_frame(catalog.frame(), str(tmp_path / "frame.xyz"))
+        with pytest.raises(CatalogError, match="unknown export format"):
+            export_frame(catalog.frame(), str(tmp_path / "f.csv"),
+                         format="xlsx")
+
+    def test_arrow_formats_gate_on_pyarrow(self, catalog, tmp_path):
+        # pyarrow is an optional dependency: with it installed the export
+        # round-trips; without it the error names the missing package and
+        # the CSV escape hatch.
+        frame = catalog.frame()
+        out = tmp_path / "frame.parquet"
+        try:
+            import pyarrow.parquet as pq
+        except ImportError:
+            with pytest.raises(CatalogError, match="pyarrow"):
+                export_frame(frame, str(out))
+        else:
+            export_frame(frame, str(out))
+            table = pq.read_table(str(out))
+            assert table.num_rows == len(frame)
+            assert table.column("run_id").to_pylist() == \
+                frame.data["run_id"].tolist()
+
+    def test_diff_renders_identity_spec_and_metric_sections(self, roots,
+                                                            catalog):
+        _, run_a, run_b = roots
+        text = catalog.diff(run_a.run_id, run_b.run_id)
+        assert "## Identity" in text and "## Spec differences" in text
+        assert "## Shared metrics" in text
+        assert "| interrupts | 1 | 2 |" in text
+        same = render_run_comparison(catalog.get(run_a.run_id),
+                                     catalog.get(run_a.run_id))
+        assert "Identical spec summaries." in same
+
+
+class TestServiceHook:
+    def test_publish_upserts_into_the_catalog(self, tmp_path):
+        from repro.service.runner import RunService
+
+        runs_dir = tmp_path / "runs"
+        service = RunService(str(runs_dir), poll_interval=0.02)
+        service.journal.submit(SPEC_A)
+        service.serve(drain=True, max_runtime=120.0)
+        # No explicit `repro catalog index`: the publish hook indexed it.
+        handles = Catalog([str(runs_dir)]).find(tenant="default")
+        assert len(handles) == 1 and handles[0].record.status == "complete"
+        assert handles[0].rows() == RunStore(
+            str(runs_dir / "default")).open(handles[0].run_id).rows()
+
+    def test_no_catalog_flag_disables_the_hook(self, tmp_path):
+        from repro.service.runner import RunService
+
+        runs_dir = tmp_path / "runs"
+        service = RunService(str(runs_dir), poll_interval=0.02,
+                             catalog_index=False)
+        service.journal.submit(SPEC_A)
+        service.serve(drain=True, max_runtime=120.0)
+        assert not os.path.exists(str(runs_dir / INDEX_DIRNAME))
+
+
+class TestCatalogCLI:
+    def test_index_list_query_export(self, roots, tmp_path, capsys):
+        root, run_a, run_b = roots
+        assert main(["catalog", "--runs-dir", root, "index"]) == 0
+        assert "indexed 2 run(s)" in capsys.readouterr().out
+
+        assert main(["catalog", "--runs-dir", root, "list"]) == 0
+        out = capsys.readouterr().out
+        assert run_a.run_id in out and run_b.run_id in out
+
+        assert main(["catalog", "--runs-dir", root, "query",
+                     "-p", "2"]) == 0
+        out = capsys.readouterr().out
+        assert run_b.run_id in out and run_a.run_id not in out
+
+        exported = tmp_path / "rows.csv"
+        assert main(["catalog", "--runs-dir", root, "export",
+                     str(exported)]) == 0
+        lines = exported.read_text().strip().splitlines()
+        assert len(lines) == 1 + len(run_a.rows()) + len(run_b.rows())
+
+    def test_query_where_flag(self, roots, capsys):
+        root, _, run_b = roots
+        main(["catalog", "--runs-dir", root, "index"])
+        capsys.readouterr()
+        assert main(["catalog", "--runs-dir", root, "query",
+                     "--where", "setup_cost=2.0"]) == 0
+        out = capsys.readouterr().out
+        assert run_b.run_id in out
+
+    def test_diff_subcommand(self, roots, capsys):
+        root, run_a, run_b = roots
+        main(["catalog", "--runs-dir", root, "index"])
+        capsys.readouterr()
+        assert main(["catalog", "--runs-dir", root, "diff",
+                     run_a.run_id, run_b.run_id]) == 0
+        assert "# Run comparison" in capsys.readouterr().out
+
+    def test_errors_become_clean_exits(self, roots, capsys):
+        root, _, _ = roots
+        with pytest.raises(SystemExit, match="error"):
+            main(["catalog", "--runs-dir", root, "diff", "nope", "nada"])
+        with pytest.raises(SystemExit, match="--where expects"):
+            main(["catalog", "--runs-dir", root, "query",
+                  "--where", "malformed"])
